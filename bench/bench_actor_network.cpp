@@ -1,0 +1,90 @@
+// X2 — Actor-network churn vs. freezing (§II-C).
+//
+// "When new applications and user groups cease to come to the Internet, and
+// the set of actors ... becomes fixed, then ... the tensions and tussles in
+// the network will begin to be resolved, and this will imply a freezing of
+// the actor network, and a freezing of the Internet. So we should look for
+// a time when innovation slows, not just as a signal but also as a
+// pre-condition of a durably formed and unchangeable Internet."
+//
+// We anneal an actor network (alignments harden over time) while injecting
+// new entrants at different rates, and report durability trajectories.
+#include <iostream>
+
+#include "core/actor.hpp"
+#include "core/report.hpp"
+
+using namespace tussle;
+
+namespace {
+
+core::ActorNetwork seed_network() {
+  core::ActorNetwork n;
+  n.add(core::Actor{"users", core::ActorKind::kUser, {{"openness", 1.0}, {"privacy", 1.0}}});
+  n.add(core::Actor{"isps", core::ActorKind::kCommercialIsp,
+                    {{"revenue", 1.0}, {"openness", -0.5}}});
+  n.add(core::Actor{"gov", core::ActorKind::kGovernment,
+                    {{"privacy", -1.0}, {"security", 1.0}}});
+  n.add(core::Actor{"riaa", core::ActorKind::kRightsHolder, {{"openness", -1.0}}});
+  n.add(core::Actor{"cdn", core::ActorKind::kContentProvider, {{"revenue", 1.0}}});
+  n.add(core::Actor{"ietf", core::ActorKind::kDesigner, {{"openness", 1.0}}});
+  n.add(core::Actor{"the-protocols", core::ActorKind::kTechnology, {}});
+  return n;
+}
+
+double run_to_horizon(double entry_every_n_rounds, std::size_t rounds, double anneal_rate) {
+  core::ActorNetwork n = seed_network();
+  int entrants = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    n.anneal(anneal_rate, 1);
+    if (entry_every_n_rounds > 0 &&
+        r % static_cast<std::size_t>(entry_every_n_rounds) == 0) {
+      ++entrants;
+      n.enter(core::Actor{"app-" + std::to_string(entrants),
+                          core::ActorKind::kContentProvider,
+                          {{"openness", 1.0}}},
+              /*disruption=*/0.25);
+    }
+  }
+  return n.durability();
+}
+
+}  // namespace
+
+int main() {
+  core::print_experiment_header(
+      std::cout, "X2", "SII-C why run-time tussle is possible (extension)",
+      "Actor alignments anneal toward lock-in; a stream of new entrants\n"
+      "keeps durability bounded away from 1 — innovation as the\n"
+      "pre-condition of changeability.");
+
+  core::Table t({"entry-rate", "durability@25", "durability@50", "durability@100"});
+  struct Row {
+    const char* label;
+    double every;
+  };
+  const Row rows[] = {
+      {"no new entrants (frozen)", 0},
+      {"one entrant / 20 rounds", 20},
+      {"one entrant / 8 rounds", 8},
+      {"one entrant / 3 rounds (boom)", 3},
+  };
+  for (const Row& r : rows) {
+    t.add_row({std::string(r.label), run_to_horizon(r.every, 25, 0.08),
+               run_to_horizon(r.every, 50, 0.08), run_to_horizon(r.every, 100, 0.08)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nAdverse-interest drag: pairs with opposed stakes anneal at half\n"
+               "speed, so a network full of unresolved tussle stays pliable longer\n"
+               "— 'the tussles ... have not been driven out of it.'\n\n";
+
+  core::ActorNetwork n = seed_network();
+  core::Table adverse({"metric", "value"});
+  adverse.add_row({std::string("actors"), static_cast<long long>(n.size())});
+  adverse.add_row({std::string("adverse pairs"), static_cast<long long>(n.adverse_pairs())});
+  n.anneal(0.08, 50);
+  adverse.add_row({std::string("durability after 50 quiet rounds"), n.durability()});
+  adverse.print(std::cout);
+  return 0;
+}

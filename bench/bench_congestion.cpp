@@ -1,0 +1,46 @@
+// E12 — TCP congestion control as an unresolved tussle (§II-B).
+//
+// Paper claim: voluntary compliance holds only while the social balance
+// holds; "should this balance change, the technical design of the system
+// will do nothing to bound or guide the resulting shift." The cheater
+// sweep shows the collapse under FIFO; the fair-queueing columns show what
+// a design that *does* bound the tussle looks like.
+#include <iostream>
+
+#include "apps/congestion.hpp"
+#include "core/report.hpp"
+
+using namespace tussle;
+
+int main() {
+  core::print_experiment_header(
+      std::cout, "E12", "SII-B congestion-control compliance",
+      "Sweep the fraction of aggressive (non-backing-off) senders.\n"
+      "FIFO: compliant flows starve. Fair queueing: the tussle is bounded.");
+
+  core::Table t({"cheater-frac", "fifo:compliant", "fifo:cheater", "fifo:jain",
+                 "fq:compliant", "fq:cheater", "fq:jain"});
+  for (double f : {0.0, 0.05, 0.1, 0.25, 0.5, 0.75}) {
+    apps::CongestionConfig fifo;
+    fifo.aggressive_fraction = f;
+    auto rf = apps::run_congestion(fifo);
+    apps::CongestionConfig fq = fifo;
+    fq.fair_queueing = true;
+    auto rq = apps::run_congestion(fq);
+    t.add_row({f, rf.compliant_goodput_mean, rf.aggressive_goodput_mean, rf.jains_fairness,
+               rq.compliant_goodput_mean, rq.aggressive_goodput_mean, rq.jains_fairness});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nUtilization / loss under full defection\n\n";
+  core::Table u({"scenario", "utilization", "loss-rate"});
+  for (double f : {0.0, 1.0}) {
+    apps::CongestionConfig cfg;
+    cfg.aggressive_fraction = f;
+    auto r = apps::run_congestion(cfg);
+    u.add_row({f == 0.0 ? std::string("all compliant") : std::string("all aggressive"),
+               r.utilization, r.loss_rate});
+  }
+  u.print(std::cout);
+  return 0;
+}

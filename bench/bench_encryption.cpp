@@ -1,0 +1,144 @@
+// E11 — "Peeking is irresistible" and the encryption escalation (§VI-A).
+//
+// Paper claims: (a) anything visible in the packet will be inspected and
+// acted on (here: an ISP throttling P2P); (b) end-to-end encryption defeats
+// the peek; (c) the provider's only counter-escalation is to punish opacity
+// itself, which is indiscriminate — it hits the VPN-using business customer
+// too — and, crucially, *visible* ("forcing the choice to be public ... is
+// about all that technology can do").
+#include <iostream>
+
+#include "apps/stego.hpp"
+#include "core/report.hpp"
+#include "net/topology.hpp"
+#include "policy/packet_adapter.hpp"
+#include "routing/link_state.hpp"
+
+using namespace tussle;
+using net::Address;
+using net::NodeId;
+
+namespace {
+
+struct Delivered {
+  int p2p_plain = 0;
+  int p2p_encrypted = 0;
+  int p2p_stego = 0;
+  int business_vpn = 0;
+  int web = 0;
+  bool policy_disclosed = false;
+};
+
+Delivered run_stage(int stage) {
+  sim::Simulator sim(71);
+  net::Network net(sim);
+  auto ids = net::build_star(net, 4, 1, net::LinkSpec{});
+  std::vector<Address> addrs;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+    net.node(ids[i]).add_address(a);
+    addrs.push_back(a);
+  }
+  routing::LinkState ls(net);
+  ls.install_routes(ids);
+
+  // ISP policy ladder at the hub.
+  if (stage >= 1) {
+    policy::PolicySet ps(policy::standard_packet_ontology(), policy::Effect::kPermit);
+    ps.add("throttle-p2p", policy::Effect::kDeny, "proto == 'p2p'", "application");
+    if (stage >= 2) {
+      // Escalation: refuse anything it cannot read. This rule is
+      // *necessarily* visible in effect — it kills paying VPN customers.
+      ps.add("no-opacity", policy::Effect::kDeny, "opaque", "security");
+    }
+    net.node(ids[0]).add_filter(
+        policy::make_packet_filter("isp-dpi", /*disclosed=*/stage >= 2, std::move(ps)));
+  }
+  if (stage >= 3) {
+    // fn.17: steganography is invisible to both rules above, so the ISP's
+    // only remaining counter is a statistical classifier — 70% catch rate,
+    // 5% false positives on innocent web.
+    net.node(ids[0]).add_filter(
+        apps::make_stego_detector(net, "traffic-classifier", net::AppProto::kWeb, 0.7, 0.05));
+  }
+
+  Delivered d;
+  net.set_delivery_observer([&](const net::Packet& p, NodeId) {
+    if (p.payload_tag == "p2p-plain") ++d.p2p_plain;
+    if (p.payload_tag == "p2p-enc") ++d.p2p_encrypted;
+    if (p.payload_tag == "p2p-stego") ++d.p2p_stego;
+    if (p.payload_tag == "biz-vpn") ++d.business_vpn;
+    if (p.payload_tag == "web") ++d.web;
+  });
+
+  int seq = 0;
+  auto send = [&](int from, int to, net::AppProto proto, bool enc, const char* tag,
+                  bool tunnel) {
+    sim.schedule(sim::Duration::millis(1) * static_cast<double>(++seq), [&, from, to, proto,
+                                                                         enc, tag, tunnel]() {
+      net::Packet p;
+      p.src = addrs[static_cast<std::size_t>(from)];
+      p.dst = addrs[static_cast<std::size_t>(to)];
+      p.proto = proto;
+      p.encrypted = enc;
+      p.payload_tag = tag;
+      if (tunnel) {
+        // VPN to the destination's address (decapsulated there).
+        p = p.encapsulate(p.src, addrs[static_cast<std::size_t>(to)]);
+        p.payload_tag = tag;
+      }
+      net.node(ids[static_cast<std::size_t>(from)]).originate(std::move(p));
+    });
+  };
+  auto send_stego = [&]() {
+    sim.schedule(sim::Duration::millis(1) * static_cast<double>(++seq), [&]() {
+      net::Packet p;
+      p.src = addrs[1];
+      p.dst = addrs[2];
+      p.proto = net::AppProto::kP2p;
+      p.payload_tag = "p2p-stego";
+      net.node(ids[1]).originate(apps::steganographize(std::move(p), net::AppProto::kWeb));
+    });
+  };
+  for (int k = 0; k < 50; ++k) {
+    send(1, 2, net::AppProto::kP2p, false, "p2p-plain", false);
+    send(1, 2, net::AppProto::kP2p, true, "p2p-enc", false);
+    send_stego();
+    send(3, 4, net::AppProto::kWeb, false, "web", false);
+    send(3, 4, net::AppProto::kMail, false, "biz-vpn", true);  // telework tunnel
+  }
+  sim.run();
+  d.policy_disclosed = !net.node(ids[0]).disclosed_filter_names().empty();
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  core::print_experiment_header(
+      std::cout, "E11", "SVI-A end-to-end arguments & encryption",
+      "Stage 0: transparent carriage. Stage 1: ISP peeks and drops P2P —\n"
+      "users encrypt and win. Stage 2: ISP punishes opacity itself —\n"
+      "indiscriminate collateral damage, and the policy becomes visible.");
+
+  const char* stages[] = {"0: transparent network", "1: DPI drops visible p2p",
+                          "2: drop everything opaque", "3: + statistical stego hunt"};
+  core::Table t({"isp-policy", "p2p-plain/50", "p2p-enc/50", "p2p-stego/50",
+                 "business-vpn/50", "web/50", "policy-visible"});
+  for (int s = 0; s <= 3; ++s) {
+    auto d = run_stage(s);
+    t.add_row({std::string(stages[s]), static_cast<long long>(d.p2p_plain),
+               static_cast<long long>(d.p2p_encrypted), static_cast<long long>(d.p2p_stego),
+               static_cast<long long>(d.business_vpn), static_cast<long long>(d.web),
+               std::string(d.policy_disclosed ? "yes" : "no")});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check (paper): encryption defeats stage 1; stage 2 'wins'\n"
+               "only by also destroying the opaque traffic of paying customers.\n"
+               "Stage 3 (fn.17): steganography sails through stages 1-2 untouched;\n"
+               "the statistical hunt catches most of it but now drops innocent\n"
+               "web too (false positives) — escalation never ends, it only\n"
+               "relocates the collateral damage.\n";
+  return 0;
+}

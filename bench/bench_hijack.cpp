@@ -1,0 +1,66 @@
+// X1 — Byzantine routing: prefix hijack and origin validation (§II-B).
+//
+// The paper's second "system design perspective on tussle" is building
+// systems "more resistant to those that perceive the answer differently"
+// (Perlman's byzantine robustness, Savage's uncooperative-Internet work).
+// This extension experiment quantifies that school on our path-vector
+// substrate: a hijacker falsely originates a victim's prefix, and an
+// RPKI-style origin-validation deployment is the technical bound.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "routing/path_vector.hpp"
+
+using namespace tussle;
+using routing::AsId;
+
+int main() {
+  core::print_experiment_header(
+      std::cout, "X1", "SII-B byzantine actors in routing (extension)",
+      "A false-origin announcement captures a large share of the network\n"
+      "under plain Gao-Rexford; origin validation eliminates the capture.\n"
+      "Capture grows with the hijacker's position in the hierarchy.");
+
+  sim::Rng rng(81);
+  auto h = routing::make_hierarchy(rng, 3, 8, 24);
+  const AsId victim = h.stubs[0];
+
+  core::Table t({"hijacker-tier", "validation", "captured", "legitimate", "unreachable",
+                 "capture-fraction"});
+  struct Case {
+    const char* label;
+    AsId attacker;
+  };
+  const Case cases[] = {
+      {"stub", h.stubs.back()},
+      {"tier-2 transit", h.tier2[0]},
+      {"tier-1 backbone", h.tier1[0]},
+  };
+  for (const Case& c : cases) {
+    for (bool validation : {false, true}) {
+      auto r = routing::simulate_hijack(h.graph, victim, c.attacker, validation);
+      t.add_row({std::string(c.label), std::string(validation ? "on" : "off"),
+                 static_cast<long long>(r.captured), static_cast<long long>(r.legitimate),
+                 static_cast<long long>(r.unreachable), r.capture_fraction});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nMean capture across 10 random victim/attacker stub pairs\n\n";
+  core::Table sweep({"validation", "mean-capture-fraction"});
+  for (bool validation : {false, true}) {
+    double total = 0;
+    int n = 0;
+    for (std::size_t i = 0; i + 1 < h.stubs.size() && n < 10; i += 2, ++n) {
+      auto r = routing::simulate_hijack(h.graph, h.stubs[i], h.stubs[i + 1], validation);
+      total += r.capture_fraction;
+    }
+    sweep.add_row({std::string(validation ? "on" : "off"), total / n});
+  }
+  sweep.print(std::cout);
+
+  std::cout << "\nReading: the 'one right answer' design school works — when the\n"
+               "right answer (the legitimate origin) can be authenticated. The\n"
+               "tussle moves to who runs the trust anchor.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E5 — The QoS deployment post-mortem (§VII).
+//
+// Paper hypothesis, verbatim: "one can see the failure of QoS deployment
+// as a failure first to design any value-transfer mechanism to give the
+// providers the possibility of being rewarded for making the investment
+// (greed), and second, a failure to couple the design to a mechanism
+// whereby the user can exercise choice to select the provider who offered
+// the service (competitive fear)." Closed deployment instead yields
+// vertical integration and monopoly pricing.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "econ/investment.hpp"
+#include "game/canonical.hpp"
+
+using namespace tussle;
+
+int main() {
+  core::print_experiment_header(
+      std::cout, "E5", "SVII lessons for designers (QoS post-mortem)",
+      "Deployment needs greed (value flow) and is accelerated by fear\n"
+      "(user choice); closed QoS deploys for the wrong reason and prices\n"
+      "the dependent application at monopoly rates.");
+
+  core::Table t({"value-flow", "user-choice", "mode", "deploy-fraction", "open-service",
+                 "app-price", "isp-profit"});
+  struct Case {
+    bool value_flow;
+    bool choice;
+    bool closed;
+  };
+  const Case cases[] = {
+      {false, false, false},  // the historical failure
+      {false, true, false},   // fear alone
+      {true, false, false},   // greed alone
+      {true, true, false},    // the paper's recipe
+      {false, false, true},   // vertical integration instead
+  };
+  int seed = 1;
+  for (const Case& c : cases) {
+    econ::InvestmentConfig cfg;
+    cfg.value_flow = c.value_flow;
+    cfg.user_choice = c.choice;
+    cfg.closed_mode = c.closed;
+    sim::Rng rng(seed++);
+    auto r = econ::run_investment(cfg, rng);
+    t.add_row({std::string(c.value_flow ? "yes" : "no"),
+               std::string(c.choice ? "yes" : "no"),
+               std::string(c.closed ? "closed" : "open"), r.final_deploy_fraction,
+               std::string(r.open_service_available ? "yes" : "no"), r.app_price,
+               r.mean_isp_profit});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nOne-shot structure (2-ISP investment game equilibria)\n\n";
+  core::Table eq({"scenario", "nash-equilibrium"});
+  auto describe = [](const game::MatrixGame& g) {
+    auto e = g.pure_nash();
+    std::string s;
+    for (auto [i, j] : e) {
+      if (!s.empty()) s += ", ";
+      s += "(" + g.row_name(i) + "," + g.col_name(j) + ")";
+    }
+    return s.empty() ? std::string("none (mixed only)") : s;
+  };
+  eq.add_row({std::string("no value flow, no choice"),
+              describe(game::qos_investment_game(2, 0, 0))});
+  eq.add_row({std::string("value flow only"), describe(game::qos_investment_game(2, 3, 0))});
+  eq.add_row({std::string("value flow + choice"),
+              describe(game::qos_investment_game(2, 3, 2))});
+  eq.print(std::cout);
+  return 0;
+}

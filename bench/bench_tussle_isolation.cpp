@@ -1,0 +1,72 @@
+// E8 — Modularize along tussle boundaries: the DNS ablation (§IV-A).
+//
+// Paper claim: because DNS names express trademark AND locate machines AND
+// route mail, the trademark tussle distorts unrelated functions. Separating
+// the planes confines disputes to the brand directory. We replay identical
+// lookup workloads against both designs and sweep the dispute rate.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/tussle_space.hpp"
+#include "names/name_system.hpp"
+#include "names/workload.hpp"
+
+using namespace tussle;
+
+int main() {
+  core::print_experiment_header(
+      std::cout, "E8", "SIV-A modularize along tussle boundaries (DNS)",
+      "Entangled naming lets trademark disputes break machine lookups and\n"
+      "mail; modularized naming confines the damage to brand lookups.");
+
+  core::Table t({"design", "disputed-frac", "brand-fail", "machine-fail", "mailbox-fail",
+                 "SPILLOVER"});
+  for (double frac : {0.05, 0.10, 0.20, 0.40}) {
+    for (int design = 0; design < 2; ++design) {
+      names::WorkloadConfig cfg;
+      cfg.disputed_fraction = frac;
+      sim::Rng rng(41);
+      names::WorkloadResult r;
+      std::string label;
+      if (design == 0) {
+        names::EntangledNameSystem s;
+        r = names::run_workload(s, cfg, rng);
+        label = s.design();
+      } else {
+        names::ModularNameSystem s;
+        r = names::run_workload(s, cfg, rng);
+        label = s.design();
+      }
+      t.add_row({label, frac, r.brand_failure_rate(), r.machine_failure_rate(),
+                 r.mailbox_failure_rate(), r.spillover_rate()});
+    }
+  }
+  t.print(std::cout);
+
+  // Architecture-level audit via the TussleMap: which design's mechanisms
+  // touch multiple tussle spaces?
+  std::cout << "\nMechanism audit (spaces touched per mechanism)\n\n";
+  core::TussleMap entangled_map;
+  entangled_map.add_mechanism("dns-record", {"trademark", "machine-location", "mail-routing"});
+  core::TussleMap modular_map;
+  modular_map.add_mechanism("brand-directory", {"trademark"});
+  modular_map.add_mechanism("machine-names", {"machine-location"});
+  modular_map.add_mechanism("mailbox-plane", {"mail-routing"});
+
+  core::Table audit({"design", "mechanisms", "entangled-mechanisms", "entanglement-ratio"});
+  audit.add_row({std::string("entangled"),
+                 static_cast<long long>(entangled_map.mechanisms().size()),
+                 static_cast<long long>(entangled_map.entangled_mechanisms().size()),
+                 entangled_map.entanglement_ratio()});
+  audit.add_row({std::string("modular"),
+                 static_cast<long long>(modular_map.mechanisms().size()),
+                 static_cast<long long>(modular_map.entangled_mechanisms().size()),
+                 modular_map.entanglement_ratio()});
+  audit.print(std::cout);
+
+  std::cout << "\nNote the cost asymmetry the paper accepts: the modular design\n"
+               "spends three mechanisms where one 'efficient' mechanism sufficed\n"
+               "(SIV-A: 'solutions that are less efficient from a technical\n"
+               "perspective may do a better job of isolating tussle').\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Example: the §V-B/§VI-A control-point loop, end to end.
+//
+//   1. A default-deny firewall protects a user; their new app breaks.
+//   2. Fault diagnosis: the disclosed firewall *names itself* to a probe
+//      ("tools to resolve and isolate faults" — §IV-C).
+//   3. Negotiation: the endpoint asks for a pinhole (MIDCOM-style).
+//   4. Who may grant it depends on who holds policy authority — the
+//      governance tussle, played three ways.
+#include <iostream>
+
+#include "apps/diagnostics.hpp"
+#include "core/tussle.hpp"
+#include "trust/midcom.hpp"
+
+using namespace tussle;
+
+namespace {
+
+const char* outcome_name(apps::FaultProbe::Outcome o) {
+  switch (o) {
+    case apps::FaultProbe::Outcome::kDelivered: return "delivered";
+    case apps::FaultProbe::Outcome::kFilteredReported: return "filtered (attributed)";
+    case apps::FaultProbe::Outcome::kSilentLoss: return "silent loss";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Negotiated-firewall walkthrough\n===============================\n\n";
+
+  for (auto authority : {trust::PolicyAuthority::kEndUser,
+                         trust::PolicyAuthority::kNetworkAdmin,
+                         trust::PolicyAuthority::kGovernment}) {
+    std::cout << "--- policy authority: " << to_string(authority) << " ---\n";
+
+    sim::Simulator sim(7);
+    net::Network net(sim);
+    net.enable_fault_reporting(true);
+    auto ids = net::build_star(net, 2, 1, net::LinkSpec{});
+    std::vector<net::Address> addrs;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      net::Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+
+    // Broker first (its bypass must pre-empt the firewall), then the
+    // default-deny firewall: web is permitted, everything else forbidden.
+    trust::PinholeBroker broker(net, ids[0], authority);
+    broker.admin_allow(net::AppProto::kVoip);  // the admin's negotiable set
+    policy::PolicySet ps(policy::standard_packet_ontology(), policy::Effect::kDeny);
+    ps.add("allow-web", policy::Effect::kPermit, "proto == 'web'", "application");
+    // Signalling must flow or nothing can be diagnosed or negotiated.
+    ps.add("allow-control", policy::Effect::kPermit, "proto == 'control'", "application");
+    net.node(ids[0]).add_filter(policy::make_packet_filter("fw", /*disclosed=*/true, ps));
+
+    auto mux1 = apps::AppMux::install(net.node(ids[1]));
+    auto mux2 = apps::AppMux::install(net.node(ids[2]));
+    apps::FaultProbe probe(net, ids[1], mux1, mux2);
+
+    // Step 1-2: the new app (an unproven protocol) fails; diagnose it.
+    auto before = probe.probe(addrs[1], addrs[2], net::AppProto::kP2p);
+    std::cout << "  new app before negotiation: " << outcome_name(before.outcome);
+    if (before.outcome == apps::FaultProbe::Outcome::kFilteredReported) {
+      std::cout << " by node " << before.reporting_node << " (" << before.reason << ")";
+    }
+    std::cout << "\n";
+
+    // Step 3: ask for pinholes for the new app and for VoIP.
+    for (auto proto : {net::AppProto::kP2p, net::AppProto::kVoip}) {
+      auto grant = broker.request({"user1", addrs[1], proto, "let my app work"});
+      std::cout << "  pinhole for " << net::to_string(proto) << ": "
+                << (grant.granted ? "GRANTED" : "refused") << " — " << grant.reason << "\n";
+    }
+
+    // Step 4: verify with fresh probes.
+    auto p2p_after = probe.probe(addrs[1], addrs[2], net::AppProto::kP2p);
+    auto voip_after = probe.probe(addrs[1], addrs[2], net::AppProto::kVoip);
+    std::cout << "  after negotiation: p2p=" << outcome_name(p2p_after.outcome)
+              << ", voip=" << outcome_name(voip_after.outcome) << "\n\n";
+  }
+
+  std::cout << "The mechanism is identical in all three runs; only the holder of\n"
+               "policy authority changes — \"there is no single answer, and we\n"
+               "better not think we are going to design it. All we can design is\n"
+               "the space for the tussle.\"\n";
+  return 0;
+}

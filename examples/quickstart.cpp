@@ -1,0 +1,80 @@
+// Quickstart: build a small network, install routes, run traffic, and put
+// one tussle on the wire — an ISP filter vs. a user who encrypts.
+//
+//   $ ./quickstart
+//
+// Walks through the three layers a tussle-net program touches:
+//   1. substrate  — Simulator + Network + routing
+//   2. mechanism  — a policy-language filter installed at a provider node
+//   3. tussle     — the user's counter-move, and what the metrics show
+#include <iostream>
+
+#include "core/tussle.hpp"
+
+using namespace tussle;
+
+int main() {
+  std::cout << "tussle-net quickstart\n=====================\n\n";
+
+  // 1. Substrate: a deterministic simulator and a 3-node network
+  //    alice --- isp-router --- bob
+  sim::Simulator sim(/*seed=*/42);
+  net::Network net(sim);
+  const net::NodeId alice = net.add_node(/*as=*/1);
+  const net::NodeId isp = net.add_node(1);
+  const net::NodeId bob = net.add_node(1);
+  net.connect(alice, isp, 10e6, sim::Duration::millis(5));
+  net.connect(isp, bob, 10e6, sim::Duration::millis(5));
+
+  const net::Address alice_addr{.provider = 1, .subscriber = 1, .host = 1};
+  const net::Address bob_addr{.provider = 1, .subscriber = 2, .host = 1};
+  net.node(alice).add_address(alice_addr);
+  net.node(bob).add_address(bob_addr);
+
+  // Let link-state routing fill every forwarding table.
+  routing::LinkState ls(net);
+  ls.install_routes({alice, isp, bob});
+
+  // 2. Mechanism: the ISP installs a policy-language filter: no p2p.
+  policy::PolicySet rules(policy::standard_packet_ontology(), policy::Effect::kPermit);
+  rules.add("no-p2p", policy::Effect::kDeny, "proto == 'p2p'", "application");
+  net.node(isp).add_filter(policy::make_packet_filter("isp-dpi", /*disclosed=*/true, rules));
+
+  // 3. Tussle: alice sends p2p plainly, then encrypted.
+  auto send = [&](bool encrypted) {
+    net::Packet p;
+    p.src = alice_addr;
+    p.dst = bob_addr;
+    p.proto = net::AppProto::kP2p;
+    p.encrypted = encrypted;
+    p.payload_tag = encrypted ? "hidden" : "plain";
+    net.node(alice).originate(std::move(p));
+  };
+  int bob_got = 0;
+  net.node(bob).set_local_handler([&](const net::Packet& p) {
+    std::cout << "  bob received: " << p.payload_tag
+              << " (observable proto: " << net::to_string(p.observable_proto()) << ")\n";
+    ++bob_got;
+  });
+
+  std::cout << "Round 1: plain p2p through the ISP filter...\n";
+  send(/*encrypted=*/false);
+  sim.run();
+  std::cout << "  delivered=" << net.counters().delivered.value()
+            << " filtered=" << net.counters().dropped_filter.value() << "\n\n";
+
+  std::cout << "Round 2: alice encrypts (SVI-A: 'peeking is irresistible', so\n"
+            << "the ultimate defense of the end-to-end mode is encryption)...\n";
+  send(/*encrypted=*/true);
+  sim.run();
+  std::cout << "  delivered=" << net.counters().delivered.value()
+            << " filtered=" << net.counters().dropped_filter.value() << "\n\n";
+
+  // The visibility principle: the filter disclosed itself, so alice could
+  // know why round 1 failed.
+  std::cout << "Disclosed control points at the ISP:";
+  for (const auto& name : net.node(isp).disclosed_filter_names()) std::cout << " " << name;
+  std::cout << "\n\nDone. Bob received " << bob_got << " of 2 packets — the tussle\n"
+            << "played out *inside* the design: no protocol was violated.\n";
+  return 0;
+}

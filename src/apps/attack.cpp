@@ -1,0 +1,45 @@
+#include "apps/attack.hpp"
+
+namespace tussle::apps {
+
+void DosFlooder::launch(std::size_t packets_per_zombie, sim::Duration interval, bool spoof) {
+  auto& sim = net_->simulator();
+  for (net::NodeId z : zombies_) {
+    for (std::size_t i = 0; i < packets_per_zombie; ++i) {
+      sim.schedule(interval * static_cast<double>(i), [this, z, spoof]() {
+        net::Packet p;
+        auto& rng = net_->simulator().rng();
+        if (spoof) {
+          p.src = net::Address{
+              .provider = static_cast<net::AsId>(rng.uniform_int(1, 1 << 16)),
+              .subscriber = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 16)),
+              .host = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 16))};
+        } else {
+          const auto& addrs = net_->node(z).addresses();
+          if (!addrs.empty()) p.src = addrs.front();
+        }
+        p.dst = victim_;
+        p.proto = net::AppProto::kUnknown;
+        p.size_bytes = 1400;
+        p.payload_tag = "flood";
+        ++launched_;
+        net_->node(z).originate(std::move(p));
+      });
+    }
+  }
+}
+
+void Scanner::probe(const std::vector<net::Address>& targets) {
+  for (const net::Address& t : targets) {
+    net::Packet p;
+    p.src = addr_;
+    p.dst = t;
+    p.proto = net::AppProto::kUnknown;
+    p.size_bytes = 60;
+    p.payload_tag = "probe";
+    ++probes_;
+    net_->node(node_).originate(std::move(p));
+  }
+}
+
+}  // namespace tussle::apps

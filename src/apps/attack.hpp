@@ -1,0 +1,54 @@
+// The bad guys (§V-B): DoS flooders and scanners.
+//
+// "Most users would prefer to have nothing to do with the bad guys. They
+// would like protection from system penetration attacks, DoS attacks, and
+// so on." These generators supply the hostile traffic the trust/firewall
+// experiments defend against.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+
+namespace tussle::apps {
+
+/// Floods a victim with traffic from one or many compromised sources.
+class DosFlooder {
+ public:
+  DosFlooder(net::Network& net, std::vector<net::NodeId> zombies, net::Address victim)
+      : net_(&net), zombies_(std::move(zombies)), victim_(victim) {}
+
+  /// Schedules `packets_per_zombie` packets per zombie, paced by
+  /// `interval`, starting now. Sources are spoofable: when `spoof` is set,
+  /// the src addresses are randomized garbage (defeats address blocklists).
+  void launch(std::size_t packets_per_zombie, sim::Duration interval, bool spoof = false);
+
+  std::size_t packets_launched() const noexcept { return launched_; }
+
+ private:
+  net::Network* net_;
+  std::vector<net::NodeId> zombies_;
+  net::Address victim_;
+  std::size_t launched_ = 0;
+};
+
+/// Probes a set of target addresses (reconnaissance); each probe is one
+/// small packet. The trust experiments treat a scanner's identity/address
+/// as the thing reputation systems learn to block.
+class Scanner {
+ public:
+  Scanner(net::Network& net, net::NodeId node, net::Address addr)
+      : net_(&net), node_(node), addr_(addr) {}
+
+  void probe(const std::vector<net::Address>& targets);
+  std::size_t probes_sent() const noexcept { return probes_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId node_;
+  net::Address addr_;
+  std::size_t probes_ = 0;
+};
+
+}  // namespace tussle::apps

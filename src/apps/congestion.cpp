@@ -1,0 +1,112 @@
+#include "apps/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tussle::apps {
+
+double jains_index(const std::vector<double>& x) {
+  if (x.empty()) return 0;
+  double sum = 0, sumsq = 0;
+  for (double v : x) {
+    sum += v;
+    sumsq += v * v;
+  }
+  if (sumsq <= 0) return 0;
+  return sum * sum / (static_cast<double>(x.size()) * sumsq);
+}
+
+CongestionResult run_congestion(const CongestionConfig& cfg) {
+  const auto n_aggr = static_cast<std::size_t>(
+      std::round(cfg.aggressive_fraction * static_cast<double>(cfg.senders)));
+  std::vector<SenderKind> kind(cfg.senders, SenderKind::kCompliant);
+  for (std::size_t i = 0; i < n_aggr; ++i) kind[i] = SenderKind::kAggressive;
+
+  std::vector<double> rate(cfg.senders, 1.0);
+  for (std::size_t i = 0; i < cfg.senders; ++i) {
+    if (kind[i] == SenderKind::kAggressive) rate[i] = cfg.aggressive_rate;
+  }
+
+  std::vector<double> goodput(cfg.senders, 0.0);
+  double compliant_sum = 0, aggressive_sum = 0, total_sum = 0, offered_sum = 0;
+  std::size_t tail = 0;
+  std::vector<double> tail_goodput(cfg.senders, 0.0);
+
+  for (std::size_t t = 0; t < cfg.rounds; ++t) {
+    double offered = 0;
+    for (double r : rate) offered += r;
+
+    const double fair_share = cfg.capacity / static_cast<double>(cfg.senders);
+    double delivered_total = 0;
+    if (cfg.fair_queueing) {
+      // Max-min-ish: cap each flow at the fair share; unused headroom is
+      // redistributed proportionally to remaining demand.
+      double spare = 0;
+      double excess_demand = 0;
+      for (std::size_t i = 0; i < cfg.senders; ++i) {
+        if (rate[i] <= fair_share) {
+          goodput[i] = rate[i];
+          spare += fair_share - rate[i];
+        } else {
+          goodput[i] = fair_share;
+          excess_demand += rate[i] - fair_share;
+        }
+      }
+      if (excess_demand > 0 && spare > 0) {
+        const double grant = std::min(1.0, spare / excess_demand);
+        for (std::size_t i = 0; i < cfg.senders; ++i) {
+          if (rate[i] > fair_share) goodput[i] += grant * (rate[i] - fair_share);
+        }
+      }
+      for (double g : goodput) delivered_total += g;
+    } else {
+      // FIFO drop-tail fluid model: everyone keeps a proportional share.
+      const double scale = offered > cfg.capacity ? cfg.capacity / offered : 1.0;
+      for (std::size_t i = 0; i < cfg.senders; ++i) goodput[i] = rate[i] * scale;
+      delivered_total = std::min(offered, cfg.capacity);
+    }
+
+    const bool congested = offered > cfg.capacity;
+    for (std::size_t i = 0; i < cfg.senders; ++i) {
+      if (kind[i] == SenderKind::kCompliant) {
+        // AIMD on the shared congestion signal. Under fair queueing the
+        // signal is per-flow: only flows actually losing traffic back off.
+        const bool my_loss = cfg.fair_queueing ? (goodput[i] < rate[i] - 1e-12) : congested;
+        if (my_loss) {
+          rate[i] = std::max(0.1, rate[i] * cfg.multiplicative_decrease);
+        } else {
+          rate[i] += cfg.additive_increase;
+        }
+      }
+    }
+
+    if (t >= cfg.rounds / 2) {
+      ++tail;
+      offered_sum += offered;
+      total_sum += delivered_total;
+      for (std::size_t i = 0; i < cfg.senders; ++i) {
+        tail_goodput[i] += goodput[i];
+        if (kind[i] == SenderKind::kCompliant) {
+          compliant_sum += goodput[i];
+        } else {
+          aggressive_sum += goodput[i];
+        }
+      }
+    }
+  }
+
+  CongestionResult r;
+  const double ticks = static_cast<double>(tail);
+  const auto n_comp = cfg.senders - n_aggr;
+  if (n_comp > 0) compliant_sum /= ticks * static_cast<double>(n_comp);
+  if (n_aggr > 0) aggressive_sum /= ticks * static_cast<double>(n_aggr);
+  r.compliant_goodput_mean = n_comp ? compliant_sum : 0;
+  r.aggressive_goodput_mean = n_aggr ? aggressive_sum : 0;
+  r.utilization = total_sum / (ticks * cfg.capacity);
+  r.loss_rate = offered_sum > 0 ? std::max(0.0, 1.0 - total_sum / offered_sum) : 0;
+  for (double& g : tail_goodput) g /= ticks;
+  r.jains_fairness = jains_index(tail_goodput);
+  return r;
+}
+
+}  // namespace tussle::apps

@@ -1,0 +1,49 @@
+// The congestion-control compliance tussle (§II-B, experiment E12).
+//
+// "TCP congestion control 'works' when and only when the majority of
+// end-systems both participate and follow a common set of rules. ... Should
+// this balance change, the technical design of the system will do nothing
+// to bound or guide the resulting shift."
+//
+// The arena is a fluid-flow model of one bottleneck: compliant senders run
+// AIMD against the shared congestion signal; aggressive senders ignore it.
+// Sweeping the cheater fraction reproduces the collapse the paper warns
+// about — and an optional enforcement knob (fair queueing at the
+// bottleneck) shows what a *technical* bound on the tussle changes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tussle::apps {
+
+enum class SenderKind { kCompliant, kAggressive };
+
+struct CongestionConfig {
+  double capacity = 100.0;        ///< bottleneck capacity (units/round)
+  std::size_t senders = 20;
+  double aggressive_fraction = 0; ///< share of senders that ignore the rules
+  double aggressive_rate = 50.0;  ///< what a cheater pumps, regardless
+  double additive_increase = 1.0;
+  double multiplicative_decrease = 0.5;
+  std::size_t rounds = 2000;
+  /// Per-flow fair queueing at the bottleneck: each flow's share is capped
+  /// at capacity / senders (the router-enforced alternative to voluntary
+  /// compliance).
+  bool fair_queueing = false;
+};
+
+struct CongestionResult {
+  double compliant_goodput_mean = 0;  ///< per compliant flow, last-half mean
+  double aggressive_goodput_mean = 0;
+  double utilization = 0;             ///< total goodput / capacity
+  double loss_rate = 0;               ///< offered load shed at the bottleneck
+  double jains_fairness = 0;          ///< across all flows, in (0, 1]
+};
+
+CongestionResult run_congestion(const CongestionConfig& cfg);
+
+/// Jain's fairness index: (Σx)² / (n·Σx²). 1 = perfectly fair.
+double jains_index(const std::vector<double>& x);
+
+}  // namespace tussle::apps

@@ -1,0 +1,77 @@
+#include "apps/diagnostics.hpp"
+
+#include <cstdlib>
+
+namespace tussle::apps {
+
+FaultProbe::FaultProbe(net::Network& net, net::NodeId src, std::shared_ptr<AppMux> src_mux,
+                       std::shared_ptr<AppMux> dst_mux)
+    : net_(&net), src_(src), state_(std::make_shared<State>()) {
+  // Error reports from disclosed control points arrive as kControl packets
+  // tagged "err:<node>:<reason>".
+  src_mux->set_handler(net::AppProto::kControl, [s = state_](const net::Packet& p) {
+    if (p.payload_tag.rfind("err:", 0) != 0) {
+      if (p.payload_tag.rfind("echo:", 0) == 0 && p.payload_tag.substr(5) == s->expect_tag) {
+        s->echoed = true;
+      }
+      return;
+    }
+    const std::string rest = p.payload_tag.substr(4);
+    const auto sep = rest.find(':');
+    if (sep == std::string::npos) return;
+    s->error_seen = true;
+    s->reporter = static_cast<net::NodeId>(std::strtoul(rest.substr(0, sep).c_str(), nullptr, 10));
+    s->reason = rest.substr(sep + 1);
+  });
+  // The destination echoes probes back (in the control plane, so the echo
+  // itself is not subject to application-keyed filtering).
+  dst_mux->set_default([this, s = state_](const net::Packet& p) {
+    if (p.payload_tag.rfind("probe:", 0) != 0) return;
+    net::Packet echo;
+    echo.src = p.dst;
+    echo.dst = p.src;
+    echo.proto = net::AppProto::kControl;
+    echo.size_bytes = 80;
+    echo.payload_tag = "echo:" + p.payload_tag.substr(6);
+    // Reply from whichever node owns the probed address.
+    for (net::NodeId n = 0; n < static_cast<net::NodeId>(net_->node_count()); ++n) {
+      if (net_->node(n).owns(p.dst)) {
+        net_->node(n).originate(std::move(echo));
+        return;
+      }
+    }
+  });
+}
+
+FaultProbe::Diagnosis FaultProbe::probe(const net::Address& from, const net::Address& to,
+                                        net::AppProto proto, bool encrypted) {
+  state_->echoed = false;
+  state_->error_seen = false;
+  state_->reporter = net::kNoNode;
+  state_->reason.clear();
+  state_->expect_tag = std::to_string(++seq_);
+
+  net::Packet p;
+  p.src = from;
+  p.dst = to;
+  p.proto = proto;
+  p.encrypted = encrypted;
+  p.size_bytes = 120;
+  p.payload_tag = "probe:" + state_->expect_tag;
+  net_->node(src_).originate(std::move(p));
+  net_->simulator().run();
+
+  Diagnosis d;
+  if (state_->echoed) {
+    d.outcome = Outcome::kDelivered;
+  } else if (state_->error_seen) {
+    d.outcome = Outcome::kFilteredReported;
+    d.reporting_node = state_->reporter;
+    d.reason = state_->reason;
+  } else {
+    d.outcome = Outcome::kSilentLoss;
+  }
+  return d;
+}
+
+}  // namespace tussle::apps

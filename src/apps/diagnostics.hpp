@@ -1,0 +1,64 @@
+// Fault isolation tools (§VI-A: "Failures of transparency will occur —
+// design what happens then" — and §IV-C lists "tools to resolve and isolate
+// faults and failures" among the properties tussle interfaces need).
+//
+// A FaultProbe is ping-with-forensics: it sends a probe and classifies the
+// outcome as delivered, *reported* filtering (a disclosed control point sent
+// an error naming itself and its reason — the sophisticated user's
+// traceroute), or silent loss (an undisclosed device "intentionally gives no
+// error information", which the probe can detect but not attribute).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/mux.hpp"
+
+namespace tussle::apps {
+
+class FaultProbe {
+ public:
+  enum class Outcome {
+    kDelivered,
+    kFilteredReported,  ///< a disclosed filter named itself
+    kSilentLoss,        ///< dropped with no attribution (covert control, congestion...)
+  };
+
+  struct Diagnosis {
+    Outcome outcome = Outcome::kSilentLoss;
+    net::NodeId reporting_node = net::kNoNode;  ///< who reported (if reported)
+    std::string reason;                         ///< the filter's stated reason
+    /// §IV-C "visibility of choices made": whether the user ended up with
+    /// an actionable explanation.
+    bool actionable() const noexcept { return outcome != Outcome::kSilentLoss; }
+  };
+
+  /// Installs handlers on both endpoints' muxes. The probe owns the
+  /// kControl slot of the source mux and an echo responder keyed on the
+  /// probe's payload tag at the destination.
+  FaultProbe(net::Network& net, net::NodeId src, std::shared_ptr<AppMux> src_mux,
+             std::shared_ptr<AppMux> dst_mux);
+
+  /// Sends one probe packet dressed as `proto` (DPI sees what a real
+  /// packet of that application would show) and runs the simulation to
+  /// quiescence. Deterministic: one probe at a time.
+  Diagnosis probe(const net::Address& from, const net::Address& to, net::AppProto proto,
+                  bool encrypted = false);
+
+ private:
+  struct State {
+    bool echoed = false;
+    bool error_seen = false;
+    net::NodeId reporter = net::kNoNode;
+    std::string reason;
+    std::string expect_tag;
+  };
+
+  net::Network* net_;
+  net::NodeId src_;
+  std::shared_ptr<State> state_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace tussle::apps

@@ -1,0 +1,74 @@
+#include "apps/mail.hpp"
+
+#include <cstdio>
+
+namespace tussle::apps {
+namespace {
+
+std::string encode_addr(const net::Address& a) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u", a.provider, a.subscriber, a.host);
+  return buf;
+}
+
+bool decode_addr(const std::string& s, net::Address& out) {
+  unsigned p = 0, sub = 0, h = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u", &p, &sub, &h) != 3) return false;
+  out = net::Address{.provider = p, .subscriber = sub, .host = h};
+  return true;
+}
+
+}  // namespace
+
+MailRelay::MailRelay(net::Network& net, net::NodeId node, net::Address addr,
+                     std::shared_ptr<AppMux> mux, double reliability, double spam_filter)
+    : net_(&net), node_(node), addr_(addr), reliability_(reliability),
+      spam_filter_(spam_filter) {
+  mux->set_handler(net::AppProto::kMail, [this](const net::Packet& msg) {
+    // Envelope: "mail:<spam|ham>:<final-destination>".
+    if (msg.payload_tag.rfind("mail:", 0) != 0) return;
+    const std::string rest = msg.payload_tag.substr(5);
+    const auto sep = rest.find(':');
+    if (sep == std::string::npos) return;
+    const bool is_spam = rest.substr(0, sep) == "spam";
+    net::Address final_dst;
+    if (!decode_addr(rest.substr(sep + 1), final_dst)) return;
+
+    auto& rng = net_->simulator().rng();
+    if (is_spam && rng.bernoulli(spam_filter_)) {
+      ++spam_blocked_;
+      return;
+    }
+    if (!rng.bernoulli(reliability_)) {
+      ++dropped_;  // the unreliable relay the user wants to avoid
+      return;
+    }
+    net::Packet fwd = msg;
+    fwd.src = addr_;
+    fwd.dst = final_dst;
+    ++relayed_;
+    net_->node(node_).originate(std::move(fwd));
+  });
+}
+
+MailUser::MailUser(net::Network& net, net::NodeId node, net::Address addr,
+                   std::shared_ptr<AppMux> mux)
+    : net_(&net), node_(node), addr_(addr) {
+  mux->set_handler(net::AppProto::kMail, [this](const net::Packet& msg) {
+    if (msg.payload_tag.rfind("mail:", 0) != 0) return;
+    ++received_;
+    if (msg.payload_tag.rfind("mail:spam:", 0) == 0) ++spam_received_;
+  });
+}
+
+void MailUser::send(const net::Address& to, bool spam) {
+  net::Packet p;
+  p.src = addr_;
+  p.dst = relay_.valid() ? relay_ : to;  // no relay chosen: direct delivery
+  p.proto = net::AppProto::kMail;
+  p.size_bytes = 1200;
+  p.payload_tag = std::string("mail:") + (spam ? "spam" : "ham") + ":" + encode_addr(to);
+  net_->node(node_).originate(std::move(p));
+}
+
+}  // namespace tussle::apps

@@ -1,0 +1,72 @@
+// Mail with server choice (§IV-B).
+//
+// "The design of the mail system allows the user to select his SMTP server
+// and his POP server. A user can pick among servers, perhaps to avoid an
+// unreliable one or pick one with desirable features, such as spam
+// filters." MailRelay models a relay with a reliability and a spam-filter
+// quality; MailUser holds a *choice point*: it can be re-pointed at any
+// relay, and its outcomes (delivered mail, spam received) depend on the
+// choice — the raw material of the E2/choice experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/mux.hpp"
+#include "sim/random.hpp"
+
+namespace tussle::apps {
+
+class MailRelay {
+ public:
+  /// `reliability` in [0,1]: chance a message is forwarded rather than
+  /// lost; `spam_filter` in [0,1]: chance spam is caught.
+  MailRelay(net::Network& net, net::NodeId node, net::Address addr,
+            std::shared_ptr<AppMux> mux, double reliability, double spam_filter);
+
+  const net::Address& address() const noexcept { return addr_; }
+  double reliability() const noexcept { return reliability_; }
+  double spam_filter() const noexcept { return spam_filter_; }
+  std::uint64_t relayed() const noexcept { return relayed_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t spam_blocked() const noexcept { return spam_blocked_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId node_;
+  net::Address addr_;
+  double reliability_;
+  double spam_filter_;
+  std::uint64_t relayed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t spam_blocked_ = 0;
+};
+
+class MailUser {
+ public:
+  MailUser(net::Network& net, net::NodeId node, net::Address addr,
+           std::shared_ptr<AppMux> mux);
+
+  /// The choice point: which relay carries this user's outbound mail.
+  void choose_relay(const net::Address& relay) { relay_ = relay; }
+  const net::Address& chosen_relay() const noexcept { return relay_; }
+
+  /// Sends a message (possibly spam) to another user through the chosen
+  /// relay. Relay semantics: the relay either forwards or loses it.
+  void send(const net::Address& to, bool spam = false);
+
+  std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t spam_received() const noexcept { return spam_received_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId node_;
+  net::Address addr_;
+  net::Address relay_;
+  std::uint64_t received_ = 0;
+  std::uint64_t spam_received_ = 0;
+};
+
+}  // namespace tussle::apps

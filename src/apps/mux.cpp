@@ -1,0 +1,20 @@
+#include "apps/mux.hpp"
+
+namespace tussle::apps {
+
+std::shared_ptr<AppMux> AppMux::install(net::Node& node) {
+  auto mux = std::make_shared<AppMux>();
+  node.set_local_handler([mux](const net::Packet& p) { mux->dispatch(p); });
+  return mux;
+}
+
+void AppMux::dispatch(const net::Packet& p) const {
+  auto it = handlers_.find(p.proto);
+  if (it != handlers_.end()) {
+    it->second(p);
+  } else if (default_) {
+    default_(p);
+  }
+}
+
+}  // namespace tussle::apps

@@ -1,0 +1,35 @@
+// Per-node application multiplexer.
+//
+// A Node has one local-delivery handler; real hosts run many applications.
+// The mux dispatches by application protocol so multiple app objects can
+// coexist on one host.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/network.hpp"
+
+namespace tussle::apps {
+
+class AppMux {
+ public:
+  using Handler = std::function<void(const net::Packet&)>;
+
+  /// Installs a mux as `node`'s local handler and returns it. The returned
+  /// object is shared with the node's closure, so it stays alive as long
+  /// as the network does.
+  static std::shared_ptr<AppMux> install(net::Node& node);
+
+  void set_handler(net::AppProto proto, Handler h) { handlers_[proto] = std::move(h); }
+  void set_default(Handler h) { default_ = std::move(h); }
+
+  void dispatch(const net::Packet& p) const;
+
+ private:
+  std::map<net::AppProto, Handler> handlers_;
+  Handler default_;
+};
+
+}  // namespace tussle::apps

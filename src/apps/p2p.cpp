@@ -1,0 +1,83 @@
+#include "apps/p2p.hpp"
+
+#include <algorithm>
+
+namespace tussle::apps {
+
+void P2pIndex::publish(const std::string& content, const net::Address& holder) {
+  auto& hs = catalog_[content];
+  if (std::find(hs.begin(), hs.end(), holder) == hs.end()) hs.push_back(holder);
+}
+
+void P2pIndex::unpublish_all(const std::string& content) { catalog_.erase(content); }
+
+std::vector<net::Address> P2pIndex::holders(const std::string& content) const {
+  auto it = catalog_.find(content);
+  return it == catalog_.end() ? std::vector<net::Address>{} : it->second;
+}
+
+void P2pIndex::record_contribution(const net::Address& holder, std::uint64_t bytes) {
+  contributed_[holder] += bytes;
+}
+
+std::uint64_t P2pIndex::contribution(const net::Address& holder) const {
+  auto it = contributed_.find(holder);
+  return it == contributed_.end() ? 0 : it->second;
+}
+
+std::optional<net::Address> P2pIndex::least_loaded_holder(const std::string& content) const {
+  auto hs = holders(content);
+  if (hs.empty()) return std::nullopt;
+  return *std::min_element(hs.begin(), hs.end(),
+                           [this](const net::Address& a, const net::Address& b) {
+                             return contribution(a) < contribution(b);
+                           });
+}
+
+P2pPeer::P2pPeer(net::Network& net, net::NodeId node, net::Address addr, P2pIndex& index,
+                 std::shared_ptr<AppMux> mux, std::uint32_t chunk_bytes)
+    : net_(&net), node_(node), addr_(addr), index_(&index), chunk_bytes_(chunk_bytes) {
+  mux->set_handler(net::AppProto::kP2p, [this](const net::Packet& msg) {
+    if (msg.payload_tag.rfind("get:", 0) == 0) {
+      const std::string content = msg.payload_tag.substr(4);
+      if (!library_.count(content)) return;  // index was stale
+      net::Packet data;
+      data.src = addr_;
+      data.dst = msg.src;
+      data.proto = net::AppProto::kP2p;
+      data.size_bytes = chunk_bytes_;
+      data.payload_tag = "data:" + content;
+      ++uploads_;
+      index_->record_contribution(addr_, chunk_bytes_);
+      net_->node(node_).originate(std::move(data));
+    } else if (msg.payload_tag.rfind("data:", 0) == 0) {
+      const std::string content = msg.payload_tag.substr(5);
+      if (!library_.count(content)) {
+        library_[content] = true;
+        ++downloads_;
+        // Mutual aid: a downloader becomes a holder.
+        index_->publish(content, addr_);
+      }
+    }
+  });
+}
+
+void P2pPeer::share(const std::string& content) {
+  library_[content] = true;
+  index_->publish(content, addr_);
+}
+
+std::optional<net::Address> P2pPeer::fetch(const std::string& content) {
+  auto holder = index_->least_loaded_holder(content);
+  if (!holder) return std::nullopt;
+  net::Packet req;
+  req.src = addr_;
+  req.dst = *holder;
+  req.proto = net::AppProto::kP2p;
+  req.size_bytes = 200;
+  req.payload_tag = "get:" + content;
+  net_->node(node_).originate(std::move(req));
+  return holder;
+}
+
+}  // namespace tussle::apps

@@ -1,0 +1,68 @@
+// Napster-shaped peer-to-peer file sharing (§IV-C).
+//
+// "Napster is a nonmonetary example that illustrates the 'mutual aid'
+// aspect of peer-to-peer networking" — value flows as upload contribution,
+// not money. A central index maps content to holders and tracks each
+// peer's contribution; transfers are peer-to-peer packets. This is also
+// the traffic class the rights-holder/ISP tussles act on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/mux.hpp"
+
+namespace tussle::apps {
+
+/// The central index (the part the rights holders sued). Also the
+/// bookkeeper of mutual aid: contributed upload bytes per holder.
+class P2pIndex {
+ public:
+  void publish(const std::string& content, const net::Address& holder);
+  void unpublish_all(const std::string& content);  ///< injunction strikes the index
+  std::vector<net::Address> holders(const std::string& content) const;
+  std::size_t catalog_size() const noexcept { return catalog_.size(); }
+
+  void record_contribution(const net::Address& holder, std::uint64_t bytes);
+  std::uint64_t contribution(const net::Address& holder) const;
+  /// Holder of `content` with the smallest contribution so far — the
+  /// mutual-aid balancing rule. nullopt when unlisted.
+  std::optional<net::Address> least_loaded_holder(const std::string& content) const;
+
+ private:
+  std::map<std::string, std::vector<net::Address>> catalog_;
+  std::map<net::Address, std::uint64_t> contributed_;
+};
+
+class P2pPeer {
+ public:
+  P2pPeer(net::Network& net, net::NodeId node, net::Address addr, P2pIndex& index,
+          std::shared_ptr<AppMux> mux, std::uint32_t chunk_bytes = 64000);
+
+  /// Makes content available and registers it with the index.
+  void share(const std::string& content);
+
+  /// Requests content from the least-loaded holder. Returns the holder
+  /// asked, or nullopt when the index has none (e.g. after an injunction).
+  std::optional<net::Address> fetch(const std::string& content);
+
+  bool has(const std::string& content) const { return library_.count(content) != 0; }
+  std::uint64_t uploads() const noexcept { return uploads_; }
+  std::uint64_t downloads() const noexcept { return downloads_; }
+  const net::Address& address() const noexcept { return addr_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId node_;
+  net::Address addr_;
+  P2pIndex* index_;
+  std::uint32_t chunk_bytes_;
+  std::map<std::string, bool> library_;
+  std::uint64_t uploads_ = 0;
+  std::uint64_t downloads_ = 0;
+};
+
+}  // namespace tussle::apps

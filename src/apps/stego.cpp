@@ -1,0 +1,46 @@
+#include "apps/stego.hpp"
+
+namespace tussle::apps {
+
+net::Packet steganographize(net::Packet real, net::AppProto cover) {
+  real.steganographic = true;
+  real.covert_proto = real.proto;
+  real.proto = cover;
+  real.encrypted = false;  // encryption would make the hiding visible again
+  return real;
+}
+
+net::AppProto effective_proto(const net::Packet& p) {
+  return p.steganographic ? p.covert_proto : p.proto;
+}
+
+net::PacketFilter make_stego_detector(net::Network& net, std::string name,
+                                      net::AppProto cover, double true_positive_rate,
+                                      double false_positive_rate,
+                                      std::shared_ptr<StegoDetectorStats> stats) {
+  if (!stats) stats = std::make_shared<StegoDetectorStats>();
+  net::PacketFilter f;
+  f.name = std::move(name);
+  f.disclosed = false;  // a statistical censor never admits what it does
+  f.fn = [&net, cover, true_positive_rate, false_positive_rate, stats,
+          fname = f.name](const net::Packet& p) -> net::FilterDecision {
+    if (p.observable_proto() != cover) return net::FilterDecision::accept();
+    auto& rng = net.simulator().rng();
+    if (p.steganographic) {
+      if (rng.bernoulli(true_positive_rate)) {
+        ++stats->true_positives;
+        return net::FilterDecision::drop(fname + ":classified-covert");
+      }
+      ++stats->missed;
+      return net::FilterDecision::accept();
+    }
+    if (rng.bernoulli(false_positive_rate)) {
+      ++stats->false_positives;
+      return net::FilterDecision::drop(fname + ":false-positive");
+    }
+    return net::FilterDecision::accept();
+  };
+  return f;
+}
+
+}  // namespace tussle::apps

@@ -1,0 +1,42 @@
+// Steganographic escalation (§VI-A footnote 17).
+//
+// "The next step in this sort of escalation is steganography — the hiding
+// of information inside some other form of data. It is a signal of a coming
+// tussle that this topic is receiving attention right now."
+//
+// Helpers to (a) wrap real traffic in an innocent cover and (b) build the
+// provider's counter-move: a statistical traffic classifier that catches a
+// fraction of covert flows at the price of false positives on innocent
+// ones — the inevitable collateral-damage trade-off, now with no visible
+// policy at all.
+#pragma once
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+
+namespace tussle::apps {
+
+/// Disguises `real` traffic as `cover`. The wire shows `cover`; the
+/// receiving endpoint reads `covert_proto`.
+net::Packet steganographize(net::Packet real, net::AppProto cover);
+
+/// What a receiving application should treat the packet as.
+net::AppProto effective_proto(const net::Packet& p);
+
+/// A statistical detector: flags steganographic packets with probability
+/// `true_positive_rate`, and innocent packets of the same cover protocol
+/// with probability `false_positive_rate`. Draws come from the simulation
+/// RNG so runs stay deterministic per seed.
+struct StegoDetectorStats {
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t missed = 0;
+};
+net::PacketFilter make_stego_detector(net::Network& net, std::string name,
+                                      net::AppProto cover, double true_positive_rate,
+                                      double false_positive_rate,
+                                      std::shared_ptr<StegoDetectorStats> stats = {});
+
+}  // namespace tussle::apps

@@ -1,0 +1,57 @@
+#include "apps/voip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tussle::apps {
+
+VoipSession::VoipSession(net::Network& net, net::NodeId node, net::Address addr,
+                         net::Address peer, net::ServiceClass tos, std::uint32_t frame_bytes)
+    : net_(&net), node_(node), addr_(addr), peer_(peer), tos_(tos),
+      frame_bytes_(frame_bytes) {}
+
+void VoipSession::start(std::size_t frames, sim::Duration interval) {
+  auto& sim = net_->simulator();
+  for (std::size_t i = 0; i < frames; ++i) {
+    sim.schedule(interval * static_cast<double>(i + 1), [this]() {
+      net::Packet p;
+      p.src = addr_;
+      p.dst = peer_;
+      p.proto = net::AppProto::kVoip;
+      p.tos = tos_;
+      p.size_bytes = frame_bytes_;
+      p.payload_tag = "voice";
+      ++sent_;
+      net_->node(node_).originate(std::move(p));
+    });
+  }
+}
+
+void VoipSession::attach_receiver(std::shared_ptr<AppMux> mux, VoipSession& session) {
+  mux->set_handler(net::AppProto::kVoip,
+                   [&session](const net::Packet& p) { session.on_frame(p); });
+}
+
+void VoipSession::on_frame(const net::Packet& p) {
+  ++received_;
+  latency_.observe(net_->simulator().now().as_seconds() - p.sent_at_s);
+}
+
+double VoipSession::loss_rate() const noexcept {
+  if (sent_ == 0) return 0;
+  return 1.0 - static_cast<double>(received_) / static_cast<double>(sent_);
+}
+
+double VoipSession::mos() const noexcept {
+  if (sent_ == 0) return 1.0;
+  const double delay_ms = latency_.mean() * 1000.0;
+  double score = 4.4;
+  // Delay penalty: gentle below 150 ms, steep above.
+  score -= 0.002 * std::min(delay_ms, 150.0);
+  if (delay_ms > 150.0) score -= 0.01 * (delay_ms - 150.0);
+  // Loss penalty: 10% loss costs about a full MOS point.
+  score -= 10.0 * loss_rate();
+  return std::clamp(score, 1.0, 4.4);
+}
+
+}  // namespace tussle::apps

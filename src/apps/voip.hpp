@@ -1,0 +1,53 @@
+// VoIP-like constant-bit-rate flow with a quality score.
+//
+// The paper's QoS discussion needs an application whose *user-visible*
+// quality depends on the service class it gets: VoIP quality collapses
+// with queueing delay and loss, so the premium class is worth paying for —
+// which is exactly the value the E5/E11 experiments move around.
+#pragma once
+
+#include <memory>
+
+#include "apps/mux.hpp"
+#include "sim/stats.hpp"
+
+namespace tussle::apps {
+
+class VoipSession {
+ public:
+  /// A one-way CBR stream from `node` to `peer`, `packets` frames at
+  /// `interval`, in the given service class.
+  VoipSession(net::Network& net, net::NodeId node, net::Address addr, net::Address peer,
+              net::ServiceClass tos, std::uint32_t frame_bytes = 200);
+
+  /// Schedules the stream on the simulator.
+  void start(std::size_t frames, sim::Duration interval);
+
+  /// Receiver side: installs the quality meter on the peer's mux.
+  static void attach_receiver(std::shared_ptr<AppMux> mux, VoipSession& session);
+
+  std::size_t frames_sent() const noexcept { return sent_; }
+  std::size_t frames_received() const noexcept { return received_; }
+  double loss_rate() const noexcept;
+  const sim::Summary& latency_s() const noexcept { return latency_; }
+
+  /// Mean-opinion-score-flavoured quality in [1, 4.4]: penalizes one-way
+  /// delay (ITU-ish knee at 150 ms) and loss. Not a calibrated E-model —
+  /// a monotone proxy the experiments compare across service classes.
+  double mos() const noexcept;
+
+ private:
+  void on_frame(const net::Packet& p);
+
+  net::Network* net_;
+  net::NodeId node_;
+  net::Address addr_;
+  net::Address peer_;
+  net::ServiceClass tos_;
+  std::uint32_t frame_bytes_;
+  std::size_t sent_ = 0;
+  std::size_t received_ = 0;
+  sim::Summary latency_;
+};
+
+}  // namespace tussle::apps

@@ -1,0 +1,51 @@
+#include "apps/web.hpp"
+
+namespace tussle::apps {
+
+WebServer::WebServer(net::Network& net, net::NodeId node, net::Address addr,
+                     std::shared_ptr<AppMux> mux, std::uint32_t response_bytes)
+    : net_(&net), node_(node), addr_(addr), response_bytes_(response_bytes) {
+  mux->set_handler(net::AppProto::kWeb, [this](const net::Packet& req) {
+    // Only requests (tagged "req:") get answered; responses pass through.
+    if (req.payload_tag.rfind("req:", 0) != 0) return;
+    net::Packet resp;
+    resp.src = addr_;
+    resp.dst = req.src;
+    resp.proto = net::AppProto::kWeb;
+    resp.size_bytes = response_bytes_;
+    resp.encrypted = req.encrypted;  // answer in kind
+    resp.payload_tag = "resp:" + req.payload_tag.substr(4);
+    resp.flow = req.flow;
+    ++served_;
+    net_->node(node_).originate(std::move(resp));
+  });
+}
+
+WebClient::WebClient(net::Network& net, net::NodeId node, net::Address addr,
+                     std::shared_ptr<AppMux> mux)
+    : net_(&net), node_(node), addr_(addr) {
+  mux->set_handler(net::AppProto::kWeb, [this](const net::Packet& resp) {
+    if (resp.payload_tag.rfind("resp:", 0) != 0) return;
+    auto it = pending_.find(resp.payload_tag.substr(5));
+    if (it == pending_.end()) return;  // duplicate or stray
+    latency_.observe(net_->simulator().now().as_seconds() - it->second);
+    pending_.erase(it);
+    ++responses_;
+  });
+}
+
+void WebClient::request(const net::Address& server, bool encrypted) {
+  const std::string id = std::to_string(node_) + "-" + std::to_string(next_req_++);
+  net::Packet p;
+  p.src = addr_;
+  p.dst = server;
+  p.proto = net::AppProto::kWeb;
+  p.size_bytes = 400;
+  p.encrypted = encrypted;
+  p.payload_tag = "req:" + id;
+  pending_[id] = net_->simulator().now().as_seconds();
+  ++sent_;
+  net_->node(node_).originate(std::move(p));
+}
+
+}  // namespace tussle::apps

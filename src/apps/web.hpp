@@ -1,0 +1,56 @@
+// Request/response (web-like) application over the packet network.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "apps/mux.hpp"
+#include "sim/stats.hpp"
+
+namespace tussle::apps {
+
+/// Serves content: answers every web request with a response packet of the
+/// configured size, echoing the request's payload tag so clients can match
+/// responses to requests.
+class WebServer {
+ public:
+  WebServer(net::Network& net, net::NodeId node, net::Address addr,
+            std::shared_ptr<AppMux> mux, std::uint32_t response_bytes = 8000);
+
+  std::uint64_t requests_served() const noexcept { return served_; }
+  const net::Address& address() const noexcept { return addr_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId node_;
+  net::Address addr_;
+  std::uint32_t response_bytes_;
+  std::uint64_t served_ = 0;
+};
+
+/// Issues requests and measures full response latency.
+class WebClient {
+ public:
+  WebClient(net::Network& net, net::NodeId node, net::Address addr,
+            std::shared_ptr<AppMux> mux);
+
+  /// Sends one request to `server`; optionally end-to-end encrypted.
+  void request(const net::Address& server, bool encrypted = false);
+
+  std::uint64_t responses() const noexcept { return responses_; }
+  std::uint64_t outstanding() const noexcept { return sent_ - responses_; }
+  const sim::Summary& latency_s() const noexcept { return latency_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId node_;
+  net::Address addr_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t responses_ = 0;
+  std::uint64_t next_req_ = 0;
+  std::map<std::string, double> pending_;  ///< tag → send time (seconds)
+  sim::Summary latency_;
+};
+
+}  // namespace tussle::apps

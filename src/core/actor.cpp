@@ -1,0 +1,101 @@
+#include "core/actor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tussle::core {
+
+std::string to_string(ActorKind k) {
+  switch (k) {
+    case ActorKind::kUser: return "user";
+    case ActorKind::kCommercialIsp: return "commercial-isp";
+    case ActorKind::kPrivateNetwork: return "private-network";
+    case ActorKind::kGovernment: return "government";
+    case ActorKind::kRightsHolder: return "rights-holder";
+    case ActorKind::kContentProvider: return "content-provider";
+    case ActorKind::kDesigner: return "designer";
+    case ActorKind::kTechnology: return "technology";
+  }
+  return "?";
+}
+
+std::size_t ActorNetwork::add(Actor a) {
+  actors_.push_back(std::move(a));
+  return actors_.size() - 1;
+}
+
+std::optional<std::size_t> ActorNetwork::find(const std::string& name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void ActorNetwork::align(std::size_t a, std::size_t b, double strength) {
+  if (a == b) throw std::invalid_argument("self-alignment");
+  if (a >= actors_.size() || b >= actors_.size()) throw std::out_of_range("unknown actor");
+  edges_[key(a, b)] = std::clamp(strength, 0.0, 1.0);
+}
+
+double ActorNetwork::alignment(std::size_t a, std::size_t b) const {
+  auto it = edges_.find(key(a, b));
+  return it == edges_.end() ? 0.0 : it->second;
+}
+
+double ActorNetwork::durability() const {
+  if (actors_.size() < 2) return 0.0;
+  const double pairs =
+      static_cast<double>(actors_.size()) * static_cast<double>(actors_.size() - 1) / 2.0;
+  double sum = 0;
+  for (const auto& [k, w] : edges_) {
+    (void)k;
+    sum += w;
+  }
+  return sum / pairs;
+}
+
+bool ActorNetwork::adverse(std::size_t a, std::size_t b) const {
+  const Actor& x = actors_.at(a);
+  const Actor& y = actors_.at(b);
+  for (const auto& [space, stake] : x.interests) {
+    auto it = y.interests.find(space);
+    if (it != y.interests.end() && stake * it->second < 0) return true;
+  }
+  return false;
+}
+
+std::size_t ActorNetwork::adverse_pairs() const {
+  std::size_t n = 0;
+  for (std::size_t a = 0; a < actors_.size(); ++a) {
+    for (std::size_t b = a + 1; b < actors_.size(); ++b) {
+      if (adverse(a, b)) ++n;
+    }
+  }
+  return n;
+}
+
+double ActorNetwork::enter(Actor a, double disruption) {
+  const double before = durability();
+  add(std::move(a));
+  for (auto& [k, w] : edges_) {
+    (void)k;
+    w *= (1.0 - disruption);
+  }
+  return before - durability();
+}
+
+void ActorNetwork::anneal(double rate, std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s) {
+    // Every pair drifts toward full alignment; pairs with adverse
+    // interests anneal at half speed (their tussle resists resolution).
+    for (std::size_t a = 0; a < actors_.size(); ++a) {
+      for (std::size_t b = a + 1; b < actors_.size(); ++b) {
+        const double r = adverse(a, b) ? rate * 0.5 : rate;
+        const double w = alignment(a, b);
+        edges_[key(a, b)] = w + r * (1.0 - w);
+      }
+    }
+  }
+}
+
+}  // namespace tussle::core

@@ -1,0 +1,89 @@
+// Actors and actor networks (§II-A, Latour/Callon).
+//
+// "It is the whole actor network ... that becomes stable, as all the human
+// and nonhuman actors align and harmonize themselves to common interfaces."
+// The ActorNetwork holds actors (human and technological) and weighted
+// alignment edges; durability is mean pairwise alignment, and the paper's
+// churn claim — new entrants keep the network changeable — is reproduced by
+// entry perturbation.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace tussle::core {
+
+/// The stakeholder classes the paper enumerates in §I, plus the technology
+/// itself (a nonhuman actor with agency but no intentions, fn. 3).
+enum class ActorKind {
+  kUser,
+  kCommercialIsp,
+  kPrivateNetwork,
+  kGovernment,
+  kRightsHolder,
+  kContentProvider,
+  kDesigner,
+  kTechnology,
+};
+
+std::string to_string(ActorKind k);
+
+struct Actor {
+  std::string name;
+  ActorKind kind = ActorKind::kUser;
+  /// Stake per tussle space ("economics", "trust", "openness", ...):
+  /// positive = wants more of it, negative = opposes. Used to detect
+  /// adverse-interest pairs.
+  std::map<std::string, double> interests;
+};
+
+class ActorNetwork {
+ public:
+  /// Adds an actor; returns its index.
+  std::size_t add(Actor a);
+  const Actor& actor(std::size_t i) const { return actors_.at(i); }
+  std::optional<std::size_t> find(const std::string& name) const;
+  std::size_t size() const noexcept { return actors_.size(); }
+
+  /// Sets mutual alignment in [0,1]: how committed the two actors are to
+  /// their common interface (0 = none, 1 = fully locked in).
+  void align(std::size_t a, std::size_t b, double strength);
+  double alignment(std::size_t a, std::size_t b) const;
+
+  /// Mean alignment over all pairs — the durability of the whole network.
+  /// "The network gets harder to change as it grows up" = durability → 1.
+  double durability() const;
+
+  /// Whether two actors have directly adverse interests (opposite-signed
+  /// stakes in the same tussle space).
+  bool adverse(std::size_t a, std::size_t b) const;
+
+  /// Number of adverse pairs — how much unresolved tussle the network
+  /// carries. The paper: tussles not driven out ⇒ network stays fluid.
+  std::size_t adverse_pairs() const;
+
+  /// Simulates the entry of a new actor (§II-C): the entrant arrives with
+  /// zero alignment to everyone, and shakes `disruption` fraction off every
+  /// existing alignment (fresh perspectives de-stabilize). Returns the
+  /// durability drop.
+  double enter(Actor a, double disruption);
+
+  /// The §II-C freezing predictor: with no new entrants, alignments anneal
+  /// toward 1 at `rate` per step as actors harmonize. Runs `steps`.
+  void anneal(double rate, std::size_t steps);
+
+ private:
+  std::vector<Actor> actors_;
+  std::map<std::pair<std::size_t, std::size_t>, double> edges_;
+
+  static std::pair<std::size_t, std::size_t> key(std::size_t a, std::size_t b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+};
+
+}  // namespace tussle::core

@@ -1,0 +1,61 @@
+#include "core/choice.hpp"
+
+#include <algorithm>
+
+namespace tussle::core {
+
+void ChoicePoint::select(const std::string& actor, const std::string& alternative) {
+  if (std::find(alternatives_.begin(), alternatives_.end(), alternative) ==
+      alternatives_.end()) {
+    throw std::invalid_argument("choice point '" + name_ + "' does not offer '" + alternative +
+                                "'");
+  }
+  selections_[actor] = alternative;
+}
+
+const std::string& ChoicePoint::selection_of(const std::string& actor) const {
+  auto it = selections_.find(actor);
+  if (it == selections_.end()) {
+    throw std::out_of_range("actor '" + actor + "' has not selected at '" + name_ + "'");
+  }
+  return it->second;
+}
+
+std::map<std::string, std::size_t> ChoicePoint::tally() const {
+  std::map<std::string, std::size_t> t;
+  for (const auto& alt : alternatives_) t[alt] = 0;
+  for (const auto& [actor, alt] : selections_) {
+    (void)actor;
+    t[alt] += 1;
+  }
+  return t;
+}
+
+double ChoicePoint::choice_index() const {
+  if (alternatives_.size() < 2 || selections_.empty()) return 0.0;
+  const double n = static_cast<double>(selections_.size());
+  double h = 0;
+  for (const auto& [alt, count] : tally()) {
+    (void)alt;
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h / std::log2(static_cast<double>(alternatives_.size()));
+}
+
+double outcome_variation(const std::vector<double>& regional_outcomes) {
+  if (regional_outcomes.size() < 2) return 0.0;
+  double mean = 0;
+  for (double x : regional_outcomes) mean += x;
+  mean /= static_cast<double>(regional_outcomes.size());
+  double var = 0;
+  for (double x : regional_outcomes) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(regional_outcomes.size());
+  const double sd = std::sqrt(var);
+  if (mean == 0.0) return sd > 0 ? 1.0 : 0.0;
+  const double cv = sd / std::abs(mean);
+  return cv / (1.0 + cv);
+}
+
+}  // namespace tussle::core

@@ -1,0 +1,56 @@
+// Design for choice (§IV-B), reified.
+//
+// A ChoicePoint is a named run-time decision the architecture deliberately
+// leaves open — which SMTP relay, which provider, which firewall, whether
+// to encrypt. It records each actor's selection so experiments can measure
+// how much variation in outcome the design actually admits: a "choice"
+// everyone is forced to make identically is no choice at all.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tussle::core {
+
+class ChoicePoint {
+ public:
+  ChoicePoint(std::string name, std::vector<std::string> alternatives)
+      : name_(std::move(name)), alternatives_(std::move(alternatives)) {
+    if (alternatives_.empty()) throw std::invalid_argument("choice point with no alternatives");
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<std::string>& alternatives() const noexcept { return alternatives_; }
+
+  /// Records that `actor` selected `alternative` (replacing any previous
+  /// selection). Throws if the alternative is not offered.
+  void select(const std::string& actor, const std::string& alternative);
+
+  const std::string& selection_of(const std::string& actor) const;
+  bool has_selected(const std::string& actor) const { return selections_.count(actor) != 0; }
+  std::size_t selector_count() const noexcept { return selections_.size(); }
+
+  /// How many actors chose each alternative.
+  std::map<std::string, std::size_t> tally() const;
+
+  /// Choice index in [0,1]: normalized Shannon entropy of the selections.
+  /// 0 = everyone picked the same thing (or a degenerate single
+  /// alternative); 1 = selections spread evenly across all alternatives.
+  double choice_index() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> alternatives_;
+  std::map<std::string, std::string> selections_;
+};
+
+/// Variation-in-outcome metric (§IV: "the outcome can be different in
+/// different places"): coefficient-of-variation-style dispersion of a
+/// per-region metric, normalized to [0,1] as cv/(1+cv). 0 = identical
+/// outcomes everywhere.
+double outcome_variation(const std::vector<double>& regional_outcomes);
+
+}  // namespace tussle::core

@@ -1,0 +1,76 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace tussle::core {
+
+namespace {
+
+std::string render(const Table::Cell& c, int precision) {
+  if (std::holds_alternative<std::string>(c)) return std::get<std::string>(c);
+  char buf[64];
+  if (std::holds_alternative<double>(c)) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, std::get<double>(c));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", std::get<long long>(c));
+  }
+  return buf;
+}
+
+}  // namespace
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width does not match header count");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os, int precision) const {
+  std::vector<std::size_t> width(headers_.size());
+  std::vector<std::vector<std::string>> rendered;
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(render(row[i], precision));
+      width[i] = std::max(width[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  auto pad = [&](const std::string& s, std::size_t w, bool right) {
+    std::string out;
+    if (right) out.append(w - s.size(), ' ');
+    out += s;
+    if (!right) out.append(w - s.size(), ' ');
+    return out;
+  };
+
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << (i ? "  " : "") << pad(headers_[i], width[i], false);
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << (i ? "  " : "") << std::string(width[i], '-');
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < rendered.size(); ++r) {
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const bool numeric = !std::holds_alternative<std::string>(rows_[r][i]);
+      os << (i ? "  " : "") << pad(rendered[r][i], width[i], numeric);
+    }
+    os << "\n";
+  }
+}
+
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& paper_section, const std::string& claim) {
+  os << "\n=== " << id << " (" << paper_section << ") ===\n" << claim << "\n\n";
+}
+
+}  // namespace tussle::core

@@ -1,0 +1,37 @@
+// Fixed-width table reporting for experiment binaries.
+//
+// Every bench prints its experiment's rows through this, so the tables in
+// EXPERIMENTS.md and the binaries' stdout stay in the same shape.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tussle::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  using Cell = std::variant<std::string, double, long long>;
+
+  Table& add_row(std::vector<Cell> cells);
+
+  /// Renders with a header rule and right-aligned numerics; floats get
+  /// `precision` digits after the point.
+  void print(std::ostream& os, int precision = 3) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Prints the standard experiment banner (id, paper section, claim).
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& paper_section, const std::string& claim);
+
+}  // namespace tussle::core

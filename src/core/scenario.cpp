@@ -1,0 +1,45 @@
+#include "core/scenario.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace tussle::core {
+
+sim::MetricSet Scenario::run(std::uint64_t seed) const {
+  sim::Rng rng(seed);
+  sim::MetricSet metrics;
+  body_(rng, metrics);
+  return metrics;
+}
+
+sim::MetricSet Scenario::run_replicated(std::size_t replicas, std::uint64_t base_seed) const {
+  std::map<std::string, sim::Summary> agg;
+  std::vector<std::string> order;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    auto m = run(base_seed + r);
+    for (const auto& [k, v] : m.items()) {
+      if (!agg.count(k)) order.push_back(k);
+      agg[k].observe(v);
+    }
+  }
+  sim::MetricSet out;
+  for (const auto& k : order) {
+    out.put(k + ".mean", agg[k].mean());
+    out.put(k + ".stddev", agg[k].stddev());
+  }
+  return out;
+}
+
+RegionalOutcome run_regional(const std::vector<double>& region_params,
+                             const std::function<double(double, sim::Rng&)>& body,
+                             std::uint64_t seed) {
+  RegionalOutcome out;
+  for (std::size_t i = 0; i < region_params.size(); ++i) {
+    sim::Rng rng(seed + i);
+    out.per_region.push_back(body(region_params[i], rng));
+  }
+  out.variation = outcome_variation(out.per_region);
+  return out;
+}
+
+}  // namespace tussle::core

@@ -1,0 +1,50 @@
+// Scenario harness: a named, seeded, repeatable experiment run.
+//
+// Examples and benches define scenarios; the harness standardizes seeding,
+// timing, metric collection, and regional variation (running the same
+// mechanism under different regional parameters and measuring how much the
+// outcome differs — the paper's "different in different places").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/choice.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace tussle::core {
+
+class Scenario {
+ public:
+  using Body = std::function<void(sim::Rng&, sim::MetricSet&)>;
+
+  Scenario(std::string name, Body body) : name_(std::move(name)), body_(std::move(body)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Runs once with the given seed.
+  sim::MetricSet run(std::uint64_t seed = 1) const;
+
+  /// Runs `replicas` seeds and returns per-metric summaries (keys suffixed
+  /// ".mean"/".stddev").
+  sim::MetricSet run_replicated(std::size_t replicas, std::uint64_t base_seed = 1) const;
+
+ private:
+  std::string name_;
+  Body body_;
+};
+
+/// Runs one parameterized scenario body across regions and reports the
+/// outcome variation of a chosen metric. Each region supplies a parameter
+/// value (e.g. regional policy strictness).
+struct RegionalOutcome {
+  std::vector<double> per_region;
+  double variation = 0;  ///< core::outcome_variation of per_region
+};
+RegionalOutcome run_regional(
+    const std::vector<double>& region_params,
+    const std::function<double(double param, sim::Rng&)>& body, std::uint64_t seed = 1);
+
+}  // namespace tussle::core

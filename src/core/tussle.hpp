@@ -1,0 +1,75 @@
+// tussle-net public API: one include for the whole library.
+//
+// Layering (bottom-up): sim → net → {policy, routing} → {game, econ, trust,
+// names, apps} → core. Including this header pulls in everything; fine for
+// applications, while library code includes only what it uses.
+#pragma once
+
+// engine
+#include "sim/event_queue.hpp"   // IWYU pragma: export
+#include "sim/random.hpp"        // IWYU pragma: export
+#include "sim/simulator.hpp"     // IWYU pragma: export
+#include "sim/stats.hpp"         // IWYU pragma: export
+#include "sim/time.hpp"          // IWYU pragma: export
+#include "sim/trace.hpp"         // IWYU pragma: export
+
+// data plane
+#include "net/address.hpp"       // IWYU pragma: export
+#include "net/flow_stats.hpp"    // IWYU pragma: export
+#include "net/forwarding.hpp"    // IWYU pragma: export
+#include "net/network.hpp"       // IWYU pragma: export
+#include "net/node.hpp"          // IWYU pragma: export
+#include "net/packet.hpp"        // IWYU pragma: export
+#include "net/queue.hpp"         // IWYU pragma: export
+#include "net/topology.hpp"      // IWYU pragma: export
+
+// control planes
+#include "policy/expr.hpp"            // IWYU pragma: export
+#include "policy/packet_adapter.hpp"  // IWYU pragma: export
+#include "policy/rules.hpp"           // IWYU pragma: export
+#include "policy/value.hpp"           // IWYU pragma: export
+#include "routing/as_graph.hpp"       // IWYU pragma: export
+#include "routing/inter_domain.hpp"   // IWYU pragma: export
+#include "routing/link_state.hpp"     // IWYU pragma: export
+#include "routing/multicast.hpp"      // IWYU pragma: export
+#include "routing/overlay.hpp"        // IWYU pragma: export
+#include "routing/path_vector.hpp"    // IWYU pragma: export
+#include "routing/source_route.hpp"   // IWYU pragma: export
+
+// domain substrates
+#include "apps/attack.hpp"        // IWYU pragma: export
+#include "apps/congestion.hpp"    // IWYU pragma: export
+#include "apps/diagnostics.hpp"   // IWYU pragma: export
+#include "apps/mail.hpp"          // IWYU pragma: export
+#include "apps/mux.hpp"           // IWYU pragma: export
+#include "apps/p2p.hpp"           // IWYU pragma: export
+#include "apps/stego.hpp"         // IWYU pragma: export
+#include "apps/transport.hpp"     // IWYU pragma: export
+#include "apps/voip.hpp"          // IWYU pragma: export
+#include "apps/web.hpp"           // IWYU pragma: export
+#include "econ/investment.hpp"    // IWYU pragma: export
+#include "econ/lock_in.hpp"       // IWYU pragma: export
+#include "econ/market.hpp"        // IWYU pragma: export
+#include "econ/open_access.hpp"   // IWYU pragma: export
+#include "econ/pricing.hpp"       // IWYU pragma: export
+#include "econ/value_flow.hpp"    // IWYU pragma: export
+#include "game/auction.hpp"       // IWYU pragma: export
+#include "game/canonical.hpp"     // IWYU pragma: export
+#include "game/learners.hpp"      // IWYU pragma: export
+#include "game/matrix_game.hpp"   // IWYU pragma: export
+#include "game/solvers.hpp"       // IWYU pragma: export
+#include "names/name_system.hpp"  // IWYU pragma: export
+#include "names/workload.hpp"     // IWYU pragma: export
+#include "trust/certificates.hpp" // IWYU pragma: export
+#include "trust/firewall.hpp"     // IWYU pragma: export
+#include "trust/identity.hpp"     // IWYU pragma: export
+#include "trust/mediator.hpp"     // IWYU pragma: export
+#include "trust/midcom.hpp"       // IWYU pragma: export
+#include "trust/reputation.hpp"   // IWYU pragma: export
+
+// the paper's contribution
+#include "core/actor.hpp"         // IWYU pragma: export
+#include "core/choice.hpp"        // IWYU pragma: export
+#include "core/report.hpp"        // IWYU pragma: export
+#include "core/scenario.hpp"      // IWYU pragma: export
+#include "core/tussle_space.hpp"  // IWYU pragma: export

@@ -1,0 +1,37 @@
+#include "core/tussle_space.hpp"
+
+namespace tussle::core {
+
+void TussleMap::add_mechanism(const std::string& name, std::set<std::string> spaces) {
+  for (const auto& s : spaces) spaces_.insert(s);
+  mechanisms_.push_back(Mechanism{name, std::move(spaces)});
+}
+
+void TussleMap::import_policy_couplings(const std::string& mechanism_prefix,
+                                        const policy::PolicySet& rules) {
+  for (const auto& rule : rules.rules()) {
+    std::set<std::string> touched;
+    if (!rule.tussle_space.empty()) touched.insert(rule.tussle_space);
+    for (const auto& attr : rule.when.referenced_attributes()) {
+      const std::string space = rules.ontology().space_of(attr);
+      if (!space.empty()) touched.insert(space);
+    }
+    add_mechanism(mechanism_prefix + ":" + rule.name, std::move(touched));
+  }
+}
+
+std::vector<Mechanism> TussleMap::entangled_mechanisms() const {
+  std::vector<Mechanism> out;
+  for (const auto& m : mechanisms_) {
+    if (m.spaces_touched.size() >= 2) out.push_back(m);
+  }
+  return out;
+}
+
+double TussleMap::entanglement_ratio() const {
+  if (mechanisms_.empty()) return 0.0;
+  return static_cast<double>(entangled_mechanisms().size()) /
+         static_cast<double>(mechanisms_.size());
+}
+
+}  // namespace tussle::core

@@ -1,0 +1,97 @@
+#include "econ/investment.hpp"
+
+#include <algorithm>
+
+namespace tussle::econ {
+
+std::string to_string(QosMode m) {
+  switch (m) {
+    case QosMode::kNone: return "none";
+    case QosMode::kOpen: return "open";
+    case QosMode::kClosed: return "closed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-period profit of one ISP given its own deploy decision and the
+/// number of rival deployers.
+double profit(const InvestmentConfig& cfg, bool deployed, std::size_t rivals_deployed) {
+  double p = cfg.base_profit;
+  const auto rivals = static_cast<double>(cfg.isps - 1);
+  if (deployed) {
+    p -= cfg.deploy_cost;
+    if (cfg.value_flow) p += cfg.qos_revenue;
+    if (cfg.closed_mode) p += cfg.closed_bundle_margin;  // monopoly bundle income
+    if (cfg.user_choice && rivals > 0) {
+      // Steal demand from every rival that has not deployed.
+      p += cfg.choice_pressure * static_cast<double>(cfg.isps - 1 - rivals_deployed) / rivals;
+    }
+  } else if (cfg.user_choice && rivals > 0) {
+    // Lose demand toward every rival that has deployed.
+    p -= cfg.choice_pressure * static_cast<double>(rivals_deployed) / rivals;
+  }
+  return p;
+}
+
+}  // namespace
+
+InvestmentResult run_investment(const InvestmentConfig& cfg, sim::Rng& rng) {
+  std::vector<bool> deployed(cfg.isps, false);
+  double profit_sum = 0;
+  double deploy_sum = 0;
+  std::size_t tail = 0;
+
+  for (std::size_t t = 0; t < cfg.periods; ++t) {
+    // One randomly chosen ISP revises its decision per period (asynchronous
+    // best response — avoids the artificial synchronized flip-flop).
+    const auto reviser = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cfg.isps) - 1));
+    std::size_t others = 0;
+    for (std::size_t i = 0; i < cfg.isps; ++i) {
+      if (i != reviser && deployed[i]) ++others;
+    }
+    const double if_deploy = profit(cfg, true, others);
+    const double if_skip = profit(cfg, false, others);
+    deployed[reviser] = if_deploy > if_skip;
+
+    if (t >= cfg.periods / 2) {
+      double f = 0, pr = 0;
+      for (std::size_t i = 0; i < cfg.isps; ++i) {
+        std::size_t rivals = 0;
+        for (std::size_t j = 0; j < cfg.isps; ++j) {
+          if (j != i && deployed[j]) ++rivals;
+        }
+        f += deployed[i] ? 1.0 : 0.0;
+        pr += profit(cfg, deployed[i], rivals);
+      }
+      deploy_sum += f / static_cast<double>(cfg.isps);
+      profit_sum += pr / static_cast<double>(cfg.isps);
+      ++tail;
+    }
+  }
+
+  InvestmentResult r;
+  std::size_t final_deployed = 0;
+  for (bool d : deployed) final_deployed += d;
+  r.final_deploy_fraction = static_cast<double>(final_deployed) / static_cast<double>(cfg.isps);
+  r.mean_deploy_fraction = tail ? deploy_sum / static_cast<double>(tail) : 0;
+  r.mean_isp_profit = tail ? profit_sum / static_cast<double>(tail) : 0;
+  r.open_service_available = !cfg.closed_mode && final_deployed > 0;
+
+  // Application pricing: open QoS with competition prices near cost; closed
+  // QoS prices the bundle at monopoly margin; no QoS → the app just works
+  // worse but costs base price (normalized 1).
+  if (final_deployed == 0) {
+    r.app_price = 1.0;
+  } else if (cfg.closed_mode) {
+    r.app_price = 1.0 + cfg.closed_bundle_margin;
+  } else {
+    // Competitive discipline scales with how many ISPs offer it.
+    r.app_price = 1.0 + cfg.qos_revenue / std::max(1.0, static_cast<double>(final_deployed));
+  }
+  return r;
+}
+
+}  // namespace tussle::econ

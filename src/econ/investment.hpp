@@ -1,0 +1,55 @@
+// The QoS deployment post-mortem as a dynamic model (§VII, experiment E5).
+//
+// N ISPs repeatedly decide whether to deploy QoS. The paper's hypothesis:
+// deployment fails without (a) a value-transfer mechanism rewarding the
+// investment ("greed") and (b) consumer choice creating competitive
+// pressure ("fear"); and *closed* deployment — QoS only for the ISP's own
+// bundled application — yields vertical integration and monopoly pricing
+// instead of an open end-to-end service.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace tussle::econ {
+
+enum class QosMode {
+  kNone,    ///< no deployment possible
+  kOpen,    ///< deployed as an open service anyone can buy
+  kClosed,  ///< deployed but enabled only for the ISP's own application
+};
+
+struct InvestmentConfig {
+  std::size_t isps = 6;
+  double deploy_cost = 2.0;        ///< per-period cost of running QoS
+  bool value_flow = false;         ///< can the ISP charge for QoS at all?
+  double qos_revenue = 3.0;        ///< per-period revenue if chargeable
+  bool user_choice = false;        ///< can users switch toward QoS ISPs?
+  double choice_pressure = 1.5;    ///< demand shifted per non-deploying rival
+  bool closed_mode = false;        ///< deploy QoS closed (bundle) not open
+  /// Closed-mode bundle margin: monopoly price on the ISP's own app.
+  double closed_bundle_margin = 4.0;
+  std::size_t periods = 300;
+  double base_profit = 10.0;
+};
+
+struct InvestmentResult {
+  double final_deploy_fraction = 0;  ///< ISPs running QoS at the end
+  double mean_deploy_fraction = 0;   ///< time-average over last half
+  double mean_isp_profit = 0;
+  /// Is the deployed QoS usable by third-party applications?
+  bool open_service_available = false;
+  /// Effective price of the QoS-dependent application to consumers
+  /// (competitive price under open QoS; monopoly bundle under closed).
+  double app_price = 0;
+};
+
+/// Myopic-best-response deployment dynamics with inertia.
+InvestmentResult run_investment(const InvestmentConfig& cfg, sim::Rng& rng);
+
+std::string to_string(QosMode m);
+
+}  // namespace tussle::econ

@@ -1,0 +1,37 @@
+#include "econ/lock_in.hpp"
+
+namespace tussle::econ {
+
+std::string to_string(AddressingMode m) {
+  switch (m) {
+    case AddressingMode::kStaticProviderAssigned: return "static-provider-assigned";
+    case AddressingMode::kDhcpDynamicDns: return "dhcp+dyndns";
+    case AddressingMode::kProviderIndependent: return "provider-independent";
+  }
+  return "?";
+}
+
+double LockInModel::switching_cost(AddressingMode m, std::size_t hosts) const {
+  switch (m) {
+    case AddressingMode::kStaticProviderAssigned:
+      return renumber_cost_per_host * static_cast<double>(hosts);
+    case AddressingMode::kDhcpDynamicDns:
+      return dhcp_residual_cost;
+    case AddressingMode::kProviderIndependent:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::size_t LockInModel::core_table_entries(AddressingMode m, std::size_t sites) const {
+  switch (m) {
+    case AddressingMode::kStaticProviderAssigned:
+    case AddressingMode::kDhcpDynamicDns:
+      return 0;  // aggregated under the provider prefix
+    case AddressingMode::kProviderIndependent:
+      return portable_prefixes_per_site * sites;
+  }
+  return 0;
+}
+
+}  // namespace tussle::econ

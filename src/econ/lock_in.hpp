@@ -1,0 +1,43 @@
+// Addressing-driven lock-in (§V-A-1).
+//
+// "Either a customer is locked into his provider by the provider-based
+// addresses, or he obtains a separate block of addresses that is not
+// topologically significant and therefore adds to the size of the
+// forwarding tables in the core." This module prices both horns of that
+// dilemma so experiment E1 can sweep addressing mechanisms and read off
+// market outcomes *and* routing-table growth.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tussle::econ {
+
+/// The addressing mechanisms the paper discusses.
+enum class AddressingMode {
+  kStaticProviderAssigned,  ///< renumbering every host by hand
+  kDhcpDynamicDns,          ///< mechanisms that "favor the consumer"
+  kProviderIndependent,     ///< portable block: free moves, core-table cost
+};
+
+std::string to_string(AddressingMode m);
+
+struct LockInModel {
+  /// Pain of renumbering one statically-addressed host.
+  double renumber_cost_per_host = 0.8;
+  /// Residual switching pain under DHCP+dynamic-DNS (config, DNS TTLs...).
+  double dhcp_residual_cost = 0.1;
+  /// Extra prefix entries each portable site adds to every core router.
+  std::size_t portable_prefixes_per_site = 1;
+
+  /// Mean switching cost (feeds MarketConfig::switching_cost) for a
+  /// subscriber site with `hosts` hosts.
+  double switching_cost(AddressingMode m, std::size_t hosts) const;
+
+  /// Core routing-table entries attributable to `sites` subscriber sites.
+  /// Provider-rooted addressing aggregates to one entry per provider (cost
+  /// accounted as 0 here); portable addressing costs one entry per site.
+  std::size_t core_table_entries(AddressingMode m, std::size_t sites) const;
+};
+
+}  // namespace tussle::econ

@@ -1,0 +1,140 @@
+#include "econ/market.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tussle::econ {
+
+double herfindahl(const std::vector<double>& shares) {
+  double total = 0;
+  for (double s : shares) total += std::max(0.0, s);
+  if (total <= 0) return 0;
+  double h = 0;
+  for (double s : shares) {
+    if (s <= 0) continue;
+    const double x = s / total;
+    h += x * x;
+  }
+  return h;
+}
+
+Market::Market(MarketConfig cfg, std::vector<ProviderConfig> providers, sim::Rng& rng)
+    : cfg_(cfg), pcfg_(std::move(providers)), rng_(&rng) {
+  if (pcfg_.empty()) throw std::invalid_argument("market needs at least one provider");
+  consumers_.reserve(cfg_.consumers);
+  for (std::size_t i = 0; i < cfg_.consumers; ++i) {
+    Consumer c;
+    c.wtp = rng_->uniform(cfg_.wtp_lo, cfg_.wtp_hi);
+    c.switch_cost = rng_->uniform(0, 2 * cfg_.switching_cost);
+    for (std::size_t p = 0; p < pcfg_.size(); ++p) {
+      c.taste.push_back(rng_->uniform(0, cfg_.taste_noise));
+    }
+    consumers_.push_back(c);
+  }
+  for (const auto& p : pcfg_) price_.push_back(p.initial_price);
+  last_profit_.assign(pcfg_.size(), 0.0);
+  direction_.assign(pcfg_.size(), +1.0);
+  customers_.assign(pcfg_.size(), 0);
+}
+
+void Market::consumers_choose() {
+  std::fill(customers_.begin(), customers_.end(), 0);
+  for (Consumer& c : consumers_) {
+    // Utility of every option; staying put costs no switching pain.
+    double best_u = 0.0;  // outside option: no service
+    int best = -1;
+    for (std::size_t p = 0; p < price_.size(); ++p) {
+      double u = c.wtp - price_[p] + c.taste[p];
+      if (c.provider >= 0 && static_cast<int>(p) != c.provider) u -= c.switch_cost;
+      if (u > best_u + 1e-12) {
+        best_u = u;
+        best = static_cast<int>(p);
+      }
+    }
+    // Dropping service also costs the switch (contract exit, renumbering).
+    if (best == -1 && c.provider >= 0 && c.wtp - price_[static_cast<std::size_t>(c.provider)] >
+                                             -c.switch_cost) {
+      best = c.provider;  // cheaper to stay than to churn away
+    }
+    if (best != c.provider && best != -1 && c.provider != -1) ++switches_;
+    c.provider = best;
+    if (best >= 0) customers_[static_cast<std::size_t>(best)] += 1;
+  }
+}
+
+double Market::profit_of(std::size_t p) const {
+  return (price_[p] - pcfg_[p].marginal_cost) * static_cast<double>(customers_[p]);
+}
+
+void Market::providers_adapt() {
+  for (std::size_t p = 0; p < price_.size(); ++p) {
+    if (!rng_->bernoulli(cfg_.explore_prob)) continue;
+    const double profit = profit_of(p);
+    // Win-stay / lose-shift hill climbing: keep moving in the current
+    // direction while profit does not fall; reverse when it does. A
+    // provider with no customers always cuts — the only way back into the
+    // market is to undercut.
+    if (customers_[p] == 0) {
+      direction_[p] = -1.0;
+    } else if (profit < last_profit_[p] - 1e-9) {
+      direction_[p] = -direction_[p];
+    }
+    last_profit_[p] = profit;
+    price_[p] = std::max(pcfg_[p].marginal_cost, price_[p] + direction_[p] * cfg_.price_step);
+  }
+}
+
+double Market::step() {
+  consumers_choose();
+  double paid = 0;
+  std::size_t n = 0;
+  for (const Consumer& c : consumers_) {
+    if (c.provider >= 0) {
+      paid += price_[static_cast<std::size_t>(c.provider)];
+      ++n;
+    }
+  }
+  providers_adapt();
+  return n ? paid / static_cast<double>(n) : 0.0;
+}
+
+std::vector<double> Market::shares() const {
+  std::vector<double> s;
+  s.reserve(customers_.size());
+  for (auto c : customers_) s.push_back(static_cast<double>(c));
+  return s;
+}
+
+MarketResult Market::run() {
+  MarketResult r;
+  sim::Summary price_tail;
+  sim::Summary surplus_tail;
+  sim::Summary profit_tail;
+  for (std::size_t t = 0; t < cfg_.periods; ++t) {
+    const double mean_paid = step();
+    if (t >= cfg_.periods / 2) {
+      price_tail.observe(mean_paid);
+      double surplus = 0;
+      for (const Consumer& c : consumers_) {
+        if (c.provider >= 0) surplus += c.wtp - price_[static_cast<std::size_t>(c.provider)];
+      }
+      surplus_tail.observe(surplus / static_cast<double>(consumers_.size()));
+      double profit = 0;
+      for (std::size_t p = 0; p < price_.size(); ++p) profit += profit_of(p);
+      profit_tail.observe(profit / static_cast<double>(price_.size()));
+    }
+  }
+  r.mean_price = price_tail.mean();
+  r.consumer_surplus = surplus_tail.mean();
+  r.provider_profit = profit_tail.mean();
+  r.final_prices = price_;
+  r.final_shares = shares();
+  r.hhi = herfindahl(r.final_shares);
+  std::size_t subscribed = 0;
+  for (const Consumer& c : consumers_) subscribed += (c.provider >= 0);
+  r.subscribed_fraction = static_cast<double>(subscribed) / static_cast<double>(consumers_.size());
+  r.total_switches = switches_;
+  return r;
+}
+
+}  // namespace tussle::econ

@@ -1,0 +1,94 @@
+// An adaptive provider/consumer market.
+//
+// The paper's economics thesis (§V-A): "the drivers of investment are fear
+// and greed ... the vector of fear is competition, which results when the
+// consumer has choice." This market makes those forces concrete: providers
+// hill-climb on price (greed) and lose customers to rivals when consumers
+// can switch cheaply (fear). Experiments sweep provider count and switching
+// cost and read off price, concentration (HHI), and consumer surplus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace tussle::econ {
+
+struct ProviderConfig {
+  std::string name;
+  double marginal_cost = 2.0;   ///< cost of serving one customer per period
+  double initial_price = 6.0;
+};
+
+struct MarketConfig {
+  std::size_t consumers = 500;
+  /// Mean disutility of changing provider (renumbering pain, E1). Actual
+  /// per-consumer cost is heterogeneous: uniform in [0, 2·mean].
+  double switching_cost = 0.0;
+  /// Consumer willingness to pay: uniform in [wtp_lo, wtp_hi].
+  double wtp_lo = 8.0;
+  double wtp_hi = 12.0;
+  std::size_t periods = 400;
+  double price_step = 0.25;     ///< granularity of provider price moves
+  double explore_prob = 0.2;    ///< chance a provider experiments per period
+  /// Idiosyncratic per-consumer taste for each provider, uniform in
+  /// [0, taste_noise]. Breaks price ties smoothly (mild differentiation)
+  /// instead of sending every tied consumer to the same provider.
+  double taste_noise = 0.05;
+};
+
+struct MarketResult {
+  double mean_price = 0;          ///< customer-weighted, averaged over last half
+  double hhi = 0;                 ///< Herfindahl index of final shares, in (0,1]
+  double consumer_surplus = 0;    ///< mean per consumer per period (last half)
+  double provider_profit = 0;     ///< mean per provider per period (last half)
+  double subscribed_fraction = 0; ///< final share of consumers with service
+  std::size_t total_switches = 0;
+  std::vector<double> final_prices;
+  std::vector<double> final_shares;  ///< of subscribed consumers
+};
+
+class Market {
+ public:
+  Market(MarketConfig cfg, std::vector<ProviderConfig> providers, sim::Rng& rng);
+
+  /// Runs the configured number of periods and returns aggregates.
+  MarketResult run();
+
+  /// Single period, exposed for fine-grained scenarios. Returns per-period
+  /// mean price paid.
+  double step();
+
+  const std::vector<double>& prices() const noexcept { return price_; }
+  std::vector<double> shares() const;
+
+ private:
+  struct Consumer {
+    double wtp;
+    double switch_cost;
+    std::vector<double> taste;  ///< per-provider idiosyncratic utility
+    int provider = -1;          ///< -1: unsubscribed
+  };
+
+  void consumers_choose();
+  void providers_adapt();
+  double profit_of(std::size_t p) const;
+
+  MarketConfig cfg_;
+  std::vector<ProviderConfig> pcfg_;
+  sim::Rng* rng_;
+  std::vector<Consumer> consumers_;
+  std::vector<double> price_;
+  std::vector<double> last_profit_;
+  std::vector<double> direction_;  ///< +1 raise / -1 cut, per provider
+  std::vector<std::size_t> customers_;
+  std::size_t switches_ = 0;
+};
+
+/// Herfindahl–Hirschman index over arbitrary share vectors; shares are
+/// normalized first. Returns 0 for an empty/all-zero vector.
+double herfindahl(const std::vector<double>& shares);
+
+}  // namespace tussle::econ

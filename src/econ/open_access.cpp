@@ -1,0 +1,68 @@
+#include "econ/open_access.hpp"
+
+namespace tussle::econ {
+
+std::string to_string(AccessRegime r) {
+  switch (r) {
+    case AccessRegime::kFacilityDuopoly: return "facility-duopoly";
+    case AccessRegime::kOpenAccess: return "open-access";
+    case AccessRegime::kMunicipalFiber: return "municipal-fiber";
+  }
+  return "?";
+}
+
+BroadbandResult run_broadband(const BroadbandConfig& cfg, sim::Rng& rng) {
+  BroadbandResult out;
+  std::vector<ProviderConfig> providers;
+
+  switch (cfg.regime) {
+    case AccessRegime::kFacilityDuopoly: {
+      // Two vertically-integrated wire owners; retail cost = wire + ISP.
+      for (int i = 0; i < 2; ++i) {
+        ProviderConfig p;
+        p.name = i == 0 ? "telco" : "cable";
+        p.marginal_cost = cfg.wire_cost + cfg.isp_overhead;
+        p.initial_price = 8.0;
+        providers.push_back(p);
+      }
+      out.facility_margin = 0;  // captured inside retail profit instead
+      break;
+    }
+    case AccessRegime::kOpenAccess: {
+      // K ISPs ride the wire at a regulated wholesale price.
+      const double wholesale = cfg.wire_cost + cfg.wholesale_markup;
+      for (std::size_t i = 0; i < cfg.service_isps; ++i) {
+        ProviderConfig p;
+        p.name = "isp-" + std::to_string(i);
+        p.marginal_cost = wholesale + cfg.isp_overhead;
+        p.initial_price = 8.0;
+        providers.push_back(p);
+      }
+      out.facility_margin = cfg.wholesale_markup;
+      break;
+    }
+    case AccessRegime::kMunicipalFiber: {
+      // Neutral muni fiber sells at cost; all margin is service-layer.
+      for (std::size_t i = 0; i < cfg.service_isps; ++i) {
+        ProviderConfig p;
+        p.name = "isp-" + std::to_string(i);
+        p.marginal_cost = cfg.wire_cost + cfg.isp_overhead;
+        p.initial_price = 8.0;
+        providers.push_back(p);
+      }
+      out.facility_margin = 0;
+      break;
+    }
+  }
+
+  MarketConfig mcfg;
+  mcfg.consumers = cfg.consumers;
+  mcfg.periods = cfg.periods;
+  mcfg.switching_cost = cfg.switching_cost;
+  Market market(mcfg, providers, rng);
+  out.market = market.run();
+  out.retail_competitors = providers.size();
+  return out;
+}
+
+}  // namespace tussle::econ

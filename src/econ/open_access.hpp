@@ -1,0 +1,47 @@
+// Residential broadband and open access (§V-A-3, experiment E3).
+//
+// The scenario the paper fears: 5000 dial-up ISPs collapse to two wire
+// owners. The proposed remedy: modularize along the *facility/service*
+// tussle boundary — a (possibly municipal) fiber owner wholesales the wire
+// to many competing service ISPs. This module composes the Market engine to
+// compare the three regimes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "econ/market.hpp"
+
+namespace tussle::econ {
+
+enum class AccessRegime {
+  kFacilityDuopoly,   ///< telco + cable, vertically integrated (the fear)
+  kOpenAccess,        ///< wire owners must wholesale to K service ISPs
+  kMunicipalFiber,    ///< neutral muni fiber, K service ISPs on top
+};
+
+std::string to_string(AccessRegime r);
+
+struct BroadbandConfig {
+  AccessRegime regime = AccessRegime::kFacilityDuopoly;
+  std::size_t service_isps = 6;    ///< competitors under open access / muni
+  double wire_cost = 2.0;          ///< facility marginal cost per sub
+  double isp_overhead = 0.5;       ///< service-layer marginal cost per sub
+  /// Regulated wholesale markup over wire cost under open access. Facility
+  /// owners fight for a high number; the paper notes the investor usually
+  /// loses under strict open access.
+  double wholesale_markup = 0.5;
+  std::size_t consumers = 500;
+  std::size_t periods = 400;
+  double switching_cost = 0.2;
+};
+
+struct BroadbandResult {
+  MarketResult market;
+  double facility_margin = 0;  ///< per-subscriber margin earned by wire owners
+  std::size_t retail_competitors = 0;
+};
+
+BroadbandResult run_broadband(const BroadbandConfig& cfg, sim::Rng& rng);
+
+}  // namespace tussle::econ

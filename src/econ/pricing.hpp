@@ -1,0 +1,72 @@
+// Pricing schemes (§V-A-2 "value pricing").
+//
+// A price is a function of an observed usage profile. What a scheme can
+// observe is the tussle: value pricing needs to *see* that the customer
+// runs a server, and tunnelling exists precisely to make that unobservable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace tussle::econ {
+
+/// What the provider can observe about a subscriber in a billing period.
+/// `runs_server_visible` is what the wire shows — a tunnelling customer
+/// runs a server without it being visible.
+struct UsageProfile {
+  double bytes = 0;
+  bool runs_server = false;          ///< ground truth
+  bool runs_server_visible = false;  ///< what DPI can see
+  bool premium_qos = false;
+};
+
+class PricingScheme {
+ public:
+  virtual ~PricingScheme() = default;
+  virtual std::string name() const = 0;
+  /// The bill for one period given what the provider can observe.
+  virtual double charge(const UsageProfile& u) const = 0;
+};
+
+/// One price for everyone.
+class FlatRate final : public PricingScheme {
+ public:
+  explicit FlatRate(double monthly) : monthly_(monthly) {}
+  std::string name() const override { return "flat"; }
+  double charge(const UsageProfile&) const override { return monthly_; }
+
+ private:
+  double monthly_;
+};
+
+/// Value pricing: a base rate plus a "business" surcharge when the customer
+/// visibly runs a server (the paper's residential-broadband example), and
+/// an optional premium-QoS surcharge.
+class ValuePricing final : public PricingScheme {
+ public:
+  ValuePricing(double base, double server_surcharge, double qos_surcharge = 0)
+      : base_(base), server_(server_surcharge), qos_(qos_surcharge) {}
+  std::string name() const override { return "value"; }
+  double charge(const UsageProfile& u) const override {
+    return base_ + (u.runs_server_visible ? server_ : 0.0) + (u.premium_qos ? qos_ : 0.0);
+  }
+
+ private:
+  double base_;
+  double server_;
+  double qos_;
+};
+
+/// Pay-by-the-byte (the scheme the paper notes "does not seem to have much
+/// market appeal").
+class PerByte final : public PricingScheme {
+ public:
+  explicit PerByte(double per_gigabyte) : rate_(per_gigabyte) {}
+  std::string name() const override { return "per-byte"; }
+  double charge(const UsageProfile& u) const override { return rate_ * u.bytes / 1e9; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace tussle::econ

@@ -1,0 +1,67 @@
+#include "econ/value_flow.hpp"
+
+#include <stdexcept>
+
+namespace tussle::econ {
+
+void Ledger::transfer(const std::string& from, const std::string& to, double amount,
+                      std::string memo) {
+  if (amount < 0) throw std::invalid_argument("negative transfer");
+  if (from == to) throw std::invalid_argument("self transfer");
+  balances_[from] -= amount;
+  balances_[to] += amount;
+  log_.push_back(Entry{from, to, amount, std::move(memo)});
+}
+
+double Ledger::balance(const std::string& party) const {
+  auto it = balances_.find(party);
+  return it == balances_.end() ? 0.0 : it->second;
+}
+
+double Ledger::total() const {
+  double t = 0;
+  for (const auto& [p, b] : balances_) {
+    (void)p;
+    t += b;
+  }
+  return t;
+}
+
+double PaidTransit::transit_price(routing::AsId as) const {
+  auto it = prices_.find(as);
+  return it == prices_.end() ? default_price_ : it->second;
+}
+
+PaidTransit::Quote PaidTransit::quote(const std::vector<routing::AsId>& path) const {
+  Quote q;
+  q.path = path;
+  q.paid_ases = builder_.off_contract_ases(path);
+  for (routing::AsId as : q.paid_ases) q.total_price += transit_price(as);
+  return q;
+}
+
+std::optional<PaidTransit::Quote> PaidTransit::best_quote(routing::AsId from, routing::AsId to,
+                                                          std::size_t k) const {
+  auto paths = builder_.k_shortest_paths(from, to, k);
+  std::optional<Quote> best;
+  for (const auto& p : paths) {
+    Quote q = quote(p);
+    if (!best || q.total_price < best->total_price ||
+        (q.total_price == best->total_price && q.path.size() < best->path.size())) {
+      best = std::move(q);
+    }
+  }
+  return best;
+}
+
+double PaidTransit::settle(const std::string& payer, const Quote& q) {
+  double moved = 0;
+  for (routing::AsId as : q.paid_ases) {
+    const double price = transit_price(as);
+    ledger_->transfer(payer, "as:" + std::to_string(as), price, "transit");
+    moved += price;
+  }
+  return moved;
+}
+
+}  // namespace tussle::econ

@@ -1,0 +1,78 @@
+// Value flow (§IV-C): "Whatever the compensation, recognize that it must
+// flow, just as much as data must flow. ... If this 'value flow' requires a
+// protocol, design it."
+//
+// The Ledger is that protocol's settlement substrate: double-entry balances
+// between named parties, with an audit log. PaidTransit prices a
+// user-selected source route by charging every off-contract AS its asking
+// transit price, then settles through the ledger — the missing piece the
+// paper blames for loose source routing's failure.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "routing/source_route.hpp"
+
+namespace tussle::econ {
+
+/// Double-entry balance book. Party names are free-form ("user:42",
+/// "as:7"). Balances may go negative (credit), mirroring real interconnect
+/// settlement; callers enforce credit limits if they want them.
+class Ledger {
+ public:
+  struct Entry {
+    std::string from;
+    std::string to;
+    double amount;
+    std::string memo;
+  };
+
+  void transfer(const std::string& from, const std::string& to, double amount,
+                std::string memo = {});
+  double balance(const std::string& party) const;
+  const std::vector<Entry>& log() const noexcept { return log_; }
+  /// Invariant: all balances sum to zero (conservation of value).
+  double total() const;
+
+ private:
+  std::map<std::string, double> balances_;
+  std::vector<Entry> log_;
+};
+
+/// Prices and settles paid source routes.
+class PaidTransit {
+ public:
+  PaidTransit(const routing::AsGraph& graph, Ledger& ledger)
+      : builder_(graph), ledger_(&ledger) {}
+
+  /// Asking price per off-contract packet-carriage contract, per AS.
+  void set_transit_price(routing::AsId as, double price) { prices_[as] = price; }
+  double transit_price(routing::AsId as) const;
+
+  struct Quote {
+    std::vector<routing::AsId> path;
+    std::vector<routing::AsId> paid_ases;  ///< who must be compensated
+    double total_price = 0;
+  };
+
+  /// Quotes a specific path. A path with no off-contract AS costs zero.
+  Quote quote(const std::vector<routing::AsId>& path) const;
+
+  /// Quotes the cheapest of the k shortest paths between two ASes.
+  std::optional<Quote> best_quote(routing::AsId from, routing::AsId to, std::size_t k) const;
+
+  /// Settles a quote: `payer` pays each off-contract AS its price.
+  /// Returns the amount moved.
+  double settle(const std::string& payer, const Quote& q);
+
+ private:
+  routing::SourceRouteBuilder builder_;
+  Ledger* ledger_;
+  std::map<routing::AsId, double> prices_;
+  double default_price_ = 1.0;
+};
+
+}  // namespace tussle::econ

@@ -1,0 +1,70 @@
+#include "game/auction.hpp"
+
+#include <algorithm>
+
+namespace tussle::game {
+
+namespace {
+
+std::vector<std::size_t> order_by_bid(const std::vector<Bid>& bids) {
+  std::vector<std::size_t> idx(bids.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return bids[a].amount > bids[b].amount; });
+  return idx;
+}
+
+}  // namespace
+
+AuctionResult vickrey_auction(const std::vector<Bid>& bids) {
+  AuctionResult r;
+  if (bids.empty()) return r;
+  auto idx = order_by_bid(bids);
+  r.winner = bids[idx[0]].bidder;
+  r.social_value = bids[idx[0]].amount;
+  r.price = idx.size() > 1 ? bids[idx[1]].amount : 0.0;
+  return r;
+}
+
+AuctionResult first_price_auction(const std::vector<Bid>& bids) {
+  AuctionResult r;
+  if (bids.empty()) return r;
+  auto idx = order_by_bid(bids);
+  r.winner = bids[idx[0]].bidder;
+  r.social_value = bids[idx[0]].amount;
+  r.price = bids[idx[0]].amount;
+  return r;
+}
+
+std::vector<AuctionResult> vcg_uniform(const std::vector<Bid>& bids, std::size_t items) {
+  std::vector<AuctionResult> out;
+  if (bids.empty() || items == 0) return out;
+  auto idx = order_by_bid(bids);
+  const std::size_t winners = std::min(items, bids.size());
+  const double clearing = bids.size() > items ? bids[idx[items]].amount : 0.0;
+  for (std::size_t w = 0; w < winners; ++w) {
+    AuctionResult r;
+    r.winner = bids[idx[w]].bidder;
+    r.social_value = bids[idx[w]].amount;
+    r.price = clearing;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+double vickrey_utility(double value, double bid, const std::vector<double>& rivals) {
+  double top_rival = 0;
+  for (double r : rivals) top_rival = std::max(top_rival, r);
+  // Win iff bid strictly exceeds the top rival (ties lose, conservatively).
+  if (bid > top_rival) return value - top_rival;
+  return 0.0;
+}
+
+double first_price_utility(double value, double bid, const std::vector<double>& rivals) {
+  double top_rival = 0;
+  for (double r : rivals) top_rival = std::max(top_rival, r);
+  if (bid > top_rival) return value - bid;
+  return 0.0;
+}
+
+}  // namespace tussle::game

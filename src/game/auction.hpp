@@ -1,0 +1,48 @@
+// Mechanism design: Vickrey auctions and VCG (§II-B).
+//
+// "Vickrey ... outlined the beginnings of a theory to generatively design
+// and prescribe actor networks that exhibit a desirable apriori set of
+// properties" — concretely, mechanisms where truth-telling is a dominant
+// strategy, removing the information tussle. First-price is included as the
+// non-truthful baseline the experiments compare against.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tussle::game {
+
+struct Bid {
+  std::string bidder;
+  double amount = 0;
+};
+
+struct AuctionResult {
+  std::string winner;           ///< empty when there were no bids
+  double price = 0;             ///< what the winner pays
+  double social_value = 0;      ///< winner's *bid* (reported value)
+};
+
+/// Second-price sealed-bid auction. Ties go to the earlier bid.
+AuctionResult vickrey_auction(const std::vector<Bid>& bids);
+
+/// First-price sealed-bid auction (the non-truthful comparator).
+AuctionResult first_price_auction(const std::vector<Bid>& bids);
+
+/// VCG for k identical items, unit demand: the k highest bidders win and
+/// each pays the (k+1)-th highest bid (uniform-price generalization of
+/// Vickrey). Returns per-winner results.
+std::vector<AuctionResult> vcg_uniform(const std::vector<Bid>& bids, std::size_t items);
+
+/// Utility of a bidder with true value `value` if they bid `bid` while the
+/// others bid `rivals`, under Vickrey rules. Used by the truthfulness
+/// property tests and the E9 bench: for all bid != value,
+/// utility(value, bid) <= utility(value, value).
+double vickrey_utility(double value, double bid, const std::vector<double>& rivals);
+
+/// Same under first-price rules (truth-telling yields zero utility, so
+/// shading is profitable — the contrast case).
+double first_price_utility(double value, double bid, const std::vector<double>& rivals);
+
+}  // namespace tussle::game

@@ -1,0 +1,61 @@
+#include "game/canonical.hpp"
+
+namespace tussle::game {
+
+MatrixGame congestion_compliance_game() {
+  // Row/col: {comply, defect}. Classic PD ordering T > R > P > S.
+  return MatrixGame({{3, 0},   // comply vs {comply, defect}
+                     {5, 1}},  // defect vs {comply, defect}
+                    {{3, 5},   //
+                     {0, 1}},
+                    {"comply", "defect"}, {"comply", "defect"});
+}
+
+MatrixGame matching_pennies() {
+  return MatrixGame::zero_sum({{1, -1}, {-1, 1}}, {"heads", "tails"}, {"heads", "tails"});
+}
+
+MatrixGame standards_coordination_game() {
+  return MatrixGame({{2, 0}, {0, 1}},  // row prefers standard A
+                    {{1, 0}, {0, 2}},  // column prefers standard B
+                    {"standard-a", "standard-b"}, {"standard-a", "standard-b"});
+}
+
+MatrixGame peering_game() {
+  // Chicken: {open, restrict}.
+  return MatrixGame({{3, 1}, {4, 0}},  //
+                    {{3, 4}, {1, 0}},  //
+                    {"open", "restrict"}, {"open", "restrict"});
+}
+
+MatrixGame qos_investment_game(double cost, double revenue, double competition_bonus) {
+  // Actions: {deploy, skip}. Baseline profit normalized to 10.
+  const double base = 10;
+  // Both deploy: extra revenue, no competitive displacement, both paid cost.
+  const double both = base + revenue - cost;
+  // I deploy alone: revenue plus whatever demand I steal from the rival.
+  const double alone = base + revenue - cost + competition_bonus;
+  // Rival deploys alone: I lose the stolen demand.
+  const double left_behind = base - competition_bonus;
+  return MatrixGame({{both, alone}, {left_behind, base}},
+                    {{both, left_behind}, {alone, base}},
+                    {"deploy", "skip"}, {"deploy", "skip"});
+}
+
+MatrixGame value_pricing_game(double tunnel_cost, double competition) {
+  // User values service at 10; flat price 4; value price 7 for the "server
+  // class" the user belongs to. Tunnelling under value pricing gets the
+  // flat price but costs tunnel_cost. ISP margins mirror the payments, and
+  // a value-pricing ISP loses `competition * 3` worth of business to churn.
+  const double churn = competition * 3.0;
+  return MatrixGame(
+      {// user payoffs: rows {comply, tunnel}, cols {flat, value}
+       {10 - 4, 10 - 7},
+       {10 - 4 - tunnel_cost, 10 - 4 - tunnel_cost}},
+      {// isp payoffs
+       {4, 7 - churn},
+       {4 - 0.5, 4 - 0.5 - churn}},  // tunnelled traffic is costlier to carry
+      {"comply", "tunnel"}, {"flat-price", "value-price"});
+}
+
+}  // namespace tussle::game

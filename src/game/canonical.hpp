@@ -1,0 +1,47 @@
+// Canonical tussle games.
+//
+// Each constructor encodes one of the paper's recurring tussle situations
+// as a matrix game, so experiments and examples can reason about equilibria
+// instead of hand-waving. Payoff numbers are conventional; the *structure*
+// (ordering of outcomes) is what each scenario fixes.
+#pragma once
+
+#include "game/matrix_game.hpp"
+
+namespace tussle::game {
+
+/// TCP congestion-control compliance (§II-B "system design perspectives"):
+/// both comply → good throughput for both; one defects (aggressive sender)
+/// → defector wins big, complier starves; both defect → congestion
+/// collapse. A prisoner's dilemma: defection dominant, mutual defection
+/// Pareto-dominated.
+MatrixGame congestion_compliance_game();
+
+/// Matching pennies — the purely adversarial (zero-sum) tussle class.
+MatrixGame matching_pennies();
+
+/// Standards coordination ("battle of the sexes"): two vendors prefer
+/// different standards but both prefer agreement over fragmentation.
+MatrixGame standards_coordination_game();
+
+/// ISP peering as chicken: both "open" (peer) is fine, unilateral
+/// "restrict" exploits the opener, mutual restriction (depeering) is worst.
+MatrixGame peering_game();
+
+/// The §VII QoS-deployment investment game between two ISPs.
+/// Actions: {deploy QoS, don't}. Parameters:
+///  - `cost`: router upgrade + operations cost of deploying;
+///  - `revenue`: extra revenue if the deployment can be monetized;
+///  - `competition_bonus`: demand stolen from a non-deploying rival when
+///    consumers can choose providers (the "fear" term; 0 without choice).
+/// Without value-flow, revenue = 0 and deploying is dominated — the
+/// historical failure. With revenue > cost, deployment becomes dominant.
+MatrixGame qos_investment_game(double cost, double revenue, double competition_bonus);
+
+/// User-vs-ISP value-pricing tussle (§V-A-2). Row: user {comply, tunnel}.
+/// Column: ISP {flat price, value price}. `tunnel_cost` is the user's
+/// overhead of tunnelling; `competition` in [0,1] scales how much a value-
+/// pricing ISP loses to churn when users are annoyed.
+MatrixGame value_pricing_game(double tunnel_cost, double competition);
+
+}  // namespace tussle::game

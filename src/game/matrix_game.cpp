@@ -1,0 +1,210 @@
+#include "game/matrix_game.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tussle::game {
+
+Mixed normalize(Mixed m) {
+  double total = 0;
+  for (double p : m) {
+    if (p < 0) throw std::invalid_argument("negative probability");
+    total += p;
+  }
+  if (total <= 0) throw std::invalid_argument("mixed strategy has zero mass");
+  for (double& p : m) p /= total;
+  return m;
+}
+
+MatrixGame::MatrixGame(std::vector<std::vector<double>> row_payoff,
+                       std::vector<std::vector<double>> col_payoff,
+                       std::vector<std::string> row_names, std::vector<std::string> col_names)
+    : row_(std::move(row_payoff)),
+      col_(std::move(col_payoff)),
+      row_names_(std::move(row_names)),
+      col_names_(std::move(col_names)) {
+  if (row_.empty() || row_[0].empty()) throw std::invalid_argument("empty payoff matrix");
+  if (col_.size() != row_.size()) throw std::invalid_argument("payoff shape mismatch");
+  for (std::size_t i = 0; i < row_.size(); ++i) {
+    if (row_[i].size() != row_[0].size() || col_[i].size() != row_[0].size()) {
+      throw std::invalid_argument("payoff matrices must be rectangular and equal shape");
+    }
+  }
+  if (row_names_.empty()) {
+    for (std::size_t i = 0; i < rows(); ++i) row_names_.push_back("r" + std::to_string(i));
+  }
+  if (col_names_.empty()) {
+    for (std::size_t j = 0; j < cols(); ++j) col_names_.push_back("c" + std::to_string(j));
+  }
+  if (row_names_.size() != rows() || col_names_.size() != cols()) {
+    throw std::invalid_argument("action name count mismatch");
+  }
+}
+
+MatrixGame MatrixGame::zero_sum(std::vector<std::vector<double>> row_payoff,
+                                std::vector<std::string> row_names,
+                                std::vector<std::string> col_names) {
+  std::vector<std::vector<double>> col = row_payoff;
+  for (auto& r : col) {
+    for (auto& x : r) x = -x;
+  }
+  return MatrixGame(std::move(row_payoff), std::move(col), std::move(row_names),
+                    std::move(col_names));
+}
+
+bool MatrixGame::is_zero_sum(double tol) const noexcept {
+  for (std::size_t i = 0; i < rows(); ++i) {
+    for (std::size_t j = 0; j < cols(); ++j) {
+      if (std::abs(row_[i][j] + col_[i][j]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::pair<double, double> MatrixGame::expected_payoff(const Mixed& row, const Mixed& col) const {
+  if (row.size() != rows() || col.size() != cols()) {
+    throw std::invalid_argument("strategy dimension mismatch");
+  }
+  double a = 0, b = 0;
+  for (std::size_t i = 0; i < rows(); ++i) {
+    if (row[i] == 0) continue;
+    for (std::size_t j = 0; j < cols(); ++j) {
+      const double w = row[i] * col[j];
+      a += w * row_[i][j];
+      b += w * col_[i][j];
+    }
+  }
+  return {a, b};
+}
+
+std::size_t MatrixGame::best_row_response(const Mixed& col) const {
+  std::size_t best = 0;
+  double best_v = -1e300;
+  for (std::size_t i = 0; i < rows(); ++i) {
+    double v = 0;
+    for (std::size_t j = 0; j < cols(); ++j) v += col[j] * row_[i][j];
+    if (v > best_v + 1e-15) {
+      best_v = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t MatrixGame::best_col_response(const Mixed& row) const {
+  std::size_t best = 0;
+  double best_v = -1e300;
+  for (std::size_t j = 0; j < cols(); ++j) {
+    double v = 0;
+    for (std::size_t i = 0; i < rows(); ++i) v += row[i] * col_[i][j];
+    if (v > best_v + 1e-15) {
+      best_v = v;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool MatrixGame::is_pure_nash(std::size_t i, std::size_t j, double tol) const {
+  for (std::size_t a = 0; a < rows(); ++a) {
+    if (row_[a][j] > row_[i][j] + tol) return false;
+  }
+  for (std::size_t b = 0; b < cols(); ++b) {
+    if (col_[i][b] > col_[i][j] + tol) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> MatrixGame::pure_nash() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i < rows(); ++i) {
+    for (std::size_t j = 0; j < cols(); ++j) {
+      if (is_pure_nash(i, j)) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+bool MatrixGame::is_epsilon_nash(const Mixed& row, const Mixed& col, double epsilon) const {
+  const auto [ra, ca] = expected_payoff(row, col);
+  // Best deviation payoffs.
+  double best_row = -1e300;
+  for (std::size_t i = 0; i < rows(); ++i) {
+    double v = 0;
+    for (std::size_t j = 0; j < cols(); ++j) v += col[j] * row_[i][j];
+    best_row = std::max(best_row, v);
+  }
+  double best_col = -1e300;
+  for (std::size_t j = 0; j < cols(); ++j) {
+    double v = 0;
+    for (std::size_t i = 0; i < rows(); ++i) v += row[i] * col_[i][j];
+    best_col = std::max(best_col, v);
+  }
+  return best_row - ra <= epsilon && best_col - ca <= epsilon;
+}
+
+bool MatrixGame::row_strictly_dominated(std::size_t a, std::size_t b) const {
+  for (std::size_t j = 0; j < cols(); ++j) {
+    if (row_[b][j] <= row_[a][j]) return false;
+  }
+  return true;
+}
+
+bool MatrixGame::col_strictly_dominated(std::size_t a, std::size_t b) const {
+  for (std::size_t i = 0; i < rows(); ++i) {
+    if (col_[i][b] <= col_[i][a]) return false;
+  }
+  return true;
+}
+
+MatrixGame::Survivors MatrixGame::iterated_dominance() const {
+  std::vector<std::size_t> ra(rows()), ca(cols());
+  for (std::size_t i = 0; i < rows(); ++i) ra[i] = i;
+  for (std::size_t j = 0; j < cols(); ++j) ca[j] = j;
+
+  bool changed = true;
+  while (changed && ra.size() > 1 && ca.size() > 1) {
+    changed = false;
+    // Row eliminations, restricted to surviving columns.
+    for (std::size_t ai = 0; ai < ra.size() && ra.size() > 1; ++ai) {
+      for (std::size_t bi = 0; bi < ra.size(); ++bi) {
+        if (ai == bi) continue;
+        bool dominated = true;
+        for (std::size_t j : ca) {
+          if (row_[ra[bi]][j] <= row_[ra[ai]][j]) {
+            dominated = false;
+            break;
+          }
+        }
+        if (dominated) {
+          ra.erase(ra.begin() + static_cast<std::ptrdiff_t>(ai));
+          changed = true;
+          --ai;
+          break;
+        }
+      }
+    }
+    for (std::size_t aj = 0; aj < ca.size() && ca.size() > 1; ++aj) {
+      for (std::size_t bj = 0; bj < ca.size(); ++bj) {
+        if (aj == bj) continue;
+        bool dominated = true;
+        for (std::size_t i : ra) {
+          if (col_[i][ca[bj]] <= col_[i][ca[aj]]) {
+            dominated = false;
+            break;
+          }
+        }
+        if (dominated) {
+          ca.erase(ca.begin() + static_cast<std::ptrdiff_t>(aj));
+          changed = true;
+          --aj;
+          break;
+        }
+      }
+    }
+  }
+  return Survivors{std::move(ra), std::move(ca)};
+}
+
+}  // namespace tussle::game

@@ -1,0 +1,81 @@
+// Two-player matrix games: the paper's formal model of tussle (§II-B).
+//
+// "A game represents an abstraction of the underlying tussle environment,
+// and can range from purely conflicting games (zero-sum) ... to
+// coordination games." This type covers that whole range: payoffs for both
+// players over finite action sets, with helpers for best responses, Nash
+// checks and dominance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tussle::game {
+
+/// A mixed strategy: probability per action. Invariant: sums to ~1.
+using Mixed = std::vector<double>;
+
+/// Validates and normalizes a mixed strategy; throws std::invalid_argument
+/// on negative entries or zero mass.
+Mixed normalize(Mixed m);
+
+class MatrixGame {
+ public:
+  /// `row_payoff[i][j]` / `col_payoff[i][j]`: payoffs when row plays i and
+  /// column plays j. Both matrices must be the same (non-empty,
+  /// rectangular) shape.
+  MatrixGame(std::vector<std::vector<double>> row_payoff,
+             std::vector<std::vector<double>> col_payoff,
+             std::vector<std::string> row_names = {}, std::vector<std::string> col_names = {});
+
+  /// Zero-sum constructor: column player gets the negation.
+  static MatrixGame zero_sum(std::vector<std::vector<double>> row_payoff,
+                             std::vector<std::string> row_names = {},
+                             std::vector<std::string> col_names = {});
+
+  std::size_t rows() const noexcept { return row_.size(); }
+  std::size_t cols() const noexcept { return row_[0].size(); }
+  double row_payoff(std::size_t i, std::size_t j) const { return row_.at(i).at(j); }
+  double col_payoff(std::size_t i, std::size_t j) const { return col_.at(i).at(j); }
+  const std::string& row_name(std::size_t i) const { return row_names_.at(i); }
+  const std::string& col_name(std::size_t j) const { return col_names_.at(j); }
+  bool is_zero_sum(double tol = 1e-12) const noexcept;
+
+  /// Expected payoffs under mixed strategies (row then column player).
+  std::pair<double, double> expected_payoff(const Mixed& row, const Mixed& col) const;
+
+  /// Best pure response of a player to the opponent's mixed strategy
+  /// (lowest index wins ties, deterministic).
+  std::size_t best_row_response(const Mixed& col) const;
+  std::size_t best_col_response(const Mixed& row) const;
+
+  /// Is (i, j) a pure Nash equilibrium?
+  bool is_pure_nash(std::size_t i, std::size_t j, double tol = 1e-12) const;
+
+  /// All pure Nash equilibria (may be empty — e.g. matching pennies).
+  std::vector<std::pair<std::size_t, std::size_t>> pure_nash() const;
+
+  /// Is (row, col) an epsilon-Nash equilibrium in mixed strategies?
+  bool is_epsilon_nash(const Mixed& row, const Mixed& col, double epsilon) const;
+
+  /// Is row action `a` strictly dominated by row action `b`?
+  bool row_strictly_dominated(std::size_t a, std::size_t b) const;
+  bool col_strictly_dominated(std::size_t a, std::size_t b) const;
+
+  /// Iterated elimination of strictly dominated strategies. Returns the
+  /// surviving action indices (in original coordinates).
+  struct Survivors {
+    std::vector<std::size_t> row_actions;
+    std::vector<std::size_t> col_actions;
+  };
+  Survivors iterated_dominance() const;
+
+ private:
+  std::vector<std::vector<double>> row_;
+  std::vector<std::vector<double>> col_;
+  std::vector<std::string> row_names_;
+  std::vector<std::string> col_names_;
+};
+
+}  // namespace tussle::game

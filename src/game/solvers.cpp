@@ -1,0 +1,74 @@
+#include "game/solvers.hpp"
+
+#include <algorithm>
+
+#include "game/learners.hpp"
+
+namespace tussle::game {
+
+MinimaxSolution solve_zero_sum(const MatrixGame& game, std::size_t iterations) {
+  MinimaxSolution out;
+  std::vector<double> row_counts(game.rows(), 0.0);
+  std::vector<double> col_counts(game.cols(), 0.0);
+  // Cumulative payoff vectors (against opponent's historical play).
+  std::vector<double> row_value(game.rows(), 0.0);  // sum over col history
+  std::vector<double> col_value(game.cols(), 0.0);  // sum (row player's payoff)
+
+  std::size_t r = 0, c = 0;
+  for (std::size_t t = 0; t < iterations; ++t) {
+    // Row best-responds to column history, column to row history.
+    r = static_cast<std::size_t>(
+        std::max_element(row_value.begin(), row_value.end()) - row_value.begin());
+    c = static_cast<std::size_t>(
+        std::min_element(col_value.begin(), col_value.end()) - col_value.begin());
+    row_counts[r] += 1;
+    col_counts[c] += 1;
+    for (std::size_t i = 0; i < game.rows(); ++i) row_value[i] += game.row_payoff(i, c);
+    for (std::size_t j = 0; j < game.cols(); ++j) col_value[j] += game.row_payoff(r, j);
+  }
+
+  out.row = normalize(row_counts);
+  out.col = normalize(col_counts);
+  out.iterations = iterations;
+  // Value bounds: max_i payoff(i, col_mix) >= v >= min_j payoff(row_mix, j).
+  double upper = -1e300;
+  for (std::size_t i = 0; i < game.rows(); ++i) {
+    double v = 0;
+    for (std::size_t j = 0; j < game.cols(); ++j) v += out.col[j] * game.row_payoff(i, j);
+    upper = std::max(upper, v);
+  }
+  double lower = 1e300;
+  for (std::size_t j = 0; j < game.cols(); ++j) {
+    double v = 0;
+    for (std::size_t i = 0; i < game.rows(); ++i) v += out.row[i] * game.row_payoff(i, j);
+    lower = std::min(lower, v);
+  }
+  out.value = 0.5 * (upper + lower);
+  out.gap = upper - lower;
+  return out;
+}
+
+LearnedProfile learn_equilibrium(const MatrixGame& game, std::size_t iterations, sim::Rng& rng) {
+  RegretMatching row(row_payoff_matrix(game));
+  RegretMatching col(col_payoff_matrix(game));
+  auto outcome = play_repeated(game, row, col, iterations, rng);
+  LearnedProfile p;
+  p.row = std::move(outcome.row_empirical);
+  p.col = std::move(outcome.col_empirical);
+  const auto [ra, ca] = game.expected_payoff(p.row, p.col);
+  double best_row = -1e300, best_col = -1e300;
+  for (std::size_t i = 0; i < game.rows(); ++i) {
+    double v = 0;
+    for (std::size_t j = 0; j < game.cols(); ++j) v += p.col[j] * game.row_payoff(i, j);
+    best_row = std::max(best_row, v);
+  }
+  for (std::size_t j = 0; j < game.cols(); ++j) {
+    double v = 0;
+    for (std::size_t i = 0; i < game.rows(); ++i) v += p.row[i] * game.col_payoff(i, j);
+    best_col = std::max(best_col, v);
+  }
+  p.epsilon = std::max(best_row - ra, best_col - ca);
+  return p;
+}
+
+}  // namespace tussle::game

@@ -1,0 +1,31 @@
+// Equilibrium solvers.
+#pragma once
+
+#include "game/matrix_game.hpp"
+#include "sim/random.hpp"
+
+namespace tussle::game {
+
+/// Approximate minimax solution of a zero-sum game via fictitious-play
+/// self-play (Robinson 1951: converges for zero-sum games).
+struct MinimaxSolution {
+  Mixed row;
+  Mixed col;
+  double value = 0;       ///< game value to the row player
+  double gap = 0;         ///< duality gap bound achieved (>= 0)
+  std::size_t iterations = 0;
+};
+MinimaxSolution solve_zero_sum(const MatrixGame& game, std::size_t iterations = 20000);
+
+/// Approximate (epsilon-)Nash of a general-sum game by regret-matching
+/// self-play; returns the empirical joint strategies. For games where the
+/// dynamics converge (e.g. dominance-solvable or zero-sum) this is a Nash
+/// profile; in general it approximates a correlated equilibrium.
+struct LearnedProfile {
+  Mixed row;
+  Mixed col;
+  double epsilon = 0;  ///< best-deviation gain against the empirical mix
+};
+LearnedProfile learn_equilibrium(const MatrixGame& game, std::size_t iterations, sim::Rng& rng);
+
+}  // namespace tussle::game

@@ -1,0 +1,90 @@
+#include "names/name_system.hpp"
+
+#include <stdexcept>
+
+namespace tussle::names {
+
+// -------------------------------------------------------------- entangled
+
+std::string EntangledNameSystem::register_service(const std::string& brand,
+                                                  const net::Address& host,
+                                                  const std::string& mailbox) {
+  if (records_.count(brand)) throw std::invalid_argument("name already registered: " + brand);
+  records_[brand] = Record{host, mailbox, false};
+  return brand;  // the brand IS the machine name — that's the entanglement
+}
+
+std::optional<std::string> EntangledNameSystem::lookup_brand(const std::string& brand) const {
+  auto it = records_.find(brand);
+  if (it == records_.end() || it->second.suspended) return std::nullopt;
+  return brand;
+}
+
+std::optional<net::Address> EntangledNameSystem::resolve_machine(
+    const std::string& machine) const {
+  auto it = records_.find(machine);
+  if (it == records_.end() || it->second.suspended) return std::nullopt;
+  return it->second.host;
+}
+
+std::optional<std::string> EntangledNameSystem::resolve_mailbox(
+    const std::string& machine) const {
+  auto it = records_.find(machine);
+  if (it == records_.end() || it->second.suspended) return std::nullopt;
+  return it->second.mailbox;
+}
+
+DisputeImpact EntangledNameSystem::dispute_trademark(const std::string& brand) {
+  DisputeImpact impact;
+  auto it = records_.find(brand);
+  if (it == records_.end()) return impact;
+  it->second.suspended = true;
+  // One suspension breaks all three roles at once.
+  impact.brand_suspended = true;
+  impact.machine_resolution_broken = true;
+  impact.mailbox_routing_broken = true;
+  return impact;
+}
+
+// ---------------------------------------------------------------- modular
+
+std::string ModularNameSystem::register_service(const std::string& brand,
+                                                const net::Address& host,
+                                                const std::string& mailbox) {
+  if (directory_.count(brand)) throw std::invalid_argument("brand already registered: " + brand);
+  const std::string machine = "m-" + std::to_string(next_id_++);
+  machines_[machine] = host;
+  mailboxes_[machine] = mailbox;
+  directory_[brand] = BrandEntry{machine, false};
+  return machine;
+}
+
+std::optional<std::string> ModularNameSystem::lookup_brand(const std::string& brand) const {
+  auto it = directory_.find(brand);
+  if (it == directory_.end() || it->second.suspended) return std::nullopt;
+  return it->second.machine;
+}
+
+std::optional<net::Address> ModularNameSystem::resolve_machine(const std::string& machine) const {
+  auto it = machines_.find(machine);
+  if (it == machines_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> ModularNameSystem::resolve_mailbox(const std::string& machine) const {
+  auto it = mailboxes_.find(machine);
+  if (it == mailboxes_.end()) return std::nullopt;
+  return it->second;
+}
+
+DisputeImpact ModularNameSystem::dispute_trademark(const std::string& brand) {
+  DisputeImpact impact;
+  auto it = directory_.find(brand);
+  if (it == directory_.end()) return impact;
+  it->second.suspended = true;
+  impact.brand_suspended = true;
+  // Machine and mailbox planes are untouched: existing users keep working.
+  return impact;
+}
+
+}  // namespace tussle::names

@@ -1,0 +1,104 @@
+// Naming, done twice (§IV-A).
+//
+// The paper's worked example of "modularize along tussle boundaries" is the
+// DNS: "DNS names are used both to name machines and to express trademark
+// ... names that express trademarks should be used for as little else as
+// possible." This module ships both designs so experiment E8 can measure
+// the difference:
+//
+//  - EntangledNameSystem: one record carries brand + machine location +
+//    mailbox routing, like today's DNS. A trademark dispute suspends the
+//    whole record.
+//  - ModularNameSystem: three planes — an opaque machine-name plane, a
+//    mailbox plane keyed on machine names, and a brand directory mapping
+//    trademarks to machine names. Disputes suspend only directory entries.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace tussle::names {
+
+/// Outcome of one trademark dispute.
+struct DisputeImpact {
+  bool brand_suspended = false;
+  bool machine_resolution_broken = false;  ///< collateral damage
+  bool mailbox_routing_broken = false;     ///< collateral damage
+};
+
+/// Common interface over both designs. "Brand" is the trademark string;
+/// "machine name" is whatever string the design uses to reach a host.
+class NameSystem {
+ public:
+  virtual ~NameSystem() = default;
+  virtual std::string design() const = 0;
+
+  /// Registers a service: brand string, host address, mailbox label.
+  /// Returns the machine name the design hands back (in the entangled
+  /// design this *is* the brand; in the modular design it is opaque).
+  virtual std::string register_service(const std::string& brand, const net::Address& host,
+                                       const std::string& mailbox) = 0;
+
+  /// Brand → machine name (what a new user types).
+  virtual std::optional<std::string> lookup_brand(const std::string& brand) const = 0;
+  /// Machine name → address (what caches/bookmarks/links use).
+  virtual std::optional<net::Address> resolve_machine(const std::string& machine) const = 0;
+  /// Machine name → mailbox label (mail delivery).
+  virtual std::optional<std::string> resolve_mailbox(const std::string& machine) const = 0;
+
+  /// A rights-holder wins a trademark action against `brand`.
+  virtual DisputeImpact dispute_trademark(const std::string& brand) = 0;
+
+  virtual std::size_t registered_count() const = 0;
+};
+
+/// Today's DNS shape: one name, three roles.
+class EntangledNameSystem final : public NameSystem {
+ public:
+  std::string design() const override { return "entangled"; }
+  std::string register_service(const std::string& brand, const net::Address& host,
+                               const std::string& mailbox) override;
+  std::optional<std::string> lookup_brand(const std::string& brand) const override;
+  std::optional<net::Address> resolve_machine(const std::string& machine) const override;
+  std::optional<std::string> resolve_mailbox(const std::string& machine) const override;
+  DisputeImpact dispute_trademark(const std::string& brand) override;
+  std::size_t registered_count() const override { return records_.size(); }
+
+ private:
+  struct Record {
+    net::Address host;
+    std::string mailbox;
+    bool suspended = false;
+  };
+  std::map<std::string, Record> records_;
+};
+
+/// The paper's recommendation: separate planes per tussle.
+class ModularNameSystem final : public NameSystem {
+ public:
+  std::string design() const override { return "modular"; }
+  std::string register_service(const std::string& brand, const net::Address& host,
+                               const std::string& mailbox) override;
+  std::optional<std::string> lookup_brand(const std::string& brand) const override;
+  std::optional<net::Address> resolve_machine(const std::string& machine) const override;
+  std::optional<std::string> resolve_mailbox(const std::string& machine) const override;
+  DisputeImpact dispute_trademark(const std::string& brand) override;
+  std::size_t registered_count() const override { return machines_.size(); }
+
+ private:
+  std::map<std::string, net::Address> machines_;   ///< opaque id → address
+  std::map<std::string, std::string> mailboxes_;   ///< opaque id → mailbox
+  struct BrandEntry {
+    std::string machine;
+    bool suspended = false;
+  };
+  std::map<std::string, BrandEntry> directory_;    ///< trademark plane
+  std::size_t next_id_ = 0;
+};
+
+}  // namespace tussle::names

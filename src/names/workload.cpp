@@ -1,0 +1,59 @@
+#include "names/workload.hpp"
+
+namespace tussle::names {
+
+double WorkloadResult::brand_failure_rate() const {
+  return brand_lookups ? static_cast<double>(brand_failures) / brand_lookups : 0.0;
+}
+double WorkloadResult::machine_failure_rate() const {
+  return machine_lookups ? static_cast<double>(machine_failures) / machine_lookups : 0.0;
+}
+double WorkloadResult::mailbox_failure_rate() const {
+  return mailbox_lookups ? static_cast<double>(mailbox_failures) / mailbox_lookups : 0.0;
+}
+double WorkloadResult::spillover_rate() const {
+  const std::size_t outside = machine_lookups + mailbox_lookups;
+  const std::size_t failures = machine_failures + mailbox_failures;
+  return outside ? static_cast<double>(failures) / outside : 0.0;
+}
+
+WorkloadResult run_workload(NameSystem& system, const WorkloadConfig& cfg, sim::Rng& rng) {
+  // Register services; remember brand and machine name per service.
+  std::vector<std::string> brands;
+  std::vector<std::string> machines;
+  brands.reserve(cfg.services);
+  machines.reserve(cfg.services);
+  for (std::size_t i = 0; i < cfg.services; ++i) {
+    const std::string brand = "brand-" + std::to_string(i);
+    net::Address host{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+    machines.push_back(system.register_service(brand, host, "postmaster@" + brand));
+    brands.push_back(brand);
+  }
+
+  // Dispute the most popular brands (rank 0..k): valuable names attract
+  // trademark actions.
+  const auto disputed =
+      static_cast<std::size_t>(cfg.disputed_fraction * static_cast<double>(cfg.services));
+  for (std::size_t i = 0; i < disputed; ++i) system.dispute_trademark(brands[i]);
+
+  sim::ZipfTable zipf(cfg.services, cfg.zipf_exponent);
+  WorkloadResult r;
+  for (std::size_t t = 0; t < cfg.lookups; ++t) {
+    const std::size_t svc = zipf.sample(rng) - 1;
+    const double kind = rng.uniform();
+    if (kind < cfg.brand_lookup_fraction) {
+      ++r.brand_lookups;
+      if (!system.lookup_brand(brands[svc])) ++r.brand_failures;
+    } else if (kind < cfg.brand_lookup_fraction + cfg.machine_lookup_fraction) {
+      ++r.machine_lookups;
+      auto m = system.resolve_machine(machines[svc]);
+      if (!m) ++r.machine_failures;
+    } else {
+      ++r.mailbox_lookups;
+      if (!system.resolve_mailbox(machines[svc])) ++r.mailbox_failures;
+    }
+  }
+  return r;
+}
+
+}  // namespace tussle::names

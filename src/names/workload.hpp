@@ -1,0 +1,51 @@
+// Lookup workload for the naming ablation (E8).
+//
+// Users hit a name system three ways: new users type brands, returning
+// users follow cached machine names (bookmarks, links), and mail flows to
+// mailboxes. The workload replays that mix against either design, with a
+// configurable set of names under trademark dispute, and reports failure
+// rates per category — the spillover measurement.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "names/name_system.hpp"
+#include "sim/random.hpp"
+
+namespace tussle::names {
+
+struct WorkloadConfig {
+  std::size_t services = 100;
+  std::size_t lookups = 10000;
+  double brand_lookup_fraction = 0.2;    ///< new users (type the brand)
+  double machine_lookup_fraction = 0.5;  ///< returning users (cached name)
+  // remainder: mailbox lookups
+  double disputed_fraction = 0.1;        ///< services hit by trademark action
+  double zipf_exponent = 0.9;            ///< popularity skew of services
+};
+
+struct WorkloadResult {
+  std::size_t brand_lookups = 0;
+  std::size_t brand_failures = 0;
+  std::size_t machine_lookups = 0;
+  std::size_t machine_failures = 0;
+  std::size_t mailbox_lookups = 0;
+  std::size_t mailbox_failures = 0;
+
+  double brand_failure_rate() const;
+  double machine_failure_rate() const;
+  double mailbox_failure_rate() const;
+  /// Spillover: failures among lookups *outside* the trademark tussle
+  /// (machine + mailbox) as a fraction of those lookups. The paper's claim:
+  /// ~0 for the modular design, large for the entangled one.
+  double spillover_rate() const;
+};
+
+/// Registers `services` names, disputes the configured fraction (the most
+/// popular ones — trademark fights happen over valuable names), replays the
+/// lookup mix, and reports.
+WorkloadResult run_workload(NameSystem& system, const WorkloadConfig& cfg, sim::Rng& rng);
+
+}  // namespace tussle::names

@@ -1,0 +1,20 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+namespace tussle::net {
+
+std::string Address::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%u.%u.%u", portable ? "pi:" : "", provider, subscriber,
+                host);
+  return buf;
+}
+
+std::string Prefix::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%u.%u/*", portable ? "pi:" : "", provider, subscriber);
+  return buf;
+}
+
+}  // namespace tussle::net

@@ -1,0 +1,80 @@
+// Provider-rooted addressing.
+//
+// The paper's economics section (§V-A-1) hinges on the fact that Internet
+// addresses encode the provider that assigned them: moving to a new ISP
+// means renumbering, which creates lock-in, while provider-independent
+// addresses avoid lock-in but bloat core routing tables. The address type
+// here makes that tension explicit: an address is (provider AS, subscriber
+// site, host), plus a portability flag recording whether it is topologically
+// significant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tussle::net {
+
+/// Autonomous-system identifier (a provider or customer network).
+using AsId = std::uint32_t;
+/// Node identifier within the simulation, unique across the whole network.
+using NodeId = std::uint32_t;
+/// End-to-end flow identifier.
+using FlowId = std::uint64_t;
+
+inline constexpr AsId kNoAs = 0;
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+/// A network-layer address.
+struct Address {
+  AsId provider = kNoAs;         ///< AS whose block the address came from.
+  std::uint32_t subscriber = 0;  ///< Customer site within the provider.
+  std::uint32_t host = 0;        ///< Host within the site.
+  /// Provider-independent ("portable") addresses do not change when the
+  /// subscriber switches providers, but each one adds an entry to every
+  /// core forwarding table (experiment E1 measures both costs).
+  bool portable = false;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  bool valid() const noexcept { return provider != kNoAs || portable; }
+  std::string to_string() const;
+};
+
+/// The routable prefix of an address: what core routers match on.
+struct Prefix {
+  AsId provider = kNoAs;
+  std::uint32_t subscriber = 0;
+  bool portable = false;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+  std::string to_string() const;
+};
+
+inline Prefix prefix_of(const Address& a) noexcept {
+  return Prefix{a.provider, a.subscriber, a.portable};
+}
+
+}  // namespace tussle::net
+
+template <>
+struct std::hash<tussle::net::Address> {
+  std::size_t operator()(const tussle::net::Address& a) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(a.provider) << 32) | a.subscriber);
+    return h ^ (std::hash<std::uint32_t>{}(a.host) + 0x9e3779b9 + (h << 6) + (h >> 2) +
+                (a.portable ? 0x55555555u : 0u));
+  }
+};
+
+template <>
+struct std::hash<tussle::net::Prefix> {
+  std::size_t operator()(const tussle::net::Prefix& p) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.provider) << 32) | p.subscriber);
+    return p.portable ? ~h : h;
+  }
+};

@@ -1,0 +1,31 @@
+#include "net/flow_stats.hpp"
+
+namespace tussle::net {
+
+FlowTracker::FlowTracker(Network& net) {
+  net.add_delivery_observer([this, &net](const Packet& p, NodeId) {
+    PerFlow& f = flows_[p.flow];
+    f.packets += 1;
+    f.bytes += p.size_bytes;
+    const double latency = net.simulator().now().as_seconds() - p.sent_at_s;
+    f.latency.observe(latency);
+    per_class_[static_cast<std::size_t>(p.tos)].observe(latency);
+  });
+}
+
+std::uint64_t FlowTracker::delivered(FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.packets;
+}
+
+std::uint64_t FlowTracker::delivered_bytes(FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.bytes;
+}
+
+const sim::Summary& FlowTracker::latency_s(FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? empty_ : it->second.latency;
+}
+
+}  // namespace tussle::net

@@ -1,0 +1,43 @@
+// Per-flow delivery accounting.
+//
+// Experiments often need "what did flow F actually get" rather than global
+// counters; the tracker subscribes to the network's delivery observers and
+// aggregates per FlowId (and per service class).
+#pragma once
+
+#include <map>
+
+#include "net/network.hpp"
+#include "sim/stats.hpp"
+
+namespace tussle::net {
+
+class FlowTracker {
+ public:
+  /// Subscribes to `net`. The tracker must outlive the simulation run.
+  explicit FlowTracker(Network& net);
+
+  FlowTracker(const FlowTracker&) = delete;
+  FlowTracker& operator=(const FlowTracker&) = delete;
+
+  std::uint64_t delivered(FlowId flow) const;
+  std::uint64_t delivered_bytes(FlowId flow) const;
+  /// End-to-end latency summary of a flow's delivered packets.
+  const sim::Summary& latency_s(FlowId flow) const;
+  const sim::Summary& class_latency_s(ServiceClass c) const {
+    return per_class_[static_cast<std::size_t>(c)];
+  }
+  std::size_t flows_seen() const noexcept { return flows_.size(); }
+
+ private:
+  struct PerFlow {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    sim::Summary latency;
+  };
+  std::map<FlowId, PerFlow> flows_;
+  sim::Summary per_class_[3];
+  sim::Summary empty_;
+};
+
+}  // namespace tussle::net

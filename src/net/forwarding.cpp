@@ -1,0 +1,20 @@
+#include "net/forwarding.hpp"
+
+namespace tussle::net {
+
+std::optional<IfIndex> ForwardingTable::lookup(const Address& a) const {
+  if (auto it = prefixes_.find(prefix_of(a)); it != prefixes_.end()) return it->second;
+  if (!a.portable) {
+    if (auto it = as_routes_.find(a.provider); it != as_routes_.end()) return it->second;
+  }
+  if (default_ != kNoIface) return default_;
+  return std::nullopt;
+}
+
+std::optional<IfIndex> ForwardingTable::lookup_as(AsId as) const {
+  if (auto it = as_routes_.find(as); it != as_routes_.end()) return it->second;
+  if (default_ != kNoIface) return default_;
+  return std::nullopt;
+}
+
+}  // namespace tussle::net

@@ -1,0 +1,136 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tussle::net {
+
+// ---------------------------------------------------------------- Link ----
+
+Link::Link(Network& net, LinkId id, NodeId a, NodeId b, double bits_per_second,
+           sim::Duration propagation, QueueKind kind, std::size_t queue_capacity)
+    : net_(&net), id_(id), bps_(bits_per_second), prop_(propagation) {
+  if (bits_per_second <= 0) throw std::invalid_argument("link bandwidth must be positive");
+  dirs_[0].from = a;
+  dirs_[0].to = b;
+  dirs_[1].from = b;
+  dirs_[1].to = a;
+  dirs_[0].queue = make_queue(kind, queue_capacity);
+  dirs_[1].queue = make_queue(kind, queue_capacity);
+}
+
+NodeId Link::peer_of(NodeId n) const {
+  if (n == dirs_[0].from) return dirs_[0].to;
+  if (n == dirs_[1].from) return dirs_[1].to;
+  throw std::invalid_argument("node is not an endpoint of this link");
+}
+
+Link::Direction& Link::dir_for(NodeId from) {
+  if (from == dirs_[0].from) return dirs_[0];
+  if (from == dirs_[1].from) return dirs_[1];
+  throw std::invalid_argument("node is not an endpoint of this link");
+}
+
+const Link::Direction& Link::dir_for(NodeId from) const {
+  return const_cast<Link*>(this)->dir_for(from);
+}
+
+bool Link::transmit_from(NodeId sender, Packet p) {
+  if (!up_) {
+    net_->counters().dropped_link_down.add();
+    return false;
+  }
+  Direction& d = dir_for(sender);
+  if (!d.queue->enqueue(std::move(p))) {
+    net_->counters().dropped_queue.add();
+    return false;
+  }
+  if (!d.transmitting) start_transmission(d);
+  return true;
+}
+
+void Link::start_transmission(Direction& d) {
+  auto p = d.queue->dequeue();
+  if (!p) return;
+  d.transmitting = true;
+  const auto serialization =
+      sim::Duration::seconds(static_cast<double>(p->size_bytes) * 8.0 / bps_);
+  auto& sim = net_->simulator();
+  // Serialization completes first; then the packet propagates while the
+  // transmitter moves on to the next queued packet.
+  sim.schedule(serialization, [this, &d, pkt = std::move(*p)]() mutable {
+    d.transmitting = false;
+    d.tx_packets += 1;
+    d.tx_bytes += pkt.size_bytes;
+    const NodeId to = d.to;
+    net_->simulator().schedule(prop_, [this, to, pkt = std::move(pkt)]() mutable {
+      if (!up_) {
+        net_->counters().dropped_link_down.add();
+        return;
+      }
+      Node& dst = net_->node(to);
+      // Find the interface on the destination that corresponds to this link.
+      for (IfIndex i = 0; i < static_cast<IfIndex>(dst.interface_count()); ++i) {
+        if (dst.link_of(i) == id_) {
+          dst.receive(std::move(pkt), i);
+          return;
+        }
+      }
+      assert(false && "link endpoint has no matching interface");
+    });
+    if (!d.queue->empty()) start_transmission(d);
+  });
+}
+
+// ---------------------------------------------------------- NetCounters --
+
+void NetCounters::reset() {
+  originated.reset();
+  delivered.reset();
+  dropped_filter.reset();
+  dropped_ttl.reset();
+  dropped_no_route.reset();
+  dropped_queue.reset();
+  dropped_link_down.reset();
+  redirected.reset();
+  mirrored.reset();
+  forwarded.reset();
+  delivery_latency_s.reset();
+}
+
+// -------------------------------------------------------------- Network --
+
+NodeId Network::add_node(AsId as) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(*this, id, as));
+  return id;
+}
+
+Link& Network::connect(NodeId a, NodeId b, double bits_per_second, sim::Duration propagation,
+                       QueueKind kind, std::size_t queue_capacity) {
+  if (a == b) throw std::invalid_argument("self-links are not supported");
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(std::make_unique<Link>(*this, id, a, b, bits_per_second, propagation, kind,
+                                          queue_capacity));
+  node(a).attach_interface(id);
+  node(b).attach_interface(id);
+  return *links_.back();
+}
+
+void Network::notify_delivered(const Packet& p, NodeId at) {
+  counters_.delivered.add();
+  counters_.delivery_latency_s.observe(sim_->now().as_seconds() - p.sent_at_s);
+  for (const auto& obs : observers_) obs(p, at);
+}
+
+std::vector<std::pair<NodeId, IfIndex>> Network::neighbors(NodeId n) const {
+  std::vector<std::pair<NodeId, IfIndex>> out;
+  const Node& nd = node(n);
+  for (IfIndex i = 0; i < static_cast<IfIndex>(nd.interface_count()); ++i) {
+    const Link& l = link(nd.link_of(i));
+    out.emplace_back(l.peer_of(n), i);
+  }
+  return out;
+}
+
+}  // namespace tussle::net

@@ -1,0 +1,153 @@
+// The Network: owns nodes and links, provides the data-plane fabric that the
+// routing, trust, and economics layers program.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace tussle::net {
+
+using LinkId = std::uint32_t;
+
+/// A full-duplex point-to-point link. Each direction has its own output
+/// queue and transmitter; serialization time is size/bandwidth and
+/// propagation delay is fixed.
+class Link {
+ public:
+  Link(Network& net, LinkId id, NodeId a, NodeId b, double bits_per_second,
+       sim::Duration propagation, QueueKind kind, std::size_t queue_capacity);
+
+  LinkId id() const noexcept { return id_; }
+  NodeId endpoint_a() const noexcept { return dirs_[0].from; }
+  NodeId endpoint_b() const noexcept { return dirs_[1].from; }
+  NodeId peer_of(NodeId n) const;
+
+  /// Queues a packet for transmission from `sender` toward the other end.
+  /// Returns false if the packet was dropped (queue full or link down).
+  bool transmit_from(NodeId sender, Packet p);
+
+  /// Failure injection: a down link silently discards traffic.
+  void set_up(bool up) noexcept { up_ = up; }
+  bool up() const noexcept { return up_; }
+
+  double bandwidth_bps() const noexcept { return bps_; }
+  sim::Duration propagation() const noexcept { return prop_; }
+
+  std::uint64_t tx_packets(NodeId from) const { return dir_for(from).tx_packets; }
+  std::uint64_t tx_bytes(NodeId from) const { return dir_for(from).tx_bytes; }
+  std::uint64_t queue_drops() const noexcept {
+    return dirs_[0].queue->drops() + dirs_[1].queue->drops();
+  }
+  /// Instantaneous utilization proxy: queued bytes in both directions.
+  std::uint64_t backlog_bytes() const noexcept {
+    return dirs_[0].queue->bytes() + dirs_[1].queue->bytes();
+  }
+
+ private:
+  struct Direction {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    std::unique_ptr<Queue> queue;
+    bool transmitting = false;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+  };
+
+  Direction& dir_for(NodeId from);
+  const Direction& dir_for(NodeId from) const;
+  void start_transmission(Direction& d);
+
+  Network* net_;
+  LinkId id_;
+  double bps_;
+  sim::Duration prop_;
+  bool up_ = true;
+  Direction dirs_[2];
+};
+
+/// Aggregate data-plane counters, with drop causes broken out — several
+/// experiments report *why* traffic died (filtered vs. congested vs.
+/// unroutable), since each cause belongs to a different tussle.
+struct NetCounters {
+  sim::Counter originated;
+  sim::Counter delivered;
+  sim::Counter dropped_filter;
+  sim::Counter dropped_ttl;
+  sim::Counter dropped_no_route;
+  sim::Counter dropped_queue;
+  sim::Counter dropped_link_down;
+  sim::Counter redirected;
+  sim::Counter mirrored;
+  sim::Counter forwarded;
+  sim::Summary delivery_latency_s;  ///< end-to-end, seconds
+
+  void reset();
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(&sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_node(AsId as);
+  Link& connect(NodeId a, NodeId b, double bits_per_second, sim::Duration propagation,
+                QueueKind kind = QueueKind::kDropTail, std::size_t queue_capacity = 64);
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+  Link& link(LinkId id) { return *links_.at(id); }
+  const Link& link(LinkId id) const { return *links_.at(id); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  sim::Simulator& simulator() noexcept { return *sim_; }
+  NetCounters& counters() noexcept { return counters_; }
+  const NetCounters& counters() const noexcept { return counters_; }
+  PacketIdSource& packet_ids() noexcept { return ids_; }
+
+  /// Observers invoked on every successful local delivery, after the node's
+  /// own handler. Scenarios use them for global accounting; several can
+  /// coexist (a FlowTracker plus a scenario counter, say).
+  using DeliveryObserver = std::function<void(const Packet&, NodeId at)>;
+  /// Replaces all observers with one (legacy behaviour).
+  void set_delivery_observer(DeliveryObserver obs) {
+    observers_.clear();
+    if (obs) observers_.push_back(std::move(obs));
+  }
+  void add_delivery_observer(DeliveryObserver obs) {
+    if (obs) observers_.push_back(std::move(obs));
+  }
+  void notify_delivered(const Packet& p, NodeId at);
+
+  /// All (neighbor, interface) pairs of a node — used by routing protocols.
+  std::vector<std::pair<NodeId, IfIndex>> neighbors(NodeId n) const;
+
+  /// §VI-A fault reporting: when enabled, a drop by a *disclosed* filter
+  /// makes the dropping node send a control-plane error to the packet's
+  /// source naming itself and the rule. Undisclosed filters stay silent
+  /// either way. Off by default (it is a deployable mechanism, not a law
+  /// of nature — which is rather the point).
+  void enable_fault_reporting(bool on) noexcept { fault_reporting_ = on; }
+  bool fault_reporting() const noexcept { return fault_reporting_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  NetCounters counters_;
+  PacketIdSource ids_;
+  std::vector<DeliveryObserver> observers_;
+  bool fault_reporting_ = false;
+};
+
+}  // namespace tussle::net

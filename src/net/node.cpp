@@ -1,0 +1,159 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+
+namespace tussle::net {
+
+bool Node::owns(const Address& a) const {
+  return std::find(addresses_.begin(), addresses_.end(), a) != addresses_.end();
+}
+
+bool Node::remove_filter(const std::string& name) {
+  auto it = std::find_if(filters_.begin(), filters_.end(),
+                         [&](const PacketFilter& f) { return f.name == name; });
+  if (it == filters_.end()) return false;
+  filters_.erase(it);
+  return true;
+}
+
+std::vector<std::string> Node::disclosed_filter_names() const {
+  std::vector<std::string> out;
+  for (const auto& f : filters_) {
+    if (f.disclosed) out.push_back(f.name);
+  }
+  return out;
+}
+
+void Node::originate(Packet p) {
+  p.uid = net_->packet_ids().next();
+  p.sent_at_s = net_->simulator().now().as_seconds();
+  net_->counters().originated.add();
+  forward(std::move(p));
+}
+
+bool Node::run_filters(const Packet& p, FilterDecision& out, bool& disclosed,
+                       std::vector<Address>* taps) const {
+  for (const auto& f : filters_) {
+    FilterDecision d = f.fn(p);
+    if (d.action == FilterAction::kBypass) {
+      // A negotiated permit pre-empts everything installed after it.
+      return false;
+    }
+    if (d.action == FilterAction::kMirror) {
+      // Taps copy and step aside; the chain keeps running.
+      if (taps && d.redirect_to) taps->push_back(*d.redirect_to);
+      continue;
+    }
+    if (d.action != FilterAction::kAccept) {
+      out = std::move(d);
+      disclosed = f.disclosed;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Node::receive(Packet p, IfIndex /*iface*/) {
+  // Tussle hooks run on everything that crosses the node, before the node
+  // even decides whether the packet is for itself — exactly where real
+  // middleboxes sit.
+  FilterDecision decision;
+  bool decided_by_disclosed = false;
+  std::vector<Address> taps;
+  const bool blocked = run_filters(p, decision, decided_by_disclosed, &taps);
+  // Mirrored copies go out even for packets that are then dropped — the
+  // tap sees what the censor saw.
+  for (const Address& tap : taps) {
+    Packet copy = p;
+    copy.dst = tap;
+    copy.source_route.reset();
+    net_->counters().mirrored.add();
+    forward(std::move(copy));
+  }
+  if (blocked) {
+    if (decision.action == FilterAction::kDrop) {
+      net_->counters().dropped_filter.add();
+      // §VI-A "design what happens then": a *disclosed* control point
+      // reports the failure to the sender; an undisclosed one is silent
+      // loss, which is exactly what makes covert controls hard to debug.
+      if (net_->fault_reporting() && decided_by_disclosed && p.proto != AppProto::kControl &&
+          p.src.valid()) {
+        Packet err;
+        err.src = addresses_.empty() ? Address{} : addresses_.front();
+        err.dst = p.src;
+        err.proto = AppProto::kControl;
+        err.size_bytes = 100;
+        err.payload_tag = "err:" + std::to_string(id_) + ":" + decision.reason;
+        err.flow = p.flow;
+        originate(std::move(err));
+      }
+      return;
+    }
+    if (decision.action == FilterAction::kRedirect && decision.redirect_to) {
+      net_->counters().redirected.add();
+      p.dst = *decision.redirect_to;
+    }
+  }
+
+  if (owns(p.dst)) {
+    // Tunnel endpoint: unwrap and keep going with the inner packet.
+    if (p.inner) {
+      if (auto inner = p.decapsulate()) {
+        forward(std::move(*inner));
+        return;
+      }
+    }
+    if (local_handler_) local_handler_(p);
+    net_->notify_delivered(p, id_);
+    return;
+  }
+
+  if (p.ttl == 0) {
+    net_->counters().dropped_ttl.add();
+    return;
+  }
+  p.ttl -= 1;
+  net_->counters().forwarded.add();
+  forward(std::move(p));
+}
+
+void Node::forward(Packet p) {
+  // Local delivery first: a decapsulated or originated packet may already be
+  // at its destination, and the FIB's default route must not bounce it away.
+  if (owns(p.dst)) {
+    if (p.inner) {
+      if (auto inner = p.decapsulate()) {
+        forward(std::move(*inner));
+        return;
+      }
+    }
+    if (local_handler_) local_handler_(p);
+    net_->notify_delivered(p, id_);
+    return;
+  }
+
+  std::optional<IfIndex> iface;
+
+  if (p.source_route) {
+    // Advance the source route when we reach the head AS.
+    auto& sr = *p.source_route;
+    while (!sr.exhausted() && sr.hops[sr.next] == as_) sr.next += 1;
+    if (auto hop = sr.next_hop()) {
+      iface = fib_.lookup_as(*hop);
+    } else {
+      iface = fib_.lookup(p.dst);  // route exhausted: normal forwarding
+    }
+  } else {
+    iface = fib_.lookup(p.dst);
+  }
+
+  if (!iface) {
+    net_->counters().dropped_no_route.add();
+    return;
+  }
+  net_->link(link_of(*iface)).transmit_from(id_, std::move(p));
+}
+
+}  // namespace tussle::net

@@ -1,0 +1,51 @@
+#include "net/packet.hpp"
+
+namespace tussle::net {
+
+std::string to_string(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kBestEffort: return "best-effort";
+    case ServiceClass::kAssured: return "assured";
+    case ServiceClass::kPremium: return "premium";
+  }
+  return "?";
+}
+
+std::string to_string(AppProto p) {
+  switch (p) {
+    case AppProto::kUnknown: return "unknown";
+    case AppProto::kWeb: return "web";
+    case AppProto::kMail: return "mail";
+    case AppProto::kVoip: return "voip";
+    case AppProto::kP2p: return "p2p";
+    case AppProto::kDns: return "dns";
+    case AppProto::kVpn: return "vpn";
+    case AppProto::kControl: return "control";
+  }
+  return "?";
+}
+
+Packet Packet::encapsulate(Address tunnel_src, Address gateway) const {
+  Packet outer;
+  outer.src = tunnel_src;
+  outer.dst = gateway;
+  outer.tos = tos;  // outer keeps the service class so QoS still works
+  outer.proto = AppProto::kVpn;
+  outer.size_bytes = size_bytes + 40;  // encapsulation overhead
+  outer.ttl = ttl;
+  outer.flow = flow;
+  outer.encrypted = false;  // the tunnel itself is visible; contents are not
+  outer.inner = std::make_shared<Packet>(*this);
+  outer.uid = uid;
+  outer.sent_at_s = sent_at_s;
+  return outer;
+}
+
+std::optional<Packet> Packet::decapsulate() const {
+  if (!inner) return std::nullopt;
+  Packet p = *inner;
+  p.sent_at_s = sent_at_s;  // latency is end-to-end across the tunnel
+  return p;
+}
+
+}  // namespace tussle::net

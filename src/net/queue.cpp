@@ -1,0 +1,127 @@
+#include "net/queue.hpp"
+
+namespace tussle::net {
+
+bool DropTailQueue::enqueue(Packet p) {
+  if (q_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p.size_bytes;
+  return p;
+}
+
+PriorityQueue::PriorityQueue(std::size_t per_class_capacity)
+    : classes_{DropTailQueue(per_class_capacity), DropTailQueue(per_class_capacity),
+               DropTailQueue(per_class_capacity)} {}
+
+bool PriorityQueue::enqueue(Packet p) {
+  const auto cls = static_cast<std::size_t>(p.tos);
+  if (!classes_[cls].enqueue(std::move(p))) {
+    ++drops_;
+    ++class_drops_[cls];
+    return false;
+  }
+  return true;
+}
+
+std::optional<Packet> PriorityQueue::dequeue() {
+  // Highest class index = highest priority.
+  for (std::size_t c = classes_.size(); c > 0; --c) {
+    if (auto p = classes_[c - 1].dequeue()) return p;
+  }
+  return std::nullopt;
+}
+
+std::size_t PriorityQueue::packets() const noexcept {
+  std::size_t n = 0;
+  for (const auto& q : classes_) n += q.packets();
+  return n;
+}
+
+std::uint64_t PriorityQueue::bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& q : classes_) n += q.bytes();
+  return n;
+}
+
+DrrQueue::DrrQueue(std::size_t per_class_capacity, std::array<double, 3> weights)
+    : classes_{DropTailQueue(per_class_capacity), DropTailQueue(per_class_capacity),
+               DropTailQueue(per_class_capacity)},
+      weights_(weights) {}
+
+bool DrrQueue::enqueue(Packet p) {
+  const auto cls = static_cast<std::size_t>(p.tos);
+  if (!classes_[cls].enqueue(std::move(p))) {
+    ++drops_;
+    return false;
+  }
+  return true;
+}
+
+void DrrQueue::advance_round() noexcept {
+  // An emptied class forfeits its residual deficit (standard DRR), and the
+  // next visit to any class replenishes exactly once.
+  if (classes_[round_].packets() == 0) deficit_[round_] = 0;
+  fresh_visit_[round_] = true;
+  round_ = (round_ + 1) % classes_.size();
+}
+
+std::optional<Packet> DrrQueue::dequeue() {
+  if (packets() == 0) return std::nullopt;
+  // Classic deficit round robin: on each fresh visit to a backlogged class,
+  // add one quantum; serve head-of-line packets while they fit the deficit;
+  // move on when the head no longer fits. Bounded: every full sweep adds a
+  // quantum to at least one backlogged class, so some head eventually fits.
+  for (int guard = 0; guard < 100000; ++guard) {
+    DropTailQueue& q = classes_[round_];
+    if (q.packets() == 0) {
+      advance_round();
+      continue;
+    }
+    if (fresh_visit_[round_]) {
+      deficit_[round_] += weights_[round_] * kQuantumBase;
+      fresh_visit_[round_] = false;
+    }
+    const auto head = q.head_size();
+    if (head && static_cast<double>(*head) <= deficit_[round_]) {
+      deficit_[round_] -= static_cast<double>(*head);
+      return q.dequeue();
+    }
+    advance_round();
+  }
+  return std::nullopt;
+}
+
+std::size_t DrrQueue::packets() const noexcept {
+  std::size_t n = 0;
+  for (const auto& q : classes_) n += q.packets();
+  return n;
+}
+
+std::uint64_t DrrQueue::bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& q : classes_) n += q.bytes();
+  return n;
+}
+
+std::unique_ptr<Queue> make_queue(QueueKind kind, std::size_t capacity) {
+  switch (kind) {
+    case QueueKind::kDropTail: return std::make_unique<DropTailQueue>(capacity);
+    case QueueKind::kPriority: return std::make_unique<PriorityQueue>(capacity);
+    case QueueKind::kDrr:
+      return std::make_unique<DrrQueue>(capacity, std::array<double, 3>{1.0, 2.0, 4.0});
+  }
+  return std::make_unique<DropTailQueue>(capacity);
+}
+
+}  // namespace tussle::net

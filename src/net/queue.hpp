@@ -1,0 +1,107 @@
+// Output-queue disciplines.
+//
+// The QoS experiments need at least two schedulers: plain drop-tail FIFO
+// (the classless Internet) and a class-aware scheduler that actually honours
+// the ToS bits (strict priority plus a weighted variant so "assured" cannot
+// be starved). The choice of discipline is itself a tussle knob: an ISP
+// that deploys QoS switches its routers from FIFO to one of these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace tussle::net {
+
+/// Abstract output queue. Implementations are FIFO within a traffic class.
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Returns false if the packet was dropped (queue full).
+  virtual bool enqueue(Packet p) = 0;
+  virtual std::optional<Packet> dequeue() = 0;
+  virtual std::size_t packets() const noexcept = 0;
+  virtual std::uint64_t bytes() const noexcept = 0;
+  bool empty() const noexcept { return packets() == 0; }
+
+  std::uint64_t drops() const noexcept { return drops_; }
+
+ protected:
+  std::uint64_t drops_ = 0;
+};
+
+/// Classic drop-tail FIFO bounded by packet count.
+class DropTailQueue final : public Queue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets) : capacity_(capacity_packets) {}
+
+  bool enqueue(Packet p) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t packets() const noexcept override { return q_.size(); }
+  std::uint64_t bytes() const noexcept override { return bytes_; }
+  /// Size of the head-of-line packet, if any (used by DRR scheduling).
+  std::optional<std::uint32_t> head_size() const noexcept {
+    if (q_.empty()) return std::nullopt;
+    return q_.front().size_bytes;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> q_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Strict-priority scheduler over the three service classes. Premium is
+/// always served first; within a class, FIFO. Each class has its own
+/// drop-tail bound so best-effort bursts cannot push out premium traffic.
+class PriorityQueue final : public Queue {
+ public:
+  explicit PriorityQueue(std::size_t per_class_capacity);
+
+  bool enqueue(Packet p) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t packets() const noexcept override;
+  std::uint64_t bytes() const noexcept override;
+
+  std::uint64_t class_drops(ServiceClass c) const noexcept {
+    return class_drops_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  std::array<DropTailQueue, 3> classes_;
+  std::array<std::uint64_t, 3> class_drops_{};
+};
+
+/// Deficit-round-robin scheduler: classes share bandwidth in proportion to
+/// their weights, so lower classes degrade gracefully instead of starving.
+class DrrQueue final : public Queue {
+ public:
+  /// `weights` are relative shares for {best-effort, assured, premium}.
+  DrrQueue(std::size_t per_class_capacity, std::array<double, 3> weights);
+
+  bool enqueue(Packet p) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t packets() const noexcept override;
+  std::uint64_t bytes() const noexcept override;
+
+ private:
+  void advance_round() noexcept;
+
+  static constexpr std::uint32_t kQuantumBase = 1500;
+  std::array<DropTailQueue, 3> classes_;
+  std::array<double, 3> weights_;
+  std::array<double, 3> deficit_{};
+  std::array<bool, 3> fresh_visit_{true, true, true};
+  std::size_t round_ = 0;
+};
+
+/// Factory selecting the discipline by name; used by scenario configs.
+enum class QueueKind { kDropTail, kPriority, kDrr };
+std::unique_ptr<Queue> make_queue(QueueKind kind, std::size_t capacity);
+
+}  // namespace tussle::net

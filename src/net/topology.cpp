@@ -1,0 +1,79 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+
+namespace tussle::net {
+namespace {
+
+void connect_with(Network& net, NodeId a, NodeId b, const LinkSpec& s) {
+  net.connect(a, b, s.bandwidth_bps, s.propagation, s.queue, s.queue_capacity);
+}
+
+}  // namespace
+
+std::vector<NodeId> build_line(Network& net, std::size_t n, AsId as, const LinkSpec& spec) {
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(net.add_node(as));
+  for (std::size_t i = 1; i < n; ++i) connect_with(net, ids[i - 1], ids[i], spec);
+  return ids;
+}
+
+std::vector<NodeId> build_star(Network& net, std::size_t leaves, AsId as, const LinkSpec& spec) {
+  std::vector<NodeId> ids;
+  ids.reserve(leaves + 1);
+  ids.push_back(net.add_node(as));
+  for (std::size_t i = 0; i < leaves; ++i) {
+    ids.push_back(net.add_node(as));
+    connect_with(net, ids[0], ids.back(), spec);
+  }
+  return ids;
+}
+
+Dumbbell build_dumbbell(Network& net, std::size_t pairs, const LinkSpec& edge,
+                        const LinkSpec& bottleneck) {
+  Dumbbell d;
+  d.left_router = net.add_node(1);
+  d.right_router = net.add_node(1);
+  d.bottleneck = net
+                     .connect(d.left_router, d.right_router, bottleneck.bandwidth_bps,
+                              bottleneck.propagation, bottleneck.queue,
+                              bottleneck.queue_capacity)
+                     .id();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const NodeId src = net.add_node(1);
+    const NodeId sink = net.add_node(1);
+    connect_with(net, src, d.left_router, edge);
+    connect_with(net, d.right_router, sink, edge);
+    d.sources.push_back(src);
+    d.sinks.push_back(sink);
+  }
+  return d;
+}
+
+std::vector<NodeId> build_random(Network& net, std::size_t n, AsId as, sim::Rng& rng,
+                                 double alpha, double beta, const LinkSpec& spec) {
+  std::vector<NodeId> ids;
+  std::vector<std::pair<double, double>> pos;
+  ids.reserve(n);
+  pos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(net.add_node(as));
+    pos.emplace_back(rng.uniform(), rng.uniform());
+  }
+  // Spanning chain keeps the graph connected regardless of random draws.
+  for (std::size_t i = 1; i < n; ++i) connect_with(net, ids[i - 1], ids[i], spec);
+  const double l_max = std::sqrt(2.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {  // skip chain edges
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const double p = alpha * std::exp(-dist / (beta * l_max));
+      if (rng.bernoulli(p)) connect_with(net, ids[i], ids[j], spec);
+    }
+  }
+  return ids;
+}
+
+}  // namespace tussle::net

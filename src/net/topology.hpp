@@ -1,0 +1,47 @@
+// Topology builders.
+//
+// Scenario code should describe *shape* ("a dumbbell", "a 20-AS transit
+// hierarchy"), not hand-wire links. These builders return the node ids they
+// created so scenarios can attach actors to them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+
+namespace tussle::net {
+
+struct LinkSpec {
+  double bandwidth_bps = 10e6;
+  sim::Duration propagation = sim::Duration::millis(5);
+  QueueKind queue = QueueKind::kDropTail;
+  std::size_t queue_capacity = 64;
+};
+
+/// A straight chain of `n` nodes: n0 - n1 - ... - n(k-1), all in AS `as`.
+std::vector<NodeId> build_line(Network& net, std::size_t n, AsId as, const LinkSpec& spec);
+
+/// Star: one hub plus `leaves` spokes, all in AS `as`. Returns {hub, leaf...}.
+std::vector<NodeId> build_star(Network& net, std::size_t leaves, AsId as, const LinkSpec& spec);
+
+/// Classic dumbbell: `pairs` sources on the left, `pairs` sinks on the
+/// right, a single bottleneck in the middle.
+struct Dumbbell {
+  std::vector<NodeId> sources;
+  std::vector<NodeId> sinks;
+  NodeId left_router;
+  NodeId right_router;
+  LinkId bottleneck;
+};
+Dumbbell build_dumbbell(Network& net, std::size_t pairs, const LinkSpec& edge,
+                        const LinkSpec& bottleneck);
+
+/// Connected Waxman-style random graph over `n` nodes in AS `as`: nodes are
+/// scattered on a unit square, edge probability decays with distance; a
+/// spanning chain guarantees connectivity.
+std::vector<NodeId> build_random(Network& net, std::size_t n, AsId as, sim::Rng& rng,
+                                 double alpha, double beta, const LinkSpec& spec);
+
+}  // namespace tussle::net

@@ -1,0 +1,71 @@
+#include "policy/packet_adapter.hpp"
+
+#include <memory>
+
+namespace tussle::policy {
+
+Ontology standard_packet_ontology() {
+  Ontology o;
+  o.declare("proto", ValueType::kString, "application");
+  o.declare("payload_visible", ValueType::kBool, "security");
+  o.declare("opaque", ValueType::kBool, "security");
+  o.declare("encrypted", ValueType::kBool, "security");
+  o.declare("tos", ValueType::kString, "qos");
+  o.declare("size", ValueType::kNumber, "economics");
+  o.declare("src_as", ValueType::kNumber, "identity");
+  o.declare("dst_as", ValueType::kNumber, "identity");
+  o.declare("src_host", ValueType::kNumber, "identity");
+  o.declare("dst_host", ValueType::kNumber, "identity");
+  o.declare("ttl", ValueType::kNumber, "application");
+  o.declare("has_source_route", ValueType::kBool, "routing");
+  return o;
+}
+
+Context context_for_packet(const net::Packet& p) {
+  Context ctx;
+  ctx.set("proto", net::to_string(p.observable_proto()));
+  ctx.set("payload_visible", !p.encrypted);
+  ctx.set("opaque", p.visibly_opaque());
+  ctx.set("encrypted", p.encrypted);
+  ctx.set("tos", net::to_string(p.tos));
+  ctx.set("size", static_cast<double>(p.size_bytes));
+  ctx.set("src_as", static_cast<double>(p.src.provider));
+  ctx.set("dst_as", static_cast<double>(p.dst.provider));
+  ctx.set("src_host", static_cast<double>(p.src.host));
+  ctx.set("dst_host", static_cast<double>(p.dst.host));
+  ctx.set("ttl", static_cast<double>(p.ttl));
+  ctx.set("has_source_route", p.source_route.has_value());
+  return ctx;
+}
+
+net::PacketFilter make_packet_filter(std::string name, bool disclosed, PolicySet policy,
+                                     RedirectResolver resolver) {
+  auto shared = std::make_shared<PolicySet>(std::move(policy));
+  auto res = std::make_shared<RedirectResolver>(std::move(resolver));
+  net::PacketFilter f;
+  f.name = std::move(name);
+  f.disclosed = disclosed;
+  f.fn = [shared, res, fname = f.name](const net::Packet& p) -> net::FilterDecision {
+    const Decision d = shared->evaluate(context_for_packet(p));
+    switch (d.effect) {
+      case Effect::kPermit: return net::FilterDecision::accept();
+      case Effect::kDeny:
+        return net::FilterDecision::drop(fname + ":" +
+                                         (d.rule_name.empty() ? "default" : d.rule_name));
+      case Effect::kRedirect: {
+        if (*res) {
+          if (auto addr = (*res)(d.redirect_target)) {
+            return net::FilterDecision::redirect(*addr, fname + ":" + d.rule_name);
+          }
+        }
+        // Unresolvable redirect degrades to a drop: failing closed is the
+        // only safe behaviour for a control point.
+        return net::FilterDecision::drop(fname + ":unresolvable-redirect");
+      }
+    }
+    return net::FilterDecision::accept();
+  };
+  return f;
+}
+
+}  // namespace tussle::policy

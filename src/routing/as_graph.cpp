@@ -1,0 +1,134 @@
+#include "routing/as_graph.hpp"
+
+#include <stdexcept>
+
+namespace tussle::routing {
+
+std::string to_string(Rel r) {
+  switch (r) {
+    case Rel::kCustomer: return "customer";
+    case Rel::kPeer: return "peer";
+    case Rel::kProvider: return "provider";
+  }
+  return "?";
+}
+
+void AsGraph::add_as(AsId as) { adj_.try_emplace(as); }
+
+void AsGraph::add_customer_provider(AsId customer, AsId provider) {
+  if (customer == provider) throw std::invalid_argument("AS cannot buy transit from itself");
+  if (relationship(customer, provider)) throw std::invalid_argument("edge already exists");
+  adj_[customer].emplace_back(provider, Rel::kProvider);
+  adj_[provider].emplace_back(customer, Rel::kCustomer);
+  ++edges_;
+}
+
+void AsGraph::add_peering(AsId a, AsId b) {
+  if (a == b) throw std::invalid_argument("AS cannot peer with itself");
+  if (relationship(a, b)) throw std::invalid_argument("edge already exists");
+  adj_[a].emplace_back(b, Rel::kPeer);
+  adj_[b].emplace_back(a, Rel::kPeer);
+  ++edges_;
+}
+
+const std::vector<std::pair<AsId, Rel>>& AsGraph::neighbors(AsId as) const {
+  static const std::vector<std::pair<AsId, Rel>> kEmpty;
+  auto it = adj_.find(as);
+  return it == adj_.end() ? kEmpty : it->second;
+}
+
+std::optional<Rel> AsGraph::relationship(AsId from, AsId to) const {
+  for (const auto& [n, rel] : neighbors(from)) {
+    if (n == to) return rel;
+  }
+  return std::nullopt;
+}
+
+std::vector<AsId> AsGraph::ases() const {
+  std::vector<AsId> out;
+  out.reserve(adj_.size());
+  for (const auto& [as, _] : adj_) out.push_back(as);
+  return out;
+}
+
+bool AsGraph::valley_free(const std::vector<AsId>& path) const {
+  if (path.size() < 2) return true;
+  // Phase 0: climbing (customer→provider edges). Phase 1: at most one peer
+  // edge. Phase 2: descending (provider→customer edges).
+  int phase = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto rel = relationship(path[i], path[i + 1]);
+    if (!rel) return false;  // not even an edge
+    switch (*rel) {
+      case Rel::kProvider:  // climbing
+        if (phase != 0) return false;
+        break;
+      case Rel::kPeer:
+        if (phase != 0) return false;
+        phase = 1;
+        break;
+      case Rel::kCustomer:  // descending
+        phase = 2;
+        break;
+    }
+    if (phase == 1) phase = 2;  // only a single peer edge allowed
+  }
+  return true;
+}
+
+Hierarchy make_hierarchy(sim::Rng& rng, std::size_t tier1, std::size_t tier2,
+                                           std::size_t stubs, double tier2_peering_prob) {
+  if (tier1 == 0) throw std::invalid_argument("need at least one tier-1 AS");
+  Hierarchy h;
+  AsId next = 1;
+  for (std::size_t i = 0; i < tier1; ++i) h.tier1.push_back(next++);
+  for (std::size_t i = 0; i < tier2; ++i) h.tier2.push_back(next++);
+  for (std::size_t i = 0; i < stubs; ++i) h.stubs.push_back(next++);
+
+  for (AsId a : h.tier1) h.graph.add_as(a);
+  for (AsId a : h.tier2) h.graph.add_as(a);
+  for (AsId a : h.stubs) h.graph.add_as(a);
+
+  // Tier-1 full mesh of peerings.
+  for (std::size_t i = 0; i < h.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < h.tier1.size(); ++j) {
+      h.graph.add_peering(h.tier1[i], h.tier1[j]);
+    }
+  }
+  // Tier-2: one or two tier-1 providers, occasional lateral peering.
+  for (std::size_t i = 0; i < h.tier2.size(); ++i) {
+    const AsId a = h.tier2[i];
+    const auto p1 = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(h.tier1.size()) - 1));
+    h.graph.add_customer_provider(a, h.tier1[p1]);
+    if (h.tier1.size() > 1 && rng.bernoulli(0.5)) {
+      auto p2 = p1;
+      while (p2 == p1) {
+        p2 = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(h.tier1.size()) - 1));
+      }
+      h.graph.add_customer_provider(a, h.tier1[p2]);
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rng.bernoulli(tier2_peering_prob)) h.graph.add_peering(a, h.tier2[j]);
+    }
+  }
+  // Stubs: one or two tier-2 providers (or tier-1 if no tier-2 exists).
+  const auto& upstreams = h.tier2.empty() ? h.tier1 : h.tier2;
+  for (AsId a : h.stubs) {
+    const auto p1 = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(upstreams.size()) - 1));
+    h.graph.add_customer_provider(a, upstreams[p1]);
+    if (upstreams.size() > 1 && rng.bernoulli(0.4)) {
+      auto p2 = p1;
+      while (p2 == p1) {
+        p2 = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(upstreams.size()) - 1));
+      }
+      h.graph.add_customer_provider(a, upstreams[p2]);
+    }
+  }
+  return h;
+}
+
+}  // namespace tussle::routing

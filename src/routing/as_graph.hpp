@@ -1,0 +1,78 @@
+// The AS-level business topology.
+//
+// Inter-domain routing is the paper's flagship example of a tussle interface
+// (§IV-C, §V-A-4): ASes are business rivals that must still interconnect.
+// Edges therefore carry *relationships*, not just adjacency — a neighbor is
+// my customer, my provider, or my peer — because every policy decision in
+// BGP-style routing keys off that relationship (Gao–Rexford).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/random.hpp"
+
+namespace tussle::routing {
+
+using net::AsId;
+
+/// What a neighbor is *to me*.
+enum class Rel : std::uint8_t { kCustomer, kPeer, kProvider };
+
+std::string to_string(Rel r);
+
+/// Inverts the relationship for the other side of the edge.
+constexpr Rel reverse(Rel r) noexcept {
+  switch (r) {
+    case Rel::kCustomer: return Rel::kProvider;
+    case Rel::kProvider: return Rel::kCustomer;
+    case Rel::kPeer: return Rel::kPeer;
+  }
+  return Rel::kPeer;
+}
+
+class AsGraph {
+ public:
+  void add_as(AsId as);
+  bool contains(AsId as) const { return adj_.count(as) != 0; }
+
+  /// Declares `customer` to buy transit from `provider` (adds both ends).
+  void add_customer_provider(AsId customer, AsId provider);
+  /// Declares a settlement-free peering (adds both ends).
+  void add_peering(AsId a, AsId b);
+
+  /// Neighbors of `as` with their relationship to `as`.
+  const std::vector<std::pair<AsId, Rel>>& neighbors(AsId as) const;
+  std::optional<Rel> relationship(AsId from, AsId to) const;
+
+  std::vector<AsId> ases() const;
+  std::size_t as_count() const noexcept { return adj_.size(); }
+  std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Valley-free test: after traversing a peer or provider→customer edge, a
+  /// path may never climb again. Customers do not give free transit.
+  bool valley_free(const std::vector<AsId>& path) const;
+
+ private:
+  std::map<AsId, std::vector<std::pair<AsId, Rel>>> adj_;
+  std::size_t edges_ = 0;
+};
+
+/// Synthetic Internet-like hierarchy:
+///  - `tier1` fully-meshed top providers;
+///  - `tier2` regional ISPs, each buying from 1–2 tier-1s, some peering;
+///  - `stubs` edge networks, each buying from 1–2 tier-2s.
+/// Returned AS ids are dense starting at 1 (tier-1 first).
+struct Hierarchy {
+  AsGraph graph;
+  std::vector<AsId> tier1;
+  std::vector<AsId> tier2;
+  std::vector<AsId> stubs;
+};
+Hierarchy make_hierarchy(sim::Rng& rng, std::size_t tier1, std::size_t tier2, std::size_t stubs,
+                         double tier2_peering_prob = 0.3);
+
+}  // namespace tussle::routing

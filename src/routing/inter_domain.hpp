@@ -1,0 +1,37 @@
+// Bridges the AS-level control plane to the packet-level data plane.
+//
+// Experiments that need both economics-grade AS structure and real packets
+// (E4, E10, E11 variants) use this to materialize an AsGraph as a Network —
+// one border router per AS, one link per business relationship — and to
+// compile PathVector outcomes into the routers' forwarding tables, so
+// packets really follow the Gao–Rexford-chosen AS paths.
+#pragma once
+
+#include <map>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "routing/path_vector.hpp"
+
+namespace tussle::routing {
+
+struct InterDomainNet {
+  std::map<AsId, net::NodeId> router_of;
+  /// The canonical address of each AS's network (host 1 in subscriber 0).
+  std::map<AsId, net::Address> address_of;
+};
+
+/// Builds one border router per AS and connects every AsGraph edge with
+/// `spec`. Each router owns the address {as, 0, 1}.
+InterDomainNet build_inter_domain(net::Network& net, const AsGraph& graph,
+                                  const net::LinkSpec& spec);
+
+/// Runs the path-vector protocol for every destination AS and installs the
+/// chosen next hops as prefix+AS routes in every router's FIB. Returns the
+/// number of routes installed. Destinations some AS cannot reach (policy)
+/// simply get no entry there — the packet-level symptom is a no-route drop,
+/// exactly like real BGP blackholes.
+std::size_t install_path_vector_routes(net::Network& net, const InterDomainNet& topo,
+                                       const PathVector& pv);
+
+}  // namespace tussle::routing

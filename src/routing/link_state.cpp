@@ -1,0 +1,112 @@
+#include "routing/link_state.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace tussle::routing {
+
+LinkState::LinkState(net::Network& net, CostFn cost) : net_(&net), cost_(std::move(cost)) {
+  if (!cost_) {
+    cost_ = [](const net::Link& l) { return l.propagation().as_seconds(); };
+  }
+}
+
+bool LinkState::allowed(net::NodeId n, const std::vector<net::NodeId>& members) const {
+  return members.empty() || std::find(members.begin(), members.end(), n) != members.end();
+}
+
+LinkState::Spf LinkState::spf(net::NodeId src, const std::vector<net::NodeId>& members) const {
+  Spf out;
+  using Item = std::pair<double, net::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  out.dist[src] = 0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    auto [d, n] = pq.top();
+    pq.pop();
+    if (d > out.dist.at(n)) continue;  // stale entry
+    const net::Node& node = net_->node(n);
+    for (net::IfIndex i = 0; i < static_cast<net::IfIndex>(node.interface_count()); ++i) {
+      const net::Link& l = net_->link(node.link_of(i));
+      if (!l.up()) continue;
+      const net::NodeId peer = l.peer_of(n);
+      if (!allowed(peer, members)) continue;
+      const double nd = d + cost_(l);
+      auto it = out.dist.find(peer);
+      if (it == out.dist.end() || nd < it->second) {
+        out.dist[peer] = nd;
+        // First hop: inherit from n unless n is the source itself.
+        out.first_hop[peer] = (n == src) ? i : out.first_hop.at(n);
+        out.parent[peer] = n;
+        pq.emplace(nd, peer);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t LinkState::install_routes(const std::vector<net::NodeId>& members) {
+  std::size_t installed = 0;
+  for (net::NodeId src : members) {
+    const Spf tree = spf(src, members);
+    net::Node& sn = net_->node(src);
+    for (net::NodeId dst : members) {
+      if (dst == src) continue;
+      auto hop = tree.first_hop.find(dst);
+      if (hop == tree.first_hop.end()) continue;  // unreachable
+      for (const net::Address& a : net_->node(dst).addresses()) {
+        sn.forwarding().set_prefix_route(net::prefix_of(a), hop->second);
+        ++installed;
+      }
+      // AS-plane route toward the destination's AS (first writer wins; all
+      // nodes of an AS are equivalent entry points for source routing).
+      sn.forwarding().set_as_route(net_->node(dst).as(), hop->second);
+    }
+  }
+  return installed;
+}
+
+std::map<net::NodeId, double> LinkState::bellman_ford(
+    net::NodeId src, const std::vector<net::NodeId>& members) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::map<net::NodeId, double> dist;
+  std::vector<net::NodeId> nodes;
+  for (net::NodeId n = 0; n < static_cast<net::NodeId>(net_->node_count()); ++n) {
+    if (allowed(n, members)) {
+      nodes.push_back(n);
+      dist[n] = kInf;
+    }
+  }
+  dist[src] = 0;
+  for (std::size_t round = 0; round + 1 < nodes.size(); ++round) {
+    bool changed = false;
+    for (net::NodeId n : nodes) {
+      if (dist[n] == kInf) continue;
+      const net::Node& node = net_->node(n);
+      for (net::IfIndex i = 0; i < static_cast<net::IfIndex>(node.interface_count()); ++i) {
+        const net::Link& l = net_->link(node.link_of(i));
+        if (!l.up()) continue;
+        const net::NodeId peer = l.peer_of(n);
+        if (!allowed(peer, members)) continue;
+        const double nd = dist[n] + cost_(l);
+        if (nd < dist[peer]) {
+          dist[peer] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  // Drop unreachable entries for parity with spf().
+  for (auto it = dist.begin(); it != dist.end();) {
+    if (it->second == kInf) {
+      it = dist.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dist;
+}
+
+}  // namespace tussle::routing

@@ -1,0 +1,53 @@
+// Link-state intra-domain routing (the OSPF analogue).
+//
+// Inside one administrative domain there is (the paper hopes) little
+// tussle, so everyone exports true link costs and runs the same SPF — the
+// design that would be naive between rival ASes. The class computes
+// Dijkstra shortest-path trees over the physical network and installs
+// prefix routes into node FIBs. A Bellman–Ford oracle is included so tests
+// can cross-check SPF results independently.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace tussle::routing {
+
+class LinkState {
+ public:
+  using CostFn = std::function<double(const net::Link&)>;
+
+  /// Default cost: propagation delay in seconds (min-latency routing).
+  explicit LinkState(net::Network& net, CostFn cost = {});
+
+  struct Spf {
+    std::map<net::NodeId, double> dist;
+    /// First-hop interface at the source toward each node.
+    std::map<net::NodeId, net::IfIndex> first_hop;
+    /// Predecessor on the shortest path (absent for the source itself).
+    std::map<net::NodeId, net::NodeId> parent;
+  };
+
+  /// Dijkstra from `src` over up links, restricted to `members` if nonempty.
+  Spf spf(net::NodeId src, const std::vector<net::NodeId>& members = {}) const;
+
+  /// Installs, on every member, a prefix route for every address owned by
+  /// any other member, plus AS routes toward each member AS. Unreachable
+  /// destinations get no entry. Returns number of routes installed.
+  std::size_t install_routes(const std::vector<net::NodeId>& members);
+
+  /// Bellman–Ford distances from `src` — O(V·E) oracle for tests.
+  std::map<net::NodeId, double> bellman_ford(net::NodeId src,
+                                             const std::vector<net::NodeId>& members = {}) const;
+
+ private:
+  bool allowed(net::NodeId n, const std::vector<net::NodeId>& members) const;
+
+  net::Network* net_;
+  CostFn cost_;
+};
+
+}  // namespace tussle::routing

@@ -1,0 +1,80 @@
+#include "routing/multicast.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace tussle::routing {
+
+std::vector<net::NodeId> spf_path(const LinkState::Spf& tree, net::NodeId src,
+                                  net::NodeId dst) {
+  if (src == dst) return {src};
+  if (!tree.parent.count(dst)) return {};
+  std::vector<net::NodeId> path{dst};
+  net::NodeId cur = dst;
+  while (cur != src) {
+    auto it = tree.parent.find(cur);
+    if (it == tree.parent.end()) return {};
+    cur = it->second;
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+/// Edges (as ordered node pairs, canonicalized) along a path.
+void collect_edges(const std::vector<net::NodeId>& path,
+                   std::set<std::pair<net::NodeId, net::NodeId>>& edges) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto a = std::min(path[i], path[i + 1]);
+    const auto b = std::max(path[i], path[i + 1]);
+    edges.emplace(a, b);
+  }
+}
+
+}  // namespace
+
+DistributionCost compare_distribution(net::Network& net, net::NodeId source,
+                                      const std::vector<net::NodeId>& members,
+                                      const std::vector<net::NodeId>& caches) {
+  DistributionCost cost;
+  // Hop-count SPF: every link costs 1 transmission.
+  LinkState ls(net, [](const net::Link&) { return 1.0; });
+  const auto src_tree = ls.spf(source);
+
+  std::set<std::pair<net::NodeId, net::NodeId>> tree_edges;
+  for (net::NodeId m : members) {
+    auto path = spf_path(src_tree, source, m);
+    if (path.size() < 2) continue;
+    cost.unicast += path.size() - 1;
+    collect_edges(path, tree_edges);
+  }
+  cost.multicast = tree_edges.size();
+
+  if (caches.empty()) {
+    cost.cdn = cost.unicast;
+    return cost;
+  }
+
+  // Fill the caches once.
+  std::map<net::NodeId, LinkState::Spf> cache_trees;
+  for (net::NodeId c : caches) {
+    auto path = spf_path(src_tree, source, c);
+    if (path.size() >= 2) cost.cdn += path.size() - 1;
+    cache_trees.emplace(c, ls.spf(c));
+  }
+  // Each member fetches from its nearest cache.
+  for (net::NodeId m : members) {
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (net::NodeId c : caches) {
+      auto path = spf_path(cache_trees.at(c), c, m);
+      if (!path.empty()) best = std::min(best, path.size() - 1);
+    }
+    if (best != std::numeric_limits<std::size_t>::max()) cost.cdn += best;
+  }
+  return cost;
+}
+
+}  // namespace tussle::routing

@@ -1,0 +1,48 @@
+// The multicast cost model (§VII footnote 19: "the case study of the
+// failure to deploy multicast is left as an exercise for the reader").
+//
+// We do the exercise. Three ways to deliver one item from a source to N
+// group members, costed in link transmissions (the resource ISPs pay for):
+//
+//  - unicast:   N separate copies along shortest paths (what actually won);
+//  - multicast: one copy per tree edge of the union of those paths (what
+//    the routers could have done);
+//  - CDN:       one copy to each cache, then local unicast from the
+//    nearest cache (what the market built instead, because caches are
+//    *unilaterally deployable* and monetizable).
+//
+// The economics then mirror the QoS post-mortem: multicast's savings
+// accrue to everyone except the ISP that must upgrade its routers.
+#pragma once
+
+#include <vector>
+
+#include "routing/link_state.hpp"
+
+namespace tussle::routing {
+
+/// Node path src→dst extracted from an SPF run rooted at src; empty when
+/// unreachable.
+std::vector<net::NodeId> spf_path(const LinkState::Spf& tree, net::NodeId src,
+                                  net::NodeId dst);
+
+struct DistributionCost {
+  std::size_t unicast = 0;    ///< link transmissions, N unicast copies
+  std::size_t multicast = 0;  ///< link transmissions, router-replicated tree
+  std::size_t cdn = 0;        ///< source→caches plus nearest-cache→members
+  double multicast_savings() const {
+    return unicast ? 1.0 - static_cast<double>(multicast) / static_cast<double>(unicast) : 0;
+  }
+  double cdn_savings() const {
+    return unicast ? 1.0 - static_cast<double>(cdn) / static_cast<double>(unicast) : 0;
+  }
+};
+
+/// Costs delivery of one item from `source` to `members` using hop-count
+/// SPF over the network. `caches` are CDN replica locations (may be empty,
+/// in which case cdn falls back to unicast cost).
+DistributionCost compare_distribution(net::Network& net, net::NodeId source,
+                                      const std::vector<net::NodeId>& members,
+                                      const std::vector<net::NodeId>& caches);
+
+}  // namespace tussle::routing

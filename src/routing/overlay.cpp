@@ -1,0 +1,82 @@
+#include "routing/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace tussle::routing {
+
+void Overlay::set_edge_cost(net::NodeId a, net::NodeId b, double cost) {
+  if (!members_.count(a) || !members_.count(b)) {
+    throw std::invalid_argument("overlay edge endpoints must be members");
+  }
+  costs_[{a, b}] = cost;
+}
+
+void Overlay::block_edge(net::NodeId a, net::NodeId b) {
+  costs_.erase({a, b});
+}
+
+std::optional<double> Overlay::edge_cost(net::NodeId a, net::NodeId b) const {
+  auto it = costs_.find({a, b});
+  if (it == costs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<net::NodeId> Overlay::route(net::NodeId from, net::NodeId to) const {
+  if (from == to) return {from};
+  using Item = std::pair<double, net::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  std::map<net::NodeId, double> dist;
+  std::map<net::NodeId, net::NodeId> parent;
+  dist[from] = 0;
+  pq.emplace(0.0, from);
+  while (!pq.empty()) {
+    auto [d, n] = pq.top();
+    pq.pop();
+    if (d > dist.at(n)) continue;
+    if (n == to) break;
+    for (const auto& [m, addr] : members_) {
+      (void)addr;
+      if (m == n) continue;
+      auto c = edge_cost(n, m);
+      if (!c || !std::isfinite(*c)) continue;
+      const double nd = d + *c;
+      auto it = dist.find(m);
+      if (it == dist.end() || nd < it->second) {
+        dist[m] = nd;
+        parent[m] = n;
+        pq.emplace(nd, m);
+      }
+    }
+  }
+  if (!parent.count(to)) return {};
+  std::vector<net::NodeId> path{to};
+  net::NodeId cur = to;
+  while (cur != from) {
+    cur = parent.at(cur);
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<net::NodeId> Overlay::send(net::NodeId from, net::NodeId to, net::Packet inner) {
+  const auto path = route(from, to);
+  if (path.empty()) return {};
+  // Wrap back-to-front: the outermost tunnel targets the first relay.
+  // path = [from, r1, r2, ..., to]; the inner packet already addresses its
+  // final destination, so the hop to `to` uses the member address.
+  net::Packet wrapped = std::move(inner);
+  const net::Address self_addr = members_.at(from);
+  for (std::size_t i = path.size(); i-- > 1;) {
+    wrapped = wrapped.encapsulate(self_addr, members_.at(path[i]));
+  }
+  // The outermost layer wraps to path[1]; drop one layer if from==to-only.
+  net_->node(from).originate(std::move(wrapped));
+  return path;
+}
+
+}  // namespace tussle::routing

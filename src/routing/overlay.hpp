@@ -1,0 +1,51 @@
+// Resilient-overlay routing ("overlays are a tool in the tussle", §V-A-4
+// footnote; experiment E10).
+//
+// Overlay members tunnel among themselves above the provider-controlled
+// network. When direct paths are blocked or degraded, traffic is relayed
+// through other members using nested encapsulation — the data plane's own
+// tunnel machinery does the unwrapping hop by hop, so the underlay never
+// needs to know the overlay exists (which is precisely the point).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace tussle::routing {
+
+class Overlay {
+ public:
+  /// `members` maps each member node to the address its tunnels terminate
+  /// at.
+  Overlay(net::Network& net, std::map<net::NodeId, net::Address> members)
+      : net_(&net), members_(std::move(members)) {}
+
+  /// Sets the measured quality of the overlay edge a→b (symmetric update is
+  /// the caller's choice). Cost semantics: lower is better; infinity (or
+  /// removal) means unusable/blocked.
+  void set_edge_cost(net::NodeId a, net::NodeId b, double cost);
+  void block_edge(net::NodeId a, net::NodeId b);
+  std::optional<double> edge_cost(net::NodeId a, net::NodeId b) const;
+
+  /// Cheapest member relay path from `from` to `to` over current edge
+  /// costs (Dijkstra). Includes both endpoints; empty when disconnected.
+  std::vector<net::NodeId> route(net::NodeId from, net::NodeId to) const;
+
+  /// Sends `inner` from member `from` to member `to` along the overlay
+  /// path, building the nested tunnel stack. Returns the relay path used
+  /// (empty = no path; nothing sent).
+  std::vector<net::NodeId> send(net::NodeId from, net::NodeId to, net::Packet inner);
+
+  std::size_t member_count() const noexcept { return members_.size(); }
+  const std::map<net::NodeId, net::Address>& members() const noexcept { return members_; }
+
+ private:
+  net::Network* net_;
+  std::map<net::NodeId, net::Address> members_;
+  std::map<std::pair<net::NodeId, net::NodeId>, double> costs_;
+};
+
+}  // namespace tussle::routing

@@ -1,0 +1,195 @@
+#include "routing/path_vector.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tussle::routing {
+
+PathVector::Policy PathVector::Policy::gao_rexford() {
+  Policy p;
+  p.local_pref = [](AsId, Rel learned_from, const std::vector<AsId>&) {
+    switch (learned_from) {
+      case Rel::kCustomer: return 300;
+      case Rel::kPeer: return 200;
+      case Rel::kProvider: return 100;
+    }
+    return 0;
+  };
+  p.export_ok = [](AsId, Rel learned_from, Rel to_neighbor) {
+    // Own/customer routes go to everyone; peer & provider routes only to
+    // customers (no free transit between my providers/peers).
+    if (learned_from == Rel::kCustomer) return true;
+    return to_neighbor == Rel::kCustomer;
+  };
+  return p;
+}
+
+PathVector::Policy PathVector::Policy::shortest_path() {
+  Policy p;
+  p.local_pref = [](AsId, Rel, const std::vector<AsId>&) { return 0; };
+  p.export_ok = [](AsId, Rel, Rel) { return true; };
+  return p;
+}
+
+namespace {
+
+/// Is candidate (pref, path) better than incumbent? Ties broken by shorter
+/// path, then lower next-hop id (deterministic, like BGP's tie-breakers).
+bool better(int pref_a, const std::vector<AsId>& path_a, int pref_b,
+            const std::vector<AsId>& path_b) {
+  if (pref_a != pref_b) return pref_a > pref_b;
+  if (path_a.size() != path_b.size()) return path_a.size() < path_b.size();
+  // Compare next-hop (second element; both paths start at self).
+  return path_a < path_b;
+}
+
+}  // namespace
+
+PathVector::Outcome PathVector::compute(AsId dest, int max_rounds) const {
+  return compute_with_origins({dest}, /*origin_validation=*/false, dest, max_rounds);
+}
+
+PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& claimed_origins,
+                                                     bool origin_validation,
+                                                     AsId legitimate_origin,
+                                                     int max_rounds) const {
+  Outcome out;
+  std::map<AsId, AsRoute> rib;
+  auto is_origin = [&](AsId a) {
+    return std::find(claimed_origins.begin(), claimed_origins.end(), a) !=
+           claimed_origins.end();
+  };
+  for (AsId dest : claimed_origins) {
+    if (!graph_->contains(dest)) continue;
+    AsRoute self;
+    self.as_path = {dest};
+    self.next_hop = dest;
+    self.local_pref = 1 << 20;  // own route beats anything learned
+    rib[dest] = self;
+  }
+  if (rib.empty()) return out;
+
+  const auto all = graph_->ases();
+  for (int round = 1; round <= max_rounds; ++round) {
+    bool changed = false;
+    // Synchronous rounds: decisions in round r see the RIB of round r-1,
+    // which keeps the computation deterministic and order-independent.
+    std::map<AsId, AsRoute> next = rib;
+    for (AsId self_as : all) {
+      if (is_origin(self_as)) continue;
+      AsRoute best;  // invalid
+      bool have = false;
+      for (const auto& [nbr, rel] : graph_->neighbors(self_as)) {
+        auto it = rib.find(nbr);
+        if (it == rib.end() || !it->second.valid()) continue;
+        const AsRoute& nbr_route = it->second;
+        // Would the neighbor export this route to me? From the neighbor's
+        // point of view I am reverse(rel).
+        const Rel me_to_nbr = reverse(rel);
+        Rel nbr_learned_from;
+        if (is_origin(nbr)) {
+          nbr_learned_from = Rel::kCustomer;  // own routes export like customer routes
+        } else {
+          auto r = graph_->relationship(nbr, nbr_route.next_hop);
+          if (!r) continue;
+          nbr_learned_from = *r;
+        }
+        if (!is_origin(nbr) && !policy_.export_ok(nbr, nbr_learned_from, me_to_nbr)) continue;
+        // Loop prevention: reject paths containing self.
+        if (std::find(nbr_route.as_path.begin(), nbr_route.as_path.end(), self_as) !=
+            nbr_route.as_path.end()) {
+          continue;
+        }
+        // Origin validation (RPKI analogue): discard routes that terminate
+        // at an AS not authorized to originate the prefix.
+        if (origin_validation && nbr_route.as_path.back() != legitimate_origin) continue;
+        std::vector<AsId> path;
+        path.reserve(nbr_route.as_path.size() + 1);
+        path.push_back(self_as);
+        path.insert(path.end(), nbr_route.as_path.begin(), nbr_route.as_path.end());
+        const int pref = policy_.local_pref(self_as, rel, path);
+        if (!have || better(pref, path, best.local_pref, best.as_path)) {
+          best.as_path = std::move(path);
+          best.next_hop = nbr;
+          best.local_pref = pref;
+          have = true;
+        }
+      }
+      const AsRoute& cur = rib.count(self_as) ? rib.at(self_as) : AsRoute{};
+      if (have) {
+        if (!cur.valid() || cur.as_path != best.as_path) changed = true;
+        next[self_as] = best;
+      } else if (cur.valid()) {
+        next.erase(self_as);
+        changed = true;
+      }
+    }
+    rib = std::move(next);
+    out.rounds = round;
+    if (!changed) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.routes = std::move(rib);
+  return out;
+}
+
+HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijacker,
+                              bool origin_validation, PathVector::Policy policy) {
+  PathVector pv(graph, std::move(policy));
+  auto out = pv.compute_with_origins({true_origin, hijacker}, origin_validation, true_origin);
+  HijackOutcome h;
+  h.converged = out.converged;
+  for (AsId as : graph.ases()) {
+    if (as == true_origin || as == hijacker) continue;
+    ++h.total_ases;
+    auto it = out.routes.find(as);
+    if (it == out.routes.end() || !it->second.valid()) {
+      ++h.unreachable;
+    } else if (it->second.as_path.back() == hijacker) {
+      ++h.captured;
+    } else {
+      ++h.legitimate;
+    }
+  }
+  h.capture_fraction =
+      h.total_ases ? static_cast<double>(h.captured) / static_cast<double>(h.total_ases) : 0;
+  return h;
+}
+
+std::map<AsId, PathVector::Outcome> PathVector::compute_all(int max_rounds) const {
+  std::map<AsId, Outcome> out;
+  for (AsId dest : graph_->ases()) out.emplace(dest, compute(dest, max_rounds));
+  return out;
+}
+
+VisibilityComparison compare_visibility(const AsGraph& graph, const PathVector& pv) {
+  VisibilityComparison v;
+  v.edges_total = graph.edge_count();
+  if (v.edges_total == 0) return v;
+
+  const auto all = graph.ases();
+  auto rib = pv.compute_all();
+  double total_visible = 0;
+  for (AsId self : all) {
+    std::set<std::pair<AsId, AsId>> seen;
+    for (const auto& [dest, outcome] : rib) {
+      (void)dest;
+      auto it = outcome.routes.find(self);
+      if (it == outcome.routes.end() || !it->second.valid()) continue;
+      const auto& path = it->second.as_path;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        auto a = std::min(path[i], path[i + 1]);
+        auto b = std::max(path[i], path[i + 1]);
+        seen.emplace(a, b);
+      }
+    }
+    total_visible += static_cast<double>(seen.size());
+  }
+  v.mean_edges_visible_pv = total_visible / static_cast<double>(all.size());
+  v.visibility_ratio = v.mean_edges_visible_pv / static_cast<double>(v.edges_total);
+  return v;
+}
+
+}  // namespace tussle::routing

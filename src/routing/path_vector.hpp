@@ -1,0 +1,99 @@
+// Path-vector inter-domain routing (the BGP analogue).
+//
+// Provider-controlled routing, per the paper's account of why BGP won
+// (§V-A-4): each AS unilaterally chooses among neighbor advertisements by
+// local preference (business relationship first), and export filters decide
+// what the neighbors are even allowed to see. The protocol hides internal
+// choices — exactly the "visibility of choices made" property the paper
+// contrasts with link-state routing.
+//
+// The solver runs synchronous rounds to a fixpoint. It detects
+// non-convergence (dispute wheels such as Bad Gadget) by round cap, so
+// experiments can probe the stability edge of policy autonomy.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "routing/as_graph.hpp"
+
+namespace tussle::routing {
+
+/// One AS's chosen route toward a destination.
+struct AsRoute {
+  std::vector<AsId> as_path;  ///< first element: self; last: destination
+  AsId next_hop = net::kNoAs;
+  int local_pref = 0;
+  bool valid() const noexcept { return !as_path.empty(); }
+};
+
+class PathVector {
+ public:
+  /// Policy hooks. Defaults implement Gao–Rexford:
+  ///  - prefer customer (300) over peer (200) over provider (100) routes;
+  ///  - export customer routes and own routes to everyone; export peer and
+  ///    provider routes to customers only.
+  struct Policy {
+    std::function<int(AsId self, Rel learned_from, const std::vector<AsId>& path)> local_pref;
+    std::function<bool(AsId self, Rel learned_from, Rel to_neighbor)> export_ok;
+    static Policy gao_rexford();
+    /// Shortest-path-only policy (no business preference) — the "everyone
+    /// cooperates" baseline.
+    static Policy shortest_path();
+  };
+
+  explicit PathVector(const AsGraph& graph, Policy policy = Policy::gao_rexford())
+      : graph_(&graph), policy_(std::move(policy)) {}
+
+  struct Outcome {
+    std::map<AsId, AsRoute> routes;  ///< per source AS
+    bool converged = false;
+    int rounds = 0;
+  };
+
+  /// Computes every AS's route toward `dest`.
+  Outcome compute(AsId dest, int max_rounds = 200) const;
+
+  /// Per-destination outcomes for all ASes (the full inter-domain RIB).
+  std::map<AsId, Outcome> compute_all(int max_rounds = 200) const;
+
+  /// Byzantine variant (§II-B, the Perlman/Savage design school): every AS
+  /// in `claimed_origins` announces the prefix as its own. With
+  /// `origin_validation` (the RPKI-style defense), ASes discard any route
+  /// whose terminal AS is not `legitimate_origin`. Routes in the result
+  /// end at whichever origin captured that AS.
+  Outcome compute_with_origins(const std::vector<AsId>& claimed_origins,
+                               bool origin_validation, AsId legitimate_origin,
+                               int max_rounds = 200) const;
+
+ private:
+  const AsGraph* graph_;
+  Policy policy_;
+};
+
+/// Convenience wrapper for the classic prefix-hijack experiment.
+struct HijackOutcome {
+  std::size_t total_ases = 0;
+  std::size_t captured = 0;       ///< ASes whose traffic flows to the hijacker
+  std::size_t legitimate = 0;     ///< ASes still reaching the true origin
+  std::size_t unreachable = 0;    ///< ASes with no route at all
+  double capture_fraction = 0;
+  bool converged = false;
+};
+HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijacker,
+                              bool origin_validation,
+                              PathVector::Policy policy = PathVector::Policy::gao_rexford());
+
+/// Which routes would a *link-state* interdomain design reveal? For the
+/// visibility comparison (§IV-C): link-state exports every edge and cost to
+/// everyone, path-vector reveals only chosen paths. This helper counts the
+/// edges observable by each AS under both designs.
+struct VisibilityComparison {
+  std::size_t edges_total = 0;           ///< what link-state would expose
+  double mean_edges_visible_pv = 0;      ///< mean edges inferable from PV paths
+  double visibility_ratio = 0;           ///< pv / link-state, in [0,1]
+};
+VisibilityComparison compare_visibility(const AsGraph& graph, const PathVector& pv);
+
+}  // namespace tussle::routing

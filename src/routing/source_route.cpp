@@ -1,0 +1,116 @@
+#include "routing/source_route.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace tussle::routing {
+
+std::vector<AsId> SourceRouteBuilder::bfs(
+    AsId from, AsId to, const std::vector<std::pair<AsId, AsId>>& banned_edges,
+    const std::vector<AsId>& banned_nodes) const {
+  if (from == to) return {from};
+  auto edge_banned = [&](AsId a, AsId b) {
+    return std::find(banned_edges.begin(), banned_edges.end(), std::make_pair(a, b)) !=
+           banned_edges.end();
+  };
+  auto node_banned = [&](AsId n) {
+    return std::find(banned_nodes.begin(), banned_nodes.end(), n) != banned_nodes.end();
+  };
+  if (node_banned(from) || node_banned(to)) return {};
+
+  std::map<AsId, AsId> parent;
+  std::deque<AsId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    const AsId n = frontier.front();
+    frontier.pop_front();
+    // Deterministic neighbor order: AsGraph adjacency is insertion-ordered;
+    // sort for stable lexicographic tie-breaking.
+    auto nbrs = graph_->neighbors(n);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const auto& [peer, rel] : nbrs) {
+      (void)rel;
+      if (parent.count(peer) || node_banned(peer) || edge_banned(n, peer)) continue;
+      parent[peer] = n;
+      if (peer == to) {
+        std::vector<AsId> path{to};
+        AsId cur = to;
+        while (cur != from) {
+          cur = parent.at(cur);
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(peer);
+    }
+  }
+  return {};
+}
+
+std::vector<AsId> SourceRouteBuilder::shortest_path(AsId from, AsId to) const {
+  return bfs(from, to, {}, {});
+}
+
+std::vector<std::vector<AsId>> SourceRouteBuilder::k_shortest_paths(AsId from, AsId to,
+                                                                    std::size_t k) const {
+  std::vector<std::vector<AsId>> result;
+  if (k == 0) return result;
+  auto first = shortest_path(from, to);
+  if (first.empty()) return result;
+  result.push_back(std::move(first));
+
+  // Yen's algorithm with a candidate set ordered by (length, lexicographic).
+  auto cmp = [](const std::vector<AsId>& a, const std::vector<AsId>& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  };
+  std::set<std::vector<AsId>, decltype(cmp)> candidates(cmp);
+
+  while (result.size() < k) {
+    const auto& prev = result.back();
+    for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+      // Spur node prev[i]; root = prev[0..i].
+      std::vector<AsId> root(prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      std::vector<std::pair<AsId, AsId>> banned_edges;
+      for (const auto& p : result) {
+        if (p.size() > i &&
+            std::equal(root.begin(), root.end() - 1, p.begin())) {
+          if (p.size() > i + 1) banned_edges.emplace_back(p[i], p[i + 1]);
+        }
+      }
+      std::vector<AsId> banned_nodes(root.begin(), root.end() - 1);
+      auto spur = bfs(prev[i], to, banned_edges, banned_nodes);
+      if (spur.empty()) continue;
+      std::vector<AsId> total = root;
+      total.pop_back();
+      total.insert(total.end(), spur.begin(), spur.end());
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<AsId> SourceRouteBuilder::off_contract_ases(const std::vector<AsId>& path) const {
+  std::vector<AsId> out;
+  // Endpoints originate/consume the traffic; only transit ASes can be
+  // off-contract.
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const AsId self = path[i];
+    const auto prev_rel = graph_->relationship(self, path[i - 1]);
+    const auto next_rel = graph_->relationship(self, path[i + 1]);
+    const bool prev_pays = prev_rel && *prev_rel == Rel::kCustomer;
+    const bool next_pays = next_rel && *next_rel == Rel::kCustomer;
+    if (!prev_pays && !next_pays) out.push_back(self);
+  }
+  return out;
+}
+
+}  // namespace tussle::routing

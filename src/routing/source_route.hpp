@@ -1,0 +1,49 @@
+// User-controlled provider-level source routing (the NIRA-flavoured
+// alternative the paper wishes had been built, §V-A-4).
+//
+// A user composes an AS-level path instead of accepting the provider-chosen
+// one. The catch the paper insists on: intermediate providers have no
+// reason to carry traffic that overrides their business arrangements unless
+// *payment flows*. The builder therefore reports, per candidate path, which
+// ASes are carrying off-contract traffic and must be compensated.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "routing/as_graph.hpp"
+
+namespace tussle::routing {
+
+class SourceRouteBuilder {
+ public:
+  explicit SourceRouteBuilder(const AsGraph& graph) : graph_(&graph) {}
+
+  /// Shortest AS path by hop count (BFS); empty if unreachable.
+  std::vector<AsId> shortest_path(AsId from, AsId to) const;
+
+  /// Up to `k` loop-free paths, shortest first (Yen's algorithm over hop
+  /// count). Deterministic tie-breaking by lexicographic path order.
+  std::vector<std::vector<AsId>> k_shortest_paths(AsId from, AsId to, std::size_t k) const;
+
+  /// ASes on `path` that carry traffic outside their business interest:
+  /// a transit AS is "on contract" only when at least one side of the
+  /// traffic (previous or next hop) is its customer — otherwise it is
+  /// giving transit away and will demand payment (§V-A-4).
+  std::vector<AsId> off_contract_ases(const std::vector<AsId>& path) const;
+
+  /// True when the path would be accepted without any payments at all,
+  /// i.e. it is valley-free (provider-routing-compatible).
+  bool free_of_charge(const std::vector<AsId>& path) const {
+    return graph_->valley_free(path);
+  }
+
+ private:
+  std::vector<AsId> bfs(AsId from, AsId to,
+                        const std::vector<std::pair<AsId, AsId>>& banned_edges,
+                        const std::vector<AsId>& banned_nodes) const;
+
+  const AsGraph* graph_;
+};
+
+}  // namespace tussle::routing

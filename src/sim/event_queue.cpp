@@ -1,0 +1,61 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tussle::sim {
+
+EventId EventQueue::push(SimTime at, Action action) {
+  const EventId id{next_seq_ + 1};  // ids start at 1 so {} is "no event"
+  heap_.push_back(Entry{at, next_seq_, id, std::move(action)});
+  ++next_seq_;
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id.value == 0 || id.value > next_seq_) return false;
+  // A cancelled id may correspond to an already-fired event; the fired set
+  // is implicit (ids below the heap minimum that are absent). We detect it
+  // by scanning lazily: insertion succeeds, but the tombstone is only
+  // meaningful if the entry is still queued. To keep cancel() truthful we
+  // check membership in the live heap.
+  for (const Entry& e : heap_) {
+    if (e.id == id) {
+      return cancelled_.insert(id.value).second;
+    }
+  }
+  return false;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id.value);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  // Tombstones may hide all remaining entries.
+  return heap_.size() == cancelled_.size();
+}
+
+SimTime EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->drop_cancelled_top();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_top();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return Popped{e.time, std::move(e.action)};
+}
+
+}  // namespace tussle::sim

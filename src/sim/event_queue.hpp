@@ -1,0 +1,81 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary heap keyed on (time, sequence). The sequence number breaks ties
+// in insertion order, so two events scheduled for the same instant fire in
+// the order they were scheduled — a property several protocol models (and
+// the determinism tests) depend on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tussle::sim {
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventQueue() = default;
+
+  // The queue owns callbacks that may capture anything; copying the queue
+  // would duplicate scheduled side effects, so it is move-only.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  EventQueue(EventQueue&&) = default;
+  EventQueue& operator=(EventQueue&&) = default;
+
+  /// Schedules `action` to fire at absolute time `at`.
+  EventId push(SimTime at, Action action);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was cancelled before, or never existed. Cancellation is O(1); the
+  /// tombstoned entry is discarded lazily when it reaches the heap top.
+  bool cancel(EventId id);
+
+  bool empty() const noexcept;
+  std::size_t size() const noexcept { return heap_.size() - cancelled_.size(); }
+
+  /// Earliest pending event time. Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest event's action and time.
+  /// Precondition: !empty().
+  struct Popped {
+    SimTime time;
+    Action action;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    Action action;
+  };
+  // Min-heap comparison (std::push_heap builds a max-heap, so invert).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tussle::sim

@@ -1,0 +1,122 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tussle::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  // Expand the single seed word through splitmix64, per xoshiro guidance.
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+  // All-zero state would be absorbing; splitmix64 cannot produce four zero
+  // words from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % range);
+}
+
+double Rng::exponential(double rate) noexcept {
+  assert(rate > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double shape, double scale) noexcept {
+  assert(shape > 0 && scale > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 == 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(6.283185307179586 * u2);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) noexcept {
+  return ZipfTable(n, s).sample(*this);
+}
+
+std::size_t Rng::weighted_pick(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights)
+    if (w > 0) total += w;
+  if (total <= 0) throw std::invalid_argument("weighted_pick: no positive weight");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0) continue;
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  // Floating rounding can leave x ~ +0; return last positive-weight index.
+  for (std::size_t i = weights.size(); i > 0; --i)
+    if (weights[i - 1] > 0) return i - 1;
+  return 0;  // unreachable
+}
+
+ZipfTable::ZipfTable(std::size_t n, double exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), exponent);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfTable::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace tussle::sim

@@ -1,0 +1,87 @@
+// Deterministic random source for simulations.
+//
+// Wraps a fixed PRNG (splitmix64-seeded xoshiro256**) so that results do not
+// depend on the standard library's distribution implementations: all
+// distributions here are implemented from first principles and therefore
+// reproduce exactly across compilers.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace tussle::sim {
+
+/// xoshiro256** with convenience distributions. Not thread-safe; each
+/// simulation owns one (or derives substreams via `split`).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Derives an independent-looking substream; used to give each actor its
+  /// own RNG so adding an actor does not perturb the draws of others.
+  Rng split() noexcept { return Rng(next_u64()); }
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Bounded Pareto used for heavy-tailed flow sizes.
+  double pareto(double shape, double scale) noexcept;
+
+  /// Standard normal via Box–Muller (no cached spare: reproducibility over
+  /// speed).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Zipf-distributed rank in [1, n] with exponent s, by inverse-CDF over a
+  /// precomputed table — callers with hot loops should cache a ZipfTable.
+  std::size_t zipf(std::size_t n, double s) noexcept;
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Throws std::invalid_argument if all weights are zero/negative.
+  std::size_t weighted_pick(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+/// Precomputed Zipf CDF for repeated draws over a fixed support.
+class ZipfTable {
+ public:
+  ZipfTable(std::size_t n, double exponent);
+  /// Rank in [1, n].
+  std::size_t sample(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tussle::sim

@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace tussle::sim {
+
+EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time is in the past");
+  return queue_.push(at, std::move(action));
+}
+
+void Simulator::schedule_every(Duration period, std::function<bool()> action) {
+  // Self-rescheduling closure; stops rescheduling when action returns false.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, action = std::move(action), tick]() {
+    if (action()) {
+      schedule(period, *tick);
+    }
+  };
+  schedule(period, *tick);
+}
+
+std::size_t Simulator::run(SimTime horizon) {
+  stopping_ = false;
+  std::size_t n = 0;
+  while (!queue_.empty() && !stopping_) {
+    if (queue_.next_time() > horizon) break;
+    auto [time, action] = queue_.pop();
+    now_ = time;
+    action();
+    ++n;
+    ++executed_;
+  }
+  if (!stopping_ && now_ < horizon && horizon != SimTime::max()) {
+    now_ = horizon;  // simulated until the requested horizon
+  }
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, action] = queue_.pop();
+  now_ = time;
+  action();
+  ++executed_;
+  return true;
+}
+
+}  // namespace tussle::sim

@@ -1,0 +1,66 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded by design: tussle experiments need bit-exact replay far
+// more than they need parallel speedup, and a single run of the largest
+// scenario completes in seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace tussle::sim {
+
+class Simulator {
+ public:
+  /// `seed` drives every random decision in the run; identical seeds yield
+  /// identical event sequences.
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+
+  /// Schedules `action` to run `delay` after the current time.
+  EventId schedule(Duration delay, EventQueue::Action action) {
+    return queue_.push(now_ + delay, std::move(action));
+  }
+
+  /// Schedules at an absolute time, which must not be in the past.
+  EventId schedule_at(SimTime at, EventQueue::Action action);
+
+  /// Schedules a recurring action every `period`, starting one period from
+  /// now, until `action` returns false or the simulation stops.
+  void schedule_every(Duration period, std::function<bool()> action);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains or `horizon` is reached, whichever
+  /// comes first. Events at exactly `horizon` still fire. Returns the
+  /// number of events executed.
+  std::size_t run(SimTime horizon = SimTime::max());
+
+  /// Executes pending events one at a time; useful in tests.
+  bool step();
+
+  /// Requests that run() return after the current event completes.
+  void stop() noexcept { stopping_ = true; }
+
+  std::size_t events_executed() const noexcept { return executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_{};
+  Rng rng_;
+  bool stopping_ = false;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace tussle::sim

@@ -1,0 +1,100 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+namespace tussle::sim {
+
+void Summary::observe(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary& Summary::merge(const Summary& other) noexcept {
+  if (other.n_ == 0) return *this;
+  if (n_ == 0) {
+    *this = other;
+    return *this;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+  return *this;
+}
+
+double Histogram::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double Histogram::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+void TimeWeighted::set(SimTime now, double value) noexcept {
+  if (started_) {
+    weighted_sum_ += value_ * (now - last_).as_seconds();
+  }
+  last_ = now;
+  value_ = value;
+  started_ = true;
+}
+
+double TimeWeighted::average(SimTime now) const noexcept {
+  if (!started_) return 0.0;
+  const double span = (now).as_seconds();
+  if (span <= 0) return value_;
+  const double tail = value_ * (now - last_).as_seconds();
+  return (weighted_sum_ + tail) / span;
+}
+
+double MetricSet::get(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+void MetricSet::ordered_put(const std::string& key, double value) {
+  auto [it, inserted] = values_.insert_or_assign(key, value);
+  (void)it;
+  if (inserted) {
+    order_.emplace_back(key, value);
+  } else {
+    for (auto& kv : order_) {
+      if (kv.first == key) {
+        kv.second = value;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace tussle::sim

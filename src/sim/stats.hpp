@@ -1,0 +1,99 @@
+// Measurement primitives used throughout the simulator.
+//
+// Scenarios publish results through these types; the bench harness formats
+// them into the experiment tables. Everything is plain value types so a
+// scenario can snapshot and diff collections of them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tussle::sim {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept { value_ += n; }
+  std::int64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Online mean/variance/min/max via Welford's algorithm: numerically stable
+/// and O(1) per observation, so it can sit on per-packet paths.
+class Summary {
+ public:
+  void observe(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< Sample variance (n-1 denominator).
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double total() const noexcept { return mean_ * static_cast<double>(n_); }
+  void reset() noexcept { *this = Summary{}; }
+
+  /// Pools two summaries (parallel-axis combination).
+  Summary& merge(const Summary& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Sample-retaining histogram for quantiles. Retains every observation;
+/// intended for scenario-scale (≤ millions) sample counts.
+class Histogram {
+ public:
+  void observe(double x) { samples_.push_back(x); sorted_ = false; }
+  std::size_t count() const noexcept { return samples_.size(); }
+  double quantile(double q) const;  ///< q in [0,1]; nearest-rank. 0 if empty.
+  double mean() const noexcept;
+  void reset() noexcept { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Time-weighted average of a piecewise-constant signal (queue depth,
+/// price level, share of compliant actors, ...).
+class TimeWeighted {
+ public:
+  void set(SimTime now, double value) noexcept;
+  double average(SimTime now) const noexcept;
+  double current() const noexcept { return value_; }
+
+ private:
+  SimTime last_{};
+  double value_ = 0;
+  double weighted_sum_ = 0;
+  bool started_ = false;
+};
+
+/// A named bag of metrics a scenario exports. Keys are stable identifiers
+/// ("qos.deployment_rate"); benches print them in declaration order.
+class MetricSet {
+ public:
+  void put(const std::string& key, double value) { ordered_put(key, value); }
+  double get(const std::string& key, double fallback = 0.0) const;
+  bool contains(const std::string& key) const { return values_.count(key) != 0; }
+  const std::vector<std::pair<std::string, double>>& items() const noexcept { return order_; }
+
+ private:
+  void ordered_put(const std::string& key, double value);
+  std::map<std::string, double> values_;
+  std::vector<std::pair<std::string, double>> order_;
+};
+
+}  // namespace tussle::sim

@@ -1,0 +1,20 @@
+#include "sim/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tussle::sim {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.6fs", as_seconds());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", as_millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+}  // namespace tussle::sim

@@ -1,0 +1,65 @@
+// Simulation time: a strong type over integer nanoseconds.
+//
+// Integer ticks (rather than floating seconds) keep event ordering exact and
+// runs bit-reproducible across platforms, which the scenario harness relies
+// on for deterministic replay.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace tussle::sim {
+
+/// A point in simulated time, measured in nanoseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept : ns_(0) {}
+
+  /// Named constructors. Prefer these over raw tick counts at call sites.
+  static constexpr SimTime nanos(std::int64_t n) noexcept { return SimTime(n); }
+  static constexpr SimTime micros(std::int64_t u) noexcept { return SimTime(u * 1000); }
+  static constexpr SimTime millis(std::int64_t m) noexcept { return SimTime(m * 1'000'000); }
+  static constexpr SimTime seconds(double s) noexcept {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime zero() noexcept { return SimTime(0); }
+  static constexpr SimTime max() noexcept {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t as_nanos() const noexcept { return ns_; }
+  constexpr double as_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double as_millis() const noexcept { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime d) const noexcept { return SimTime(ns_ + d.ns_); }
+  constexpr SimTime operator-(SimTime d) const noexcept { return SimTime(ns_ - d.ns_); }
+  constexpr SimTime& operator+=(SimTime d) noexcept {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime d) noexcept {
+    ns_ -= d.ns_;
+    return *this;
+  }
+  /// Scale a duration (e.g. backoff doubling). Saturation is not handled;
+  /// callers stay far from the 292-year range limit in practice.
+  constexpr SimTime operator*(double k) const noexcept {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_;
+};
+
+/// Duration and time-point share one representation; the alias documents
+/// intent at interfaces that take "how long" rather than "when".
+using Duration = SimTime;
+
+}  // namespace tussle::sim

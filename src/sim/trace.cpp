@@ -1,0 +1,42 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace tussle::sim {
+
+std::string_view to_string(TraceLevel level) noexcept {
+  switch (level) {
+    case TraceLevel::kDebug: return "DEBUG";
+    case TraceLevel::kInfo: return "INFO";
+    case TraceLevel::kWarn: return "WARN";
+    case TraceLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::vector<Tracer::Record> Tracer::drain() {
+  std::vector<Record> out;
+  out.swap(records_);
+  return out;
+}
+
+void Tracer::emit(SimTime now, TraceLevel level, std::string_view component,
+                  std::string message) {
+  if (!enabled_for(level)) return;
+  Record rec{now, level, std::string(component), std::move(message)};
+  if (sink_) {
+    sink_(rec);
+  } else if (!keep_) {
+    std::fprintf(stderr, "[%s] %s %s: %s\n", rec.time.to_string().c_str(),
+                 std::string(to_string(level)).c_str(), rec.component.c_str(),
+                 rec.message.c_str());
+  }
+  if (keep_) records_.push_back(std::move(rec));
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace tussle::sim

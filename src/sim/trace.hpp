@@ -1,0 +1,71 @@
+// Lightweight component-tagged trace log.
+//
+// The tussle experiments mostly report aggregate metrics, but protocol
+// debugging needs an ordered record of what happened. Tracing is off by
+// default and costs one branch per call site when disabled.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tussle::sim {
+
+enum class TraceLevel { kDebug, kInfo, kWarn, kError };
+
+std::string_view to_string(TraceLevel level) noexcept;
+
+/// Collects trace records; scenarios can attach a sink (stderr, memory, a
+/// test expectation) at run time.
+class Tracer {
+ public:
+  struct Record {
+    SimTime time;
+    TraceLevel level;
+    std::string component;
+    std::string message;
+  };
+  using Sink = std::function<void(const Record&)>;
+
+  void set_level(TraceLevel level) noexcept { level_ = level; }
+  TraceLevel level() const noexcept { return level_; }
+  void enable(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+  bool enabled_for(TraceLevel level) const noexcept { return enabled_ && level >= level_; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Keeps records in memory (for tests); cleared by drain().
+  void keep_records(bool on) noexcept { keep_ = on; }
+  std::vector<Record> drain();
+
+  void emit(SimTime now, TraceLevel level, std::string_view component, std::string message);
+
+  /// Process-wide default tracer used by modules that are not handed one.
+  static Tracer& global();
+
+ private:
+  bool enabled_ = false;
+  bool keep_ = false;
+  TraceLevel level_ = TraceLevel::kInfo;
+  Sink sink_;
+  std::vector<Record> records_;
+};
+
+/// Convenience macro: evaluates the message expression only when tracing is
+/// on for the level.
+#define TUSSLE_TRACE(tracer, now, level, component, expr)                  \
+  do {                                                                     \
+    auto& t_ = (tracer);                                                   \
+    if (t_.enabled_for(level)) {                                           \
+      std::ostringstream os_;                                              \
+      os_ << expr;                                                         \
+      t_.emit((now), (level), (component), os_.str());                     \
+    }                                                                      \
+  } while (0)
+
+}  // namespace tussle::sim

@@ -1,0 +1,55 @@
+#include "trust/certificates.hpp"
+
+namespace tussle::trust {
+
+Certificate CertificateAuthority::issue(const std::string& subject) {
+  Certificate c;
+  c.subject = subject;
+  c.issuer = name_;
+  c.serial = next_serial_++;
+  // The token is "unforgeable" because only this object increments this
+  // counter and records the mapping; a fabricated certificate will not
+  // match signatures_.
+  token_counter_ = token_counter_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  c.signature = token_counter_;
+  signatures_[c.serial] = c.signature;
+  return c;
+}
+
+bool CertificateAuthority::check(const Certificate& c) const {
+  if (c.issuer != name_) return false;
+  if (is_revoked(c.serial)) return false;
+  auto it = signatures_.find(c.serial);
+  return it != signatures_.end() && it->second == c.signature;
+}
+
+bool CaRegistry::validate(const Certificate& c) const {
+  for (const CertificateAuthority* ca : cas_) {
+    if (ca->name() == c.issuer) return ca->check(c);
+  }
+  return false;  // unknown issuer
+}
+
+std::optional<Certificate> CaRegistry::certificate_of(const std::string& subject) const {
+  auto it = by_subject_.find(subject);
+  if (it == by_subject_.end()) return std::nullopt;
+  return it->second;
+}
+
+IdentityFramework::Verifier CaRegistry::verifier() const {
+  return [this](const Identity& id) {
+    Verification v;
+    if (id.scheme != IdentityScheme::kCertified && id.scheme != IdentityScheme::kRole) return v;
+    auto cert = certificate_of(id.name);
+    if (cert && cert->issuer == id.issuer && validate(*cert)) {
+      v.verified = true;
+      v.linkable = true;
+      // Role certificates attest the role, not the person: verified but
+      // not personally accountable.
+      v.accountable = (id.scheme == IdentityScheme::kCertified);
+    }
+    return v;
+  };
+}
+
+}  // namespace tussle::trust

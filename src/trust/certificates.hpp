@@ -1,0 +1,77 @@
+// Simulated public-key certification (§V-B: "public key certificate agents
+// provide us with certificates that assure us we are talking to the party
+// we think we are").
+//
+// Cryptography is simulated: a "signature" is an unforgeable token only the
+// issuing authority can mint (enforced by construction — tokens come out of
+// the CA's private counter). What the experiments need is the *trust
+// semantics*: issuance, chains, expiry, revocation — not actual RSA.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trust/identity.hpp"
+
+namespace tussle::trust {
+
+struct Certificate {
+  std::string subject;
+  std::string issuer;
+  std::uint64_t serial = 0;
+  std::uint64_t signature = 0;  ///< opaque token minted by the issuer
+};
+
+class CertificateAuthority {
+ public:
+  /// A root CA (self-named issuer) or an intermediate (if `parent_cert` is
+  /// supplied, this CA's own certificate chains to the parent).
+  explicit CertificateAuthority(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  Certificate issue(const std::string& subject);
+  void revoke(std::uint64_t serial) { revoked_.insert(serial); }
+  bool is_revoked(std::uint64_t serial) const { return revoked_.count(serial) != 0; }
+
+  /// Did this CA actually sign this certificate (and not revoke it)?
+  bool check(const Certificate& c) const;
+
+  std::size_t issued_count() const noexcept { return next_serial_; }
+
+ private:
+  std::string name_;
+  std::uint64_t next_serial_ = 0;
+  std::map<std::uint64_t, std::uint64_t> signatures_;  ///< serial → token
+  std::set<std::uint64_t> revoked_;
+  std::uint64_t token_counter_ = 0x5eed;
+};
+
+/// A verifier suitable for IdentityFramework::set_verifier: accepts
+/// certified identities whose certificate checks out against one of the
+/// trusted CAs.
+class CaRegistry {
+ public:
+  void trust(const CertificateAuthority* ca) { cas_.push_back(ca); }
+
+  /// Looks up the CA by the certificate's issuer name and checks it.
+  bool validate(const Certificate& c) const;
+
+  /// Binds a subject name to its certificate so identity claims can be
+  /// checked by name.
+  void enroll(const Certificate& c) { by_subject_[c.subject] = c; }
+  std::optional<Certificate> certificate_of(const std::string& subject) const;
+
+  /// Verifier closure for the identity framework.
+  IdentityFramework::Verifier verifier() const;
+
+ private:
+  std::vector<const CertificateAuthority*> cas_;
+  std::map<std::string, Certificate> by_subject_;
+};
+
+}  // namespace tussle::trust

@@ -1,0 +1,56 @@
+#include "trust/firewall.hpp"
+
+namespace tussle::trust {
+
+std::string to_string(PolicyAuthority a) {
+  switch (a) {
+    case PolicyAuthority::kEndUser: return "end-user";
+    case PolicyAuthority::kNetworkAdmin: return "network-admin";
+    case PolicyAuthority::kGovernment: return "government";
+  }
+  return "?";
+}
+
+net::FilterDecision TrustFirewall::decide(const net::Packet& p) const {
+  const auto identity = resolver_ ? resolver_(p.src) : std::nullopt;
+
+  if (!identity) {
+    return cfg_.accept_unknown
+               ? net::FilterDecision::accept()
+               : net::FilterDecision::drop(name_ + ":unknown-sender");
+  }
+
+  // End-user whitelists override trust thresholds — but only when the end
+  // user is the policy authority. An admin- or government-run firewall
+  // ignores user exceptions, which is exactly the governance tussle.
+  if (cfg_.authority == PolicyAuthority::kEndUser && !identity->name.empty()) {
+    auto it = whitelist_.find(identity->name);
+    if (it != whitelist_.end() && it->second) return net::FilterDecision::accept();
+  }
+
+  if (cfg_.require_identified && identity->visibly_anonymous()) {
+    return net::FilterDecision::drop(name_ + ":anonymous-refused");
+  }
+
+  const Verification v = framework_->verify(*identity);
+  // Unverifiable non-anonymous claims are scored by name anyway (they are
+  // at least linkable targets for reputation).
+  const double score = identity->name.empty() ? 0.5 : reputation_->score(identity->name);
+  if (score < cfg_.min_reputation) {
+    return net::FilterDecision::drop(name_ + ":low-reputation");
+  }
+  // Accountable identities get the benefit of the doubt; unaccountable
+  // ones must clear the bar on reputation alone (they just did).
+  (void)v;
+  return net::FilterDecision::accept();
+}
+
+net::PacketFilter TrustFirewall::as_filter() const {
+  net::PacketFilter f;
+  f.name = name_;
+  f.disclosed = cfg_.disclosed;
+  f.fn = [this](const net::Packet& p) { return decide(p); };
+  return f;
+}
+
+}  // namespace tussle::trust

@@ -1,0 +1,75 @@
+// The trust-aware firewall (§V-B).
+//
+// "Firewalls that provide trust-mediated transparency must be designed so
+// that they apply constraints based on *who is communicating*, as well as
+// (or instead of) what protocols are being run." This firewall keys its
+// decisions on the verified identity and reputation of the counterparty —
+// not the port number — and supports the paper's two governance questions:
+// who sets the policy (owner field, endpoint delegation) and whether the
+// rules are visible to the endpoints they constrain (disclosure).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/node.hpp"
+#include "trust/identity.hpp"
+#include "trust/reputation.hpp"
+
+namespace tussle::trust {
+
+/// Who controls a firewall's policy — the governance tussle the paper
+/// refuses to resolve ("There is no single answer, and we better not think
+/// we are going to design it. All we can design is the space.").
+enum class PolicyAuthority { kEndUser, kNetworkAdmin, kGovernment };
+
+std::string to_string(PolicyAuthority a);
+
+struct TrustFirewallConfig {
+  PolicyAuthority authority = PolicyAuthority::kNetworkAdmin;
+  bool disclosed = true;       ///< do endpoints get to see that rules exist?
+  double min_reputation = 0.3; ///< below this, traffic is refused
+  bool require_identified = false;  ///< refuse visibly-anonymous senders
+  bool accept_unknown = true;  ///< senders with no identity binding at all
+};
+
+/// Maps a network source address to the identity its traffic carries.
+using IdentityResolver = std::function<std::optional<Identity>(const net::Address&)>;
+
+class TrustFirewall {
+ public:
+  TrustFirewall(std::string name, TrustFirewallConfig cfg, const IdentityFramework& framework,
+                const ReputationSystem& reputation, IdentityResolver resolver)
+      : name_(std::move(name)),
+        cfg_(cfg),
+        framework_(&framework),
+        reputation_(&reputation),
+        resolver_(std::move(resolver)) {}
+
+  /// Decides about one packet. Exposed directly for unit tests; the filter
+  /// adapter below is what scenarios install on nodes.
+  net::FilterDecision decide(const net::Packet& p) const;
+
+  /// Per-endpoint exception: the end user whitelists a peer regardless of
+  /// reputation (endpoint delegation of control, §V-B). Only honored when
+  /// the end user holds policy authority.
+  void user_whitelist(const std::string& peer_name) { whitelist_[peer_name] = true; }
+
+  /// Wraps this firewall as a node filter.
+  net::PacketFilter as_filter() const;
+
+  const TrustFirewallConfig& config() const noexcept { return cfg_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  TrustFirewallConfig cfg_;
+  const IdentityFramework* framework_;
+  const ReputationSystem* reputation_;
+  IdentityResolver resolver_;
+  std::map<std::string, bool> whitelist_;
+};
+
+}  // namespace tussle::trust

@@ -1,0 +1,40 @@
+#include "trust/identity.hpp"
+
+namespace tussle::trust {
+
+std::string to_string(IdentityScheme s) {
+  switch (s) {
+    case IdentityScheme::kAnonymous: return "anonymous";
+    case IdentityScheme::kPseudonymous: return "pseudonymous";
+    case IdentityScheme::kSelfAsserted: return "self-asserted";
+    case IdentityScheme::kCertified: return "certified";
+    case IdentityScheme::kRole: return "role";
+  }
+  return "?";
+}
+
+IdentityFramework::IdentityFramework() {
+  verifiers_[IdentityScheme::kAnonymous] = [](const Identity&) {
+    return Verification{.verified = false, .accountable = false, .linkable = false};
+  };
+  verifiers_[IdentityScheme::kPseudonymous] = [](const Identity& id) {
+    // A stable handle is linkable across interactions but not accountable
+    // to a legal person.
+    return Verification{.verified = !id.name.empty(), .accountable = false, .linkable = true};
+  };
+  verifiers_[IdentityScheme::kSelfAsserted] = [](const Identity& id) {
+    return Verification{.verified = false, .accountable = false, .linkable = !id.name.empty()};
+  };
+  // Certified and role identities need a real verifier (a CA); until one is
+  // installed they verify negatively rather than trusting by default.
+  verifiers_[IdentityScheme::kCertified] = [](const Identity&) { return Verification{}; };
+  verifiers_[IdentityScheme::kRole] = [](const Identity&) { return Verification{}; };
+}
+
+Verification IdentityFramework::verify(const Identity& id) const {
+  auto it = verifiers_.find(id.scheme);
+  if (it == verifiers_.end()) return Verification{};
+  return it->second(id);
+}
+
+}  // namespace tussle::trust

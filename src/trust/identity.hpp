@@ -1,0 +1,68 @@
+// The identity framework (§V-B-1).
+//
+// The paper rejects a single global user namespace: "What is needed is a
+// framework that translates these diverse ways [of identifying oneself]
+// into lower level network actions ... a framework for talking about
+// identity, not a single identity scheme." So this module defines a scheme
+// taxonomy, per-scheme verification properties, and the accountability /
+// anonymity trade-off — including the paper's compromise position that
+// *hiding should be hard to disguise*: anonymity is itself visible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace tussle::trust {
+
+enum class IdentityScheme : std::uint8_t {
+  kAnonymous,      ///< no claim at all
+  kPseudonymous,   ///< stable handle, unlinkable to a legal person
+  kSelfAsserted,   ///< a bare name, unverified
+  kCertified,      ///< vouched for by a certificate authority
+  kRole,           ///< "a doctor", "an employee of X" — role not person
+};
+
+std::string to_string(IdentityScheme s);
+
+struct Identity {
+  IdentityScheme scheme = IdentityScheme::kAnonymous;
+  std::string name;    ///< handle / subject / role label; empty for anonymous
+  std::string issuer;  ///< certifying party, when applicable
+
+  /// Anonymity must be visible (§V-B-1): any party can tell *that* this
+  /// identity declines to identify, even though not *who* it is.
+  bool visibly_anonymous() const noexcept { return scheme == IdentityScheme::kAnonymous; }
+
+  friend bool operator==(const Identity&, const Identity&) = default;
+  friend auto operator<=>(const Identity&, const Identity&) = default;
+};
+
+/// What verifying an identity established.
+struct Verification {
+  bool verified = false;     ///< claim checked by some authority
+  bool accountable = false;  ///< misbehaviour can be attributed later
+  bool linkable = false;     ///< repeated interactions can be correlated
+};
+
+/// Translates diverse identity claims into the properties peers act on.
+/// Schemes plug in their own verifier; the framework supplies sensible
+/// defaults for schemes that need no external check.
+class IdentityFramework {
+ public:
+  using Verifier = std::function<Verification(const Identity&)>;
+
+  IdentityFramework();
+
+  /// Replaces the verifier for a scheme (e.g. to wire in a real CA).
+  void set_verifier(IdentityScheme s, Verifier v) { verifiers_[s] = std::move(v); }
+
+  Verification verify(const Identity& id) const;
+
+ private:
+  std::map<IdentityScheme, Verifier> verifiers_;
+};
+
+}  // namespace tussle::trust

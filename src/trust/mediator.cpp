@@ -1,0 +1,49 @@
+#include "trust/mediator.hpp"
+
+#include <algorithm>
+
+namespace tussle::trust {
+
+TransactionOutcome EscrowMediator::transact(const std::string& buyer, const std::string& seller,
+                                            double price, bool seller_honest) {
+  TransactionOutcome out;
+  // Buyer pays into escrow first.
+  ledger_->transfer(buyer, name_, price, "escrow");
+  if (seller_honest) {
+    const double fee = price * fee_rate_;
+    ledger_->transfer(name_, seller, price - fee, "escrow-release");
+    out.completed = true;
+    out.buyer_loss = price;  // paid, but received the goods
+    out.seller_revenue = price - fee;
+    out.mediator_fee_collected = fee;
+    reputation_->record(buyer, seller, true);
+  } else {
+    // Dispute: refund everything above the liability cap; the mediator
+    // eats the cap difference as the price of the guarantee (and prices
+    // fee_rate accordingly, as card networks do).
+    const double refund = std::max(0.0, price - cap_);
+    if (refund > 0) ledger_->transfer(name_, buyer, refund, "chargeback");
+    out.completed = false;
+    out.buyer_loss = price - refund;  // at most the cap
+    out.seller_revenue = 0;
+    out.mediator_fee_collected = 0;
+    reputation_->record(buyer, seller, false);
+  }
+  return out;
+}
+
+TransactionOutcome EscrowMediator::transact_unmediated(econ::Ledger& ledger,
+                                                       ReputationSystem& reputation,
+                                                       const std::string& buyer,
+                                                       const std::string& seller, double price,
+                                                       bool seller_honest) {
+  TransactionOutcome out;
+  ledger.transfer(buyer, seller, price, "direct-sale");
+  out.completed = seller_honest;
+  out.buyer_loss = price;
+  out.seller_revenue = price;
+  reputation.record(buyer, seller, seller_honest);
+  return out;
+}
+
+}  // namespace tussle::trust

@@ -1,0 +1,62 @@
+// Third-party mediation (§V-B): "Credit card companies limit our liability
+// to $50 ... Each individual interaction may be two-party end-to-end, but
+// the application design is not."
+//
+// The EscrowMediator sits between a buyer and a seller it need not trust:
+// it caps the buyer's loss on a disputed transaction, makes the seller
+// whole only on honest delivery, and feeds outcomes to a reputation system
+// — the complete mediation loop the paper describes.
+#pragma once
+
+#include <string>
+
+#include "econ/value_flow.hpp"
+#include "trust/reputation.hpp"
+
+namespace tussle::trust {
+
+struct TransactionOutcome {
+  bool completed = false;       ///< goods delivered and payment settled
+  double buyer_loss = 0;        ///< what the buyer is actually out, post-mediation
+  double seller_revenue = 0;
+  double mediator_fee_collected = 0;
+};
+
+class EscrowMediator {
+ public:
+  /// `liability_cap` is the most a buyer can lose on a bad transaction
+  /// (the "$50"); `fee_rate` is the mediator's cut of honest transactions.
+  EscrowMediator(std::string name, econ::Ledger& ledger, ReputationSystem& reputation,
+                 double liability_cap = 0.5, double fee_rate = 0.03)
+      : name_(std::move(name)),
+        ledger_(&ledger),
+        reputation_(&reputation),
+        cap_(liability_cap),
+        fee_rate_(fee_rate) {}
+
+  /// Executes a purchase of `price` where the seller honestly delivers iff
+  /// `seller_honest`. Money moves through the mediator; outcomes are
+  /// reported to the reputation system either way.
+  TransactionOutcome transact(const std::string& buyer, const std::string& seller, double price,
+                              bool seller_honest);
+
+  /// Direct two-party purchase with no mediator, for comparison: a cheated
+  /// buyer simply loses the full price and has nowhere to report it but
+  /// the reputation system.
+  static TransactionOutcome transact_unmediated(econ::Ledger& ledger,
+                                                ReputationSystem& reputation,
+                                                const std::string& buyer,
+                                                const std::string& seller, double price,
+                                                bool seller_honest);
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  econ::Ledger* ledger_;
+  ReputationSystem* reputation_;
+  double cap_;
+  double fee_rate_;
+};
+
+}  // namespace tussle::trust

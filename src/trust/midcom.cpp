@@ -1,0 +1,58 @@
+#include "trust/midcom.hpp"
+
+#include "net/network.hpp"
+
+namespace tussle::trust {
+
+PinholeBroker::PinholeBroker(net::Network& net, net::NodeId control_point,
+                             PolicyAuthority authority)
+    : net_(&net), node_(control_point), authority_(authority) {
+  // One filter, installed now, consults the live pinhole table. It must be
+  // installed before the restrictive filters to pre-empt them; scenario
+  // code constructs the broker before adding its firewall.
+  net_->node(node_).add_filter(net::PacketFilter{
+      .name = "pinhole-broker",
+      .disclosed = true,
+      .fn = [this](const net::Packet& p) {
+        for (const auto& [id, hole] : pinholes_) {
+          (void)id;
+          if (p.src == hole.peer && p.proto == hole.proto) {
+            return net::FilterDecision::bypass("pinhole");
+          }
+        }
+        return net::FilterDecision::accept();
+      }});
+}
+
+PinholeGrant PinholeBroker::request(const PinholeRequest& req) {
+  PinholeGrant grant;
+  switch (authority_) {
+    case PolicyAuthority::kEndUser:
+      grant.granted = true;
+      grant.reason = "end-user authority: user consents to their own traffic";
+      break;
+    case PolicyAuthority::kNetworkAdmin:
+      if (admin_allowed_.count(req.proto) && admin_allowed_.at(req.proto)) {
+        grant.granted = true;
+        grant.reason = "admin allowlist";
+      } else {
+        grant.reason = "protocol not negotiable under admin policy";
+      }
+      break;
+    case PolicyAuthority::kGovernment:
+      grant.reason = "control is not negotiable";
+      break;
+  }
+  if (grant.granted) {
+    grant.pinhole_id = next_id_++;
+    pinholes_[grant.pinhole_id] = Pinhole{req.peer, req.proto};
+  }
+  log_.emplace_back(req, grant);
+  return grant;
+}
+
+bool PinholeBroker::revoke(std::uint64_t pinhole_id) {
+  return pinholes_.erase(pinhole_id) > 0;
+}
+
+}  // namespace tussle::trust

@@ -1,0 +1,74 @@
+// Endpoint ↔ control-point negotiation (§V-B).
+//
+// "Along with this device must be protocols and interfaces to allow the end
+// node and the control point to communicate about the desired controls"
+// (the paper cites the IETF MIDCOM work). PinholeBroker is that interface:
+// an endpoint asks the firewall's owner for a pinhole (permit rule for a
+// peer/application); whether the request is *grantable at all* depends on
+// who holds policy authority — the governance tussle again — and every
+// decision is recorded so endpoints can audit what they were granted.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/node.hpp"
+#include "trust/firewall.hpp"
+
+namespace tussle::trust {
+
+struct PinholeRequest {
+  std::string requester;        ///< the endpoint's identity name
+  net::Address peer;            ///< who they want to hear from
+  net::AppProto proto = net::AppProto::kUnknown;  ///< what traffic
+  std::string justification;
+};
+
+struct PinholeGrant {
+  bool granted = false;
+  std::string reason;
+  std::uint64_t pinhole_id = 0;  ///< for later revocation
+};
+
+/// Negotiates pinholes in front of a node's filter chain. The broker
+/// installs a single high-priority filter that accepts pinholed traffic
+/// before the rest of the chain runs.
+class PinholeBroker {
+ public:
+  /// `authority` decides the grant policy:
+  ///  - kEndUser: the endpoint's own requests are granted (it is asking
+  ///    itself);
+  ///  - kNetworkAdmin: granted only for protocols in the admin allowlist;
+  ///  - kGovernment: never granted (the control is not negotiable).
+  PinholeBroker(net::Network& net, net::NodeId control_point, PolicyAuthority authority);
+
+  /// Admin-permitted protocols (only consulted under kNetworkAdmin).
+  void admin_allow(net::AppProto proto) { admin_allowed_[proto] = true; }
+
+  PinholeGrant request(const PinholeRequest& req);
+  bool revoke(std::uint64_t pinhole_id);
+
+  std::size_t active_pinholes() const noexcept { return pinholes_.size(); }
+  /// The audit trail — disclosure applied to negotiation history.
+  const std::vector<std::pair<PinholeRequest, PinholeGrant>>& log() const noexcept {
+    return log_;
+  }
+
+ private:
+  struct Pinhole {
+    net::Address peer;
+    net::AppProto proto;
+  };
+
+  net::Network* net_;
+  net::NodeId node_;
+  PolicyAuthority authority_;
+  std::map<net::AppProto, bool> admin_allowed_;
+  std::map<std::uint64_t, Pinhole> pinholes_;
+  std::vector<std::pair<PinholeRequest, PinholeGrant>> log_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tussle::trust

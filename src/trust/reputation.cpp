@@ -1,0 +1,45 @@
+#include "trust/reputation.hpp"
+
+namespace tussle::trust {
+
+void ReputationSystem::record(const std::string& rater, const std::string& subject,
+                              bool positive) {
+  Tally& t = subjects_[subject];
+  t.total += 1;
+  if (positive) t.positive += 1;
+  reports_.push_back(Report{rater, subject, positive});
+}
+
+double ReputationSystem::score(const std::string& subject) const {
+  auto it = subjects_.find(subject);
+  if (it == subjects_.end()) return 0.5;
+  const Tally& t = it->second;
+  return (static_cast<double>(t.positive) + 1.0) / (static_cast<double>(t.total) + 2.0);
+}
+
+std::size_t ReputationSystem::report_count(const std::string& subject) const {
+  auto it = subjects_.find(subject);
+  return it == subjects_.end() ? 0 : it->second.total;
+}
+
+std::vector<std::string> ReputationSystem::outlier_raters(double threshold,
+                                                          std::size_t min_reports) const {
+  std::map<std::string, std::pair<std::size_t, std::size_t>> divergence;  // rater → {div, n}
+  for (const Report& r : reports_) {
+    const double consensus = score(r.subject);
+    const bool consensus_positive = consensus >= 0.5;
+    auto& [div, n] = divergence[r.rater];
+    ++n;
+    if (r.positive != consensus_positive) ++div;
+  }
+  std::vector<std::string> out;
+  for (const auto& [rater, dn] : divergence) {
+    if (dn.second >= min_reports &&
+        static_cast<double>(dn.first) / static_cast<double>(dn.second) > threshold) {
+      out.push_back(rater);
+    }
+  }
+  return out;
+}
+
+}  // namespace tussle::trust

@@ -1,0 +1,46 @@
+// Reputation: the third-party rating services the paper predicts ("the
+// on-line analog of Consumer Reports", §IV-B; "web sites assess and report
+// the reputation of other sites", §V-B).
+//
+// Scores use a Beta-prior estimator: score = (positives + 1) / (total + 2),
+// so unknown parties start at 0.5 and single reports move the needle only
+// modestly — resistant to trivial whitewashing.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tussle::trust {
+
+class ReputationSystem {
+ public:
+  /// Records one interaction outcome about `subject` from `rater`.
+  void record(const std::string& rater, const std::string& subject, bool positive);
+
+  /// Beta-mean score in (0, 1); 0.5 for unknown subjects.
+  double score(const std::string& subject) const;
+
+  std::size_t report_count(const std::string& subject) const;
+
+  /// Raters whose judgement diverges from the consensus more than
+  /// `threshold` of the time (potential shills / slanderers). Only raters
+  /// with at least `min_reports` are considered.
+  std::vector<std::string> outlier_raters(double threshold, std::size_t min_reports) const;
+
+ private:
+  struct Tally {
+    std::size_t positive = 0;
+    std::size_t total = 0;
+  };
+  std::map<std::string, Tally> subjects_;
+  struct Report {
+    std::string rater;
+    std::string subject;
+    bool positive;
+  };
+  std::vector<Report> reports_;
+};
+
+}  // namespace tussle::trust

@@ -1,0 +1,105 @@
+#include "apps/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::apps {
+namespace {
+
+TEST(JainsIndex, KnownValues) {
+  EXPECT_DOUBLE_EQ(jains_index({1, 1, 1, 1}), 1.0);
+  EXPECT_NEAR(jains_index({1, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jains_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jains_index({0, 0}), 0.0);
+}
+
+TEST(Congestion, AllCompliantSharesFairlyAndFillsThePipe) {
+  CongestionConfig cfg;
+  auto r = run_congestion(cfg);
+  EXPECT_GT(r.utilization, 0.7);
+  EXPECT_GT(r.jains_fairness, 0.95);
+  EXPECT_NEAR(r.compliant_goodput_mean, cfg.capacity / cfg.senders, 1.5);
+}
+
+TEST(Congestion, OneCheaterStarvesTheCompliant) {
+  CongestionConfig cfg;
+  cfg.aggressive_fraction = 0.05;  // 1 of 20
+  auto r = run_congestion(cfg);
+  EXPECT_GT(r.aggressive_goodput_mean, 3.0 * r.compliant_goodput_mean);
+}
+
+TEST(Congestion, CollapseScalesWithCheaterFraction) {
+  auto compliant_at = [](double f) {
+    CongestionConfig cfg;
+    cfg.aggressive_fraction = f;
+    return run_congestion(cfg).compliant_goodput_mean;
+  };
+  const double none = compliant_at(0.0);
+  const double some = compliant_at(0.25);
+  const double many = compliant_at(0.5);
+  EXPECT_GT(none, some);
+  EXPECT_GT(some, many);
+  EXPECT_LT(many, 0.3 * none);  // the "current situation cannot hold" claim
+}
+
+TEST(Congestion, FairQueueingBoundsTheTussle) {
+  // The technical-mechanism answer: per-flow fairness at the router makes
+  // cheating pointless.
+  CongestionConfig cfg;
+  cfg.aggressive_fraction = 0.25;
+  cfg.fair_queueing = true;
+  auto r = run_congestion(cfg);
+  EXPECT_GT(r.jains_fairness, 0.9);
+  // Cheaters keep only the spare capacity AIMD leaves on the table (a
+  // bounded ~2x edge), instead of the >3x starvation seen under FIFO.
+  EXPECT_LT(r.aggressive_goodput_mean, 2.0 * r.compliant_goodput_mean);
+  EXPECT_GT(r.compliant_goodput_mean,
+            0.7 * (100.0 / 20.0));  // compliant hold most of their fair share
+}
+
+TEST(Congestion, FairQueueingVsFifoUnderAttack) {
+  CongestionConfig fifo;
+  fifo.aggressive_fraction = 0.25;
+  CongestionConfig fq = fifo;
+  fq.fair_queueing = true;
+  const auto r_fifo = run_congestion(fifo);
+  const auto r_fq = run_congestion(fq);
+  EXPECT_GT(r_fq.compliant_goodput_mean, 1.5 * r_fifo.compliant_goodput_mean);
+}
+
+TEST(Congestion, AllAggressiveOverloadsAndLoses) {
+  CongestionConfig cfg;
+  cfg.aggressive_fraction = 1.0;
+  auto r = run_congestion(cfg);
+  EXPECT_GT(r.loss_rate, 0.5);  // offered 20*50 on capacity 100
+  EXPECT_NEAR(r.utilization, 1.0, 0.01);
+}
+
+TEST(Congestion, UnderloadedNetworkHasNoLoss) {
+  CongestionConfig cfg;
+  cfg.senders = 2;
+  cfg.capacity = 1e9;
+  cfg.rounds = 100;
+  auto r = run_congestion(cfg);
+  EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+}
+
+// Sweep reproduced in bench_congestion — keep shape assertions here.
+class CheaterSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CheaterSweep, CheatersAlwaysAtLeastMatchCompliant) {
+  CongestionConfig cfg;
+  cfg.aggressive_fraction = GetParam();
+  auto r = run_congestion(cfg);
+  if (GetParam() > 0 && GetParam() < 1.0) {
+    EXPECT_GE(r.aggressive_goodput_mean, r.compliant_goodput_mean - 1e-9);
+  }
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  EXPECT_GE(r.jains_fairness, 0.0);
+  EXPECT_LE(r.jains_fairness, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, CheaterSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace tussle::apps

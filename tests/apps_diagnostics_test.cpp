@@ -1,0 +1,119 @@
+#include "apps/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "routing/link_state.hpp"
+
+namespace tussle::apps {
+namespace {
+
+using net::Address;
+using net::NodeId;
+
+struct Fixture {
+  sim::Simulator sim{19};
+  net::Network net{sim};
+  std::vector<NodeId> ids;
+  std::vector<Address> addrs;
+  std::vector<std::shared_ptr<AppMux>> muxes;
+
+  Fixture() {
+    ids = net::build_star(net, 3, 1, net::LinkSpec{});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+      muxes.push_back(AppMux::install(net.node(ids[i])));
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+    net.enable_fault_reporting(true);
+  }
+};
+
+TEST(FaultProbe, CleanPathIsDelivered) {
+  Fixture f;
+  FaultProbe probe(f.net, f.ids[1], f.muxes[1], f.muxes[2]);
+  auto d = probe.probe(f.addrs[1], f.addrs[2], net::AppProto::kWeb);
+  EXPECT_EQ(d.outcome, FaultProbe::Outcome::kDelivered);
+  EXPECT_TRUE(d.actionable());
+}
+
+TEST(FaultProbe, DisclosedFilterIsAttributed) {
+  Fixture f;
+  f.net.node(f.ids[0]).add_filter(net::PacketFilter{
+      .name = "hub-fw",
+      .disclosed = true,
+      .fn = [](const net::Packet& p) {
+        return p.observable_proto() == net::AppProto::kP2p
+                   ? net::FilterDecision::drop("hub-fw:no-p2p")
+                   : net::FilterDecision::accept();
+      }});
+  FaultProbe probe(f.net, f.ids[1], f.muxes[1], f.muxes[2]);
+  auto d = probe.probe(f.addrs[1], f.addrs[2], net::AppProto::kP2p);
+  EXPECT_EQ(d.outcome, FaultProbe::Outcome::kFilteredReported);
+  EXPECT_EQ(d.reporting_node, f.ids[0]);
+  EXPECT_EQ(d.reason, "hub-fw:no-p2p");
+  EXPECT_TRUE(d.actionable());
+}
+
+TEST(FaultProbe, UndisclosedFilterIsSilentLoss) {
+  // "Some devices that impair transparency may intentionally give no error
+  // information" (§VI-A) — the probe detects loss but cannot attribute it.
+  Fixture f;
+  f.net.node(f.ids[0]).add_filter(net::PacketFilter{
+      .name = "covert-censor",
+      .disclosed = false,
+      .fn = [](const net::Packet& p) {
+        return p.observable_proto() == net::AppProto::kP2p
+                   ? net::FilterDecision::drop("secret")
+                   : net::FilterDecision::accept();
+      }});
+  FaultProbe probe(f.net, f.ids[1], f.muxes[1], f.muxes[2]);
+  auto d = probe.probe(f.addrs[1], f.addrs[2], net::AppProto::kP2p);
+  EXPECT_EQ(d.outcome, FaultProbe::Outcome::kSilentLoss);
+  EXPECT_FALSE(d.actionable());
+}
+
+TEST(FaultProbe, ReportingOffMeansSilentEvenWhenDisclosed) {
+  Fixture f;
+  f.net.enable_fault_reporting(false);
+  f.net.node(f.ids[0]).add_filter(net::PacketFilter{
+      .name = "hub-fw",
+      .disclosed = true,
+      .fn = [](const net::Packet&) { return net::FilterDecision::drop("always"); }});
+  FaultProbe probe(f.net, f.ids[1], f.muxes[1], f.muxes[2]);
+  auto d = probe.probe(f.addrs[1], f.addrs[2], net::AppProto::kWeb);
+  EXPECT_EQ(d.outcome, FaultProbe::Outcome::kSilentLoss);
+}
+
+TEST(FaultProbe, EncryptedProbeEvadesTheFilterItDiagnosed) {
+  // The full tussle loop in two probes: diagnose, then counter-move.
+  Fixture f;
+  f.net.node(f.ids[0]).add_filter(net::PacketFilter{
+      .name = "hub-fw",
+      .disclosed = true,
+      .fn = [](const net::Packet& p) {
+        return p.observable_proto() == net::AppProto::kP2p
+                   ? net::FilterDecision::drop("hub-fw:no-p2p")
+                   : net::FilterDecision::accept();
+      }});
+  FaultProbe probe(f.net, f.ids[1], f.muxes[1], f.muxes[2]);
+  auto before = probe.probe(f.addrs[1], f.addrs[2], net::AppProto::kP2p);
+  EXPECT_EQ(before.outcome, FaultProbe::Outcome::kFilteredReported);
+  auto after = probe.probe(f.addrs[1], f.addrs[2], net::AppProto::kP2p, /*encrypted=*/true);
+  EXPECT_EQ(after.outcome, FaultProbe::Outcome::kDelivered);
+}
+
+TEST(FaultProbe, SequentialProbesIndependent) {
+  Fixture f;
+  FaultProbe probe(f.net, f.ids[1], f.muxes[1], f.muxes[2]);
+  for (int i = 0; i < 5; ++i) {
+    auto d = probe.probe(f.addrs[1], f.addrs[2], net::AppProto::kWeb);
+    EXPECT_EQ(d.outcome, FaultProbe::Outcome::kDelivered) << "probe " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tussle::apps

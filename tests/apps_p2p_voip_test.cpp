@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "apps/attack.hpp"
+#include "apps/p2p.hpp"
+#include "apps/voip.hpp"
+#include "net/topology.hpp"
+#include "routing/link_state.hpp"
+
+namespace tussle::apps {
+namespace {
+
+using net::Address;
+using net::NodeId;
+
+struct Fixture {
+  sim::Simulator sim{11};
+  net::Network net{sim};
+  std::vector<NodeId> ids;
+  std::vector<Address> addrs;
+  std::vector<std::shared_ptr<AppMux>> muxes;
+
+  explicit Fixture(std::size_t leaves = 6) {
+    ids = net::build_star(net, leaves, 1, net::LinkSpec{});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+      muxes.push_back(AppMux::install(net.node(ids[i])));
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+  }
+};
+
+TEST(P2p, ShareAndFetch) {
+  Fixture f;
+  P2pIndex index;
+  P2pPeer seeder(f.net, f.ids[1], f.addrs[1], index, f.muxes[1]);
+  P2pPeer leecher(f.net, f.ids[2], f.addrs[2], index, f.muxes[2]);
+  seeder.share("song.mp3");
+  EXPECT_EQ(index.catalog_size(), 1u);
+  auto holder = leecher.fetch("song.mp3");
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(*holder, f.addrs[1]);
+  f.sim.run();
+  EXPECT_TRUE(leecher.has("song.mp3"));
+  EXPECT_EQ(seeder.uploads(), 1u);
+  EXPECT_EQ(leecher.downloads(), 1u);
+}
+
+TEST(P2p, DownloaderBecomesHolderMutualAid) {
+  Fixture f;
+  P2pIndex index;
+  P2pPeer seeder(f.net, f.ids[1], f.addrs[1], index, f.muxes[1]);
+  P2pPeer a(f.net, f.ids[2], f.addrs[2], index, f.muxes[2]);
+  seeder.share("song.mp3");
+  a.fetch("song.mp3");
+  f.sim.run();
+  EXPECT_EQ(index.holders("song.mp3").size(), 2u);  // seeder + a
+}
+
+TEST(P2p, LeastLoadedHolderSpreadsUploads) {
+  Fixture f;
+  P2pIndex index;
+  P2pPeer s1(f.net, f.ids[1], f.addrs[1], index, f.muxes[1]);
+  P2pPeer s2(f.net, f.ids[2], f.addrs[2], index, f.muxes[2]);
+  s1.share("x");
+  s2.share("x");
+  index.record_contribution(f.addrs[1], 1'000'000);  // s1 already carried a lot
+  P2pPeer leecher(f.net, f.ids[3], f.addrs[3], index, f.muxes[3]);
+  auto holder = leecher.fetch("x");
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(*holder, f.addrs[2]);
+}
+
+TEST(P2p, InjunctionEmptiesTheIndexButNotTheLibraries) {
+  // The rights-holder tussle hits the *index* (Napster), not the copies.
+  Fixture f;
+  P2pIndex index;
+  P2pPeer seeder(f.net, f.ids[1], f.addrs[1], index, f.muxes[1]);
+  seeder.share("song.mp3");
+  index.unpublish_all("song.mp3");
+  P2pPeer leecher(f.net, f.ids[2], f.addrs[2], index, f.muxes[2]);
+  EXPECT_FALSE(leecher.fetch("song.mp3").has_value());
+  EXPECT_TRUE(seeder.has("song.mp3"));  // the content did not disappear
+}
+
+TEST(P2p, StaleIndexEntryIgnoredByNonHolder) {
+  Fixture f;
+  P2pIndex index;
+  P2pPeer liar(f.net, f.ids[1], f.addrs[1], index, f.muxes[1]);
+  index.publish("ghost", f.addrs[1]);  // listed but not actually held
+  P2pPeer leecher(f.net, f.ids[2], f.addrs[2], index, f.muxes[2]);
+  leecher.fetch("ghost");
+  f.sim.run();
+  EXPECT_FALSE(leecher.has("ghost"));
+  EXPECT_EQ(liar.uploads(), 0u);
+}
+
+TEST(Voip, CleanNetworkScoresHigh) {
+  Fixture f;
+  VoipSession call(f.net, f.ids[1], f.addrs[1], f.addrs[2], net::ServiceClass::kPremium);
+  VoipSession::attach_receiver(f.muxes[2], call);
+  call.start(200, sim::Duration::millis(20));
+  f.sim.run();
+  EXPECT_EQ(call.frames_received(), 200u);
+  EXPECT_DOUBLE_EQ(call.loss_rate(), 0.0);
+  EXPECT_GT(call.mos(), 4.0);
+}
+
+TEST(Voip, LossTanksTheScore) {
+  Fixture f;
+  // Random filter drops half the voice frames at the hub.
+  f.net.node(f.ids[0]).add_filter(net::PacketFilter{
+      .name = "lossy",
+      .disclosed = true,
+      .fn = [&f](const net::Packet& p) {
+        if (p.proto == net::AppProto::kVoip && f.sim.rng().bernoulli(0.5)) {
+          return net::FilterDecision::drop("loss");
+        }
+        return net::FilterDecision::accept();
+      }});
+  VoipSession call(f.net, f.ids[1], f.addrs[1], f.addrs[2], net::ServiceClass::kBestEffort);
+  VoipSession::attach_receiver(f.muxes[2], call);
+  call.start(200, sim::Duration::millis(20));
+  f.sim.run();
+  EXPECT_GT(call.loss_rate(), 0.3);
+  EXPECT_LT(call.mos(), 2.0);
+}
+
+TEST(Voip, PremiumBeatsBestEffortUnderCongestion) {
+  // Two calls share a slow, priority-queued uplink while background junk
+  // floods the best-effort class.
+  sim::Simulator sim{13};
+  net::Network net(sim);
+  NodeId a = net.add_node(1), r = net.add_node(1), b = net.add_node(1);
+  net.connect(a, r, 2e6, sim::Duration::millis(2), net::QueueKind::kPriority, 20);
+  net.connect(r, b, 50e6, sim::Duration::millis(2));
+  Address addr_a{.provider = 1, .subscriber = 1, .host = 1};
+  Address addr_b{.provider = 1, .subscriber = 2, .host = 1};
+  net.node(a).add_address(addr_a);
+  net.node(b).add_address(addr_b);
+  net.node(a).forwarding().set_default_route(0);
+  net.node(r).forwarding().set_prefix_route(prefix_of(addr_a), 0);
+  net.node(r).forwarding().set_prefix_route(prefix_of(addr_b), 1);
+  net.node(b).forwarding().set_default_route(0);
+  auto mux_b = AppMux::install(net.node(b));
+
+  VoipSession premium(net, a, addr_a, addr_b, net::ServiceClass::kPremium);
+  VoipSession best(net, a, addr_a, addr_b, net::ServiceClass::kBestEffort);
+  // Both can't attach to one mux (same proto) — run them sequentially.
+  VoipSession::attach_receiver(mux_b, premium);
+  premium.start(100, sim::Duration::millis(10));
+  // Background flood from a in the best-effort class.
+  for (int i = 0; i < 400; ++i) {
+    sim.schedule(sim::Duration::millis(2) * static_cast<double>(i), [&net, a, addr_a, addr_b]() {
+      net::Packet junk;
+      junk.src = addr_a;
+      junk.dst = addr_b;
+      junk.proto = net::AppProto::kUnknown;
+      junk.size_bytes = 1500;
+      net.node(a).originate(std::move(junk));
+    });
+  }
+  sim.run();
+  const double premium_mos = premium.mos();
+
+  VoipSession::attach_receiver(mux_b, best);
+  best.start(100, sim::Duration::millis(10));
+  for (int i = 0; i < 400; ++i) {
+    sim.schedule(sim::Duration::millis(2) * static_cast<double>(i), [&net, a, addr_a, addr_b]() {
+      net::Packet junk;
+      junk.src = addr_a;
+      junk.dst = addr_b;
+      junk.proto = net::AppProto::kUnknown;
+      junk.size_bytes = 1500;
+      net.node(a).originate(std::move(junk));
+    });
+  }
+  sim.run();
+  EXPECT_GT(premium_mos, best.mos());
+  EXPECT_GT(premium_mos, 3.5);
+}
+
+TEST(Attack, FloodOverwhelmsVictimLink) {
+  Fixture f;
+  DosFlooder flood(f.net, {f.ids[1], f.ids[2], f.ids[3]}, f.addrs[4]);
+  flood.launch(300, sim::Duration::micros(100));
+  f.sim.run();
+  EXPECT_EQ(flood.packets_launched(), 900u);
+  EXPECT_GT(f.net.counters().dropped_queue.value(), 0);
+}
+
+TEST(Attack, SpoofedFloodHasGarbageSources) {
+  Fixture f;
+  int spoofed_seen = 0;
+  f.net.set_delivery_observer([&](const net::Packet& p, NodeId) {
+    if (p.payload_tag == "flood" && p.src.provider != 1) ++spoofed_seen;
+  });
+  DosFlooder flood(f.net, {f.ids[1]}, f.addrs[4]);
+  flood.launch(50, sim::Duration::millis(1), /*spoof=*/true);
+  f.sim.run();
+  EXPECT_GT(spoofed_seen, 40);
+}
+
+TEST(Attack, ScannerCountsProbes) {
+  Fixture f;
+  Scanner s(f.net, f.ids[1], f.addrs[1]);
+  s.probe({f.addrs[2], f.addrs[3], f.addrs[4]});
+  f.sim.run();
+  EXPECT_EQ(s.probes_sent(), 3u);
+  EXPECT_EQ(f.net.counters().delivered.value(), 3);
+}
+
+}  // namespace
+}  // namespace tussle::apps

@@ -1,0 +1,136 @@
+#include "apps/stego.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "routing/link_state.hpp"
+
+namespace tussle::apps {
+namespace {
+
+using net::Address;
+using net::NodeId;
+
+TEST(Stego, WrappingHidesCompletely) {
+  net::Packet p;
+  p.proto = net::AppProto::kP2p;
+  net::Packet s = steganographize(p, net::AppProto::kWeb);
+  EXPECT_EQ(s.observable_proto(), net::AppProto::kWeb);
+  EXPECT_FALSE(s.visibly_opaque());  // unlike encryption, hiding is hidden
+  EXPECT_EQ(effective_proto(s), net::AppProto::kP2p);
+  EXPECT_EQ(effective_proto(p), net::AppProto::kP2p);
+}
+
+TEST(Stego, EncryptionVsSteganographyVisibility) {
+  net::Packet enc;
+  enc.proto = net::AppProto::kP2p;
+  enc.encrypted = true;
+  net::Packet steg = steganographize(net::Packet{.proto = net::AppProto::kP2p},
+                                     net::AppProto::kWeb);
+  EXPECT_TRUE(enc.visibly_opaque());    // fn.14/§V-B-1: hiding is detectable
+  EXPECT_FALSE(steg.visibly_opaque());  // fn.17: the next escalation isn't
+}
+
+struct Fixture {
+  sim::Simulator sim{43};
+  net::Network net{sim};
+  std::vector<NodeId> ids;
+  std::vector<Address> addrs;
+
+  Fixture() {
+    ids = net::build_star(net, 2, 1, net::LinkSpec{});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+  }
+
+  void blast(int n, bool stego) {
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(sim::Duration::millis(2 * i), [this, stego]() {
+        net::Packet p;
+        p.src = addrs[1];
+        p.dst = addrs[2];
+        p.proto = net::AppProto::kP2p;
+        if (stego) p = steganographize(std::move(p), net::AppProto::kWeb);
+        else p.proto = net::AppProto::kWeb;  // genuinely innocent web
+        net.node(ids[1]).originate(std::move(p));
+      });
+    }
+  }
+};
+
+TEST(StegoDetector, CatchesConfiguredFraction) {
+  Fixture f;
+  auto stats = std::make_shared<StegoDetectorStats>();
+  f.net.node(f.ids[0]).add_filter(
+      make_stego_detector(f.net, "classifier", net::AppProto::kWeb, 0.7, 0.0, stats));
+  f.blast(200, /*stego=*/true);
+  f.sim.run();
+  EXPECT_NEAR(static_cast<double>(stats->true_positives) / 200.0, 0.7, 0.08);
+  EXPECT_EQ(stats->false_positives, 0u);
+  EXPECT_EQ(stats->true_positives + stats->missed, 200u);
+}
+
+TEST(StegoDetector, FalsePositivesHurtInnocents) {
+  Fixture f;
+  auto stats = std::make_shared<StegoDetectorStats>();
+  f.net.node(f.ids[0]).add_filter(
+      make_stego_detector(f.net, "classifier", net::AppProto::kWeb, 0.7, 0.1, stats));
+  f.blast(200, /*stego=*/false);
+  f.sim.run();
+  EXPECT_NEAR(static_cast<double>(stats->false_positives) / 200.0, 0.1, 0.06);
+  EXPECT_EQ(f.net.counters().delivered.value(),
+            200 - static_cast<int>(stats->false_positives));
+}
+
+TEST(StegoDetector, IgnoresOtherCovers) {
+  Fixture f;
+  auto stats = std::make_shared<StegoDetectorStats>();
+  f.net.node(f.ids[0]).add_filter(
+      make_stego_detector(f.net, "classifier", net::AppProto::kMail, 1.0, 1.0, stats));
+  f.blast(50, /*stego=*/true);  // cover is web, detector watches mail
+  f.sim.run();
+  EXPECT_EQ(stats->true_positives + stats->false_positives, 0u);
+  EXPECT_EQ(f.net.counters().delivered.value(), 50);
+}
+
+TEST(StegoDetector, DetectorIsUndisclosed) {
+  Fixture f;
+  f.net.node(f.ids[0]).add_filter(
+      make_stego_detector(f.net, "classifier", net::AppProto::kWeb, 0.5, 0.01));
+  EXPECT_TRUE(f.net.node(f.ids[0]).disclosed_filter_names().empty());
+}
+
+TEST(Stego, DefeatsOpacityBan) {
+  // fn.17 end-to-end: a filter that drops everything opaque cannot see
+  // steganographic traffic at all.
+  Fixture f;
+  f.net.node(f.ids[0]).add_filter(net::PacketFilter{
+      .name = "opacity-ban",
+      .disclosed = true,
+      .fn = [](const net::Packet& p) {
+        return p.visibly_opaque() ? net::FilterDecision::drop("no-hiding")
+                                  : net::FilterDecision::accept();
+      }});
+  net::Packet enc;
+  enc.src = f.addrs[1];
+  enc.dst = f.addrs[2];
+  enc.proto = net::AppProto::kP2p;
+  enc.encrypted = true;
+  f.net.node(f.ids[1]).originate(std::move(enc));
+  net::Packet steg;
+  steg.src = f.addrs[1];
+  steg.dst = f.addrs[2];
+  steg.proto = net::AppProto::kP2p;
+  f.net.node(f.ids[1]).originate(steganographize(std::move(steg), net::AppProto::kWeb));
+  f.sim.run();
+  EXPECT_EQ(f.net.counters().dropped_filter.value(), 1);  // the encrypted one
+  EXPECT_EQ(f.net.counters().delivered.value(), 1);       // the stego one
+}
+
+}  // namespace
+}  // namespace tussle::apps

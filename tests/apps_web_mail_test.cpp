@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "apps/mail.hpp"
+#include "apps/web.hpp"
+#include "net/topology.hpp"
+#include "routing/link_state.hpp"
+
+namespace tussle::apps {
+namespace {
+
+using net::Address;
+using net::NodeId;
+
+/// Star with routed addresses on every leaf, hub as router.
+struct Fixture {
+  sim::Simulator sim{7};
+  net::Network net{sim};
+  std::vector<NodeId> ids;
+  std::vector<Address> addrs;
+  std::vector<std::shared_ptr<AppMux>> muxes;
+
+  explicit Fixture(std::size_t leaves = 5) {
+    ids = net::build_star(net, leaves, 1, net::LinkSpec{});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+      muxes.push_back(AppMux::install(net.node(ids[i])));
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+  }
+};
+
+TEST(Web, RequestResponseRoundTrip) {
+  Fixture f;
+  WebServer server(f.net, f.ids[1], f.addrs[1], f.muxes[1]);
+  WebClient client(f.net, f.ids[2], f.addrs[2], f.muxes[2]);
+  client.request(server.address());
+  f.sim.run();
+  EXPECT_EQ(server.requests_served(), 1u);
+  EXPECT_EQ(client.responses(), 1u);
+  EXPECT_EQ(client.outstanding(), 0u);
+  EXPECT_GT(client.latency_s().mean(), 0.0);
+}
+
+TEST(Web, MultipleRequestsMatchedByTag) {
+  Fixture f;
+  WebServer server(f.net, f.ids[1], f.addrs[1], f.muxes[1]);
+  WebClient client(f.net, f.ids[2], f.addrs[2], f.muxes[2]);
+  for (int i = 0; i < 10; ++i) client.request(server.address());
+  f.sim.run();
+  EXPECT_EQ(client.responses(), 10u);
+  EXPECT_EQ(client.latency_s().count(), 10u);
+}
+
+TEST(Web, EncryptedRequestGetsEncryptedResponse) {
+  Fixture f;
+  // DPI on the hub drops visible web traffic.
+  f.net.node(f.ids[0]).add_filter(net::PacketFilter{
+      .name = "dpi",
+      .disclosed = false,
+      .fn = [](const net::Packet& p) {
+        return p.observable_proto() == net::AppProto::kWeb
+                   ? net::FilterDecision::drop("no-web")
+                   : net::FilterDecision::accept();
+      }});
+  WebServer server(f.net, f.ids[1], f.addrs[1], f.muxes[1]);
+  WebClient blocked(f.net, f.ids[2], f.addrs[2], f.muxes[2]);
+  blocked.request(server.address(), /*encrypted=*/false);
+  f.sim.run();
+  EXPECT_EQ(blocked.responses(), 0u);
+
+  WebClient covert(f.net, f.ids[3], f.addrs[3], f.muxes[3]);
+  covert.request(server.address(), /*encrypted=*/true);
+  f.sim.run();
+  EXPECT_EQ(covert.responses(), 1u);  // §VI-A: encryption defeats the peeker
+}
+
+TEST(Mail, DeliveredThroughChosenRelay) {
+  Fixture f;
+  MailRelay relay(f.net, f.ids[1], f.addrs[1], f.muxes[1], 1.0, 0.0);
+  MailUser alice(f.net, f.ids[2], f.addrs[2], f.muxes[2]);
+  MailUser bob(f.net, f.ids[3], f.addrs[3], f.muxes[3]);
+  alice.choose_relay(relay.address());
+  alice.send(f.addrs[3]);
+  f.sim.run();
+  EXPECT_EQ(bob.received(), 1u);
+  EXPECT_EQ(relay.relayed(), 1u);
+}
+
+TEST(Mail, UnreliableRelayLosesMail) {
+  Fixture f;
+  MailRelay flaky(f.net, f.ids[1], f.addrs[1], f.muxes[1], /*reliability=*/0.5, 0.0);
+  MailUser alice(f.net, f.ids[2], f.addrs[2], f.muxes[2]);
+  MailUser bob(f.net, f.ids[3], f.addrs[3], f.muxes[3]);
+  alice.choose_relay(flaky.address());
+  for (int i = 0; i < 200; ++i) {
+    // Pace the sends so the access link queue (64 packets) never drops.
+    f.sim.schedule(sim::Duration::millis(5) * static_cast<double>(i),
+                   [&alice, &f]() { alice.send(f.addrs[3]); });
+  }
+  f.sim.run();
+  EXPECT_GT(bob.received(), 60u);
+  EXPECT_LT(bob.received(), 140u);
+  EXPECT_EQ(flaky.relayed() + flaky.dropped(), 200u);
+}
+
+TEST(Mail, SwitchingRelayIsTheChoicePoint) {
+  // §IV-B: the user avoids the unreliable relay by re-pointing one knob.
+  Fixture f;
+  MailRelay bad(f.net, f.ids[1], f.addrs[1], f.muxes[1], 0.0, 0.0);   // loses all
+  MailRelay good(f.net, f.ids[4], f.addrs[4], f.muxes[4], 1.0, 0.0);
+  MailUser alice(f.net, f.ids[2], f.addrs[2], f.muxes[2]);
+  MailUser bob(f.net, f.ids[3], f.addrs[3], f.muxes[3]);
+  alice.choose_relay(bad.address());
+  alice.send(f.addrs[3]);
+  f.sim.run();
+  EXPECT_EQ(bob.received(), 0u);
+  alice.choose_relay(good.address());
+  alice.send(f.addrs[3]);
+  f.sim.run();
+  EXPECT_EQ(bob.received(), 1u);
+}
+
+TEST(Mail, SpamFilterQualityMatters) {
+  Fixture f;
+  MailRelay filtering(f.net, f.ids[1], f.addrs[1], f.muxes[1], 1.0, /*spam_filter=*/0.9);
+  MailUser spammer(f.net, f.ids[2], f.addrs[2], f.muxes[2]);
+  MailUser victim(f.net, f.ids[3], f.addrs[3], f.muxes[3]);
+  spammer.choose_relay(filtering.address());
+  for (int i = 0; i < 100; ++i) {
+    f.sim.schedule(sim::Duration::millis(5) * static_cast<double>(i),
+                   [&spammer, &f]() { spammer.send(f.addrs[3], /*spam=*/true); });
+  }
+  f.sim.run();
+  EXPECT_LT(victim.spam_received(), 30u);
+  EXPECT_GT(filtering.spam_blocked(), 70u);
+}
+
+TEST(Mail, NoRelayChosenDeliversDirect) {
+  Fixture f;
+  MailUser alice(f.net, f.ids[2], f.addrs[2], f.muxes[2]);
+  MailUser bob(f.net, f.ids[3], f.addrs[3], f.muxes[3]);
+  alice.send(f.addrs[3]);
+  f.sim.run();
+  EXPECT_EQ(bob.received(), 1u);
+}
+
+}  // namespace
+}  // namespace tussle::apps

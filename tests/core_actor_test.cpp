@@ -1,0 +1,130 @@
+#include "core/actor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::core {
+namespace {
+
+Actor user() {
+  return Actor{"alice", ActorKind::kUser, {{"privacy", +1.0}, {"openness", +1.0}}};
+}
+Actor isp() {
+  return Actor{"bigisp", ActorKind::kCommercialIsp, {{"revenue", +1.0}, {"openness", -0.5}}};
+}
+Actor gov() {
+  return Actor{"gov", ActorKind::kGovernment, {{"privacy", -1.0}, {"security", +1.0}}};
+}
+
+TEST(ActorNetwork, AddAndFind) {
+  ActorNetwork n;
+  auto a = n.add(user());
+  auto b = n.add(isp());
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.find("alice"), a);
+  EXPECT_EQ(n.find("bigisp"), b);
+  EXPECT_FALSE(n.find("nobody").has_value());
+  EXPECT_EQ(n.actor(a).kind, ActorKind::kUser);
+}
+
+TEST(ActorNetwork, AlignmentSymmetricAndClamped) {
+  ActorNetwork n;
+  auto a = n.add(user());
+  auto b = n.add(isp());
+  n.align(a, b, 0.7);
+  EXPECT_DOUBLE_EQ(n.alignment(a, b), 0.7);
+  EXPECT_DOUBLE_EQ(n.alignment(b, a), 0.7);
+  n.align(a, b, 1.8);
+  EXPECT_DOUBLE_EQ(n.alignment(a, b), 1.0);
+  EXPECT_THROW(n.align(a, a, 0.5), std::invalid_argument);
+  EXPECT_THROW(n.align(a, 99, 0.5), std::out_of_range);
+}
+
+TEST(ActorNetwork, DurabilityIsMeanPairwiseAlignment) {
+  ActorNetwork n;
+  auto a = n.add(user());
+  auto b = n.add(isp());
+  auto c = n.add(gov());
+  n.align(a, b, 0.9);
+  n.align(b, c, 0.3);
+  // pair (a,c) unaligned = 0; mean over 3 pairs = 0.4.
+  EXPECT_NEAR(n.durability(), 0.4, 1e-12);
+}
+
+TEST(ActorNetwork, AdverseInterestsDetected) {
+  ActorNetwork n;
+  auto a = n.add(user());   // privacy +1
+  auto b = n.add(isp());    // openness -0.5 vs alice's +1
+  auto c = n.add(gov());    // privacy -1 vs alice's +1
+  EXPECT_TRUE(n.adverse(a, c));
+  EXPECT_TRUE(n.adverse(a, b));
+  EXPECT_FALSE(n.adverse(b, c));  // no opposed shared space
+  EXPECT_EQ(n.adverse_pairs(), 2u);
+}
+
+TEST(ActorNetwork, EntryDisruptsDurability) {
+  // §II-C: "the entrance of new actors ... creates continuous churn."
+  ActorNetwork n;
+  auto a = n.add(user());
+  auto b = n.add(isp());
+  n.align(a, b, 1.0);
+  const double before = n.durability();
+  const double drop = n.enter(gov(), /*disruption=*/0.2);
+  EXPECT_GT(drop, 0.0);
+  EXPECT_LT(n.durability(), before);
+  EXPECT_EQ(n.size(), 3u);
+}
+
+TEST(ActorNetwork, AnnealFreezesTheNetwork) {
+  // §II-C: no new entrants ⇒ alignments harden ⇒ the Internet freezes.
+  ActorNetwork n;
+  auto a = n.add(user());
+  auto b = n.add(isp());
+  auto c = n.add(gov());
+  n.align(a, b, 0.1);
+  n.align(b, c, 0.1);
+  n.align(a, c, 0.1);
+  n.anneal(0.2, 50);
+  EXPECT_GT(n.durability(), 0.95);
+}
+
+TEST(ActorNetwork, AdversePairsAnnealSlower) {
+  ActorNetwork n;
+  auto a = n.add(user());
+  auto c = n.add(gov());    // adverse to user
+  auto b = n.add(isp());
+  auto d = n.add(Actor{"cdn", ActorKind::kContentProvider, {{"revenue", 1.0}}});
+  n.align(a, c, 0.0);
+  n.align(b, d, 0.0);
+  n.anneal(0.1, 10);
+  EXPECT_LT(n.alignment(a, c), n.alignment(b, d));
+}
+
+TEST(ActorNetwork, ChurnVersusFreezeRace) {
+  // With periodic entry, durability stays bounded away from 1 — the
+  // paper's "innovation ... a pre-condition of a durably formed and
+  // unchangeable Internet" run both ways.
+  ActorNetwork frozen, churning;
+  for (int i = 0; i < 4; ++i) {
+    frozen.add(Actor{"f" + std::to_string(i), ActorKind::kUser, {}});
+    churning.add(Actor{"c" + std::to_string(i), ActorKind::kUser, {}});
+  }
+  for (int round = 0; round < 20; ++round) {
+    frozen.anneal(0.15, 1);
+    churning.anneal(0.15, 1);
+    if (round % 3 == 0) {
+      churning.enter(Actor{"new" + std::to_string(round), ActorKind::kContentProvider, {}},
+                     0.25);
+    }
+  }
+  EXPECT_GT(frozen.durability(), 0.9);
+  EXPECT_LT(churning.durability(), 0.6);
+}
+
+TEST(ActorKind, Names) {
+  EXPECT_EQ(to_string(ActorKind::kRightsHolder), "rights-holder");
+  EXPECT_EQ(to_string(ActorKind::kTechnology), "technology");
+  EXPECT_EQ(to_string(ActorKind::kDesigner), "designer");
+}
+
+}  // namespace
+}  // namespace tussle::core

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/choice.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/tussle_space.hpp"
+
+#include <sstream>
+
+namespace tussle::core {
+namespace {
+
+TEST(ChoicePoint, RequiresAlternatives) {
+  EXPECT_THROW(ChoicePoint("empty", {}), std::invalid_argument);
+}
+
+TEST(ChoicePoint, SelectAndQuery) {
+  ChoicePoint cp("smtp-relay", {"relay-a", "relay-b"});
+  cp.select("alice", "relay-a");
+  EXPECT_EQ(cp.selection_of("alice"), "relay-a");
+  EXPECT_TRUE(cp.has_selected("alice"));
+  EXPECT_FALSE(cp.has_selected("bob"));
+  EXPECT_THROW(cp.selection_of("bob"), std::out_of_range);
+  EXPECT_THROW(cp.select("alice", "relay-z"), std::invalid_argument);
+  cp.select("alice", "relay-b");  // re-selection replaces
+  EXPECT_EQ(cp.selection_of("alice"), "relay-b");
+  EXPECT_EQ(cp.selector_count(), 1u);
+}
+
+TEST(ChoicePoint, ChoiceIndexZeroWhenUnanimous) {
+  ChoicePoint cp("isp", {"telco", "cable"});
+  for (int i = 0; i < 10; ++i) cp.select("u" + std::to_string(i), "telco");
+  EXPECT_DOUBLE_EQ(cp.choice_index(), 0.0);
+}
+
+TEST(ChoicePoint, ChoiceIndexOneWhenEven) {
+  ChoicePoint cp("isp", {"telco", "cable"});
+  for (int i = 0; i < 10; ++i) cp.select("u" + std::to_string(i), i % 2 ? "telco" : "cable");
+  EXPECT_NEAR(cp.choice_index(), 1.0, 1e-12);
+}
+
+TEST(ChoicePoint, TallyCountsAllAlternatives) {
+  ChoicePoint cp("isp", {"a", "b", "c"});
+  cp.select("u1", "a");
+  cp.select("u2", "a");
+  cp.select("u3", "b");
+  auto t = cp.tally();
+  EXPECT_EQ(t.at("a"), 2u);
+  EXPECT_EQ(t.at("b"), 1u);
+  EXPECT_EQ(t.at("c"), 0u);
+  EXPECT_GT(cp.choice_index(), 0.0);
+  EXPECT_LT(cp.choice_index(), 1.0);
+}
+
+TEST(OutcomeVariation, ZeroForIdenticalOutcomes) {
+  EXPECT_DOUBLE_EQ(outcome_variation({3, 3, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(outcome_variation({5}), 0.0);
+}
+
+TEST(OutcomeVariation, GrowsWithDispersion) {
+  const double low = outcome_variation({10, 11, 9});
+  const double high = outcome_variation({1, 20, 40});
+  EXPECT_GT(high, low);
+  EXPECT_GT(low, 0.0);
+  EXPECT_LE(high, 1.0);
+}
+
+TEST(Scenario, RunsDeterministically) {
+  Scenario s("demo", [](sim::Rng& rng, sim::MetricSet& m) {
+    m.put("draw", rng.uniform());
+  });
+  EXPECT_DOUBLE_EQ(s.run(3).get("draw"), s.run(3).get("draw"));
+  EXPECT_NE(s.run(3).get("draw"), s.run(4).get("draw"));
+}
+
+TEST(Scenario, ReplicationAggregates) {
+  Scenario s("demo", [](sim::Rng& rng, sim::MetricSet& m) {
+    m.put("x", rng.uniform());
+  });
+  auto m = s.run_replicated(50, 1);
+  EXPECT_NEAR(m.get("x.mean"), 0.5, 0.15);
+  EXPECT_GT(m.get("x.stddev"), 0.0);
+}
+
+TEST(RunRegional, VariationAcrossRegions) {
+  auto out = run_regional({0.0, 0.5, 1.0},
+                          [](double strictness, sim::Rng&) { return 10.0 * (1 - strictness); });
+  ASSERT_EQ(out.per_region.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.per_region[0], 10.0);
+  EXPECT_GT(out.variation, 0.3);
+}
+
+TEST(TussleMap, EntanglementDetection) {
+  TussleMap map;
+  map.add_mechanism("tos-bits", {"qos"});
+  map.add_mechanism("port-based-qos", {"qos", "application"});
+  auto entangled = map.entangled_mechanisms();
+  ASSERT_EQ(entangled.size(), 1u);
+  EXPECT_EQ(entangled[0].name, "port-based-qos");
+  EXPECT_DOUBLE_EQ(map.entanglement_ratio(), 0.5);
+  EXPECT_TRUE(map.has_space("application"));  // auto-declared
+}
+
+TEST(TussleMap, ImportsPolicyCouplings) {
+  policy::Ontology o;
+  o.declare("proto", policy::ValueType::kString, "application");
+  o.declare("tos", policy::ValueType::kString, "qos");
+  policy::PolicySet rules(o, policy::Effect::kPermit);
+  rules.add("qos-by-app", policy::Effect::kPermit, "proto == 'voip' and tos == 'premium'",
+            "qos");
+  rules.add("pure-qos", policy::Effect::kDeny, "tos == 'premium'", "qos");
+  TussleMap map;
+  map.import_policy_couplings("fw", rules);
+  EXPECT_DOUBLE_EQ(map.entanglement_ratio(), 0.5);
+  ASSERT_EQ(map.entangled_mechanisms().size(), 1u);
+  EXPECT_EQ(map.entangled_mechanisms()[0].name, "fw:qos-by-app");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.25});
+  std::ostringstream os;
+  t.print(os, 2);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.25"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongWidthRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(ExperimentHeader, ContainsIdAndClaim) {
+  std::ostringstream os;
+  print_experiment_header(os, "E5", "§VII", "QoS fails without value flow");
+  EXPECT_NE(os.str().find("E5"), std::string::npos);
+  EXPECT_NE(os.str().find("value flow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tussle::core

@@ -1,0 +1,140 @@
+#include "econ/investment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "econ/open_access.hpp"
+
+namespace tussle::econ {
+namespace {
+
+InvestmentConfig base() {
+  InvestmentConfig c;
+  c.isps = 6;
+  c.deploy_cost = 2.0;
+  c.qos_revenue = 3.0;
+  c.choice_pressure = 1.5;
+  c.periods = 400;
+  return c;
+}
+
+TEST(Investment, NoValueFlowNoChoiceMeansNoDeployment) {
+  // The historical outcome (§VII): cost without revenue or fear.
+  auto cfg = base();
+  cfg.value_flow = false;
+  cfg.user_choice = false;
+  sim::Rng rng(1);
+  auto r = run_investment(cfg, rng);
+  EXPECT_DOUBLE_EQ(r.final_deploy_fraction, 0.0);
+  EXPECT_FALSE(r.open_service_available);
+  EXPECT_DOUBLE_EQ(r.app_price, 1.0);
+}
+
+TEST(Investment, ValueFlowAloneSufficesWhenRevenueBeatsCost) {
+  auto cfg = base();
+  cfg.value_flow = true;
+  cfg.user_choice = false;
+  sim::Rng rng(2);
+  auto r = run_investment(cfg, rng);
+  EXPECT_DOUBLE_EQ(r.final_deploy_fraction, 1.0);
+  EXPECT_TRUE(r.open_service_available);
+}
+
+TEST(Investment, ChoiceAloneCannotRescueUnderwaterDeployment) {
+  // Fear without greed: stealing rivals' demand cannot cover a cost that
+  // revenue never repays once everyone has deployed.
+  auto cfg = base();
+  cfg.value_flow = false;
+  cfg.user_choice = true;
+  cfg.choice_pressure = 1.0;  // less than deploy_cost
+  sim::Rng rng(3);
+  auto r = run_investment(cfg, rng);
+  EXPECT_LT(r.final_deploy_fraction, 0.5);
+}
+
+TEST(Investment, FearPlusGreedDeploysFastAndFully) {
+  auto cfg = base();
+  cfg.value_flow = true;
+  cfg.user_choice = true;
+  sim::Rng rng(4);
+  auto r = run_investment(cfg, rng);
+  EXPECT_DOUBLE_EQ(r.final_deploy_fraction, 1.0);
+  EXPECT_GT(r.mean_deploy_fraction, 0.9);
+}
+
+TEST(Investment, ClosedDeploymentYieldsMonopolyAppPricing) {
+  auto cfg = base();
+  cfg.value_flow = false;      // cannot sell open QoS...
+  cfg.closed_mode = true;      // ...but can bundle it
+  cfg.closed_bundle_margin = 4.0;
+  sim::Rng rng(5);
+  auto r = run_investment(cfg, rng);
+  EXPECT_GT(r.final_deploy_fraction, 0.9);  // bundling pays for itself
+  EXPECT_FALSE(r.open_service_available);   // but the service is closed
+  EXPECT_DOUBLE_EQ(r.app_price, 5.0);       // monopoly bundle price
+}
+
+TEST(Investment, OpenDeploymentPricesLowerThanClosed) {
+  auto open_cfg = base();
+  open_cfg.value_flow = true;
+  open_cfg.user_choice = true;
+  sim::Rng r1(6), r2(7);
+  auto open_r = run_investment(open_cfg, r1);
+  auto closed_cfg = base();
+  closed_cfg.closed_mode = true;
+  auto closed_r = run_investment(closed_cfg, r2);
+  EXPECT_LT(open_r.app_price, closed_r.app_price);
+}
+
+TEST(Investment, QosModeToString) {
+  EXPECT_EQ(to_string(QosMode::kNone), "none");
+  EXPECT_EQ(to_string(QosMode::kOpen), "open");
+  EXPECT_EQ(to_string(QosMode::kClosed), "closed");
+}
+
+TEST(Broadband, DuopolyPricesAboveOpenAccess) {
+  BroadbandConfig duo;
+  duo.regime = AccessRegime::kFacilityDuopoly;
+  BroadbandConfig open;
+  open.regime = AccessRegime::kOpenAccess;
+  open.service_isps = 6;
+  sim::Rng r1(8), r2(8);
+  auto duo_r = run_broadband(duo, r1);
+  auto open_r = run_broadband(open, r2);
+  EXPECT_GT(duo_r.market.mean_price, open_r.market.mean_price);
+  EXPECT_GT(duo_r.market.hhi, open_r.market.hhi);
+  EXPECT_EQ(duo_r.retail_competitors, 2u);
+  EXPECT_EQ(open_r.retail_competitors, 6u);
+}
+
+TEST(Broadband, MunicipalFiberCheapestRetail) {
+  // Same competition as open access but no wholesale markup in the cost
+  // stack → retail price at most open access's.
+  BroadbandConfig open;
+  open.regime = AccessRegime::kOpenAccess;
+  BroadbandConfig muni;
+  muni.regime = AccessRegime::kMunicipalFiber;
+  sim::Rng r1(9), r2(9);
+  auto open_r = run_broadband(open, r1);
+  auto muni_r = run_broadband(muni, r2);
+  EXPECT_LE(muni_r.market.mean_price, open_r.market.mean_price + 0.1);
+  EXPECT_DOUBLE_EQ(muni_r.facility_margin, 0.0);
+  EXPECT_DOUBLE_EQ(open_r.facility_margin, 0.5);
+}
+
+TEST(Broadband, OpenAccessStillPaysTheWireOwnerSomething) {
+  BroadbandConfig cfg;
+  cfg.regime = AccessRegime::kOpenAccess;
+  cfg.wholesale_markup = 1.0;
+  sim::Rng rng(10);
+  auto r = run_broadband(cfg, rng);
+  EXPECT_DOUBLE_EQ(r.facility_margin, 1.0);
+}
+
+TEST(Broadband, RegimeNames) {
+  EXPECT_EQ(to_string(AccessRegime::kFacilityDuopoly), "facility-duopoly");
+  EXPECT_EQ(to_string(AccessRegime::kOpenAccess), "open-access");
+  EXPECT_EQ(to_string(AccessRegime::kMunicipalFiber), "municipal-fiber");
+}
+
+}  // namespace
+}  // namespace tussle::econ

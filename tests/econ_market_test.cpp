@@ -1,0 +1,155 @@
+#include "econ/market.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::econ {
+namespace {
+
+std::vector<ProviderConfig> providers(std::size_t n, double cost = 2.0) {
+  std::vector<ProviderConfig> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    ProviderConfig p;
+    p.name = "p" + std::to_string(i);
+    p.marginal_cost = cost;
+    p.initial_price = 6.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(Herfindahl, BasicProperties) {
+  EXPECT_DOUBLE_EQ(herfindahl({}), 0.0);
+  EXPECT_DOUBLE_EQ(herfindahl({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(herfindahl({5}), 1.0);                 // monopoly
+  EXPECT_DOUBLE_EQ(herfindahl({1, 1}), 0.5);              // symmetric duopoly
+  EXPECT_NEAR(herfindahl({1, 1, 1, 1}), 0.25, 1e-12);     // 1/n floor
+  EXPECT_GT(herfindahl({9, 1}), herfindahl({5, 5}));      // concentration
+}
+
+TEST(Market, RequiresProviders) {
+  sim::Rng rng(1);
+  EXPECT_THROW(Market(MarketConfig{}, {}, rng), std::invalid_argument);
+}
+
+TEST(Market, MonopolistPricesNearWillingnessToPay) {
+  sim::Rng rng(42);
+  MarketConfig cfg;
+  cfg.periods = 600;
+  Market m(cfg, providers(1), rng);
+  auto r = m.run();
+  // wtp uniform [8,12]: monopolist climbs far above cost (2).
+  EXPECT_GT(r.mean_price, 6.0);
+  EXPECT_DOUBLE_EQ(r.hhi, 1.0);
+}
+
+TEST(Market, CompetitionDrivesPriceTowardCost) {
+  sim::Rng rng(42);
+  MarketConfig cfg;
+  cfg.periods = 600;
+  Market m(cfg, providers(5), rng);
+  auto r = m.run();
+  EXPECT_LT(r.mean_price, 4.5);  // near marginal cost 2 + adaptation noise
+  EXPECT_LT(r.hhi, 0.5);
+}
+
+TEST(Market, MorePressureWithMoreProviders) {
+  auto price_with = [](std::size_t n) {
+    sim::Rng rng(7);
+    MarketConfig cfg;
+    cfg.periods = 600;
+    Market m(cfg, providers(n), rng);
+    return m.run().mean_price;
+  };
+  const double p1 = price_with(1);
+  const double p4 = price_with(4);
+  EXPECT_GT(p1, p4 + 1.0);
+}
+
+TEST(Market, SwitchingCostSoftensCompetition) {
+  auto price_with = [](double s) {
+    sim::Rng rng(11);
+    MarketConfig cfg;
+    cfg.periods = 600;
+    cfg.switching_cost = s;
+    Market m(cfg, providers(3), rng);
+    return m.run().mean_price;
+  };
+  const double frictionless = price_with(0.0);
+  const double locked = price_with(4.0);
+  EXPECT_GT(locked, frictionless + 0.5);
+}
+
+TEST(Market, SwitchingHappensOnlyWhenWorthIt) {
+  sim::Rng rng(13);
+  MarketConfig cfg;
+  cfg.periods = 300;
+  cfg.switching_cost = 100.0;  // prohibitive
+  Market m(cfg, providers(3), rng);
+  auto r = m.run();
+  // First subscription is free; after that, nobody can afford to move.
+  EXPECT_LT(static_cast<double>(r.total_switches), 0.02 * 300 * 500);
+}
+
+TEST(Market, ConsumersSubscribeWhenPricedBelowWtp) {
+  sim::Rng rng(17);
+  MarketConfig cfg;
+  cfg.periods = 400;
+  Market m(cfg, providers(3), rng);
+  auto r = m.run();
+  EXPECT_GT(r.subscribed_fraction, 0.95);  // prices settle below wtp_lo
+}
+
+TEST(Market, SurplusHigherUnderCompetition) {
+  auto surplus_with = [](std::size_t n) {
+    sim::Rng rng(19);
+    MarketConfig cfg;
+    cfg.periods = 600;
+    Market m(cfg, providers(n), rng);
+    return m.run().consumer_surplus;
+  };
+  EXPECT_GT(surplus_with(4), surplus_with(1) + 1.0);
+}
+
+TEST(Market, PricesNeverBelowMarginalCost) {
+  sim::Rng rng(23);
+  MarketConfig cfg;
+  cfg.periods = 500;
+  Market m(cfg, providers(4, 3.0), rng);
+  auto r = m.run();
+  for (double p : r.final_prices) EXPECT_GE(p, 3.0);
+}
+
+TEST(Market, DeterministicPerSeed) {
+  auto run_with = [](std::uint64_t seed) {
+    sim::Rng rng(seed);
+    MarketConfig cfg;
+    cfg.periods = 200;
+    Market m(cfg, providers(3), rng);
+    return m.run();
+  };
+  auto a = run_with(5);
+  auto b = run_with(5);
+  EXPECT_EQ(a.mean_price, b.mean_price);
+  EXPECT_EQ(a.final_prices, b.final_prices);
+  EXPECT_EQ(a.total_switches, b.total_switches);
+}
+
+// Property sweep: HHI bounded by [1/n, 1] whenever anyone is subscribed.
+class MarketHhi : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MarketHhi, WithinTheoreticalBounds) {
+  sim::Rng rng(29);
+  MarketConfig cfg;
+  cfg.periods = 300;
+  Market m(cfg, providers(GetParam()), rng);
+  auto r = m.run();
+  if (r.subscribed_fraction > 0) {
+    EXPECT_LE(r.hhi, 1.0 + 1e-12);
+    EXPECT_GE(r.hhi, 1.0 / static_cast<double>(GetParam()) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProviderCounts, MarketHhi, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace tussle::econ

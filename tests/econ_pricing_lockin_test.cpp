@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "econ/lock_in.hpp"
+#include "econ/pricing.hpp"
+
+namespace tussle::econ {
+namespace {
+
+TEST(FlatRate, SamePriceRegardlessOfUse) {
+  FlatRate f(5.0);
+  UsageProfile heavy{.bytes = 1e12, .runs_server = true, .runs_server_visible = true};
+  UsageProfile light{};
+  EXPECT_DOUBLE_EQ(f.charge(heavy), 5.0);
+  EXPECT_DOUBLE_EQ(f.charge(light), 5.0);
+  EXPECT_EQ(f.name(), "flat");
+}
+
+TEST(ValuePricing, SurchargesVisibleServers) {
+  ValuePricing v(4.0, 3.0);
+  UsageProfile server{.runs_server = true, .runs_server_visible = true};
+  UsageProfile plain{};
+  EXPECT_DOUBLE_EQ(v.charge(server), 7.0);
+  EXPECT_DOUBLE_EQ(v.charge(plain), 4.0);
+}
+
+TEST(ValuePricing, TunnellingEvadesTheSurcharge) {
+  // The §V-A-2 move: the user still runs the server, but the wire no
+  // longer shows it.
+  ValuePricing v(4.0, 3.0);
+  UsageProfile tunnelled{.runs_server = true, .runs_server_visible = false};
+  EXPECT_DOUBLE_EQ(v.charge(tunnelled), 4.0);
+}
+
+TEST(ValuePricing, QosSurchargeIndependentOfServer) {
+  ValuePricing v(4.0, 3.0, 2.0);
+  UsageProfile q{.premium_qos = true};
+  EXPECT_DOUBLE_EQ(v.charge(q), 6.0);
+  UsageProfile both{.runs_server = true, .runs_server_visible = true, .premium_qos = true};
+  EXPECT_DOUBLE_EQ(v.charge(both), 9.0);
+}
+
+TEST(PerByte, ScalesWithVolume) {
+  PerByte p(2.0);  // per GB
+  UsageProfile u{.bytes = 3e9};
+  EXPECT_DOUBLE_EQ(p.charge(u), 6.0);
+  EXPECT_DOUBLE_EQ(p.charge(UsageProfile{}), 0.0);
+}
+
+TEST(LockInModel, StaticScalesWithHosts) {
+  LockInModel m;
+  EXPECT_DOUBLE_EQ(m.switching_cost(AddressingMode::kStaticProviderAssigned, 10), 8.0);
+  EXPECT_DOUBLE_EQ(m.switching_cost(AddressingMode::kStaticProviderAssigned, 1), 0.8);
+}
+
+TEST(LockInModel, DhcpIsFlatAndSmall) {
+  LockInModel m;
+  EXPECT_DOUBLE_EQ(m.switching_cost(AddressingMode::kDhcpDynamicDns, 1000), 0.1);
+}
+
+TEST(LockInModel, PortableIsFreeToSwitchButBloatsTables) {
+  LockInModel m;
+  EXPECT_DOUBLE_EQ(m.switching_cost(AddressingMode::kProviderIndependent, 1000), 0.0);
+  EXPECT_EQ(m.core_table_entries(AddressingMode::kProviderIndependent, 500), 500u);
+  EXPECT_EQ(m.core_table_entries(AddressingMode::kStaticProviderAssigned, 500), 0u);
+  EXPECT_EQ(m.core_table_entries(AddressingMode::kDhcpDynamicDns, 500), 0u);
+}
+
+TEST(LockInModel, ModeNames) {
+  EXPECT_EQ(to_string(AddressingMode::kStaticProviderAssigned), "static-provider-assigned");
+  EXPECT_EQ(to_string(AddressingMode::kDhcpDynamicDns), "dhcp+dyndns");
+  EXPECT_EQ(to_string(AddressingMode::kProviderIndependent), "provider-independent");
+}
+
+}  // namespace
+}  // namespace tussle::econ

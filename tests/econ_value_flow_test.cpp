@@ -1,0 +1,105 @@
+#include "econ/value_flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::econ {
+namespace {
+
+routing::AsGraph canonical() {
+  routing::AsGraph g;
+  g.add_peering(1, 2);
+  g.add_customer_provider(3, 1);
+  g.add_customer_provider(4, 1);
+  g.add_customer_provider(5, 2);
+  g.add_customer_provider(6, 3);
+  g.add_customer_provider(7, 4);
+  g.add_customer_provider(7, 5);
+  return g;
+}
+
+TEST(Ledger, TransfersMoveBalance) {
+  Ledger l;
+  l.transfer("user:1", "as:7", 5.0, "transit");
+  EXPECT_DOUBLE_EQ(l.balance("user:1"), -5.0);
+  EXPECT_DOUBLE_EQ(l.balance("as:7"), 5.0);
+  EXPECT_DOUBLE_EQ(l.balance("nobody"), 0.0);
+}
+
+TEST(Ledger, ConservationInvariant) {
+  Ledger l;
+  l.transfer("a", "b", 3);
+  l.transfer("b", "c", 1.5);
+  l.transfer("c", "a", 0.25);
+  EXPECT_NEAR(l.total(), 0.0, 1e-12);
+  EXPECT_EQ(l.log().size(), 3u);
+}
+
+TEST(Ledger, RejectsBadTransfers) {
+  Ledger l;
+  EXPECT_THROW(l.transfer("a", "b", -1), std::invalid_argument);
+  EXPECT_THROW(l.transfer("a", "a", 1), std::invalid_argument);
+}
+
+TEST(PaidTransit, ValleyFreePathIsFree) {
+  auto g = canonical();
+  Ledger l;
+  PaidTransit pt(g, l);
+  auto q = pt.quote({6, 3, 1, 4, 7});
+  EXPECT_TRUE(q.paid_ases.empty());
+  EXPECT_DOUBLE_EQ(q.total_price, 0.0);
+}
+
+TEST(PaidTransit, ValleyPathChargesTheCarrier) {
+  auto g = canonical();
+  Ledger l;
+  PaidTransit pt(g, l);
+  pt.set_transit_price(7, 2.5);
+  auto q = pt.quote({4, 7, 5});
+  ASSERT_EQ(q.paid_ases.size(), 1u);
+  EXPECT_EQ(q.paid_ases[0], routing::AsId{7});
+  EXPECT_DOUBLE_EQ(q.total_price, 2.5);
+}
+
+TEST(PaidTransit, DefaultPriceWhenUnset) {
+  auto g = canonical();
+  Ledger l;
+  PaidTransit pt(g, l);
+  auto q = pt.quote({4, 7, 5});
+  EXPECT_DOUBLE_EQ(q.total_price, 1.0);
+}
+
+TEST(PaidTransit, SettleMovesMoneyToEachCarrier) {
+  auto g = canonical();
+  Ledger l;
+  PaidTransit pt(g, l);
+  pt.set_transit_price(7, 2.0);
+  auto q = pt.quote({4, 7, 5});
+  const double moved = pt.settle("user:alice", q);
+  EXPECT_DOUBLE_EQ(moved, 2.0);
+  EXPECT_DOUBLE_EQ(l.balance("as:7"), 2.0);
+  EXPECT_DOUBLE_EQ(l.balance("user:alice"), -2.0);
+  EXPECT_NEAR(l.total(), 0.0, 1e-12);
+}
+
+TEST(PaidTransit, BestQuotePrefersCheaperPath) {
+  auto g = canonical();
+  Ledger l;
+  PaidTransit pt(g, l);
+  // 7 to 1: via 4 or via 5 (then 2, peer). Path 7-4-1 is valley-free and
+  // free; it must win over anything priced.
+  auto q = pt.best_quote(7, 1, 4);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(q->total_price, 0.0);
+  EXPECT_TRUE(g.valley_free(q->path));
+}
+
+TEST(PaidTransit, BestQuoteUnreachable) {
+  auto g = canonical();
+  g.add_as(42);
+  Ledger l;
+  PaidTransit pt(g, l);
+  EXPECT_FALSE(pt.best_quote(6, 42, 3).has_value());
+}
+
+}  // namespace
+}  // namespace tussle::econ

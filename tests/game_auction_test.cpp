@@ -1,0 +1,128 @@
+#include "game/auction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace tussle::game {
+namespace {
+
+TEST(Vickrey, WinnerPaysSecondPrice) {
+  auto r = vickrey_auction({{"a", 10}, {"b", 7}, {"c", 3}});
+  EXPECT_EQ(r.winner, "a");
+  EXPECT_DOUBLE_EQ(r.price, 7);
+  EXPECT_DOUBLE_EQ(r.social_value, 10);
+}
+
+TEST(Vickrey, SingleBidderPaysNothing) {
+  auto r = vickrey_auction({{"solo", 5}});
+  EXPECT_EQ(r.winner, "solo");
+  EXPECT_DOUBLE_EQ(r.price, 0);
+}
+
+TEST(Vickrey, EmptyAuction) {
+  auto r = vickrey_auction({});
+  EXPECT_TRUE(r.winner.empty());
+}
+
+TEST(Vickrey, TieGoesToEarlierBid) {
+  auto r = vickrey_auction({{"a", 5}, {"b", 5}});
+  EXPECT_EQ(r.winner, "a");
+  EXPECT_DOUBLE_EQ(r.price, 5);
+}
+
+TEST(FirstPrice, WinnerPaysOwnBid) {
+  auto r = first_price_auction({{"a", 10}, {"b", 7}});
+  EXPECT_EQ(r.winner, "a");
+  EXPECT_DOUBLE_EQ(r.price, 10);
+}
+
+TEST(VcgUniform, KWinnersPayClearingPrice) {
+  auto rs = vcg_uniform({{"a", 10}, {"b", 8}, {"c", 6}, {"d", 4}}, 2);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].winner, "a");
+  EXPECT_EQ(rs[1].winner, "b");
+  EXPECT_DOUBLE_EQ(rs[0].price, 6);
+  EXPECT_DOUBLE_EQ(rs[1].price, 6);
+}
+
+TEST(VcgUniform, FewerBiddersThanItemsIsFree) {
+  auto rs = vcg_uniform({{"a", 10}, {"b", 8}}, 5);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_DOUBLE_EQ(rs[0].price, 0);
+}
+
+TEST(VcgUniform, ZeroItems) {
+  EXPECT_TRUE(vcg_uniform({{"a", 1}}, 0).empty());
+}
+
+TEST(VickreyUtility, TruthfulWinningAndLosing) {
+  // Value above rivals: win, pay top rival.
+  EXPECT_DOUBLE_EQ(vickrey_utility(10, 10, {7, 3}), 3);
+  // Value below rivals: lose, zero.
+  EXPECT_DOUBLE_EQ(vickrey_utility(5, 5, {7}), 0);
+}
+
+TEST(VickreyUtility, OverbiddingCanOnlyHurt) {
+  // True value 5, top rival 7. Overbidding to 8 wins at price 7 → utility -2.
+  EXPECT_DOUBLE_EQ(vickrey_utility(5, 8, {7}), -2);
+  EXPECT_DOUBLE_EQ(vickrey_utility(5, 5, {7}), 0);
+}
+
+TEST(VickreyUtility, UnderbiddingCanOnlyLoseSurplus) {
+  // True value 10, top rival 7. Shading to 6 forfeits the +3 win.
+  EXPECT_DOUBLE_EQ(vickrey_utility(10, 6, {7}), 0);
+  EXPECT_DOUBLE_EQ(vickrey_utility(10, 10, {7}), 3);
+}
+
+TEST(FirstPriceUtility, TruthTellingYieldsZero) {
+  EXPECT_DOUBLE_EQ(first_price_utility(10, 10, {7}), 0);
+  // Shading to just above the rival is profitable — non-truthful mechanism.
+  EXPECT_DOUBLE_EQ(first_price_utility(10, 7.5, {7}), 2.5);
+}
+
+// Property: truth-telling is a dominant strategy under Vickrey — for random
+// values, rivals, and deviations, deviating never beats honesty.
+class VickreyTruthfulness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VickreyTruthfulness, HonestyDominates) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double value = rng.uniform(0, 100);
+    std::vector<double> rivals;
+    const int n = static_cast<int>(rng.uniform_int(1, 6));
+    for (int i = 0; i < n; ++i) rivals.push_back(rng.uniform(0, 100));
+    const double honest = vickrey_utility(value, value, rivals);
+    const double deviant_bid = rng.uniform(0, 120);
+    const double deviant = vickrey_utility(value, deviant_bid, rivals);
+    EXPECT_LE(deviant, honest + 1e-12)
+        << "value=" << value << " bid=" << deviant_bid << " seed=" << GetParam();
+    EXPECT_GE(honest, 0.0);  // individual rationality
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VickreyTruthfulness, ::testing::Values(1, 2, 3, 4));
+
+// Contrast property: under first-price, some shading strictly beats honesty
+// whenever the honest bidder would win.
+TEST(FirstPriceUtility, ShadingBeatsHonestyWhenWinning) {
+  sim::Rng rng(77);
+  int profitable = 0, wins = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double value = rng.uniform(50, 100);
+    std::vector<double> rivals{rng.uniform(0, 49)};
+    if (value > rivals[0]) {
+      ++wins;
+      const double shaded = 0.5 * (value + rivals[0]);
+      if (first_price_utility(value, shaded, rivals) >
+          first_price_utility(value, value, rivals)) {
+        ++profitable;
+      }
+    }
+  }
+  EXPECT_EQ(profitable, wins);
+  EXPECT_GT(wins, 0);
+}
+
+}  // namespace
+}  // namespace tussle::game

@@ -1,0 +1,126 @@
+#include "game/learners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/canonical.hpp"
+#include "game/solvers.hpp"
+
+namespace tussle::game {
+namespace {
+
+TEST(FictitiousPlay, TracksOpponentEmpirical) {
+  FictitiousPlay fp({{1, 0}, {0, 1}});
+  fp.observe(0, 0);
+  fp.observe(0, 0);
+  fp.observe(1, 0);
+  auto m = fp.opponent_empirical();
+  EXPECT_NEAR(m[0], 2.0 / 3, 1e-12);
+  EXPECT_NEAR(m[1], 1.0 / 3, 1e-12);
+}
+
+TEST(FictitiousPlay, BestRespondsToHistory) {
+  // Payoff: action 0 good vs opp 0; action 1 good vs opp 1.
+  FictitiousPlay fp({{5, 0}, {0, 5}});
+  sim::Rng rng(1);
+  for (int i = 0; i < 10; ++i) fp.observe(1, 0);
+  EXPECT_EQ(fp.choose(rng), 1u);
+}
+
+TEST(FictitiousPlay, SelfPlayConvergesInMatchingPennies) {
+  auto g = matching_pennies();
+  FictitiousPlay row(row_payoff_matrix(g));
+  FictitiousPlay col(col_payoff_matrix(g));
+  sim::Rng rng(7);
+  auto out = play_repeated(g, row, col, 20000, rng);
+  EXPECT_NEAR(out.row_empirical[0], 0.5, 0.02);
+  EXPECT_NEAR(out.col_empirical[0], 0.5, 0.02);
+  EXPECT_NEAR(out.row_mean_payoff, 0.0, 0.02);
+}
+
+TEST(RegretMatching, RegretVanishes) {
+  auto g = matching_pennies();
+  RegretMatching row(row_payoff_matrix(g));
+  RegretMatching col(col_payoff_matrix(g));
+  sim::Rng rng(3);
+  play_repeated(g, row, col, 30000, rng);
+  EXPECT_LT(row.average_regret(), 0.03);
+  EXPECT_LT(col.average_regret(), 0.03);
+}
+
+TEST(RegretMatching, LearnsToDefectInPd) {
+  auto g = congestion_compliance_game();
+  RegretMatching row(row_payoff_matrix(g));
+  RegretMatching col(col_payoff_matrix(g));
+  sim::Rng rng(5);
+  auto out = play_repeated(g, row, col, 20000, rng);
+  EXPECT_GT(out.row_empirical[1], 0.95);  // defect
+  EXPECT_GT(out.col_empirical[1], 0.95);
+}
+
+TEST(EpsilonGreedy, ExploitsBetterArmAgainstFixedOpponent) {
+  auto g = congestion_compliance_game();
+  EpsilonGreedy row(2, 0.1);
+  FixedStrategy col(Mixed{1.0, 0.0});  // opponent always complies
+  sim::Rng rng(11);
+  auto out = play_repeated(g, row, col, 5000, rng);
+  EXPECT_GT(out.row_empirical[1], 0.8);  // defect exploits the complier
+}
+
+TEST(MyopicBestResponse, RespondsToLastAction) {
+  MyopicBestResponse m({{5, 0}, {0, 5}});
+  sim::Rng rng(13);
+  m.observe(1, 0);
+  EXPECT_EQ(m.choose(rng), 1u);
+  m.observe(0, 0);
+  EXPECT_EQ(m.choose(rng), 0u);
+}
+
+TEST(FixedStrategy, RespectsWeights) {
+  FixedStrategy f(Mixed{0.2, 0.8});
+  sim::Rng rng(17);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += (f.choose(rng) == 1);
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.8, 0.02);
+}
+
+TEST(PlayRepeated, ZeroRoundsIsEmpty) {
+  auto g = matching_pennies();
+  FixedStrategy a(Mixed{1, 0}), b(Mixed{1, 0});
+  sim::Rng rng(1);
+  auto out = play_repeated(g, a, b, 0, rng);
+  EXPECT_EQ(out.rounds, 0u);
+  EXPECT_DOUBLE_EQ(out.row_mean_payoff, 0.0);
+}
+
+TEST(PayoffMatrixHelpers, TransposeColumnView) {
+  auto g = congestion_compliance_game();
+  auto r = row_payoff_matrix(g);
+  auto c = col_payoff_matrix(g);
+  EXPECT_DOUBLE_EQ(r[1][0], 5.0);  // row defects vs comply
+  EXPECT_DOUBLE_EQ(c[1][0], 5.0);  // col defects vs (row) comply
+  EXPECT_DOUBLE_EQ(c[0][1], 0.0);  // col complies vs defect
+}
+
+// Bounded-rationality sweep (§II-B, Binmore): sophisticated learners reach
+// equilibrium play in the PD; the satisficer with high exploration noise
+// deviates measurably — "actors are often ill-informed, myopic".
+class BoundedRationality : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundedRationality, ExplorationNoiseKeepsPlayOffEquilibrium) {
+  const double eps = GetParam();
+  auto g = congestion_compliance_game();
+  EpsilonGreedy row(2, eps);
+  RegretMatching col(col_payoff_matrix(g));
+  sim::Rng rng(23);
+  auto out = play_repeated(g, row, col, 10000, rng);
+  // Fraction of compliance (non-equilibrium action) scales with noise/2
+  // (exploration splits evenly across both actions).
+  EXPECT_NEAR(out.row_empirical[0], eps / 2, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSweep, BoundedRationality,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5));
+
+}  // namespace
+}  // namespace tussle::game

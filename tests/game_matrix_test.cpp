@@ -1,0 +1,174 @@
+#include "game/matrix_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/canonical.hpp"
+
+namespace tussle::game {
+namespace {
+
+TEST(MatrixGame, ShapeValidation) {
+  EXPECT_THROW(MatrixGame({}, {}), std::invalid_argument);
+  EXPECT_THROW(MatrixGame({{1, 2}}, {{1, 2}, {3, 4}}), std::invalid_argument);
+  EXPECT_THROW(MatrixGame({{1, 2}, {3}}, {{1, 2}, {3, 4}}), std::invalid_argument);
+  EXPECT_THROW(MatrixGame({{1}}, {{1}}, {"a", "b"}, {"c"}), std::invalid_argument);
+}
+
+TEST(MatrixGame, ZeroSumConstructorNegates) {
+  auto g = MatrixGame::zero_sum({{2, -1}, {0, 3}});
+  EXPECT_TRUE(g.is_zero_sum());
+  EXPECT_DOUBLE_EQ(g.col_payoff(0, 0), -2);
+  EXPECT_DOUBLE_EQ(g.col_payoff(1, 1), -3);
+}
+
+TEST(MatrixGame, GeneralSumIsNotZeroSum) {
+  EXPECT_FALSE(congestion_compliance_game().is_zero_sum());
+}
+
+TEST(MatrixGame, ExpectedPayoffPure) {
+  auto g = congestion_compliance_game();
+  auto [r, c] = g.expected_payoff({1, 0}, {0, 1});  // comply vs defect
+  EXPECT_DOUBLE_EQ(r, 0);
+  EXPECT_DOUBLE_EQ(c, 5);
+}
+
+TEST(MatrixGame, ExpectedPayoffMixed) {
+  auto g = matching_pennies();
+  auto [r, c] = g.expected_payoff({0.5, 0.5}, {0.5, 0.5});
+  EXPECT_NEAR(r, 0.0, 1e-12);
+  EXPECT_NEAR(c, 0.0, 1e-12);
+}
+
+TEST(MatrixGame, ExpectedPayoffDimensionCheck) {
+  auto g = matching_pennies();
+  EXPECT_THROW(g.expected_payoff({1.0}, {0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(MatrixGame, BestResponses) {
+  auto g = congestion_compliance_game();
+  // Against a complier, defect (5 > 3). Against a defector, defect (1 > 0).
+  EXPECT_EQ(g.best_row_response({1, 0}), 1u);
+  EXPECT_EQ(g.best_row_response({0, 1}), 1u);
+  EXPECT_EQ(g.best_col_response({1, 0}), 1u);
+}
+
+TEST(MatrixGame, PrisonersDilemmaNash) {
+  auto g = congestion_compliance_game();
+  auto eq = g.pure_nash();
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_EQ(eq[0], (std::pair<std::size_t, std::size_t>{1, 1}));  // defect/defect
+  EXPECT_FALSE(g.is_pure_nash(0, 0));  // mutual compliance is NOT stable
+}
+
+TEST(MatrixGame, MatchingPenniesHasNoPureNash) {
+  EXPECT_TRUE(matching_pennies().pure_nash().empty());
+}
+
+TEST(MatrixGame, CoordinationGameHasTwoPureNash) {
+  auto eq = standards_coordination_game().pure_nash();
+  ASSERT_EQ(eq.size(), 2u);
+  EXPECT_EQ(eq[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(eq[1], (std::pair<std::size_t, std::size_t>{1, 1}));
+}
+
+TEST(MatrixGame, ChickenHasAsymmetricNash) {
+  auto eq = peering_game().pure_nash();
+  ASSERT_EQ(eq.size(), 2u);
+  // (open, restrict) and (restrict, open).
+  EXPECT_EQ(eq[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(eq[1], (std::pair<std::size_t, std::size_t>{1, 0}));
+}
+
+TEST(MatrixGame, MixedNashVerification) {
+  auto g = matching_pennies();
+  EXPECT_TRUE(g.is_epsilon_nash({0.5, 0.5}, {0.5, 0.5}, 1e-9));
+  EXPECT_FALSE(g.is_epsilon_nash({0.9, 0.1}, {0.5, 0.5}, 1e-9));
+  // Skewed column play is exploitable.
+  EXPECT_FALSE(g.is_epsilon_nash({0.5, 0.5}, {0.8, 0.2}, 0.1));
+}
+
+TEST(MatrixGame, DominanceInPd) {
+  auto g = congestion_compliance_game();
+  EXPECT_TRUE(g.row_strictly_dominated(0, 1));   // comply dominated by defect
+  EXPECT_FALSE(g.row_strictly_dominated(1, 0));
+  EXPECT_TRUE(g.col_strictly_dominated(0, 1));
+}
+
+TEST(MatrixGame, IteratedDominanceSolvesPd) {
+  auto s = congestion_compliance_game().iterated_dominance();
+  ASSERT_EQ(s.row_actions.size(), 1u);
+  ASSERT_EQ(s.col_actions.size(), 1u);
+  EXPECT_EQ(s.row_actions[0], 1u);
+  EXPECT_EQ(s.col_actions[0], 1u);
+}
+
+TEST(MatrixGame, IteratedDominanceMultiRound) {
+  // 3x3 game solvable only by iterated elimination.
+  MatrixGame g({{3, 0, 2}, {1, 1, 1}, {0, 3, 0}},  // row
+               {{3, 1, 0}, {0, 1, 3}, {2, 1, 0}},  // col
+               {"a", "b", "c"}, {"x", "y", "z"});
+  auto s = g.iterated_dominance();
+  EXPECT_LE(s.row_actions.size(), 3u);
+  EXPECT_LE(s.col_actions.size(), 3u);
+}
+
+TEST(MatrixGame, NamesDefaultAndCustom) {
+  auto g = congestion_compliance_game();
+  EXPECT_EQ(g.row_name(0), "comply");
+  EXPECT_EQ(g.col_name(1), "defect");
+  MatrixGame anon({{1}}, {{1}});
+  EXPECT_EQ(anon.row_name(0), "r0");
+}
+
+TEST(Normalize, RejectsInvalid) {
+  EXPECT_THROW(normalize({-0.1, 1.1}), std::invalid_argument);
+  EXPECT_THROW(normalize({0, 0}), std::invalid_argument);
+  auto m = normalize({2, 2});
+  EXPECT_DOUBLE_EQ(m[0], 0.5);
+}
+
+TEST(QosInvestmentGame, NoValueFlowMakesSkipDominant) {
+  // §VII: no way to charge for QoS (revenue 0), no user choice (bonus 0),
+  // positive cost → nobody deploys.
+  auto g = qos_investment_game(/*cost=*/2, /*revenue=*/0, /*competition_bonus=*/0);
+  auto eq = g.pure_nash();
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_EQ(eq[0], (std::pair<std::size_t, std::size_t>{1, 1}));  // skip/skip
+}
+
+TEST(QosInvestmentGame, ValueFlowPlusChoiceMakesDeployDominant) {
+  auto g = qos_investment_game(/*cost=*/2, /*revenue=*/3, /*competition_bonus=*/2);
+  auto eq = g.pure_nash();
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_EQ(eq[0], (std::pair<std::size_t, std::size_t>{0, 0}));  // deploy/deploy
+}
+
+TEST(QosInvestmentGame, ChoiceAloneCanSustainDeploymentAsCoordination) {
+  // Competition bonus but revenue < cost: deploying alone steals demand,
+  // creating fear-driven deployment pressure even at negative margin.
+  auto g = qos_investment_game(/*cost=*/2, /*revenue=*/1, /*competition_bonus=*/3);
+  // deploy/deploy: 9 each; skip while rival deploys: 7. So deploy is better
+  // when the rival deploys. deploy alone: 12 vs skip/skip 10.
+  EXPECT_TRUE(g.is_pure_nash(0, 0));
+  EXPECT_FALSE(g.is_pure_nash(1, 1));
+}
+
+TEST(ValuePricingGame, MonopolyIspValuePrices) {
+  // No competition: ISP's value-price column dominates, user tunnels iff
+  // cheap enough.
+  auto g = value_pricing_game(/*tunnel_cost=*/1.0, /*competition=*/0.0);
+  EXPECT_EQ(g.best_col_response({1, 0}), 1u);  // vs complying user: value-price
+  // Facing value pricing, the user prefers the tunnel (6-1=5 > 3).
+  EXPECT_EQ(g.best_row_response({0, 1}), 1u);
+}
+
+TEST(ValuePricingGame, CompetitionDisciplinesPricing) {
+  auto g = value_pricing_game(/*tunnel_cost=*/1.0, /*competition=*/1.0);
+  // Churn penalty 3 makes value pricing pay 4 vs flat 4 against compliers —
+  // and strictly worse against tunnelers; flat is the best response to the
+  // tunnelling user.
+  EXPECT_EQ(g.best_col_response({0, 1}), 0u);
+}
+
+}  // namespace
+}  // namespace tussle::game

@@ -1,0 +1,194 @@
+// Full-stack integration scenarios: several subsystems exercised together,
+// end to end, the way the examples and benches compose them.
+#include <gtest/gtest.h>
+
+#include "core/tussle.hpp"
+
+namespace tussle {
+namespace {
+
+using net::Address;
+using net::NodeId;
+
+// ---------------------------------------------------------------------------
+// QoS story: the investment model says "deploy", the ISP flips its router
+// from FIFO to priority queueing, the user pays through the ledger, and the
+// VoIP call measurably improves. Economics → data plane → application.
+// ---------------------------------------------------------------------------
+TEST(Integration, QosDeploymentImprovesVoipAndSettlesPayment) {
+  // 1. The deployment decision.
+  econ::InvestmentConfig icfg;
+  icfg.value_flow = true;
+  icfg.user_choice = true;
+  sim::Rng irng(1);
+  auto decision = econ::run_investment(icfg, irng);
+  ASSERT_GT(decision.final_deploy_fraction, 0.99);
+  ASSERT_TRUE(decision.open_service_available);
+
+  // 2. Run the same congested uplink twice: FIFO vs deployed QoS.
+  auto run_call = [](net::QueueKind kind) {
+    sim::Simulator sim(7);
+    net::Network net(sim);
+    NodeId a = net.add_node(1), r = net.add_node(1), b = net.add_node(1);
+    net.connect(a, r, 2e6, sim::Duration::millis(2), kind, 20);
+    net.connect(r, b, 50e6, sim::Duration::millis(2));
+    Address aa{.provider = 1, .subscriber = 1, .host = 1};
+    Address ab{.provider = 1, .subscriber = 2, .host = 1};
+    net.node(a).add_address(aa);
+    net.node(b).add_address(ab);
+    routing::LinkState ls(net);
+    ls.install_routes({a, r, b});
+    auto mux_b = apps::AppMux::install(net.node(b));
+    apps::VoipSession call(net, a, aa, ab, net::ServiceClass::kPremium);
+    apps::VoipSession::attach_receiver(mux_b, call);
+    call.start(100, sim::Duration::millis(10));
+    for (int i = 0; i < 400; ++i) {
+      sim.schedule(sim::Duration::millis(2) * static_cast<double>(i), [&net, a, aa, ab]() {
+        net::Packet junk;
+        junk.src = aa;
+        junk.dst = ab;
+        junk.size_bytes = 1500;
+        net.node(a).originate(std::move(junk));
+      });
+    }
+    sim.run();
+    return call.mos();
+  };
+  const double mos_fifo = run_call(net::QueueKind::kDropTail);
+  const double mos_qos = run_call(net::QueueKind::kPriority);
+  EXPECT_GT(mos_qos, mos_fifo + 0.5);
+  EXPECT_GT(mos_qos, 3.5);
+
+  // 3. The value flow the paper demanded.
+  econ::Ledger ledger;
+  econ::ValuePricing pricing(4.0, 0.0, /*qos_surcharge=*/2.0);
+  econ::UsageProfile user{.premium_qos = true};
+  ledger.transfer("user:alice", "isp:deployer", pricing.charge(user), "monthly-bill");
+  EXPECT_DOUBLE_EQ(ledger.balance("isp:deployer"), 6.0);
+  EXPECT_NEAR(ledger.total(), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Napster arc: mutual-aid sharing works; the rights holder strikes the
+// index; the copies survive and direct transfers still move them — the
+// tussle relocated rather than resolved.
+// ---------------------------------------------------------------------------
+TEST(Integration, RightsHolderStrikesIndexButNotTheCopies) {
+  sim::Simulator sim(11);
+  net::Network net(sim);
+  auto ids = net::build_star(net, 4, 1, net::LinkSpec{});
+  std::vector<Address> addrs;
+  std::vector<std::shared_ptr<apps::AppMux>> muxes;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+    net.node(ids[i]).add_address(a);
+    addrs.push_back(a);
+    muxes.push_back(apps::AppMux::install(net.node(ids[i])));
+  }
+  routing::LinkState ls(net);
+  ls.install_routes(ids);
+
+  apps::P2pIndex index;
+  apps::P2pPeer seeder(net, ids[1], addrs[1], index, muxes[1]);
+  apps::P2pPeer fan1(net, ids[2], addrs[2], index, muxes[2]);
+  apps::P2pPeer fan2(net, ids[3], addrs[3], index, muxes[3]);
+  seeder.share("album");
+  ASSERT_TRUE(fan1.fetch("album").has_value());
+  sim.run();
+  ASSERT_TRUE(fan1.has("album"));
+  EXPECT_EQ(index.holders("album").size(), 2u);  // mutual aid grew the swarm
+
+  // The injunction (the actor with legal power acts on the *index*).
+  index.unpublish_all("album");
+  EXPECT_FALSE(fan2.fetch("album").has_value());
+
+  // But the copies themselves persist, and out-of-band coordination
+  // (fan2 learns fan1's address elsewhere) still moves the bits.
+  net::Packet req;
+  req.src = addrs[3];
+  req.dst = addrs[2];
+  req.proto = net::AppProto::kP2p;
+  req.payload_tag = "get:album";
+  net.node(ids[3]).originate(std::move(req));
+  sim.run();
+  EXPECT_TRUE(fan2.has("album"));
+}
+
+// ---------------------------------------------------------------------------
+// Trust story: a scam shop gets mediated away — the reputation feed from
+// the mediator drives the trust firewall that then protects everyone else.
+// ---------------------------------------------------------------------------
+TEST(Integration, MediationFeedsReputationFeedsFirewall) {
+  econ::Ledger ledger;
+  trust::ReputationSystem reputation;
+  trust::EscrowMediator card("card", ledger, reputation);
+  for (int i = 0; i < 8; ++i) {
+    card.transact("buyer" + std::to_string(i), "scamco", 25.0, /*honest=*/false);
+  }
+  trust::IdentityFramework framework;
+  std::map<Address, trust::Identity> bindings;
+  Address scam_addr{.provider = 6, .subscriber = 6, .host = 6};
+  bindings[scam_addr] = trust::Identity{trust::IdentityScheme::kPseudonymous, "scamco", ""};
+  trust::TrustFirewall fw("fw", {}, framework, reputation,
+                          [&](const Address& a) -> std::optional<trust::Identity> {
+                            auto it = bindings.find(a);
+                            if (it == bindings.end()) return std::nullopt;
+                            return it->second;
+                          });
+  net::Packet p;
+  p.src = scam_addr;
+  EXPECT_EQ(fw.decide(p).action, net::FilterAction::kDrop);
+  // Every cheated buyer lost at most the cap.
+  EXPECT_DOUBLE_EQ(ledger.balance("buyer0"), -0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Routing story: the market outcome (which ISP the customer buys from)
+// reshapes the AS graph, and the paid source route uses the new edge.
+// ---------------------------------------------------------------------------
+TEST(Integration, MarketChoiceReshapesRoutingOptions) {
+  // Customer AS 10 initially buys from provider 1 only.
+  routing::AsGraph g;
+  g.add_peering(1, 2);
+  g.add_customer_provider(10, 1);
+  g.add_as(20);
+  g.add_customer_provider(20, 2);
+  routing::SourceRouteBuilder before(g);
+  EXPECT_EQ(before.k_shortest_paths(10, 20, 3).size(), 1u);
+
+  // The market says multihoming is worth it (competition experiment E1
+  // in miniature): the customer adds provider 2.
+  g.add_customer_provider(10, 2);
+  routing::SourceRouteBuilder after(g);
+  auto paths = after.k_shortest_paths(10, 20, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (std::vector<routing::AsId>{10, 2, 20}));  // new, shorter
+  // And the new path is free (customer route), where the old one crossed
+  // the peering for free too — both on-contract.
+  EXPECT_TRUE(after.free_of_charge(paths[0]));
+}
+
+// ---------------------------------------------------------------------------
+// Policy → TussleMap audit across a whole deployed configuration.
+// ---------------------------------------------------------------------------
+TEST(Integration, DeployedPoliciesAuditableAsTussleMap) {
+  policy::PolicySet isp(policy::standard_packet_ontology(), policy::Effect::kPermit);
+  isp.add("qos-gate", policy::Effect::kPermit, "tos == 'premium'", "qos");
+  isp.add("qos-by-app", policy::Effect::kDeny, "proto == 'voip' and tos == 'best-effort'",
+          "qos");  // the §IV-A anti-pattern
+  policy::PolicySet gov(policy::standard_packet_ontology(), policy::Effect::kPermit);
+  gov.add("no-hiding", policy::Effect::kDeny, "opaque", "security");
+
+  core::TussleMap map;
+  map.import_policy_couplings("isp", isp);
+  map.import_policy_couplings("gov", gov);
+  auto entangled = map.entangled_mechanisms();
+  ASSERT_EQ(entangled.size(), 1u);
+  EXPECT_EQ(entangled[0].name, "isp:qos-by-app");
+  EXPECT_TRUE(entangled[0].spaces_touched.count("application"));
+  EXPECT_TRUE(entangled[0].spaces_touched.count("qos"));
+  EXPECT_NEAR(map.entanglement_ratio(), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tussle

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "names/name_system.hpp"
+#include "names/workload.hpp"
+
+namespace tussle::names {
+namespace {
+
+net::Address host(std::uint32_t n) {
+  return net::Address{.provider = 1, .subscriber = n, .host = 1};
+}
+
+TEST(Entangled, BrandIsMachineName) {
+  EntangledNameSystem s;
+  auto machine = s.register_service("acme", host(1), "mail@acme");
+  EXPECT_EQ(machine, "acme");
+  EXPECT_EQ(s.lookup_brand("acme"), "acme");
+  EXPECT_EQ(s.resolve_machine("acme"), host(1));
+  EXPECT_EQ(s.resolve_mailbox("acme"), "mail@acme");
+}
+
+TEST(Modular, MachineNameIsOpaque) {
+  ModularNameSystem s;
+  auto machine = s.register_service("acme", host(1), "mail@acme");
+  EXPECT_NE(machine, "acme");
+  EXPECT_EQ(s.lookup_brand("acme"), machine);
+  EXPECT_EQ(s.resolve_machine(machine), host(1));
+  EXPECT_EQ(s.resolve_mailbox(machine), "mail@acme");
+}
+
+TEST(Entangled, DuplicateRegistrationRejected) {
+  EntangledNameSystem s;
+  s.register_service("acme", host(1), "m");
+  EXPECT_THROW(s.register_service("acme", host(2), "m"), std::invalid_argument);
+}
+
+TEST(Modular, DuplicateBrandRejected) {
+  ModularNameSystem s;
+  s.register_service("acme", host(1), "m");
+  EXPECT_THROW(s.register_service("acme", host(2), "m"), std::invalid_argument);
+}
+
+TEST(Entangled, DisputeBreaksEverything) {
+  // The paper's complaint: the trademark tussle spills into machine naming
+  // and mail because one name serves all three roles.
+  EntangledNameSystem s;
+  s.register_service("acme", host(1), "mail@acme");
+  auto impact = s.dispute_trademark("acme");
+  EXPECT_TRUE(impact.brand_suspended);
+  EXPECT_TRUE(impact.machine_resolution_broken);
+  EXPECT_TRUE(impact.mailbox_routing_broken);
+  EXPECT_FALSE(s.lookup_brand("acme").has_value());
+  EXPECT_FALSE(s.resolve_machine("acme").has_value());
+  EXPECT_FALSE(s.resolve_mailbox("acme").has_value());
+}
+
+TEST(Modular, DisputeBreaksOnlyTheBrandPlane) {
+  ModularNameSystem s;
+  auto machine = s.register_service("acme", host(1), "mail@acme");
+  auto impact = s.dispute_trademark("acme");
+  EXPECT_TRUE(impact.brand_suspended);
+  EXPECT_FALSE(impact.machine_resolution_broken);
+  EXPECT_FALSE(impact.mailbox_routing_broken);
+  EXPECT_FALSE(s.lookup_brand("acme").has_value());
+  EXPECT_EQ(s.resolve_machine(machine), host(1));         // bookmarks still work
+  EXPECT_EQ(s.resolve_mailbox(machine), "mail@acme");     // mail still flows
+}
+
+TEST(BothDesigns, DisputeOnUnknownBrandIsNoop) {
+  EntangledNameSystem e;
+  ModularNameSystem m;
+  EXPECT_FALSE(e.dispute_trademark("ghost").brand_suspended);
+  EXPECT_FALSE(m.dispute_trademark("ghost").brand_suspended);
+}
+
+TEST(BothDesigns, UnknownLookupsFailCleanly) {
+  EntangledNameSystem e;
+  EXPECT_FALSE(e.lookup_brand("x").has_value());
+  EXPECT_FALSE(e.resolve_machine("x").has_value());
+  ModularNameSystem m;
+  EXPECT_FALSE(m.resolve_mailbox("m-99").has_value());
+}
+
+TEST(Workload, EntangledSpilloverMatchesDisputedPopularity) {
+  EntangledNameSystem s;
+  WorkloadConfig cfg;
+  sim::Rng rng(5);
+  auto r = run_workload(s, cfg, rng);
+  // Disputed names are the most popular 10%; under Zipf they absorb far
+  // more than 10% of traffic, so machine/mailbox failures are substantial.
+  EXPECT_GT(r.spillover_rate(), 0.15);
+  EXPECT_GT(r.brand_failure_rate(), 0.15);
+}
+
+TEST(Workload, ModularSpilloverIsZero) {
+  ModularNameSystem s;
+  WorkloadConfig cfg;
+  sim::Rng rng(5);
+  auto r = run_workload(s, cfg, rng);
+  EXPECT_DOUBLE_EQ(r.spillover_rate(), 0.0);
+  // The brand tussle still plays out — brand lookups do fail...
+  EXPECT_GT(r.brand_failure_rate(), 0.15);
+  // ...but it stays inside its own tussle space.
+  EXPECT_EQ(r.machine_failures, 0u);
+  EXPECT_EQ(r.mailbox_failures, 0u);
+}
+
+TEST(Workload, NoDisputesNoFailures) {
+  EntangledNameSystem s;
+  WorkloadConfig cfg;
+  cfg.disputed_fraction = 0.0;
+  sim::Rng rng(6);
+  auto r = run_workload(s, cfg, rng);
+  EXPECT_EQ(r.brand_failures + r.machine_failures + r.mailbox_failures, 0u);
+}
+
+TEST(Workload, LookupMixRoughlyAsConfigured) {
+  ModularNameSystem s;
+  WorkloadConfig cfg;
+  cfg.lookups = 20000;
+  sim::Rng rng(7);
+  auto r = run_workload(s, cfg, rng);
+  const double total = static_cast<double>(cfg.lookups);
+  EXPECT_NEAR(r.brand_lookups / total, 0.2, 0.02);
+  EXPECT_NEAR(r.machine_lookups / total, 0.5, 0.02);
+  EXPECT_NEAR(r.mailbox_lookups / total, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace tussle::names

@@ -1,0 +1,65 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace tussle::net {
+namespace {
+
+TEST(Address, DefaultIsInvalid) {
+  Address a;
+  EXPECT_FALSE(a.valid());
+}
+
+TEST(Address, ProviderAssignedIsValid) {
+  Address a{.provider = 7, .subscriber = 1, .host = 2};
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(Address, PortableWithoutProviderIsValid) {
+  Address a{.provider = kNoAs, .subscriber = 9, .host = 1, .portable = true};
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(Address, EqualityIncludesPortability) {
+  Address a{.provider = 1, .subscriber = 2, .host = 3};
+  Address b = a;
+  EXPECT_EQ(a, b);
+  b.portable = true;
+  EXPECT_NE(a, b);
+}
+
+TEST(Address, PrefixDropsHost) {
+  Address a{.provider = 4, .subscriber = 5, .host = 6};
+  Address b{.provider = 4, .subscriber = 5, .host = 99};
+  EXPECT_EQ(prefix_of(a), prefix_of(b));
+  Address c{.provider = 4, .subscriber = 7, .host = 6};
+  EXPECT_NE(prefix_of(a), prefix_of(c));
+}
+
+TEST(Address, HashUsableInSets) {
+  std::unordered_set<Address> set;
+  for (std::uint32_t p = 1; p <= 10; ++p)
+    for (std::uint32_t h = 0; h < 10; ++h)
+      set.insert(Address{.provider = p, .subscriber = 0, .host = h});
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.contains(Address{.provider = 3, .subscriber = 0, .host = 4}));
+}
+
+TEST(Prefix, HashDistinguishesPortability) {
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix{1, 2, false});
+  set.insert(Prefix{1, 2, true});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Address, ToStringMarksPortable) {
+  Address a{.provider = 1, .subscriber = 2, .host = 3, .portable = true};
+  EXPECT_EQ(a.to_string().substr(0, 3), "pi:");
+  a.portable = false;
+  EXPECT_EQ(a.to_string(), "1.2.3");
+}
+
+}  // namespace
+}  // namespace tussle::net

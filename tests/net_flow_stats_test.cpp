@@ -1,0 +1,88 @@
+#include "net/flow_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "routing/link_state.hpp"
+
+namespace tussle::net {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim{71};
+  Network net{sim};
+  std::vector<NodeId> ids;
+  std::vector<Address> addrs;
+
+  Fixture() {
+    ids = build_star(net, 2, 1, LinkSpec{});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+  }
+
+  void send(FlowId flow, ServiceClass tos, std::uint32_t size) {
+    Packet p;
+    p.src = addrs[1];
+    p.dst = addrs[2];
+    p.flow = flow;
+    p.tos = tos;
+    p.size_bytes = size;
+    net.node(ids[1]).originate(std::move(p));
+  }
+};
+
+TEST(FlowTracker, SeparatesFlows) {
+  Fixture f;
+  FlowTracker tracker(f.net);
+  f.send(1, ServiceClass::kBestEffort, 500);
+  f.send(1, ServiceClass::kBestEffort, 500);
+  f.send(2, ServiceClass::kPremium, 200);
+  f.sim.run();
+  EXPECT_EQ(tracker.delivered(1), 2u);
+  EXPECT_EQ(tracker.delivered_bytes(1), 1000u);
+  EXPECT_EQ(tracker.delivered(2), 1u);
+  EXPECT_EQ(tracker.delivered(99), 0u);
+  EXPECT_EQ(tracker.flows_seen(), 2u);
+}
+
+TEST(FlowTracker, LatencyPerFlowAndClass) {
+  Fixture f;
+  FlowTracker tracker(f.net);
+  f.send(7, ServiceClass::kPremium, 1000);
+  f.sim.run();
+  EXPECT_EQ(tracker.latency_s(7).count(), 1u);
+  EXPECT_GT(tracker.latency_s(7).mean(), 0.0);
+  EXPECT_EQ(tracker.class_latency_s(ServiceClass::kPremium).count(), 1u);
+  EXPECT_EQ(tracker.class_latency_s(ServiceClass::kBestEffort).count(), 0u);
+  EXPECT_EQ(tracker.latency_s(12345).count(), 0u);
+}
+
+TEST(FlowTracker, CoexistsWithOtherObservers) {
+  Fixture f;
+  int scenario_counter = 0;
+  f.net.add_delivery_observer([&](const Packet&, NodeId) { ++scenario_counter; });
+  FlowTracker tracker(f.net);
+  f.send(3, ServiceClass::kAssured, 100);
+  f.sim.run();
+  EXPECT_EQ(scenario_counter, 1);
+  EXPECT_EQ(tracker.delivered(3), 1u);
+}
+
+TEST(FlowTracker, SetObserverClearsPrevious) {
+  Fixture f;
+  int first = 0, second = 0;
+  f.net.add_delivery_observer([&](const Packet&, NodeId) { ++first; });
+  f.net.set_delivery_observer([&](const Packet&, NodeId) { ++second; });
+  f.send(1, ServiceClass::kBestEffort, 100);
+  f.sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace tussle::net

@@ -1,0 +1,67 @@
+#include "net/forwarding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::net {
+namespace {
+
+TEST(ForwardingTable, EmptyHasNoRoute) {
+  ForwardingTable t;
+  EXPECT_FALSE(t.lookup(Address{.provider = 1, .subscriber = 1, .host = 1}).has_value());
+}
+
+TEST(ForwardingTable, ExactPrefixWins) {
+  ForwardingTable t;
+  t.set_as_route(1, 5);
+  t.set_prefix_route(Prefix{1, 2, false}, 9);
+  Address a{.provider = 1, .subscriber = 2, .host = 7};
+  EXPECT_EQ(t.lookup(a), 9);
+  Address other{.provider = 1, .subscriber = 3, .host = 7};
+  EXPECT_EQ(t.lookup(other), 5);  // falls back to the AS route
+}
+
+TEST(ForwardingTable, DefaultRouteAsLastResort) {
+  ForwardingTable t;
+  t.set_default_route(2);
+  EXPECT_EQ(t.lookup(Address{.provider = 42, .subscriber = 0, .host = 0}), 2);
+  EXPECT_EQ(t.lookup_as(42), 2);
+}
+
+TEST(ForwardingTable, PortableAddressNeedsExplicitPrefix) {
+  // A portable prefix is not aggregatable under its nominal provider: the
+  // lookup must not use the AS route, because the owner may have moved.
+  ForwardingTable t;
+  t.set_as_route(1, 5);
+  Address portable{.provider = 1, .subscriber = 2, .host = 3, .portable = true};
+  EXPECT_FALSE(t.lookup(portable).has_value());
+  t.set_prefix_route(Prefix{1, 2, true}, 8);
+  EXPECT_EQ(t.lookup(portable), 8);
+}
+
+TEST(ForwardingTable, EraseRemovesEntry) {
+  ForwardingTable t;
+  t.set_prefix_route(Prefix{1, 1, false}, 3);
+  EXPECT_EQ(t.prefix_entries(), 1u);
+  t.erase_prefix_route(Prefix{1, 1, false});
+  EXPECT_EQ(t.prefix_entries(), 0u);
+}
+
+TEST(ForwardingTable, TableSizeCountsPrefixes) {
+  // Core-table bloat metric used by experiment E1.
+  ForwardingTable t;
+  for (std::uint32_t s = 0; s < 100; ++s) t.set_prefix_route(Prefix{1, s, true}, 1);
+  EXPECT_EQ(t.prefix_entries(), 100u);
+  t.clear();
+  EXPECT_EQ(t.prefix_entries(), 0u);
+}
+
+TEST(ForwardingTable, LookupAsDistinctFromPrefixPlane) {
+  ForwardingTable t;
+  t.set_as_route(7, 4);
+  EXPECT_EQ(t.lookup_as(7), 4);
+  EXPECT_FALSE(t.lookup_as(8).has_value());
+  EXPECT_EQ(t.as_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace tussle::net

@@ -1,0 +1,263 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace tussle::net {
+namespace {
+
+Address addr(AsId as, std::uint32_t sub, std::uint32_t host) {
+  return Address{.provider = as, .subscriber = sub, .host = host};
+}
+
+/// Two hosts with a router in between; installs static routes.
+struct Triangle {
+  sim::Simulator sim;
+  Network net{sim};
+  NodeId a, r, b;
+  Address addr_a = addr(1, 1, 1);
+  Address addr_b = addr(1, 2, 1);
+
+  Triangle() {
+    a = net.add_node(1);
+    r = net.add_node(1);
+    b = net.add_node(1);
+    net.connect(a, r, 10e6, sim::Duration::millis(1));
+    net.connect(r, b, 10e6, sim::Duration::millis(1));
+    net.node(a).add_address(addr_a);
+    net.node(b).add_address(addr_b);
+    // a: everything via iface 0. r: per-prefix. b: default back.
+    net.node(a).forwarding().set_default_route(0);
+    net.node(r).forwarding().set_prefix_route(prefix_of(addr_a), 0);
+    net.node(r).forwarding().set_prefix_route(prefix_of(addr_b), 1);
+    net.node(b).forwarding().set_default_route(0);
+  }
+
+  Packet make(Address to, AppProto proto = AppProto::kWeb) {
+    Packet p;
+    p.src = addr_a;
+    p.dst = to;
+    p.proto = proto;
+    p.size_bytes = 1000;
+    return p;
+  }
+};
+
+TEST(Network, DeliversAcrossRouter) {
+  Triangle t;
+  int delivered = 0;
+  t.net.node(t.b).set_local_handler([&](const Packet&) { ++delivered; });
+  t.net.node(t.a).originate(t.make(t.addr_b));
+  t.sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(t.net.counters().delivered.value(), 1);
+  EXPECT_EQ(t.net.counters().forwarded.value(), 1);
+}
+
+TEST(Network, LatencyIncludesSerializationAndPropagation) {
+  Triangle t;
+  t.net.node(t.a).originate(t.make(t.addr_b));
+  t.sim.run();
+  // 2 hops: each 1000B at 10 Mb/s = 0.8 ms serialization + 1 ms propagation.
+  const double expect_s = 2 * (0.0008 + 0.001);
+  EXPECT_NEAR(t.net.counters().delivery_latency_s.mean(), expect_s, 1e-6);
+}
+
+TEST(Network, NoRouteCounted) {
+  Triangle t;
+  t.net.node(t.r).forwarding().erase_prefix_route(prefix_of(t.addr_b));
+  t.net.node(t.a).originate(t.make(t.addr_b));
+  t.sim.run();
+  EXPECT_EQ(t.net.counters().delivered.value(), 0);
+  EXPECT_EQ(t.net.counters().dropped_no_route.value(), 1);
+}
+
+TEST(Network, TtlExpiryDropsLoopedPacket) {
+  // a and r point at each other: a routing loop.
+  Triangle t;
+  t.net.node(t.r).forwarding().clear();
+  t.net.node(t.r).forwarding().set_default_route(0);  // back toward a
+  Packet p = t.make(addr(9, 9, 9));
+  p.ttl = 10;
+  t.net.node(t.a).originate(std::move(p));
+  t.sim.run();
+  EXPECT_EQ(t.net.counters().dropped_ttl.value(), 1);
+  EXPECT_EQ(t.net.counters().delivered.value(), 0);
+}
+
+TEST(Network, FilterDropsAndCounts) {
+  Triangle t;
+  t.net.node(t.r).add_filter(PacketFilter{
+      .name = "block-web",
+      .disclosed = true,
+      .fn = [](const Packet& p) {
+        return p.observable_proto() == AppProto::kWeb ? FilterDecision::drop("no web")
+                                                      : FilterDecision::accept();
+      }});
+  t.net.node(t.a).originate(t.make(t.addr_b, AppProto::kWeb));
+  t.net.node(t.a).originate(t.make(t.addr_b, AppProto::kMail));
+  t.sim.run();
+  EXPECT_EQ(t.net.counters().dropped_filter.value(), 1);
+  EXPECT_EQ(t.net.counters().delivered.value(), 1);
+}
+
+TEST(Network, EncryptionDefeatsProtocolFilter) {
+  // The §VI-A escalation: DPI blocks web; sender encrypts; packet passes.
+  Triangle t;
+  t.net.node(t.r).add_filter(PacketFilter{
+      .name = "dpi",
+      .disclosed = false,
+      .fn = [](const Packet& p) {
+        return p.observable_proto() == AppProto::kWeb ? FilterDecision::drop("dpi")
+                                                      : FilterDecision::accept();
+      }});
+  Packet p = t.make(t.addr_b, AppProto::kWeb);
+  p.encrypted = true;
+  t.net.node(t.a).originate(std::move(p));
+  t.sim.run();
+  EXPECT_EQ(t.net.counters().delivered.value(), 1);
+}
+
+TEST(Network, RedirectRewritesDestination) {
+  // ISP-style SMTP capture: mail to anywhere is redirected to b.
+  Triangle t;
+  Address trap = t.addr_b;
+  t.net.node(t.r).add_filter(PacketFilter{
+      .name = "smtp-capture",
+      .disclosed = false,
+      .fn = [trap](const Packet& p) {
+        return p.observable_proto() == AppProto::kMail
+                   ? FilterDecision::redirect(trap, "isp mail policy")
+                   : FilterDecision::accept();
+      }});
+  int at_b = 0;
+  t.net.node(t.b).set_local_handler([&](const Packet&) { ++at_b; });
+  t.net.node(t.a).originate(t.make(addr(5, 5, 5), AppProto::kMail));
+  t.sim.run();
+  EXPECT_EQ(at_b, 1);
+  EXPECT_EQ(t.net.counters().redirected.value(), 1);
+}
+
+TEST(Network, DisclosureListsOnlyDisclosedFilters) {
+  Triangle t;
+  t.net.node(t.r).add_filter(
+      PacketFilter{"open-firewall", true, [](const Packet&) { return FilterDecision::accept(); }});
+  t.net.node(t.r).add_filter(
+      PacketFilter{"covert-tap", false, [](const Packet&) { return FilterDecision::accept(); }});
+  auto names = t.net.node(t.r).disclosed_filter_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "open-firewall");
+  EXPECT_TRUE(t.net.node(t.r).remove_filter("covert-tap"));
+  EXPECT_FALSE(t.net.node(t.r).remove_filter("covert-tap"));
+}
+
+TEST(Network, LinkDownDropsTraffic) {
+  Triangle t;
+  t.net.link(0).set_up(false);
+  t.net.node(t.a).originate(t.make(t.addr_b));
+  t.sim.run();
+  EXPECT_EQ(t.net.counters().delivered.value(), 0);
+  EXPECT_EQ(t.net.counters().dropped_link_down.value(), 1);
+}
+
+TEST(Network, QueueOverflowDropsUnderBurst) {
+  sim::Simulator sim;
+  Network net(sim);
+  NodeId a = net.add_node(1), b = net.add_node(1);
+  net.connect(a, b, 1e6, sim::Duration::millis(1), QueueKind::kDropTail, 4);
+  Address dst = addr(1, 2, 1);
+  net.node(b).add_address(dst);
+  net.node(a).forwarding().set_default_route(0);
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.src = addr(1, 1, 1);
+    p.dst = dst;
+    p.size_bytes = 1500;
+    net.node(a).originate(std::move(p));
+  }
+  sim.run();
+  EXPECT_GT(net.counters().dropped_queue.value(), 0);
+  EXPECT_EQ(net.counters().delivered.value() + net.counters().dropped_queue.value(), 50);
+}
+
+TEST(Network, SourceRouteSteersPackets) {
+  // Diamond: a - {top AS 2, bottom AS 3} - b. Default routing goes top;
+  // a source route via AS 3 must take the bottom path.
+  sim::Simulator sim;
+  Network net(sim);
+  NodeId a = net.add_node(1), top = net.add_node(2), bot = net.add_node(3), b = net.add_node(4);
+  net.connect(a, top, 10e6, sim::Duration::millis(1));   // a iface 0
+  net.connect(a, bot, 10e6, sim::Duration::millis(1));   // a iface 1
+  net.connect(top, b, 10e6, sim::Duration::millis(1));
+  net.connect(bot, b, 10e6, sim::Duration::millis(1));
+  Address dst = addr(4, 1, 1);
+  net.node(b).add_address(dst);
+  net.node(a).forwarding().set_default_route(0);
+  net.node(a).forwarding().set_as_route(2, 0);
+  net.node(a).forwarding().set_as_route(3, 1);
+  net.node(top).forwarding().set_default_route(1);
+  net.node(bot).forwarding().set_default_route(1);
+  net.node(b).forwarding().set_default_route(0);
+
+  Packet p;
+  p.src = addr(1, 1, 1);
+  p.dst = dst;
+  p.source_route = SourceRoute{.hops = {3, 4}, .next = 0};
+  net.node(a).originate(std::move(p));
+  sim.run();
+  EXPECT_EQ(net.counters().delivered.value(), 1);
+  EXPECT_EQ(net.link(3).tx_packets(bot), 1u);  // bottom egress carried it
+  EXPECT_EQ(net.link(2).tx_packets(top), 0u);  // top egress did not
+}
+
+TEST(Network, VpnTunnelTraversesGatewayAndUnwraps) {
+  // a -> r(gateway) -> b where a tunnels to r; r decapsulates and forwards.
+  Triangle t;
+  Address gw = addr(1, 3, 1);
+  t.net.node(t.r).add_address(gw);
+  Packet inner = t.make(t.addr_b, AppProto::kP2p);
+  Packet outer = inner.encapsulate(t.addr_a, gw);
+  int delivered_proto = -1;
+  t.net.node(t.b).set_local_handler(
+      [&](const Packet& p) { delivered_proto = static_cast<int>(p.proto); });
+  t.net.node(t.a).originate(std::move(outer));
+  t.sim.run();
+  EXPECT_EQ(delivered_proto, static_cast<int>(AppProto::kP2p));
+}
+
+TEST(Network, NeighborsEnumeratesLinks) {
+  Triangle t;
+  auto nbrs = t.net.neighbors(t.r);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].first, t.a);
+  EXPECT_EQ(nbrs[1].first, t.b);
+}
+
+TEST(Network, DeliveryObserverSeesPackets) {
+  Triangle t;
+  std::vector<NodeId> seen;
+  t.net.set_delivery_observer([&](const Packet&, NodeId at) { seen.push_back(at); });
+  t.net.node(t.a).originate(t.make(t.addr_b));
+  t.sim.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], t.b);
+}
+
+TEST(Network, RenumberChangesOwnership) {
+  Triangle t;
+  EXPECT_TRUE(t.net.node(t.a).owns(t.addr_a));
+  t.net.node(t.a).renumber({addr(2, 7, 1)});
+  EXPECT_FALSE(t.net.node(t.a).owns(t.addr_a));
+  EXPECT_TRUE(t.net.node(t.a).owns(addr(2, 7, 1)));
+}
+
+TEST(Network, SelfLinkRejected) {
+  sim::Simulator sim;
+  Network net(sim);
+  NodeId a = net.add_node(1);
+  EXPECT_THROW(net.connect(a, a, 1e6, sim::Duration::millis(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tussle::net

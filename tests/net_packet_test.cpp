@@ -1,0 +1,98 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::net {
+namespace {
+
+Packet make_packet() {
+  Packet p;
+  p.src = Address{.provider = 1, .subscriber = 1, .host = 1};
+  p.dst = Address{.provider = 2, .subscriber = 1, .host = 1};
+  p.proto = AppProto::kWeb;
+  p.size_bytes = 800;
+  p.payload_tag = "index.html";
+  return p;
+}
+
+TEST(Packet, ObservableProtoVisibleByDefault) {
+  Packet p = make_packet();
+  EXPECT_EQ(p.observable_proto(), AppProto::kWeb);
+  EXPECT_FALSE(p.visibly_opaque());
+}
+
+TEST(Packet, EncryptionHidesProto) {
+  Packet p = make_packet();
+  p.encrypted = true;
+  EXPECT_EQ(p.observable_proto(), AppProto::kUnknown);
+  // The paper: hiding should itself be visible.
+  EXPECT_TRUE(p.visibly_opaque());
+}
+
+TEST(Packet, EncapsulationWrapsAndGrows) {
+  Packet p = make_packet();
+  p.uid = 99;
+  const Address tsrc{.provider = 1, .subscriber = 1, .host = 1};
+  const Address gw{.provider = 9, .subscriber = 0, .host = 1};
+  Packet outer = p.encapsulate(tsrc, gw);
+  EXPECT_EQ(outer.proto, AppProto::kVpn);
+  EXPECT_EQ(outer.dst, gw);
+  EXPECT_EQ(outer.size_bytes, p.size_bytes + 40);
+  EXPECT_TRUE(outer.visibly_opaque());
+  ASSERT_TRUE(outer.inner);
+  EXPECT_EQ(outer.inner->dst, p.dst);
+  EXPECT_EQ(outer.uid, 99u);
+}
+
+TEST(Packet, DecapsulationRestoresInner) {
+  Packet p = make_packet();
+  p.sent_at_s = 1.5;
+  Packet outer = p.encapsulate(p.src, Address{.provider = 9, .subscriber = 0, .host = 1});
+  outer.sent_at_s = 1.5;
+  auto inner = outer.decapsulate();
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(inner->dst, p.dst);
+  EXPECT_EQ(inner->proto, AppProto::kWeb);
+  EXPECT_EQ(inner->payload_tag, "index.html");
+  EXPECT_DOUBLE_EQ(inner->sent_at_s, 1.5);
+}
+
+TEST(Packet, DecapsulateNonTunnelIsEmpty) {
+  Packet p = make_packet();
+  EXPECT_FALSE(p.decapsulate().has_value());
+}
+
+TEST(Packet, TunnelHidesInnerProtoButShowsTunnel) {
+  Packet p = make_packet();
+  p.proto = AppProto::kP2p;  // the thing the ISP wants to throttle
+  Packet outer = p.encapsulate(p.src, Address{.provider = 9, .subscriber = 0, .host = 1});
+  EXPECT_EQ(outer.observable_proto(), AppProto::kVpn);
+  EXPECT_NE(outer.observable_proto(), AppProto::kP2p);
+}
+
+TEST(SourceRoute, NextHopAdvances) {
+  SourceRoute sr{.hops = {3, 5, 7}, .next = 0};
+  EXPECT_EQ(sr.next_hop(), AsId{3});
+  sr.next = 2;
+  EXPECT_EQ(sr.next_hop(), AsId{7});
+  sr.next = 3;
+  EXPECT_TRUE(sr.exhausted());
+  EXPECT_FALSE(sr.next_hop().has_value());
+}
+
+TEST(PacketIdSource, MonotoneUnique) {
+  PacketIdSource ids;
+  auto a = ids.next();
+  auto b = ids.next();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, 1u);
+}
+
+TEST(ToString, CoversEnums) {
+  EXPECT_EQ(to_string(ServiceClass::kPremium), "premium");
+  EXPECT_EQ(to_string(AppProto::kVoip), "voip");
+  EXPECT_EQ(to_string(AppProto::kVpn), "vpn");
+}
+
+}  // namespace
+}  // namespace tussle::net

@@ -1,0 +1,100 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+namespace tussle::net {
+namespace {
+
+// BFS connectivity check over the built network.
+bool connected(const Network& net) {
+  if (net.node_count() == 0) return true;
+  std::set<NodeId> seen{0};
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop();
+    for (auto [peer, iface] : net.neighbors(n)) {
+      (void)iface;
+      if (seen.insert(peer).second) frontier.push(peer);
+    }
+  }
+  return seen.size() == net.node_count();
+}
+
+TEST(Topology, LineHasNMinusOneLinks) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto ids = build_line(net, 6, 1, LinkSpec{});
+  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(net.link_count(), 5u);
+  EXPECT_TRUE(connected(net));
+  // Interior nodes have exactly two interfaces.
+  EXPECT_EQ(net.node(ids[2]).interface_count(), 2u);
+  EXPECT_EQ(net.node(ids[0]).interface_count(), 1u);
+}
+
+TEST(Topology, StarHubTouchesAllLeaves) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto ids = build_star(net, 8, 1, LinkSpec{});
+  EXPECT_EQ(ids.size(), 9u);
+  EXPECT_EQ(net.node(ids[0]).interface_count(), 8u);
+  for (std::size_t i = 1; i < ids.size(); ++i)
+    EXPECT_EQ(net.node(ids[i]).interface_count(), 1u);
+  EXPECT_TRUE(connected(net));
+}
+
+TEST(Topology, DumbbellShape) {
+  sim::Simulator sim;
+  Network net(sim);
+  LinkSpec edge;
+  LinkSpec bottleneck;
+  bottleneck.bandwidth_bps = 1e6;
+  auto d = build_dumbbell(net, 4, edge, bottleneck);
+  EXPECT_EQ(d.sources.size(), 4u);
+  EXPECT_EQ(d.sinks.size(), 4u);
+  EXPECT_TRUE(connected(net));
+  EXPECT_DOUBLE_EQ(net.link(d.bottleneck).bandwidth_bps(), 1e6);
+  // Left router: bottleneck + 4 sources.
+  EXPECT_EQ(net.node(d.left_router).interface_count(), 5u);
+}
+
+TEST(Topology, RandomGraphIsConnected) {
+  sim::Simulator sim;
+  Network net(sim);
+  sim::Rng rng(99);
+  auto ids = build_random(net, 30, 1, rng, 0.4, 0.3, LinkSpec{});
+  EXPECT_EQ(ids.size(), 30u);
+  EXPECT_TRUE(connected(net));
+  EXPECT_GE(net.link_count(), 29u);  // at least the spanning chain
+}
+
+TEST(Topology, RandomGraphDeterministicPerSeed) {
+  auto count_links = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    Network net(sim);
+    sim::Rng rng(seed);
+    build_random(net, 25, 1, rng, 0.5, 0.4, LinkSpec{});
+    return net.link_count();
+  };
+  EXPECT_EQ(count_links(7), count_links(7));
+}
+
+TEST(Topology, LinkSpecApplied) {
+  sim::Simulator sim;
+  Network net(sim);
+  LinkSpec spec;
+  spec.bandwidth_bps = 42e6;
+  spec.propagation = sim::Duration::millis(13);
+  build_line(net, 2, 3, spec);
+  EXPECT_DOUBLE_EQ(net.link(0).bandwidth_bps(), 42e6);
+  EXPECT_EQ(net.link(0).propagation(), sim::Duration::millis(13));
+  EXPECT_EQ(net.node(0).as(), 3u);
+}
+
+}  // namespace
+}  // namespace tussle::net

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "routing/link_state.hpp"
+
+namespace tussle::net {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim{53};
+  Network net{sim};
+  std::vector<NodeId> ids;
+  std::vector<Address> addrs;
+
+  Fixture() {
+    ids = build_star(net, 3, 1, LinkSpec{});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+  }
+
+  /// Covert tap on the hub for traffic from addrs[1], copying to addrs[3].
+  void install_tap() {
+    const Address target = addrs[1];
+    const Address collector = addrs[3];
+    net.node(ids[0]).add_filter(PacketFilter{
+        .name = "lawful-intercept",
+        .disclosed = false,  // of course
+        .fn = [target, collector](const Packet& p) {
+          if (p.src == target) return FilterDecision::mirror(collector, "warrant-1234");
+          return FilterDecision::accept();
+        }});
+  }
+
+  void send(const Address& from, NodeId from_node, const Address& to,
+            AppProto proto = AppProto::kWeb, bool encrypted = false) {
+    Packet p;
+    p.src = from;
+    p.dst = to;
+    p.proto = proto;
+    p.encrypted = encrypted;
+    p.payload_tag = "the-goods";
+    net.node(from_node).originate(std::move(p));
+  }
+};
+
+TEST(Wiretap, CopyReachesCollectorAndOriginalStillDelivered) {
+  Fixture f;
+  f.install_tap();
+  int at_dst = 0, at_tap = 0;
+  f.net.node(f.ids[2]).set_local_handler([&](const Packet&) { ++at_dst; });
+  f.net.node(f.ids[3]).set_local_handler([&](const Packet&) { ++at_tap; });
+  f.send(f.addrs[1], f.ids[1], f.addrs[2]);
+  f.sim.run();
+  EXPECT_EQ(at_dst, 1);
+  EXPECT_EQ(at_tap, 1);
+  EXPECT_EQ(f.net.counters().mirrored.value(), 1);
+  // The tap is invisible: the node discloses nothing.
+  EXPECT_TRUE(f.net.node(f.ids[0]).disclosed_filter_names().empty());
+}
+
+TEST(Wiretap, NonTargetTrafficNotMirrored) {
+  Fixture f;
+  f.install_tap();
+  f.send(f.addrs[2], f.ids[2], f.addrs[1]);
+  f.sim.run();
+  EXPECT_EQ(f.net.counters().mirrored.value(), 0);
+}
+
+TEST(Wiretap, MirrorHappensEvenWhenPacketThenDropped) {
+  // The tap sits before a censor in the chain: the collector sees what the
+  // censor saw, including packets that never arrived.
+  Fixture f;
+  f.install_tap();
+  f.net.node(f.ids[0]).add_filter(PacketFilter{
+      .name = "censor",
+      .disclosed = false,
+      .fn = [](const Packet&) { return FilterDecision::drop("all"); }});
+  int at_tap = 0;
+  f.net.node(f.ids[3]).set_local_handler([&](const Packet&) { ++at_tap; });
+  f.send(f.addrs[1], f.ids[1], f.addrs[2]);
+  f.sim.run();
+  EXPECT_EQ(at_tap, 1);
+  EXPECT_EQ(f.net.counters().delivered.value(), 1);  // only the tap copy
+  EXPECT_EQ(f.net.counters().dropped_filter.value(), 1);
+}
+
+TEST(Wiretap, EncryptionDefeatsContentNotMetadata) {
+  // §VI-A: "end-to-end encryption addresses ... the threat that someone
+  // wants to steal or modify the information" — the tap still sees that
+  // and to whom alice talks, but not what.
+  Fixture f;
+  f.install_tap();
+  std::optional<Packet> captured;
+  f.net.node(f.ids[3]).set_local_handler([&](const Packet& p) { captured = p; });
+  f.send(f.addrs[1], f.ids[1], f.addrs[2], AppProto::kMail, /*encrypted=*/true);
+  f.sim.run();
+  ASSERT_TRUE(captured.has_value());
+  EXPECT_EQ(captured->src, f.addrs[1]);  // metadata: who
+  EXPECT_EQ(captured->observable_proto(), AppProto::kUnknown);  // content class: hidden
+  EXPECT_TRUE(captured->visibly_opaque());
+}
+
+TEST(Wiretap, MultipleTapsAllReceive) {
+  Fixture f;
+  const Address t1 = f.addrs[2], t2 = f.addrs[3];
+  for (const Address& tap : {t1, t2}) {
+    f.net.node(f.ids[0]).add_filter(PacketFilter{
+        .name = "tap",
+        .disclosed = false,
+        .fn = [tap](const Packet& p) {
+          if (p.payload_tag == "the-goods" && p.proto == AppProto::kWeb &&
+              !p.src.portable && p.src.subscriber == 1) {
+            return FilterDecision::mirror(tap, "tap");
+          }
+          return FilterDecision::accept();
+        }});
+  }
+  f.send(f.addrs[1], f.ids[1], f.addrs[2]);
+  f.sim.run();
+  EXPECT_EQ(f.net.counters().mirrored.value(), 2);
+}
+
+}  // namespace
+}  // namespace tussle::net

@@ -1,0 +1,139 @@
+#include "routing/as_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::routing {
+namespace {
+
+// Small canonical topology:
+//        1 --- 2          (tier-1 peers)
+//       / \     \
+//      3   4     5        (tier-2 customers)
+//      |    \   /
+//      6     7-8(peer)    (stubs; 7 buys from 4 and 5)
+AsGraph canonical() {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_customer_provider(3, 1);
+  g.add_customer_provider(4, 1);
+  g.add_customer_provider(5, 2);
+  g.add_customer_provider(6, 3);
+  g.add_customer_provider(7, 4);
+  g.add_customer_provider(7, 5);
+  g.add_as(8);
+  g.add_peering(7, 8);
+  return g;
+}
+
+TEST(AsGraph, RelationshipsAreSymmetricInverses) {
+  AsGraph g = canonical();
+  EXPECT_EQ(g.relationship(3, 1), Rel::kProvider);
+  EXPECT_EQ(g.relationship(1, 3), Rel::kCustomer);
+  EXPECT_EQ(g.relationship(1, 2), Rel::kPeer);
+  EXPECT_EQ(g.relationship(2, 1), Rel::kPeer);
+  EXPECT_FALSE(g.relationship(3, 5).has_value());
+}
+
+TEST(AsGraph, ReverseHelper) {
+  EXPECT_EQ(reverse(Rel::kCustomer), Rel::kProvider);
+  EXPECT_EQ(reverse(Rel::kProvider), Rel::kCustomer);
+  EXPECT_EQ(reverse(Rel::kPeer), Rel::kPeer);
+}
+
+TEST(AsGraph, CountsNodesAndEdges) {
+  AsGraph g = canonical();
+  EXPECT_EQ(g.as_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 8u);
+}
+
+TEST(AsGraph, RejectsSelfAndDuplicateEdges) {
+  AsGraph g;
+  g.add_customer_provider(1, 2);
+  EXPECT_THROW(g.add_customer_provider(1, 2), std::invalid_argument);
+  EXPECT_THROW(g.add_peering(2, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_peering(3, 3), std::invalid_argument);
+  EXPECT_THROW(g.add_customer_provider(4, 4), std::invalid_argument);
+}
+
+TEST(AsGraph, ValleyFreeAcceptsUpPeerDown) {
+  AsGraph g = canonical();
+  EXPECT_TRUE(g.valley_free({6, 3, 1, 2, 5, 7}));  // up, up, peer, down, down
+  EXPECT_TRUE(g.valley_free({6, 3, 1, 4, 7}));     // up, up, down, down
+  EXPECT_TRUE(g.valley_free({7, 4}));              // single climb
+  EXPECT_TRUE(g.valley_free({7}));                 // trivial
+  EXPECT_TRUE(g.valley_free({}));
+}
+
+TEST(AsGraph, ValleyFreeRejectsValleysAndDoublePeering) {
+  AsGraph g = canonical();
+  // 4 -> 7 -> 5 descends into stub 7 and climbs again: classic valley.
+  EXPECT_FALSE(g.valley_free({4, 7, 5}));
+  // Peer edge then climb: 8 -(peer)- 7 -> 5 is peer then up.
+  EXPECT_FALSE(g.valley_free({8, 7, 5}));
+  // Down then peer: 5 -> 7 -(peer)- 8.
+  EXPECT_FALSE(g.valley_free({5, 7, 8}));
+  // Non-edges fail outright.
+  EXPECT_FALSE(g.valley_free({3, 5}));
+}
+
+TEST(AsGraph, NeighborsListsRelations) {
+  AsGraph g = canonical();
+  const auto& n7 = g.neighbors(7);
+  ASSERT_EQ(n7.size(), 3u);
+  int providers = 0, peers = 0;
+  for (auto [as, rel] : n7) {
+    (void)as;
+    providers += (rel == Rel::kProvider);
+    peers += (rel == Rel::kPeer);
+  }
+  EXPECT_EQ(providers, 2);
+  EXPECT_EQ(peers, 1);
+}
+
+TEST(AsGraph, HierarchyGeneratorShapes) {
+  sim::Rng rng(1);
+  auto h = make_hierarchy(rng, 3, 6, 20);
+  EXPECT_EQ(h.tier1.size(), 3u);
+  EXPECT_EQ(h.tier2.size(), 6u);
+  EXPECT_EQ(h.stubs.size(), 20u);
+  EXPECT_EQ(h.graph.as_count(), 29u);
+  // Tier-1 mesh present.
+  EXPECT_EQ(h.graph.relationship(h.tier1[0], h.tier1[1]), Rel::kPeer);
+  // Every stub has at least one provider.
+  for (AsId s : h.stubs) {
+    bool has_provider = false;
+    for (auto [n, rel] : h.graph.neighbors(s)) {
+      (void)n;
+      has_provider |= (rel == Rel::kProvider);
+    }
+    EXPECT_TRUE(has_provider) << "stub " << s;
+  }
+  // Stubs never have customers.
+  for (AsId s : h.stubs) {
+    for (auto [n, rel] : h.graph.neighbors(s)) {
+      (void)n;
+      EXPECT_NE(rel, Rel::kCustomer) << "stub " << s;
+    }
+  }
+}
+
+TEST(AsGraph, HierarchyDeterministicPerSeed) {
+  sim::Rng a(5), b(5);
+  auto ha = make_hierarchy(a, 2, 4, 10);
+  auto hb = make_hierarchy(b, 2, 4, 10);
+  EXPECT_EQ(ha.graph.edge_count(), hb.graph.edge_count());
+}
+
+TEST(AsGraph, HierarchyRequiresTier1) {
+  sim::Rng rng(1);
+  EXPECT_THROW(make_hierarchy(rng, 0, 2, 2), std::invalid_argument);
+}
+
+TEST(AsGraph, RelToString) {
+  EXPECT_EQ(to_string(Rel::kCustomer), "customer");
+  EXPECT_EQ(to_string(Rel::kPeer), "peer");
+  EXPECT_EQ(to_string(Rel::kProvider), "provider");
+}
+
+}  // namespace
+}  // namespace tussle::routing

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "routing/path_vector.hpp"
+
+namespace tussle::routing {
+namespace {
+
+AsGraph canonical() {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_customer_provider(3, 1);
+  g.add_customer_provider(4, 1);
+  g.add_customer_provider(5, 2);
+  g.add_customer_provider(6, 3);
+  g.add_customer_provider(7, 4);
+  g.add_customer_provider(7, 5);
+  return g;
+}
+
+TEST(Hijack, StubHijackerCapturesSomeTraffic) {
+  // AS 7 falsely originates AS 6's prefix. Customer routes are preferred,
+  // so 7's providers (4, 5) believe the hijacker.
+  AsGraph g = canonical();
+  auto h = simulate_hijack(g, /*true_origin=*/6, /*hijacker=*/7, /*validation=*/false);
+  EXPECT_TRUE(h.converged);
+  EXPECT_GT(h.captured, 0u);
+  EXPECT_GT(h.legitimate, 0u);  // the true origin's own provider chain holds
+  EXPECT_GT(h.capture_fraction, 0.2);
+}
+
+TEST(Hijack, OriginValidationRestoresTruth) {
+  AsGraph g = canonical();
+  auto h = simulate_hijack(g, 6, 7, /*validation=*/true);
+  EXPECT_TRUE(h.converged);
+  EXPECT_EQ(h.captured, 0u);
+  EXPECT_EQ(h.unreachable, 0u);
+  EXPECT_EQ(h.legitimate, h.total_ases);
+}
+
+TEST(Hijack, TrueOriginsOwnConeStaysLoyal) {
+  // AS 3 is 6's provider: its direct customer route always beats the
+  // hijacked route learned upstream.
+  AsGraph g = canonical();
+  PathVector pv(g);
+  auto out = pv.compute_with_origins({6, 7}, false, 6);
+  ASSERT_TRUE(out.routes.count(3));
+  EXPECT_EQ(out.routes.at(3).as_path.back(), AsId{6});
+}
+
+TEST(Hijack, WellPlacedHijackerCapturesMore) {
+  // A tier-2 hijacker (5) beats a stub hijacker (7) in reach.
+  sim::Rng rng(3);
+  auto h = make_hierarchy(rng, 3, 8, 24);
+  const AsId victim = h.stubs[0];
+  const AsId stub_attacker = h.stubs.back();
+  const AsId transit_attacker = h.tier2[0];
+  auto stub_result = simulate_hijack(h.graph, victim, stub_attacker, false);
+  auto transit_result = simulate_hijack(h.graph, victim, transit_attacker, false);
+  EXPECT_GE(transit_result.capture_fraction, stub_result.capture_fraction);
+  EXPECT_GT(transit_result.capture_fraction, 0.3);
+}
+
+TEST(Hijack, ValidationWorksAcrossRandomTopologies) {
+  for (std::uint64_t seed : {1, 7, 13}) {
+    sim::Rng rng(seed);
+    auto h = make_hierarchy(rng, 3, 6, 18);
+    auto out = simulate_hijack(h.graph, h.stubs[0], h.stubs[1], /*validation=*/true);
+    EXPECT_EQ(out.captured, 0u) << "seed " << seed;
+  }
+}
+
+TEST(Hijack, SelfConsistentAccounting) {
+  AsGraph g = canonical();
+  auto h = simulate_hijack(g, 6, 7, false);
+  EXPECT_EQ(h.captured + h.legitimate + h.unreachable, h.total_ases);
+  EXPECT_EQ(h.total_ases, g.as_count() - 2);  // neither protagonist counted
+}
+
+TEST(Hijack, MultiOriginAnycastWithoutAttackSplitsCleanly) {
+  // The same machinery models legitimate anycast: both origins are
+  // authorized, nobody is "captured", and everyone picks the nearer copy.
+  AsGraph g = canonical();
+  PathVector pv(g);
+  auto out = pv.compute_with_origins({6, 7}, false, 6);
+  EXPECT_TRUE(out.converged);
+  std::size_t to6 = 0, to7 = 0;
+  for (const auto& [as, route] : out.routes) {
+    if (as == 6 || as == 7) continue;
+    (route.as_path.back() == 6 ? to6 : to7) += 1;
+  }
+  EXPECT_GT(to6, 0u);
+  EXPECT_GT(to7, 0u);
+}
+
+}  // namespace
+}  // namespace tussle::routing

@@ -1,0 +1,117 @@
+#include "routing/inter_domain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::routing {
+namespace {
+
+AsGraph canonical() {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_customer_provider(3, 1);
+  g.add_customer_provider(4, 1);
+  g.add_customer_provider(5, 2);
+  g.add_customer_provider(6, 3);
+  g.add_customer_provider(7, 4);
+  g.add_customer_provider(7, 5);
+  g.add_as(8);
+  g.add_peering(7, 8);
+  return g;
+}
+
+struct Fixture {
+  sim::Simulator sim{67};
+  net::Network net{sim};
+  AsGraph g = canonical();
+  InterDomainNet topo;
+
+  Fixture() {
+    topo = build_inter_domain(net, g, net::LinkSpec{});
+    PathVector pv(g);
+    install_path_vector_routes(net, topo, pv);
+  }
+
+  int send(AsId from, AsId to) {
+    const auto before = net.counters().delivered.value();
+    net::Packet p;
+    p.src = topo.address_of.at(from);
+    p.dst = topo.address_of.at(to);
+    net.node(topo.router_of.at(from)).originate(std::move(p));
+    sim.run();
+    return static_cast<int>(net.counters().delivered.value() - before);
+  }
+};
+
+TEST(InterDomain, TopologyMatchesGraph) {
+  Fixture f;
+  EXPECT_EQ(f.net.node_count(), f.g.as_count());
+  EXPECT_EQ(f.net.link_count(), f.g.edge_count());
+  for (AsId as : f.g.ases()) {
+    EXPECT_EQ(f.net.node(f.topo.router_of.at(as)).as(), as);
+    EXPECT_TRUE(f.net.node(f.topo.router_of.at(as)).owns(f.topo.address_of.at(as)));
+  }
+}
+
+TEST(InterDomain, PacketsFollowPolicyRoutes) {
+  Fixture f;
+  EXPECT_EQ(f.send(6, 7), 1);
+  EXPECT_EQ(f.send(7, 6), 1);
+  EXPECT_EQ(f.send(3, 5), 1);
+}
+
+TEST(InterDomain, PolicyBlackholesAreRealDrops) {
+  // AS 8 (peer-only) has no policy route to 6 — the packet-level symptom
+  // must be a no-route drop, like a real BGP blackhole.
+  Fixture f;
+  const auto before = f.net.counters().dropped_no_route.value();
+  EXPECT_EQ(f.send(8, 6), 0);
+  EXPECT_GT(f.net.counters().dropped_no_route.value(), before);
+}
+
+TEST(InterDomain, PreferredPathUsedOnTheWire) {
+  // AS 1 reaches 7 via its customer 4 (policy), not via peer 2. Verify by
+  // link transmit counters.
+  Fixture f;
+  f.send(1, 7);
+  // Find the 1-4 link and the 1-2 link.
+  const net::NodeId n1 = f.topo.router_of.at(1);
+  std::uint64_t via4 = 0, via2 = 0;
+  for (net::IfIndex i = 0; i < static_cast<net::IfIndex>(f.net.node(n1).interface_count());
+       ++i) {
+    const net::Link& l = f.net.link(f.net.node(n1).link_of(i));
+    const AsId peer_as = f.net.node(l.peer_of(n1)).as();
+    if (peer_as == 4) via4 = l.tx_packets(n1);
+    if (peer_as == 2) via2 = l.tx_packets(n1);
+  }
+  EXPECT_EQ(via4, 1u);
+  EXPECT_EQ(via2, 0u);
+}
+
+TEST(InterDomain, SourceRouteCanUsePathsPolicyWontExpose) {
+  // 8 cannot reach 6 by policy, but a source route 8→7→4→1→3→6 works on
+  // the data plane (payment is econ's concern, carriage is possible).
+  Fixture f;
+  net::Packet p;
+  p.src = f.topo.address_of.at(8);
+  p.dst = f.topo.address_of.at(6);
+  p.source_route = net::SourceRoute{.hops = {7, 4, 1, 3, 6}, .next = 0};
+  const auto before = f.net.counters().delivered.value();
+  f.net.node(f.topo.router_of.at(8)).originate(std::move(p));
+  f.sim.run();
+  EXPECT_EQ(f.net.counters().delivered.value() - before, 1);
+}
+
+TEST(InterDomain, InstallCountsRoutes) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  AsGraph g = canonical();
+  auto topo = build_inter_domain(net, g, net::LinkSpec{});
+  PathVector pv(g);
+  const std::size_t installed = install_path_vector_routes(net, topo, pv);
+  // Upper bound: n*(n-1) pairs; must be positive and below the bound.
+  EXPECT_GT(installed, 20u);
+  EXPECT_LT(installed, g.as_count() * (g.as_count() - 1));
+}
+
+}  // namespace
+}  // namespace tussle::routing

@@ -1,0 +1,100 @@
+#include "routing/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace tussle::routing {
+namespace {
+
+using net::NodeId;
+
+TEST(SpfPath, ExtractsPathsOnLine) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto ids = net::build_line(net, 5, 1, net::LinkSpec{});
+  LinkState ls(net, [](const net::Link&) { return 1.0; });
+  auto tree = ls.spf(ids[0]);
+  auto path = spf_path(tree, ids[0], ids[4]);
+  EXPECT_EQ(path, ids);
+  EXPECT_EQ(spf_path(tree, ids[0], ids[0]), (std::vector<NodeId>{ids[0]}));
+}
+
+TEST(SpfPath, UnreachableIsEmpty) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto ids = net::build_line(net, 3, 1, net::LinkSpec{});
+  NodeId island = net.add_node(1);
+  LinkState ls(net);
+  auto tree = ls.spf(ids[0]);
+  EXPECT_TRUE(spf_path(tree, ids[0], island).empty());
+}
+
+TEST(Multicast, StarTopologyCosts) {
+  // Hub + 5 leaves; source = leaf 0, members = leaves 1..4.
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto ids = net::build_star(net, 5, 1, net::LinkSpec{});
+  std::vector<NodeId> members(ids.begin() + 2, ids.end());  // 4 members
+  auto cost = compare_distribution(net, ids[1], members, {});
+  // Unicast: each member path = leaf->hub->leaf = 2 links; 4 members = 8.
+  EXPECT_EQ(cost.unicast, 8u);
+  // Multicast: source uplink (1) + 4 member downlinks = 5 distinct edges.
+  EXPECT_EQ(cost.multicast, 5u);
+  EXPECT_NEAR(cost.multicast_savings(), 1.0 - 5.0 / 8.0, 1e-12);
+  // No caches: cdn falls back to unicast.
+  EXPECT_EQ(cost.cdn, cost.unicast);
+}
+
+TEST(Multicast, SavingsGrowWithGroupSize) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto ids = net::build_star(net, 20, 1, net::LinkSpec{});
+  auto cost_for = [&](std::size_t n) {
+    std::vector<NodeId> members(ids.begin() + 2, ids.begin() + 2 + n);
+    return compare_distribution(net, ids[1], members, {});
+  };
+  EXPECT_GT(cost_for(16).multicast_savings(), cost_for(4).multicast_savings());
+}
+
+TEST(Multicast, CdnCheaperThanUnicastWithRemoteMembers) {
+  // Two hubs far apart: source on hub A, members on hub B, cache on hub B.
+  sim::Simulator sim;
+  net::Network net(sim);
+  NodeId a = net.add_node(1), b = net.add_node(1);
+  // Long path between hubs (3 intermediate routers).
+  NodeId r1 = net.add_node(1), r2 = net.add_node(1), r3 = net.add_node(1);
+  net::LinkSpec spec;
+  net.connect(a, r1, 1e9, sim::Duration::millis(1));
+  net.connect(r1, r2, 1e9, sim::Duration::millis(1));
+  net.connect(r2, r3, 1e9, sim::Duration::millis(1));
+  net.connect(r3, b, 1e9, sim::Duration::millis(1));
+  NodeId src = net.add_node(1);
+  net.connect(src, a, 1e9, sim::Duration::millis(1));
+  std::vector<NodeId> members;
+  for (int i = 0; i < 6; ++i) {
+    NodeId m = net.add_node(1);
+    net.connect(b, m, 1e9, sim::Duration::millis(1));
+    members.push_back(m);
+  }
+  auto cost = compare_distribution(net, src, members, {b});
+  // Unicast: 6 × (src-a-r1-r2-r3-b-m = 6 links) = 36.
+  EXPECT_EQ(cost.unicast, 36u);
+  // CDN: fill b once (5 links) + 6 local hops = 11.
+  EXPECT_EQ(cost.cdn, 11u);
+  // Multicast tree: 5 shared + 6 leaf links = 11 — CDN ties multicast here.
+  EXPECT_EQ(cost.multicast, 11u);
+  EXPECT_GT(cost.cdn_savings(), 0.5);
+}
+
+TEST(Multicast, UnreachableMembersIgnored) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  auto ids = net::build_star(net, 3, 1, net::LinkSpec{});
+  NodeId island = net.add_node(1);
+  auto cost = compare_distribution(net, ids[1], {ids[2], island}, {});
+  EXPECT_EQ(cost.unicast, 2u);  // only the reachable member counted
+}
+
+}  // namespace
+}  // namespace tussle::routing

@@ -1,0 +1,152 @@
+#include "routing/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "routing/link_state.hpp"
+
+namespace tussle::routing {
+namespace {
+
+using net::Address;
+using net::NodeId;
+
+/// Star underlay: hub 0, members on leaves 1..4, with routes installed.
+struct Fixture {
+  sim::Simulator sim;
+  net::Network net{sim};
+  std::vector<NodeId> ids;
+  std::map<NodeId, Address> members;
+
+  Fixture() {
+    ids = net::build_star(net, 4, 1, net::LinkSpec{});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      if (i > 0) members[ids[i]] = a;
+    }
+    LinkState ls(net);
+    ls.install_routes(ids);
+  }
+};
+
+TEST(Overlay, DirectRouteWhenEdgePresent) {
+  Fixture f;
+  Overlay ov(f.net, f.members);
+  ov.set_edge_cost(f.ids[1], f.ids[2], 1.0);
+  auto path = ov.route(f.ids[1], f.ids[2]);
+  EXPECT_EQ(path, (std::vector<NodeId>{f.ids[1], f.ids[2]}));
+}
+
+TEST(Overlay, RelaysAroundMissingEdge) {
+  Fixture f;
+  Overlay ov(f.net, f.members);
+  // 1→3 has no direct overlay edge, but 1→2 and 2→3 exist.
+  ov.set_edge_cost(f.ids[1], f.ids[2], 1.0);
+  ov.set_edge_cost(f.ids[2], f.ids[3], 1.0);
+  auto path = ov.route(f.ids[1], f.ids[3]);
+  EXPECT_EQ(path, (std::vector<NodeId>{f.ids[1], f.ids[2], f.ids[3]}));
+}
+
+TEST(Overlay, PicksCheaperOfTwoRelays) {
+  Fixture f;
+  Overlay ov(f.net, f.members);
+  ov.set_edge_cost(f.ids[1], f.ids[2], 10.0);
+  ov.set_edge_cost(f.ids[2], f.ids[4], 10.0);
+  ov.set_edge_cost(f.ids[1], f.ids[3], 1.0);
+  ov.set_edge_cost(f.ids[3], f.ids[4], 1.0);
+  auto path = ov.route(f.ids[1], f.ids[4]);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], f.ids[3]);
+}
+
+TEST(Overlay, BlockedEdgeRemoved) {
+  Fixture f;
+  Overlay ov(f.net, f.members);
+  ov.set_edge_cost(f.ids[1], f.ids[2], 1.0);
+  ov.block_edge(f.ids[1], f.ids[2]);
+  EXPECT_TRUE(ov.route(f.ids[1], f.ids[2]).empty());
+  EXPECT_FALSE(ov.edge_cost(f.ids[1], f.ids[2]).has_value());
+}
+
+TEST(Overlay, SendDeliversThroughRelay) {
+  Fixture f;
+  Overlay ov(f.net, f.members);
+  ov.set_edge_cost(f.ids[1], f.ids[2], 1.0);
+  ov.set_edge_cost(f.ids[2], f.ids[3], 1.0);
+
+  net::Packet inner;
+  inner.src = f.members.at(f.ids[1]);
+  inner.dst = f.members.at(f.ids[3]);
+  inner.proto = net::AppProto::kWeb;
+  inner.payload_tag = "via-overlay";
+
+  int got = 0;
+  f.net.node(f.ids[3]).set_local_handler([&](const net::Packet& p) {
+    if (p.payload_tag == "via-overlay" && !p.inner) ++got;
+  });
+  auto used = ov.send(f.ids[1], f.ids[3], std::move(inner));
+  ASSERT_EQ(used.size(), 3u);
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Overlay, SendDefeatsOnPathBlocking) {
+  // The underlay hub blocks web from member 1 to member 3 specifically.
+  // The overlay relays via member 2 with tunnels, and the hub's DPI sees
+  // only VPN frames — the §V-A-4 "overlays route around policy" move.
+  Fixture f;
+  const Address src1 = f.members.at(f.ids[1]);
+  const Address dst3 = f.members.at(f.ids[3]);
+  f.net.node(f.ids[0]).add_filter(net::PacketFilter{
+      .name = "hub-censor",
+      .disclosed = false,
+      .fn = [&](const net::Packet& p) {
+        if (p.observable_proto() == net::AppProto::kWeb && p.dst == dst3) {
+          return net::FilterDecision::drop("censored");
+        }
+        return net::FilterDecision::accept();
+      }});
+
+  // Direct send: filtered.
+  net::Packet direct;
+  direct.src = src1;
+  direct.dst = dst3;
+  direct.proto = net::AppProto::kWeb;
+  f.net.node(f.ids[1]).originate(std::move(direct));
+  f.sim.run();
+  EXPECT_EQ(f.net.counters().dropped_filter.value(), 1);
+  EXPECT_EQ(f.net.counters().delivered.value(), 0);
+
+  // Overlay send via member 2: tunnel frames pass the censor.
+  Overlay ov(f.net, f.members);
+  ov.set_edge_cost(f.ids[1], f.ids[2], 1.0);
+  ov.set_edge_cost(f.ids[2], f.ids[3], 1.0);
+  net::Packet inner;
+  inner.src = src1;
+  inner.dst = dst3;
+  inner.proto = net::AppProto::kWeb;
+  ov.send(f.ids[1], f.ids[3], std::move(inner));
+  f.sim.run();
+  EXPECT_EQ(f.net.counters().delivered.value(), 1);
+}
+
+TEST(Overlay, NonMemberEdgeRejected) {
+  Fixture f;
+  Overlay ov(f.net, f.members);
+  EXPECT_THROW(ov.set_edge_cost(f.ids[0], f.ids[1], 1.0), std::invalid_argument);
+}
+
+TEST(Overlay, SendWithoutPathSendsNothing) {
+  Fixture f;
+  Overlay ov(f.net, f.members);
+  net::Packet inner;
+  inner.src = f.members.at(f.ids[1]);
+  inner.dst = f.members.at(f.ids[3]);
+  EXPECT_TRUE(ov.send(f.ids[1], f.ids[3], std::move(inner)).empty());
+  f.sim.run();
+  EXPECT_EQ(f.net.counters().originated.value(), 0);
+}
+
+}  // namespace
+}  // namespace tussle::routing

@@ -1,0 +1,124 @@
+#include "routing/source_route.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tussle::routing {
+namespace {
+
+AsGraph canonical() {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_customer_provider(3, 1);
+  g.add_customer_provider(4, 1);
+  g.add_customer_provider(5, 2);
+  g.add_customer_provider(6, 3);
+  g.add_customer_provider(7, 4);
+  g.add_customer_provider(7, 5);
+  g.add_as(8);
+  g.add_peering(7, 8);
+  return g;
+}
+
+TEST(SourceRouteBuilder, ShortestPathFound) {
+  AsGraph g = canonical();
+  SourceRouteBuilder b(g);
+  auto p = b.shortest_path(6, 7);
+  // 6-3-1-4-7 (4 hops) is shortest.
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.front(), AsId{6});
+  EXPECT_EQ(p.back(), AsId{7});
+}
+
+TEST(SourceRouteBuilder, TrivialAndUnreachable) {
+  AsGraph g = canonical();
+  g.add_as(99);  // isolated
+  SourceRouteBuilder b(g);
+  EXPECT_EQ(b.shortest_path(4, 4), (std::vector<AsId>{4}));
+  EXPECT_TRUE(b.shortest_path(6, 99).empty());
+}
+
+TEST(SourceRouteBuilder, KShortestAreDistinctLoopFreeAndSorted) {
+  AsGraph g = canonical();
+  SourceRouteBuilder b(g);
+  auto paths = b.k_shortest_paths(6, 7, 4);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<std::vector<AsId>> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].size(), paths[i - 1].size());
+  }
+  for (const auto& p : paths) {
+    std::set<AsId> nodes(p.begin(), p.end());
+    EXPECT_EQ(nodes.size(), p.size()) << "loop in path";
+    EXPECT_EQ(p.front(), AsId{6});
+    EXPECT_EQ(p.back(), AsId{7});
+    // Consecutive elements must be real edges.
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      EXPECT_TRUE(g.relationship(p[j], p[j + 1]).has_value());
+    }
+  }
+}
+
+TEST(SourceRouteBuilder, KShortestYieldsBothUpstreams) {
+  // 7 is multihomed (providers 4 and 5): user routing should surface both
+  // exits — the provider-choice the paper wants users to have.
+  AsGraph g = canonical();
+  SourceRouteBuilder b(g);
+  auto paths = b.k_shortest_paths(7, 1, 3);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<AsId> first_hops;
+  for (const auto& p : paths) first_hops.insert(p[1]);
+  EXPECT_TRUE(first_hops.count(4));
+  EXPECT_TRUE(first_hops.count(5));
+}
+
+TEST(SourceRouteBuilder, OffContractDetection) {
+  AsGraph g = canonical();
+  SourceRouteBuilder b(g);
+  // Valley path 4-7-5: transit AS 7 is carrying traffic between its two
+  // *providers* — nobody on either side pays 7.
+  auto off = b.off_contract_ases({4, 7, 5});
+  ASSERT_EQ(off.size(), 1u);
+  EXPECT_EQ(off[0], AsId{7});
+  EXPECT_FALSE(b.free_of_charge({4, 7, 5}));
+}
+
+TEST(SourceRouteBuilder, OnContractPathsNeedNoPayment) {
+  AsGraph g = canonical();
+  SourceRouteBuilder b(g);
+  // 6-3-1-4-7: transit 3 has customer 6 upstream; 1 has customer 3; 4 has
+  // customer 7 downstream. All on contract.
+  EXPECT_TRUE(b.off_contract_ases({6, 3, 1, 4, 7}).empty());
+  EXPECT_TRUE(b.free_of_charge({6, 3, 1, 4, 7}));
+}
+
+TEST(SourceRouteBuilder, PeerTransitIsOffContract) {
+  AsGraph g = canonical();
+  SourceRouteBuilder b(g);
+  // 8 -(peer)- 7 -> 4: 7 carries peer traffic up to its provider; 7 sees no
+  // customer on either side, and 4 sees its customer 7, so only 7 is owed.
+  auto off = b.off_contract_ases({8, 7, 4});
+  ASSERT_EQ(off.size(), 1u);
+  EXPECT_EQ(off[0], AsId{7});
+}
+
+TEST(SourceRouteBuilder, KLargerThanPathCountReturnsAll) {
+  AsGraph g;
+  g.add_customer_provider(2, 1);
+  g.add_customer_provider(3, 1);
+  SourceRouteBuilder b(g);
+  auto paths = b.k_shortest_paths(2, 3, 10);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<AsId>{2, 1, 3}));
+}
+
+TEST(SourceRouteBuilder, KZeroReturnsNothing) {
+  AsGraph g = canonical();
+  SourceRouteBuilder b(g);
+  EXPECT_TRUE(b.k_shortest_paths(6, 7, 0).empty());
+}
+
+}  // namespace
+}  // namespace tussle::routing

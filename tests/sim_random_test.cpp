@@ -1,0 +1,157 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace tussle::sim {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(5);
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < 6000; ++i) counts[r.uniform_int(1, 6)]++;
+  ASSERT_EQ(counts.size(), 6u);
+  EXPECT_EQ(counts.begin()->first, 1);
+  EXPECT_EQ(counts.rbegin()->first, 6);
+  for (auto& [v, c] : counts) EXPECT_GT(c, 800) << "value " << v;
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, BernoulliRespectsP) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng r(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.pareto(1.5, 3.0), 3.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(23);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, WeightedPickProportional) {
+  Rng r(29);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(w.size(), 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[r.weighted_pick(w)]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedPickThrowsOnNoPositiveWeight) {
+  Rng r(31);
+  std::vector<double> w = {0.0, -1.0};
+  EXPECT_THROW(r.weighted_pick(w), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng base(37);
+  Rng a = base.split();
+  Rng b = base.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTable, RankOneIsMostPopular) {
+  Rng r(43);
+  ZipfTable z(100, 1.0);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) counts[z.sample(r)]++;
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfTable, SamplesWithinSupport) {
+  Rng r(47);
+  ZipfTable z(7, 0.8);
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = z.sample(r);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 7u);
+  }
+}
+
+TEST(ZipfTable, ExponentZeroIsUniform) {
+  Rng r(53);
+  ZipfTable z(4, 0.0);
+  std::vector<int> counts(5, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) counts[z.sample(r)]++;
+  for (int k = 1; k <= 4; ++k)
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), 0.25, 0.01) << "rank " << k;
+}
+
+}  // namespace
+}  // namespace tussle::sim

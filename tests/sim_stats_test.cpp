@@ -1,0 +1,126 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tussle::sim {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MeanAndVariance) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.observe(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(Summary, SingleObservationHasZeroVariance) {
+  Summary s;
+  s.observe(3.3);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.3);
+}
+
+TEST(Summary, MergeMatchesPooledComputation) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).observe(x);
+    all.observe(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary a, empty;
+  a.observe(1.0);
+  a.observe(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  Summary b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ObserveAfterQuantileStillCorrect) {
+  Histogram h;
+  h.observe(5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  h.observe(1);
+  h.observe(9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw;
+  tw.set(SimTime::zero(), 4.0);
+  EXPECT_DOUBLE_EQ(tw.average(SimTime::seconds(10)), 4.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeighted tw;
+  tw.set(SimTime::zero(), 0.0);
+  tw.set(SimTime::seconds(5), 10.0);  // 0 for 5s, then 10 for 5s
+  EXPECT_DOUBLE_EQ(tw.average(SimTime::seconds(10)), 5.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 10.0);
+}
+
+TEST(MetricSet, PreservesInsertionOrderAndUpdates) {
+  MetricSet m;
+  m.put("b", 2);
+  m.put("a", 1);
+  m.put("b", 3);
+  ASSERT_EQ(m.items().size(), 2u);
+  EXPECT_EQ(m.items()[0].first, "b");
+  EXPECT_DOUBLE_EQ(m.items()[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(m.get("a"), 1.0);
+  EXPECT_DOUBLE_EQ(m.get("missing", -1.0), -1.0);
+  EXPECT_TRUE(m.contains("a"));
+  EXPECT_FALSE(m.contains("zzz"));
+}
+
+}  // namespace
+}  // namespace tussle::sim

@@ -1,0 +1,61 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.as_nanos(), 0);
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, UnitConstructors) {
+  EXPECT_EQ(SimTime::nanos(5).as_nanos(), 5);
+  EXPECT_EQ(SimTime::micros(3).as_nanos(), 3000);
+  EXPECT_EQ(SimTime::millis(2).as_nanos(), 2'000'000);
+  EXPECT_EQ(SimTime::seconds(1.5).as_nanos(), 1'500'000'000);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::millis(10);
+  const SimTime b = SimTime::millis(4);
+  EXPECT_EQ((a + b).as_nanos(), SimTime::millis(14).as_nanos());
+  EXPECT_EQ((a - b).as_nanos(), SimTime::millis(6).as_nanos());
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::millis(14));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTime, ScalarScaling) {
+  EXPECT_EQ((SimTime::seconds(2) * 1.5).as_nanos(), SimTime::seconds(3).as_nanos());
+  EXPECT_EQ((SimTime::millis(10) * 0.5).as_nanos(), SimTime::millis(5).as_nanos());
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_GT(SimTime::seconds(1), SimTime::millis(999));
+  EXPECT_LE(SimTime::zero(), SimTime::nanos(0));
+}
+
+TEST(SimTime, ConversionRoundTrip) {
+  const SimTime t = SimTime::seconds(0.123456789);
+  EXPECT_NEAR(t.as_seconds(), 0.123456789, 1e-9);
+  EXPECT_NEAR(t.as_millis(), 123.456789, 1e-6);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_NE(SimTime::seconds(2).to_string().find('s'), std::string::npos);
+  EXPECT_NE(SimTime::millis(2).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(SimTime::nanos(2).to_string().find("ns"), std::string::npos);
+}
+
+TEST(SimTime, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e9));
+}
+
+}  // namespace
+}  // namespace tussle::sim

@@ -1,0 +1,93 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::sim {
+namespace {
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(t.enabled_for(TraceLevel::kError));
+  t.keep_records(true);
+  t.emit(SimTime::zero(), TraceLevel::kError, "x", "should not record");
+  EXPECT_TRUE(t.drain().empty());
+}
+
+TEST(Tracer, LevelFiltering) {
+  Tracer t;
+  t.enable(true);
+  t.keep_records(true);
+  t.set_level(TraceLevel::kWarn);
+  t.emit(SimTime::zero(), TraceLevel::kDebug, "c", "debug");
+  t.emit(SimTime::zero(), TraceLevel::kInfo, "c", "info");
+  t.emit(SimTime::zero(), TraceLevel::kWarn, "c", "warn");
+  t.emit(SimTime::zero(), TraceLevel::kError, "c", "error");
+  auto recs = t.drain();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].message, "warn");
+  EXPECT_EQ(recs[1].message, "error");
+}
+
+TEST(Tracer, SinkReceivesRecords) {
+  Tracer t;
+  t.enable(true);
+  std::vector<std::string> seen;
+  t.set_sink([&](const Tracer::Record& r) { seen.push_back(r.component + ":" + r.message); });
+  t.emit(SimTime::millis(5), TraceLevel::kInfo, "router", "forwarded");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "router:forwarded");
+}
+
+TEST(Tracer, DrainClearsRecords) {
+  Tracer t;
+  t.enable(true);
+  t.keep_records(true);
+  t.emit(SimTime::zero(), TraceLevel::kInfo, "c", "one");
+  EXPECT_EQ(t.drain().size(), 1u);
+  EXPECT_TRUE(t.drain().empty());
+}
+
+TEST(Tracer, MacroEvaluatesLazily) {
+  Tracer t;  // disabled
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "costly";
+  };
+  TUSSLE_TRACE(t, SimTime::zero(), TraceLevel::kError, "c", expensive());
+  EXPECT_EQ(evaluations, 0);
+  t.enable(true);
+  t.keep_records(true);
+  TUSSLE_TRACE(t, SimTime::zero(), TraceLevel::kError, "c", expensive());
+  EXPECT_EQ(evaluations, 1);
+  auto recs = t.drain();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].message, "costly");
+}
+
+TEST(Tracer, GlobalSingletonIsStable) {
+  Tracer& a = Tracer::global();
+  Tracer& b = Tracer::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Tracer, LevelNames) {
+  EXPECT_EQ(to_string(TraceLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(TraceLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(TraceLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(TraceLevel::kError), "ERROR");
+}
+
+TEST(Tracer, RecordCarriesTimestamp) {
+  Tracer t;
+  t.enable(true);
+  t.keep_records(true);
+  t.emit(SimTime::seconds(1.5), TraceLevel::kInfo, "c", "m");
+  auto recs = t.drain();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].time, SimTime::seconds(1.5));
+}
+
+}  // namespace
+}  // namespace tussle::sim

@@ -1,0 +1,135 @@
+#include "trust/firewall.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tussle::trust {
+namespace {
+
+using net::Address;
+
+struct Fixture {
+  IdentityFramework framework;
+  ReputationSystem reputation;
+  std::map<Address, Identity> bindings;
+
+  Address good_addr{.provider = 1, .subscriber = 1, .host = 1};
+  Address bad_addr{.provider = 2, .subscriber = 1, .host = 1};
+  Address anon_addr{.provider = 3, .subscriber = 1, .host = 1};
+  Address unknown_addr{.provider = 4, .subscriber = 1, .host = 1};
+
+  Fixture() {
+    bindings[good_addr] = Identity{IdentityScheme::kPseudonymous, "goodguy", ""};
+    bindings[bad_addr] = Identity{IdentityScheme::kPseudonymous, "badguy", ""};
+    bindings[anon_addr] = Identity{};  // explicit anonymity
+    for (int i = 0; i < 10; ++i) {
+      reputation.record("peer", "goodguy", true);
+      reputation.record("peer", "badguy", false);
+    }
+  }
+
+  IdentityResolver resolver() {
+    return [this](const Address& a) -> std::optional<Identity> {
+      auto it = bindings.find(a);
+      if (it == bindings.end()) return std::nullopt;
+      return it->second;
+    };
+  }
+
+  net::Packet from(const Address& a) {
+    net::Packet p;
+    p.src = a;
+    p.dst = Address{.provider = 9, .subscriber = 1, .host = 1};
+    return p;
+  }
+
+  TrustFirewall make(TrustFirewallConfig cfg) {
+    return TrustFirewall("fw", cfg, framework, reputation, resolver());
+  }
+};
+
+TEST(TrustFirewall, AcceptsReputable) {
+  Fixture f;
+  auto fw = f.make({});
+  EXPECT_EQ(fw.decide(f.from(f.good_addr)).action, net::FilterAction::kAccept);
+}
+
+TEST(TrustFirewall, DropsLowReputation) {
+  Fixture f;
+  auto fw = f.make({});
+  auto d = fw.decide(f.from(f.bad_addr));
+  EXPECT_EQ(d.action, net::FilterAction::kDrop);
+  EXPECT_EQ(d.reason, "fw:low-reputation");
+}
+
+TEST(TrustFirewall, AnonymousAcceptedByDefaultButRefusableByPolicy) {
+  Fixture f;
+  auto open = f.make({});
+  EXPECT_EQ(open.decide(f.from(f.anon_addr)).action, net::FilterAction::kAccept);
+
+  TrustFirewallConfig strict;
+  strict.require_identified = true;
+  auto fw = f.make(strict);
+  auto d = fw.decide(f.from(f.anon_addr));
+  EXPECT_EQ(d.action, net::FilterAction::kDrop);
+  EXPECT_EQ(d.reason, "fw:anonymous-refused");
+}
+
+TEST(TrustFirewall, UnknownSenderPolicyKnob) {
+  Fixture f;
+  auto open = f.make({});
+  EXPECT_EQ(open.decide(f.from(f.unknown_addr)).action, net::FilterAction::kAccept);
+  TrustFirewallConfig strict;
+  strict.accept_unknown = false;
+  auto fw = f.make(strict);
+  EXPECT_EQ(fw.decide(f.from(f.unknown_addr)).action, net::FilterAction::kDrop);
+}
+
+TEST(TrustFirewall, EndUserWhitelistOverridesReputation) {
+  Fixture f;
+  TrustFirewallConfig cfg;
+  cfg.authority = PolicyAuthority::kEndUser;
+  auto fw = f.make(cfg);
+  fw.user_whitelist("badguy");
+  EXPECT_EQ(fw.decide(f.from(f.bad_addr)).action, net::FilterAction::kAccept);
+}
+
+TEST(TrustFirewall, AdminFirewallIgnoresUserWhitelist) {
+  // The governance tussle: same exception, different authority, different
+  // outcome.
+  Fixture f;
+  TrustFirewallConfig cfg;
+  cfg.authority = PolicyAuthority::kNetworkAdmin;
+  auto fw = f.make(cfg);
+  fw.user_whitelist("badguy");
+  EXPECT_EQ(fw.decide(f.from(f.bad_addr)).action, net::FilterAction::kDrop);
+}
+
+TEST(TrustFirewall, FilterAdapterCarriesDisclosure) {
+  Fixture f;
+  TrustFirewallConfig cfg;
+  cfg.disclosed = false;
+  auto fw = f.make(cfg);
+  auto filter = fw.as_filter();
+  EXPECT_EQ(filter.name, "fw");
+  EXPECT_FALSE(filter.disclosed);
+  EXPECT_EQ(filter.fn(f.from(f.good_addr)).action, net::FilterAction::kAccept);
+}
+
+TEST(TrustFirewall, ReputationEvolutionReopensAccess) {
+  // A previously bad actor that rebuilds reputation gets back in — the
+  // firewall is trust-mediated, not a static blocklist.
+  Fixture f;
+  auto fw = f.make({});
+  EXPECT_EQ(fw.decide(f.from(f.bad_addr)).action, net::FilterAction::kDrop);
+  for (int i = 0; i < 40; ++i) f.reputation.record("peer", "badguy", true);
+  EXPECT_EQ(fw.decide(f.from(f.bad_addr)).action, net::FilterAction::kAccept);
+}
+
+TEST(TrustFirewall, AuthorityNames) {
+  EXPECT_EQ(to_string(PolicyAuthority::kEndUser), "end-user");
+  EXPECT_EQ(to_string(PolicyAuthority::kNetworkAdmin), "network-admin");
+  EXPECT_EQ(to_string(PolicyAuthority::kGovernment), "government");
+}
+
+}  // namespace
+}  // namespace tussle::trust

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "trust/certificates.hpp"
+#include "trust/identity.hpp"
+
+namespace tussle::trust {
+namespace {
+
+TEST(Identity, AnonymityIsVisible) {
+  Identity anon;
+  EXPECT_TRUE(anon.visibly_anonymous());
+  Identity named{IdentityScheme::kPseudonymous, "kilroy", ""};
+  EXPECT_FALSE(named.visibly_anonymous());
+}
+
+TEST(IdentityFramework, AnonymousVerifiesToNothing) {
+  IdentityFramework f;
+  auto v = f.verify(Identity{});
+  EXPECT_FALSE(v.verified);
+  EXPECT_FALSE(v.accountable);
+  EXPECT_FALSE(v.linkable);
+}
+
+TEST(IdentityFramework, PseudonymIsLinkableNotAccountable) {
+  IdentityFramework f;
+  auto v = f.verify(Identity{IdentityScheme::kPseudonymous, "kilroy", ""});
+  EXPECT_TRUE(v.verified);
+  EXPECT_TRUE(v.linkable);
+  EXPECT_FALSE(v.accountable);
+}
+
+TEST(IdentityFramework, SelfAssertedIsUnverified) {
+  IdentityFramework f;
+  auto v = f.verify(Identity{IdentityScheme::kSelfAsserted, "bob", ""});
+  EXPECT_FALSE(v.verified);
+  EXPECT_TRUE(v.linkable);
+}
+
+TEST(IdentityFramework, CertifiedFailsClosedWithoutCa) {
+  IdentityFramework f;
+  auto v = f.verify(Identity{IdentityScheme::kCertified, "alice", "root-ca"});
+  EXPECT_FALSE(v.verified);
+}
+
+TEST(Certificates, IssueAndCheck) {
+  CertificateAuthority ca("root-ca");
+  auto cert = ca.issue("alice");
+  EXPECT_TRUE(ca.check(cert));
+  EXPECT_EQ(cert.issuer, "root-ca");
+  EXPECT_EQ(ca.issued_count(), 1u);
+}
+
+TEST(Certificates, ForgeryDetected) {
+  CertificateAuthority ca("root-ca");
+  auto cert = ca.issue("alice");
+  Certificate forged = cert;
+  forged.subject = "mallory";
+  forged.signature ^= 1;  // tampered token
+  EXPECT_FALSE(ca.check(forged));
+  Certificate fabricated{.subject = "mallory", .issuer = "root-ca", .serial = 99,
+                         .signature = 1234};
+  EXPECT_FALSE(ca.check(fabricated));
+}
+
+TEST(Certificates, RevocationStops) {
+  CertificateAuthority ca("root-ca");
+  auto cert = ca.issue("alice");
+  ca.revoke(cert.serial);
+  EXPECT_FALSE(ca.check(cert));
+  EXPECT_TRUE(ca.is_revoked(cert.serial));
+}
+
+TEST(Certificates, WrongIssuerRejected) {
+  CertificateAuthority a("ca-a"), b("ca-b");
+  auto cert = a.issue("alice");
+  EXPECT_FALSE(b.check(cert));
+}
+
+TEST(CaRegistry, ValidatesThroughTrustedCas) {
+  CertificateAuthority a("ca-a"), b("ca-b");
+  CaRegistry reg;
+  reg.trust(&a);
+  auto cert_a = a.issue("alice");
+  auto cert_b = b.issue("bob");
+  EXPECT_TRUE(reg.validate(cert_a));
+  EXPECT_FALSE(reg.validate(cert_b));  // issuer not trusted
+}
+
+TEST(CaRegistry, VerifierIntegratesWithFramework) {
+  CertificateAuthority ca("root-ca");
+  CaRegistry reg;
+  reg.trust(&ca);
+  auto cert = ca.issue("alice");
+  reg.enroll(cert);
+
+  IdentityFramework f;
+  f.set_verifier(IdentityScheme::kCertified, reg.verifier());
+  auto v = f.verify(Identity{IdentityScheme::kCertified, "alice", "root-ca"});
+  EXPECT_TRUE(v.verified);
+  EXPECT_TRUE(v.accountable);
+  EXPECT_TRUE(v.linkable);
+
+  // Claiming certification without enrollment fails.
+  auto v2 = f.verify(Identity{IdentityScheme::kCertified, "mallory", "root-ca"});
+  EXPECT_FALSE(v2.verified);
+}
+
+TEST(CaRegistry, RoleIdentityVerifiedButNotAccountable) {
+  CertificateAuthority ca("root-ca");
+  CaRegistry reg;
+  reg.trust(&ca);
+  auto cert = ca.issue("doctor");
+  reg.enroll(cert);
+  IdentityFramework f;
+  f.set_verifier(IdentityScheme::kRole, reg.verifier());
+  auto v = f.verify(Identity{IdentityScheme::kRole, "doctor", "root-ca"});
+  EXPECT_TRUE(v.verified);
+  EXPECT_FALSE(v.accountable);
+}
+
+TEST(CaRegistry, RevokedCertificateFailsIdentityCheck) {
+  CertificateAuthority ca("root-ca");
+  CaRegistry reg;
+  reg.trust(&ca);
+  auto cert = ca.issue("alice");
+  reg.enroll(cert);
+  ca.revoke(cert.serial);
+  IdentityFramework f;
+  f.set_verifier(IdentityScheme::kCertified, reg.verifier());
+  EXPECT_FALSE(f.verify(Identity{IdentityScheme::kCertified, "alice", "root-ca"}).verified);
+}
+
+TEST(SchemeNames, AllCovered) {
+  EXPECT_EQ(to_string(IdentityScheme::kAnonymous), "anonymous");
+  EXPECT_EQ(to_string(IdentityScheme::kPseudonymous), "pseudonymous");
+  EXPECT_EQ(to_string(IdentityScheme::kSelfAsserted), "self-asserted");
+  EXPECT_EQ(to_string(IdentityScheme::kCertified), "certified");
+  EXPECT_EQ(to_string(IdentityScheme::kRole), "role");
+}
+
+}  // namespace
+}  // namespace tussle::trust

@@ -1,0 +1,119 @@
+#include "trust/midcom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "routing/link_state.hpp"
+
+namespace tussle::trust {
+namespace {
+
+using net::Address;
+using net::NodeId;
+
+struct Fixture {
+  sim::Simulator sim{29};
+  net::Network net{sim};
+  std::vector<NodeId> ids;
+  std::vector<Address> addrs;
+
+  Fixture() {
+    ids = net::build_star(net, 2, 1, net::LinkSpec{});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+  }
+
+  /// Default-deny firewall at the hub, installed AFTER the broker.
+  void add_default_deny() {
+    net.node(ids[0]).add_filter(net::PacketFilter{
+        .name = "fw",
+        .disclosed = true,
+        .fn = [](const net::Packet&) { return net::FilterDecision::drop("default-deny"); }});
+  }
+
+  int send_and_count(net::AppProto proto, const Address& from, const Address& to,
+                     NodeId from_node) {
+    const auto before = net.counters().delivered.value();
+    net::Packet p;
+    p.src = from;
+    p.dst = to;
+    p.proto = proto;
+    net.node(from_node).originate(std::move(p));
+    sim.run();
+    return static_cast<int>(net.counters().delivered.value() - before);
+  }
+};
+
+TEST(PinholeBroker, EndUserAuthorityGrants) {
+  Fixture f;
+  PinholeBroker broker(f.net, f.ids[0], PolicyAuthority::kEndUser);
+  f.add_default_deny();
+  // Without a pinhole, nothing passes the default-deny hub.
+  EXPECT_EQ(f.send_and_count(net::AppProto::kVoip, f.addrs[1], f.addrs[2], f.ids[1]), 0);
+  auto grant = broker.request(
+      {"user2", f.addrs[1], net::AppProto::kVoip, "incoming call from my friend"});
+  EXPECT_TRUE(grant.granted);
+  EXPECT_EQ(f.send_and_count(net::AppProto::kVoip, f.addrs[1], f.addrs[2], f.ids[1]), 1);
+}
+
+TEST(PinholeBroker, PinholeIsSpecificToPeerAndProto) {
+  Fixture f;
+  PinholeBroker broker(f.net, f.ids[0], PolicyAuthority::kEndUser);
+  f.add_default_deny();
+  broker.request({"user2", f.addrs[1], net::AppProto::kVoip, ""});
+  // Same peer, different protocol: still blocked.
+  EXPECT_EQ(f.send_and_count(net::AppProto::kP2p, f.addrs[1], f.addrs[2], f.ids[1]), 0);
+  // Different peer, right protocol: still blocked.
+  EXPECT_EQ(f.send_and_count(net::AppProto::kVoip, f.addrs[2], f.addrs[1], f.ids[2]), 0);
+}
+
+TEST(PinholeBroker, AdminAuthorityUsesAllowlist) {
+  Fixture f;
+  PinholeBroker broker(f.net, f.ids[0], PolicyAuthority::kNetworkAdmin);
+  broker.admin_allow(net::AppProto::kVoip);
+  auto voip = broker.request({"user2", f.addrs[1], net::AppProto::kVoip, ""});
+  EXPECT_TRUE(voip.granted);
+  auto p2p = broker.request({"user2", f.addrs[1], net::AppProto::kP2p, ""});
+  EXPECT_FALSE(p2p.granted);
+  EXPECT_EQ(p2p.reason, "protocol not negotiable under admin policy");
+}
+
+TEST(PinholeBroker, GovernmentAuthorityNeverNegotiates) {
+  Fixture f;
+  PinholeBroker broker(f.net, f.ids[0], PolicyAuthority::kGovernment);
+  auto grant = broker.request({"user2", f.addrs[1], net::AppProto::kWeb, "please"});
+  EXPECT_FALSE(grant.granted);
+  EXPECT_EQ(broker.active_pinholes(), 0u);
+}
+
+TEST(PinholeBroker, RevocationClosesTheHole) {
+  Fixture f;
+  PinholeBroker broker(f.net, f.ids[0], PolicyAuthority::kEndUser);
+  f.add_default_deny();
+  auto grant = broker.request({"user2", f.addrs[1], net::AppProto::kVoip, ""});
+  EXPECT_EQ(f.send_and_count(net::AppProto::kVoip, f.addrs[1], f.addrs[2], f.ids[1]), 1);
+  EXPECT_TRUE(broker.revoke(grant.pinhole_id));
+  EXPECT_FALSE(broker.revoke(grant.pinhole_id));
+  EXPECT_EQ(f.send_and_count(net::AppProto::kVoip, f.addrs[1], f.addrs[2], f.ids[1]), 0);
+}
+
+TEST(PinholeBroker, AuditLogRecordsEverything) {
+  Fixture f;
+  PinholeBroker broker(f.net, f.ids[0], PolicyAuthority::kNetworkAdmin);
+  broker.admin_allow(net::AppProto::kVoip);
+  broker.request({"alice", f.addrs[1], net::AppProto::kVoip, "call"});
+  broker.request({"bob", f.addrs[2], net::AppProto::kP2p, "sharing"});
+  ASSERT_EQ(broker.log().size(), 2u);
+  EXPECT_TRUE(broker.log()[0].second.granted);
+  EXPECT_FALSE(broker.log()[1].second.granted);
+  EXPECT_EQ(broker.log()[1].first.requester, "bob");
+}
+
+}  // namespace
+}  // namespace tussle::trust

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "trust/mediator.hpp"
+#include "trust/reputation.hpp"
+
+namespace tussle::trust {
+namespace {
+
+TEST(Reputation, UnknownStartsAtHalf) {
+  ReputationSystem r;
+  EXPECT_DOUBLE_EQ(r.score("stranger"), 0.5);
+  EXPECT_EQ(r.report_count("stranger"), 0u);
+}
+
+TEST(Reputation, PositiveReportsRaiseScore) {
+  ReputationSystem r;
+  for (int i = 0; i < 8; ++i) r.record("rater", "shop", true);
+  EXPECT_NEAR(r.score("shop"), 9.0 / 10.0, 1e-12);
+  EXPECT_EQ(r.report_count("shop"), 8u);
+}
+
+TEST(Reputation, MixedReports) {
+  ReputationSystem r;
+  r.record("a", "shop", true);
+  r.record("b", "shop", false);
+  EXPECT_DOUBLE_EQ(r.score("shop"), 0.5);  // (1+1)/(2+2)
+}
+
+TEST(Reputation, SingleReportMovesNeedleModestly) {
+  ReputationSystem r;
+  r.record("a", "shop", false);
+  EXPECT_NEAR(r.score("shop"), 1.0 / 3.0, 1e-12);  // not zero — beta prior
+}
+
+TEST(Reputation, OutlierRatersDetected) {
+  ReputationSystem r;
+  // Consensus: "shop" is good (9 honest raters), "scam" is bad.
+  for (int i = 0; i < 9; ++i) {
+    r.record("honest" + std::to_string(i), "shop", true);
+    r.record("honest" + std::to_string(i), "scam", false);
+  }
+  // The shill praises the scam and slanders the shop, repeatedly.
+  for (int i = 0; i < 5; ++i) {
+    r.record("shill", "scam", true);
+    r.record("shill", "shop", false);
+  }
+  auto outliers = r.outlier_raters(0.6, 3);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], "shill");
+}
+
+TEST(Mediator, HonestSaleSettlesThroughEscrow) {
+  econ::Ledger ledger;
+  ReputationSystem rep;
+  EscrowMediator visa("visa", ledger, rep, 0.5, 0.03);
+  auto out = visa.transact("buyer", "shop", 100.0, /*seller_honest=*/true);
+  EXPECT_TRUE(out.completed);
+  EXPECT_DOUBLE_EQ(out.seller_revenue, 97.0);
+  EXPECT_DOUBLE_EQ(out.mediator_fee_collected, 3.0);
+  EXPECT_DOUBLE_EQ(ledger.balance("shop"), 97.0);
+  EXPECT_DOUBLE_EQ(ledger.balance("visa"), 3.0);
+  EXPECT_GT(rep.score("shop"), 0.5);
+}
+
+TEST(Mediator, FraudCapsBuyerLoss) {
+  econ::Ledger ledger;
+  ReputationSystem rep;
+  EscrowMediator visa("visa", ledger, rep, 0.5, 0.03);
+  auto out = visa.transact("buyer", "scam", 100.0, /*seller_honest=*/false);
+  EXPECT_FALSE(out.completed);
+  EXPECT_DOUBLE_EQ(out.buyer_loss, 0.5);  // the "$50" cap
+  EXPECT_DOUBLE_EQ(out.seller_revenue, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.balance("scam"), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.balance("buyer"), -0.5);
+  EXPECT_LT(rep.score("scam"), 0.5);
+}
+
+TEST(Mediator, UnmediatedFraudLosesEverything) {
+  econ::Ledger ledger;
+  ReputationSystem rep;
+  auto out = EscrowMediator::transact_unmediated(ledger, rep, "buyer", "scam", 100.0, false);
+  EXPECT_FALSE(out.completed);
+  EXPECT_DOUBLE_EQ(out.buyer_loss, 100.0);
+  EXPECT_DOUBLE_EQ(ledger.balance("scam"), 100.0);  // the scammer keeps it
+}
+
+TEST(Mediator, MediationBoundsLossRatioUnderFraudMix) {
+  // Property: across any fraud rate, mediated buyers lose at most
+  // cap per bad transaction; unmediated buyers lose the full price.
+  econ::Ledger l1, l2;
+  ReputationSystem r1, r2;
+  EscrowMediator visa("visa", l1, r1, 0.5, 0.03);
+  double mediated_loss = 0, unmediated_loss = 0;
+  for (int i = 0; i < 20; ++i) {
+    const bool honest = (i % 4 != 0);  // 25% fraud
+    const auto m = visa.transact("buyer", "s" + std::to_string(i), 10.0, honest);
+    if (!m.completed) mediated_loss += m.buyer_loss;
+    const auto u = EscrowMediator::transact_unmediated(l2, r2, "buyer",
+                                                       "s" + std::to_string(i), 10.0, honest);
+    if (!u.completed) unmediated_loss += u.buyer_loss;
+  }
+  EXPECT_DOUBLE_EQ(mediated_loss, 5 * 0.5);
+  EXPECT_DOUBLE_EQ(unmediated_loss, 5 * 10.0);
+  EXPECT_NEAR(l1.total(), 0.0, 1e-9);  // value conserved through escrow
+}
+
+}  // namespace
+}  // namespace tussle::trust
