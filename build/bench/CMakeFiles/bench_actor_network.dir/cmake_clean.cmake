@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_actor_network.dir/bench_actor_network.cpp.o"
+  "CMakeFiles/bench_actor_network.dir/bench_actor_network.cpp.o.d"
+  "bench_actor_network"
+  "bench_actor_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_actor_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

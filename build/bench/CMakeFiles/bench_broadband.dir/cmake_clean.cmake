@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_broadband.dir/bench_broadband.cpp.o"
+  "CMakeFiles/bench_broadband.dir/bench_broadband.cpp.o.d"
+  "bench_broadband"
+  "bench_broadband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broadband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

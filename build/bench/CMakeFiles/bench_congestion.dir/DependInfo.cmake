@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_congestion.cpp" "bench/CMakeFiles/bench_congestion.dir/bench_congestion.cpp.o" "gcc" "bench/CMakeFiles/bench_congestion.dir/bench_congestion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tussle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/tussle_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tussle_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/tussle_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/tussle_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/tussle_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/tussle_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tussle_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tussle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

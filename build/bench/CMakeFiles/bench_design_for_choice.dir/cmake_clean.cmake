@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_for_choice.dir/bench_design_for_choice.cpp.o"
+  "CMakeFiles/bench_design_for_choice.dir/bench_design_for_choice.cpp.o.d"
+  "bench_design_for_choice"
+  "bench_design_for_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_for_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

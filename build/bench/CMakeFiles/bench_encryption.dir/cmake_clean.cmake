@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encryption.dir/bench_encryption.cpp.o"
+  "CMakeFiles/bench_encryption.dir/bench_encryption.cpp.o.d"
+  "bench_encryption"
+  "bench_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

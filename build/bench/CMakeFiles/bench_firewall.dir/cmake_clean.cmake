@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_firewall.dir/bench_firewall.cpp.o"
+  "CMakeFiles/bench_firewall.dir/bench_firewall.cpp.o.d"
+  "bench_firewall"
+  "bench_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

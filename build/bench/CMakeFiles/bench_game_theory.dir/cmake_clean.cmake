@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_game_theory.dir/bench_game_theory.cpp.o"
+  "CMakeFiles/bench_game_theory.dir/bench_game_theory.cpp.o.d"
+  "bench_game_theory"
+  "bench_game_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_game_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

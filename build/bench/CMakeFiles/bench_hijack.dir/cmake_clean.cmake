@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hijack.dir/bench_hijack.cpp.o"
+  "CMakeFiles/bench_hijack.dir/bench_hijack.cpp.o.d"
+  "bench_hijack"
+  "bench_hijack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hijack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_identity.dir/bench_identity.cpp.o"
+  "CMakeFiles/bench_identity.dir/bench_identity.cpp.o.d"
+  "bench_identity"
+  "bench_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

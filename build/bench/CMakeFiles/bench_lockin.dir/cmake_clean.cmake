@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lockin.dir/bench_lockin.cpp.o"
+  "CMakeFiles/bench_lockin.dir/bench_lockin.cpp.o.d"
+  "bench_lockin"
+  "bench_lockin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lockin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

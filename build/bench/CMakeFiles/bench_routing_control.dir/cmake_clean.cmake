@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_control.dir/bench_routing_control.cpp.o"
+  "CMakeFiles/bench_routing_control.dir/bench_routing_control.cpp.o.d"
+  "bench_routing_control"
+  "bench_routing_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

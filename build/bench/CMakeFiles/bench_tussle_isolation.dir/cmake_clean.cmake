@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tussle_isolation.dir/bench_tussle_isolation.cpp.o"
+  "CMakeFiles/bench_tussle_isolation.dir/bench_tussle_isolation.cpp.o.d"
+  "bench_tussle_isolation"
+  "bench_tussle_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tussle_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

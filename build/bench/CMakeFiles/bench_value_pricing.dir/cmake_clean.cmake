@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_pricing.dir/bench_value_pricing.cpp.o"
+  "CMakeFiles/bench_value_pricing.dir/bench_value_pricing.cpp.o.d"
+  "bench_value_pricing"
+  "bench_value_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_marketplace.dir/isp_marketplace.cpp.o"
+  "CMakeFiles/isp_marketplace.dir/isp_marketplace.cpp.o.d"
+  "isp_marketplace"
+  "isp_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

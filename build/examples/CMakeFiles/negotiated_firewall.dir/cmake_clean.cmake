@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negotiated_firewall.dir/negotiated_firewall.cpp.o"
+  "CMakeFiles/negotiated_firewall.dir/negotiated_firewall.cpp.o.d"
+  "negotiated_firewall"
+  "negotiated_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negotiated_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_around.dir/route_around.cpp.o"
+  "CMakeFiles/route_around.dir/route_around.cpp.o.d"
+  "route_around"
+  "route_around.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_around.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

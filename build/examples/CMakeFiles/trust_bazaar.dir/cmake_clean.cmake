@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_bazaar.dir/trust_bazaar.cpp.o"
+  "CMakeFiles/trust_bazaar.dir/trust_bazaar.cpp.o.d"
+  "trust_bazaar"
+  "trust_bazaar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_bazaar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trust_bazaar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/attack.cpp" "src/apps/CMakeFiles/tussle_apps.dir/attack.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/attack.cpp.o.d"
+  "/root/repo/src/apps/congestion.cpp" "src/apps/CMakeFiles/tussle_apps.dir/congestion.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/congestion.cpp.o.d"
+  "/root/repo/src/apps/diagnostics.cpp" "src/apps/CMakeFiles/tussle_apps.dir/diagnostics.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/apps/mail.cpp" "src/apps/CMakeFiles/tussle_apps.dir/mail.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/mail.cpp.o.d"
+  "/root/repo/src/apps/mux.cpp" "src/apps/CMakeFiles/tussle_apps.dir/mux.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/mux.cpp.o.d"
+  "/root/repo/src/apps/p2p.cpp" "src/apps/CMakeFiles/tussle_apps.dir/p2p.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/p2p.cpp.o.d"
+  "/root/repo/src/apps/stego.cpp" "src/apps/CMakeFiles/tussle_apps.dir/stego.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/stego.cpp.o.d"
+  "/root/repo/src/apps/transport.cpp" "src/apps/CMakeFiles/tussle_apps.dir/transport.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/transport.cpp.o.d"
+  "/root/repo/src/apps/voip.cpp" "src/apps/CMakeFiles/tussle_apps.dir/voip.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/voip.cpp.o.d"
+  "/root/repo/src/apps/web.cpp" "src/apps/CMakeFiles/tussle_apps.dir/web.cpp.o" "gcc" "src/apps/CMakeFiles/tussle_apps.dir/web.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tussle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

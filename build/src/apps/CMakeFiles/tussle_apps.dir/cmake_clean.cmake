@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_apps.dir/attack.cpp.o"
+  "CMakeFiles/tussle_apps.dir/attack.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/congestion.cpp.o"
+  "CMakeFiles/tussle_apps.dir/congestion.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/diagnostics.cpp.o"
+  "CMakeFiles/tussle_apps.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/mail.cpp.o"
+  "CMakeFiles/tussle_apps.dir/mail.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/mux.cpp.o"
+  "CMakeFiles/tussle_apps.dir/mux.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/p2p.cpp.o"
+  "CMakeFiles/tussle_apps.dir/p2p.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/stego.cpp.o"
+  "CMakeFiles/tussle_apps.dir/stego.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/transport.cpp.o"
+  "CMakeFiles/tussle_apps.dir/transport.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/voip.cpp.o"
+  "CMakeFiles/tussle_apps.dir/voip.cpp.o.d"
+  "CMakeFiles/tussle_apps.dir/web.cpp.o"
+  "CMakeFiles/tussle_apps.dir/web.cpp.o.d"
+  "libtussle_apps.a"
+  "libtussle_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/actor.cpp" "src/core/CMakeFiles/tussle_core.dir/actor.cpp.o" "gcc" "src/core/CMakeFiles/tussle_core.dir/actor.cpp.o.d"
+  "/root/repo/src/core/choice.cpp" "src/core/CMakeFiles/tussle_core.dir/choice.cpp.o" "gcc" "src/core/CMakeFiles/tussle_core.dir/choice.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/tussle_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/tussle_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/tussle_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/tussle_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/tussle_space.cpp" "src/core/CMakeFiles/tussle_core.dir/tussle_space.cpp.o" "gcc" "src/core/CMakeFiles/tussle_core.dir/tussle_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tussle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/tussle_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/tussle_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tussle_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/tussle_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/tussle_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/tussle_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tussle_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_core.dir/actor.cpp.o"
+  "CMakeFiles/tussle_core.dir/actor.cpp.o.d"
+  "CMakeFiles/tussle_core.dir/choice.cpp.o"
+  "CMakeFiles/tussle_core.dir/choice.cpp.o.d"
+  "CMakeFiles/tussle_core.dir/report.cpp.o"
+  "CMakeFiles/tussle_core.dir/report.cpp.o.d"
+  "CMakeFiles/tussle_core.dir/scenario.cpp.o"
+  "CMakeFiles/tussle_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/tussle_core.dir/tussle_space.cpp.o"
+  "CMakeFiles/tussle_core.dir/tussle_space.cpp.o.d"
+  "libtussle_core.a"
+  "libtussle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/investment.cpp" "src/econ/CMakeFiles/tussle_econ.dir/investment.cpp.o" "gcc" "src/econ/CMakeFiles/tussle_econ.dir/investment.cpp.o.d"
+  "/root/repo/src/econ/lock_in.cpp" "src/econ/CMakeFiles/tussle_econ.dir/lock_in.cpp.o" "gcc" "src/econ/CMakeFiles/tussle_econ.dir/lock_in.cpp.o.d"
+  "/root/repo/src/econ/market.cpp" "src/econ/CMakeFiles/tussle_econ.dir/market.cpp.o" "gcc" "src/econ/CMakeFiles/tussle_econ.dir/market.cpp.o.d"
+  "/root/repo/src/econ/open_access.cpp" "src/econ/CMakeFiles/tussle_econ.dir/open_access.cpp.o" "gcc" "src/econ/CMakeFiles/tussle_econ.dir/open_access.cpp.o.d"
+  "/root/repo/src/econ/value_flow.cpp" "src/econ/CMakeFiles/tussle_econ.dir/value_flow.cpp.o" "gcc" "src/econ/CMakeFiles/tussle_econ.dir/value_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/tussle_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tussle_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_econ.dir/investment.cpp.o"
+  "CMakeFiles/tussle_econ.dir/investment.cpp.o.d"
+  "CMakeFiles/tussle_econ.dir/lock_in.cpp.o"
+  "CMakeFiles/tussle_econ.dir/lock_in.cpp.o.d"
+  "CMakeFiles/tussle_econ.dir/market.cpp.o"
+  "CMakeFiles/tussle_econ.dir/market.cpp.o.d"
+  "CMakeFiles/tussle_econ.dir/open_access.cpp.o"
+  "CMakeFiles/tussle_econ.dir/open_access.cpp.o.d"
+  "CMakeFiles/tussle_econ.dir/value_flow.cpp.o"
+  "CMakeFiles/tussle_econ.dir/value_flow.cpp.o.d"
+  "libtussle_econ.a"
+  "libtussle_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

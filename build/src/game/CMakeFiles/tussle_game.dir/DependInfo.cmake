@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/auction.cpp" "src/game/CMakeFiles/tussle_game.dir/auction.cpp.o" "gcc" "src/game/CMakeFiles/tussle_game.dir/auction.cpp.o.d"
+  "/root/repo/src/game/canonical.cpp" "src/game/CMakeFiles/tussle_game.dir/canonical.cpp.o" "gcc" "src/game/CMakeFiles/tussle_game.dir/canonical.cpp.o.d"
+  "/root/repo/src/game/learners.cpp" "src/game/CMakeFiles/tussle_game.dir/learners.cpp.o" "gcc" "src/game/CMakeFiles/tussle_game.dir/learners.cpp.o.d"
+  "/root/repo/src/game/matrix_game.cpp" "src/game/CMakeFiles/tussle_game.dir/matrix_game.cpp.o" "gcc" "src/game/CMakeFiles/tussle_game.dir/matrix_game.cpp.o.d"
+  "/root/repo/src/game/solvers.cpp" "src/game/CMakeFiles/tussle_game.dir/solvers.cpp.o" "gcc" "src/game/CMakeFiles/tussle_game.dir/solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_game.dir/auction.cpp.o"
+  "CMakeFiles/tussle_game.dir/auction.cpp.o.d"
+  "CMakeFiles/tussle_game.dir/canonical.cpp.o"
+  "CMakeFiles/tussle_game.dir/canonical.cpp.o.d"
+  "CMakeFiles/tussle_game.dir/learners.cpp.o"
+  "CMakeFiles/tussle_game.dir/learners.cpp.o.d"
+  "CMakeFiles/tussle_game.dir/matrix_game.cpp.o"
+  "CMakeFiles/tussle_game.dir/matrix_game.cpp.o.d"
+  "CMakeFiles/tussle_game.dir/solvers.cpp.o"
+  "CMakeFiles/tussle_game.dir/solvers.cpp.o.d"
+  "libtussle_game.a"
+  "libtussle_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtussle_game.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_names.dir/name_system.cpp.o"
+  "CMakeFiles/tussle_names.dir/name_system.cpp.o.d"
+  "CMakeFiles/tussle_names.dir/workload.cpp.o"
+  "CMakeFiles/tussle_names.dir/workload.cpp.o.d"
+  "libtussle_names.a"
+  "libtussle_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/tussle_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/tussle_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/flow_stats.cpp" "src/net/CMakeFiles/tussle_net.dir/flow_stats.cpp.o" "gcc" "src/net/CMakeFiles/tussle_net.dir/flow_stats.cpp.o.d"
+  "/root/repo/src/net/forwarding.cpp" "src/net/CMakeFiles/tussle_net.dir/forwarding.cpp.o" "gcc" "src/net/CMakeFiles/tussle_net.dir/forwarding.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/tussle_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/tussle_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/tussle_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/tussle_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/tussle_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/tussle_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/tussle_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/tussle_net.dir/queue.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/tussle_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/tussle_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

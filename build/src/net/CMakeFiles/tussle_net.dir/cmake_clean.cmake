@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_net.dir/address.cpp.o"
+  "CMakeFiles/tussle_net.dir/address.cpp.o.d"
+  "CMakeFiles/tussle_net.dir/flow_stats.cpp.o"
+  "CMakeFiles/tussle_net.dir/flow_stats.cpp.o.d"
+  "CMakeFiles/tussle_net.dir/forwarding.cpp.o"
+  "CMakeFiles/tussle_net.dir/forwarding.cpp.o.d"
+  "CMakeFiles/tussle_net.dir/network.cpp.o"
+  "CMakeFiles/tussle_net.dir/network.cpp.o.d"
+  "CMakeFiles/tussle_net.dir/node.cpp.o"
+  "CMakeFiles/tussle_net.dir/node.cpp.o.d"
+  "CMakeFiles/tussle_net.dir/packet.cpp.o"
+  "CMakeFiles/tussle_net.dir/packet.cpp.o.d"
+  "CMakeFiles/tussle_net.dir/queue.cpp.o"
+  "CMakeFiles/tussle_net.dir/queue.cpp.o.d"
+  "CMakeFiles/tussle_net.dir/topology.cpp.o"
+  "CMakeFiles/tussle_net.dir/topology.cpp.o.d"
+  "libtussle_net.a"
+  "libtussle_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/expr.cpp" "src/policy/CMakeFiles/tussle_policy.dir/expr.cpp.o" "gcc" "src/policy/CMakeFiles/tussle_policy.dir/expr.cpp.o.d"
+  "/root/repo/src/policy/packet_adapter.cpp" "src/policy/CMakeFiles/tussle_policy.dir/packet_adapter.cpp.o" "gcc" "src/policy/CMakeFiles/tussle_policy.dir/packet_adapter.cpp.o.d"
+  "/root/repo/src/policy/rules.cpp" "src/policy/CMakeFiles/tussle_policy.dir/rules.cpp.o" "gcc" "src/policy/CMakeFiles/tussle_policy.dir/rules.cpp.o.d"
+  "/root/repo/src/policy/value.cpp" "src/policy/CMakeFiles/tussle_policy.dir/value.cpp.o" "gcc" "src/policy/CMakeFiles/tussle_policy.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tussle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

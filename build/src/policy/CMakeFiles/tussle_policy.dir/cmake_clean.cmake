@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_policy.dir/expr.cpp.o"
+  "CMakeFiles/tussle_policy.dir/expr.cpp.o.d"
+  "CMakeFiles/tussle_policy.dir/packet_adapter.cpp.o"
+  "CMakeFiles/tussle_policy.dir/packet_adapter.cpp.o.d"
+  "CMakeFiles/tussle_policy.dir/rules.cpp.o"
+  "CMakeFiles/tussle_policy.dir/rules.cpp.o.d"
+  "CMakeFiles/tussle_policy.dir/value.cpp.o"
+  "CMakeFiles/tussle_policy.dir/value.cpp.o.d"
+  "libtussle_policy.a"
+  "libtussle_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/as_graph.cpp" "src/routing/CMakeFiles/tussle_routing.dir/as_graph.cpp.o" "gcc" "src/routing/CMakeFiles/tussle_routing.dir/as_graph.cpp.o.d"
+  "/root/repo/src/routing/inter_domain.cpp" "src/routing/CMakeFiles/tussle_routing.dir/inter_domain.cpp.o" "gcc" "src/routing/CMakeFiles/tussle_routing.dir/inter_domain.cpp.o.d"
+  "/root/repo/src/routing/link_state.cpp" "src/routing/CMakeFiles/tussle_routing.dir/link_state.cpp.o" "gcc" "src/routing/CMakeFiles/tussle_routing.dir/link_state.cpp.o.d"
+  "/root/repo/src/routing/multicast.cpp" "src/routing/CMakeFiles/tussle_routing.dir/multicast.cpp.o" "gcc" "src/routing/CMakeFiles/tussle_routing.dir/multicast.cpp.o.d"
+  "/root/repo/src/routing/overlay.cpp" "src/routing/CMakeFiles/tussle_routing.dir/overlay.cpp.o" "gcc" "src/routing/CMakeFiles/tussle_routing.dir/overlay.cpp.o.d"
+  "/root/repo/src/routing/path_vector.cpp" "src/routing/CMakeFiles/tussle_routing.dir/path_vector.cpp.o" "gcc" "src/routing/CMakeFiles/tussle_routing.dir/path_vector.cpp.o.d"
+  "/root/repo/src/routing/source_route.cpp" "src/routing/CMakeFiles/tussle_routing.dir/source_route.cpp.o" "gcc" "src/routing/CMakeFiles/tussle_routing.dir/source_route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tussle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_routing.dir/as_graph.cpp.o"
+  "CMakeFiles/tussle_routing.dir/as_graph.cpp.o.d"
+  "CMakeFiles/tussle_routing.dir/inter_domain.cpp.o"
+  "CMakeFiles/tussle_routing.dir/inter_domain.cpp.o.d"
+  "CMakeFiles/tussle_routing.dir/link_state.cpp.o"
+  "CMakeFiles/tussle_routing.dir/link_state.cpp.o.d"
+  "CMakeFiles/tussle_routing.dir/multicast.cpp.o"
+  "CMakeFiles/tussle_routing.dir/multicast.cpp.o.d"
+  "CMakeFiles/tussle_routing.dir/overlay.cpp.o"
+  "CMakeFiles/tussle_routing.dir/overlay.cpp.o.d"
+  "CMakeFiles/tussle_routing.dir/path_vector.cpp.o"
+  "CMakeFiles/tussle_routing.dir/path_vector.cpp.o.d"
+  "CMakeFiles/tussle_routing.dir/source_route.cpp.o"
+  "CMakeFiles/tussle_routing.dir/source_route.cpp.o.d"
+  "libtussle_routing.a"
+  "libtussle_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tussle_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tussle_sim.dir/random.cpp.o"
+  "CMakeFiles/tussle_sim.dir/random.cpp.o.d"
+  "CMakeFiles/tussle_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tussle_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tussle_sim.dir/stats.cpp.o"
+  "CMakeFiles/tussle_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/tussle_sim.dir/time.cpp.o"
+  "CMakeFiles/tussle_sim.dir/time.cpp.o.d"
+  "CMakeFiles/tussle_sim.dir/trace.cpp.o"
+  "CMakeFiles/tussle_sim.dir/trace.cpp.o.d"
+  "libtussle_sim.a"
+  "libtussle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/certificates.cpp" "src/trust/CMakeFiles/tussle_trust.dir/certificates.cpp.o" "gcc" "src/trust/CMakeFiles/tussle_trust.dir/certificates.cpp.o.d"
+  "/root/repo/src/trust/firewall.cpp" "src/trust/CMakeFiles/tussle_trust.dir/firewall.cpp.o" "gcc" "src/trust/CMakeFiles/tussle_trust.dir/firewall.cpp.o.d"
+  "/root/repo/src/trust/identity.cpp" "src/trust/CMakeFiles/tussle_trust.dir/identity.cpp.o" "gcc" "src/trust/CMakeFiles/tussle_trust.dir/identity.cpp.o.d"
+  "/root/repo/src/trust/mediator.cpp" "src/trust/CMakeFiles/tussle_trust.dir/mediator.cpp.o" "gcc" "src/trust/CMakeFiles/tussle_trust.dir/mediator.cpp.o.d"
+  "/root/repo/src/trust/midcom.cpp" "src/trust/CMakeFiles/tussle_trust.dir/midcom.cpp.o" "gcc" "src/trust/CMakeFiles/tussle_trust.dir/midcom.cpp.o.d"
+  "/root/repo/src/trust/reputation.cpp" "src/trust/CMakeFiles/tussle_trust.dir/reputation.cpp.o" "gcc" "src/trust/CMakeFiles/tussle_trust.dir/reputation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tussle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/tussle_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/tussle_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

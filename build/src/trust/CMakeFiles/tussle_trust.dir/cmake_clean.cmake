@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tussle_trust.dir/certificates.cpp.o"
+  "CMakeFiles/tussle_trust.dir/certificates.cpp.o.d"
+  "CMakeFiles/tussle_trust.dir/firewall.cpp.o"
+  "CMakeFiles/tussle_trust.dir/firewall.cpp.o.d"
+  "CMakeFiles/tussle_trust.dir/identity.cpp.o"
+  "CMakeFiles/tussle_trust.dir/identity.cpp.o.d"
+  "CMakeFiles/tussle_trust.dir/mediator.cpp.o"
+  "CMakeFiles/tussle_trust.dir/mediator.cpp.o.d"
+  "CMakeFiles/tussle_trust.dir/midcom.cpp.o"
+  "CMakeFiles/tussle_trust.dir/midcom.cpp.o.d"
+  "CMakeFiles/tussle_trust.dir/reputation.cpp.o"
+  "CMakeFiles/tussle_trust.dir/reputation.cpp.o.d"
+  "libtussle_trust.a"
+  "libtussle_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tussle_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_congestion_test.dir/apps_congestion_test.cpp.o"
+  "CMakeFiles/apps_congestion_test.dir/apps_congestion_test.cpp.o.d"
+  "apps_congestion_test"
+  "apps_congestion_test.pdb"
+  "apps_congestion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_congestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_p2p_voip_test.dir/apps_p2p_voip_test.cpp.o"
+  "CMakeFiles/apps_p2p_voip_test.dir/apps_p2p_voip_test.cpp.o.d"
+  "apps_p2p_voip_test"
+  "apps_p2p_voip_test.pdb"
+  "apps_p2p_voip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_p2p_voip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for apps_p2p_voip_test.
+# This may be replaced when dependencies are built.

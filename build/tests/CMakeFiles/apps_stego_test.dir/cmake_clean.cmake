@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_stego_test.dir/apps_stego_test.cpp.o"
+  "CMakeFiles/apps_stego_test.dir/apps_stego_test.cpp.o.d"
+  "apps_stego_test"
+  "apps_stego_test.pdb"
+  "apps_stego_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_stego_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_transport_test.dir/apps_transport_test.cpp.o"
+  "CMakeFiles/apps_transport_test.dir/apps_transport_test.cpp.o.d"
+  "apps_transport_test"
+  "apps_transport_test.pdb"
+  "apps_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

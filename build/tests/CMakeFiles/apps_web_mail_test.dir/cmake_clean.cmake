@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_web_mail_test.dir/apps_web_mail_test.cpp.o"
+  "CMakeFiles/apps_web_mail_test.dir/apps_web_mail_test.cpp.o.d"
+  "apps_web_mail_test"
+  "apps_web_mail_test.pdb"
+  "apps_web_mail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_web_mail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/econ_investment_test.dir/econ_investment_test.cpp.o"
+  "CMakeFiles/econ_investment_test.dir/econ_investment_test.cpp.o.d"
+  "econ_investment_test"
+  "econ_investment_test.pdb"
+  "econ_investment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/econ_investment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

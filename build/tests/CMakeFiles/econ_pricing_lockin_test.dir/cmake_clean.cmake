@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/econ_pricing_lockin_test.dir/econ_pricing_lockin_test.cpp.o"
+  "CMakeFiles/econ_pricing_lockin_test.dir/econ_pricing_lockin_test.cpp.o.d"
+  "econ_pricing_lockin_test"
+  "econ_pricing_lockin_test.pdb"
+  "econ_pricing_lockin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/econ_pricing_lockin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

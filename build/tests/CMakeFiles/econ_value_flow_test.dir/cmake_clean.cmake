@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/econ_value_flow_test.dir/econ_value_flow_test.cpp.o"
+  "CMakeFiles/econ_value_flow_test.dir/econ_value_flow_test.cpp.o.d"
+  "econ_value_flow_test"
+  "econ_value_flow_test.pdb"
+  "econ_value_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/econ_value_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

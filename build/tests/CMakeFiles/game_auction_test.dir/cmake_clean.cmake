@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_auction_test.dir/game_auction_test.cpp.o"
+  "CMakeFiles/game_auction_test.dir/game_auction_test.cpp.o.d"
+  "game_auction_test"
+  "game_auction_test.pdb"
+  "game_auction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_auction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_learners_test.dir/game_learners_test.cpp.o"
+  "CMakeFiles/game_learners_test.dir/game_learners_test.cpp.o.d"
+  "game_learners_test"
+  "game_learners_test.pdb"
+  "game_learners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_learners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_matrix_test.dir/game_matrix_test.cpp.o"
+  "CMakeFiles/game_matrix_test.dir/game_matrix_test.cpp.o.d"
+  "game_matrix_test"
+  "game_matrix_test.pdb"
+  "game_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_reciprocity_test.dir/game_reciprocity_test.cpp.o"
+  "CMakeFiles/game_reciprocity_test.dir/game_reciprocity_test.cpp.o.d"
+  "game_reciprocity_test"
+  "game_reciprocity_test.pdb"
+  "game_reciprocity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_reciprocity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

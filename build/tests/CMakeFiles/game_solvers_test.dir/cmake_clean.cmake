@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_solvers_test.dir/game_solvers_test.cpp.o"
+  "CMakeFiles/game_solvers_test.dir/game_solvers_test.cpp.o.d"
+  "game_solvers_test"
+  "game_solvers_test.pdb"
+  "game_solvers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_solvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

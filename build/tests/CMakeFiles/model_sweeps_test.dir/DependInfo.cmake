@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model_sweeps_test.cpp" "tests/CMakeFiles/model_sweeps_test.dir/model_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/model_sweeps_test.dir/model_sweeps_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/econ/CMakeFiles/tussle_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tussle_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/tussle_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/tussle_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tussle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tussle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

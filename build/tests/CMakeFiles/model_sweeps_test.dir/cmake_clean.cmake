@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_sweeps_test.dir/model_sweeps_test.cpp.o"
+  "CMakeFiles/model_sweeps_test.dir/model_sweeps_test.cpp.o.d"
+  "model_sweeps_test"
+  "model_sweeps_test.pdb"
+  "model_sweeps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

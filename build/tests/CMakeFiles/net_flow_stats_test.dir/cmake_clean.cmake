@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_flow_stats_test.dir/net_flow_stats_test.cpp.o"
+  "CMakeFiles/net_flow_stats_test.dir/net_flow_stats_test.cpp.o.d"
+  "net_flow_stats_test"
+  "net_flow_stats_test.pdb"
+  "net_flow_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_flow_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_wiretap_test.dir/net_wiretap_test.cpp.o"
+  "CMakeFiles/net_wiretap_test.dir/net_wiretap_test.cpp.o.d"
+  "net_wiretap_test"
+  "net_wiretap_test.pdb"
+  "net_wiretap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_wiretap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

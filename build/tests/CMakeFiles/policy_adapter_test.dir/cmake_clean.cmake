@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_adapter_test.dir/policy_adapter_test.cpp.o"
+  "CMakeFiles/policy_adapter_test.dir/policy_adapter_test.cpp.o.d"
+  "policy_adapter_test"
+  "policy_adapter_test.pdb"
+  "policy_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

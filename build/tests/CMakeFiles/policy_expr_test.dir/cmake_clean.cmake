@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_expr_test.dir/policy_expr_test.cpp.o"
+  "CMakeFiles/policy_expr_test.dir/policy_expr_test.cpp.o.d"
+  "policy_expr_test"
+  "policy_expr_test.pdb"
+  "policy_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

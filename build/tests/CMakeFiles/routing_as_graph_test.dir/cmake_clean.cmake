@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_as_graph_test.dir/routing_as_graph_test.cpp.o"
+  "CMakeFiles/routing_as_graph_test.dir/routing_as_graph_test.cpp.o.d"
+  "routing_as_graph_test"
+  "routing_as_graph_test.pdb"
+  "routing_as_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_as_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_inter_domain_test.dir/routing_inter_domain_test.cpp.o"
+  "CMakeFiles/routing_inter_domain_test.dir/routing_inter_domain_test.cpp.o.d"
+  "routing_inter_domain_test"
+  "routing_inter_domain_test.pdb"
+  "routing_inter_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_inter_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

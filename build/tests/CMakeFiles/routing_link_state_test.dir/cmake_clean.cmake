@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_link_state_test.dir/routing_link_state_test.cpp.o"
+  "CMakeFiles/routing_link_state_test.dir/routing_link_state_test.cpp.o.d"
+  "routing_link_state_test"
+  "routing_link_state_test.pdb"
+  "routing_link_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_link_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_overlay_test.dir/routing_overlay_test.cpp.o"
+  "CMakeFiles/routing_overlay_test.dir/routing_overlay_test.cpp.o.d"
+  "routing_overlay_test"
+  "routing_overlay_test.pdb"
+  "routing_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

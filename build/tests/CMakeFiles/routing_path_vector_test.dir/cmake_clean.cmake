@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_path_vector_test.dir/routing_path_vector_test.cpp.o"
+  "CMakeFiles/routing_path_vector_test.dir/routing_path_vector_test.cpp.o.d"
+  "routing_path_vector_test"
+  "routing_path_vector_test.pdb"
+  "routing_path_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_path_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_firewall_test.dir/trust_firewall_test.cpp.o"
+  "CMakeFiles/trust_firewall_test.dir/trust_firewall_test.cpp.o.d"
+  "trust_firewall_test"
+  "trust_firewall_test.pdb"
+  "trust_firewall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_firewall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

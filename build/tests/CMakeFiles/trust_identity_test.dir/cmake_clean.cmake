@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_identity_test.dir/trust_identity_test.cpp.o"
+  "CMakeFiles/trust_identity_test.dir/trust_identity_test.cpp.o.d"
+  "trust_identity_test"
+  "trust_identity_test.pdb"
+  "trust_identity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_midcom_test.dir/trust_midcom_test.cpp.o"
+  "CMakeFiles/trust_midcom_test.dir/trust_midcom_test.cpp.o.d"
+  "trust_midcom_test"
+  "trust_midcom_test.pdb"
+  "trust_midcom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_midcom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

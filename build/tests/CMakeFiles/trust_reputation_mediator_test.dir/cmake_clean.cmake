@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_reputation_mediator_test.dir/trust_reputation_mediator_test.cpp.o"
+  "CMakeFiles/trust_reputation_mediator_test.dir/trust_reputation_mediator_test.cpp.o.d"
+  "trust_reputation_mediator_test"
+  "trust_reputation_mediator_test.pdb"
+  "trust_reputation_mediator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_reputation_mediator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
