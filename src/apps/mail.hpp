@@ -37,8 +37,8 @@ class MailRelay {
   net::Network* net_;
   net::NodeId node_;
   net::Address addr_;
-  double reliability_;
-  double spam_filter_;
+  double reliability_ = 0;
+  double spam_filter_ = 0;
   std::uint64_t relayed_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t spam_blocked_ = 0;

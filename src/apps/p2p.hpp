@@ -59,7 +59,7 @@ class P2pPeer {
   net::NodeId node_;
   net::Address addr_;
   P2pIndex* index_;
-  std::uint32_t chunk_bytes_;
+  std::uint32_t chunk_bytes_ = 0;
   std::map<std::string, bool> library_;
   std::uint64_t uploads_ = 0;
   std::uint64_t downloads_ = 0;

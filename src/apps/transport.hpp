@@ -83,7 +83,7 @@ class AimdFlow {
   std::uint64_t base_ = 0;      ///< lowest unacked seq
   std::uint64_t next_seq_ = 0;  ///< next seq to send
   double cwnd_ = 1;
-  double ssthresh_;
+  double ssthresh_ = 0;
   sim::EventId timer_{};
   std::uint64_t timer_epoch_ = 0;
   std::uint64_t retransmissions_ = 0;

@@ -44,7 +44,7 @@ class VoipSession {
   net::Address addr_;
   net::Address peer_;
   net::ServiceClass tos_;
-  std::uint32_t frame_bytes_;
+  std::uint32_t frame_bytes_ = 0;
   std::size_t sent_ = 0;
   std::size_t received_ = 0;
   sim::Summary latency_;

@@ -25,7 +25,7 @@ class WebServer {
   net::Network* net_;
   net::NodeId node_;
   net::Address addr_;
-  std::uint32_t response_bytes_;
+  std::uint32_t response_bytes_ = 0;
   std::uint64_t served_ = 0;
 };
 

@@ -66,8 +66,8 @@ class Market {
 
  private:
   struct Consumer {
-    double wtp;
-    double switch_cost;
+    double wtp = 0;
+    double switch_cost = 0;
     std::vector<double> taste;  ///< per-provider idiosyncratic utility
     int provider = -1;          ///< -1: unsubscribed
   };

@@ -36,7 +36,7 @@ class FlatRate final : public PricingScheme {
   double charge(const UsageProfile&) const override { return monthly_; }
 
  private:
-  double monthly_;
+  double monthly_ = 0;
 };
 
 /// Value pricing: a base rate plus a "business" surcharge when the customer
@@ -52,9 +52,9 @@ class ValuePricing final : public PricingScheme {
   }
 
  private:
-  double base_;
-  double server_;
-  double qos_;
+  double base_ = 0;
+  double server_ = 0;
+  double qos_ = 0;
 };
 
 /// Pay-by-the-byte (the scheme the paper notes "does not seem to have much
@@ -66,7 +66,7 @@ class PerByte final : public PricingScheme {
   double charge(const UsageProfile& u) const override { return rate_ * u.bytes / 1e9; }
 
  private:
-  double rate_;
+  double rate_ = 0;
 };
 
 }  // namespace tussle::econ

@@ -26,7 +26,7 @@ class Ledger {
   struct Entry {
     std::string from;
     std::string to;
-    double amount;
+    double amount = 0;
     std::string memo;
   };
 

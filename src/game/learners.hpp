@@ -77,7 +77,7 @@ class EpsilonGreedy final : public Learner {
   void observe(std::size_t opponent_action, double payoff) override;
 
  private:
-  double epsilon_;
+  double epsilon_ = 0;
   std::vector<double> total_;
   std::vector<std::size_t> tries_;
   std::size_t last_action_ = 0;

@@ -25,14 +25,10 @@ NodeId Link::peer_of(NodeId n) const {
   throw std::invalid_argument("node is not an endpoint of this link");
 }
 
-Link::Direction& Link::dir_for(NodeId from) {
-  if (from == dirs_[0].from) return dirs_[0];
-  if (from == dirs_[1].from) return dirs_[1];
+std::size_t Link::dir_index_for(NodeId from) const {
+  if (from == dirs_[0].from) return 0;
+  if (from == dirs_[1].from) return 1;
   throw std::invalid_argument("node is not an endpoint of this link");
-}
-
-const Link::Direction& Link::dir_for(NodeId from) const {
-  return const_cast<Link*>(this)->dir_for(from);
 }
 
 bool Link::transmit_from(NodeId sender, Packet p) {

@@ -61,13 +61,14 @@ class Link {
     std::uint64_t tx_bytes = 0;
   };
 
-  Direction& dir_for(NodeId from);
-  const Direction& dir_for(NodeId from) const;
+  std::size_t dir_index_for(NodeId from) const;
+  Direction& dir_for(NodeId from) { return dirs_[dir_index_for(from)]; }
+  const Direction& dir_for(NodeId from) const { return dirs_[dir_index_for(from)]; }
   void start_transmission(Direction& d);
 
   Network* net_;
-  LinkId id_;
-  double bps_;
+  LinkId id_ = 0;
+  double bps_ = 0;
   sim::Duration prop_;
   bool up_ = true;
   Direction dirs_[2];

@@ -109,8 +109,8 @@ class Node {
                    std::vector<Address>* taps) const;
 
   Network* net_;
-  NodeId id_;
-  AsId as_;
+  NodeId id_ = 0;
+  AsId as_ = 0;
   std::vector<Address> addresses_;
   ForwardingTable fib_;
   std::vector<PacketFilter> filters_;

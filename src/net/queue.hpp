@@ -51,7 +51,7 @@ class DropTailQueue final : public Queue {
   }
 
  private:
-  std::size_t capacity_;
+  std::size_t capacity_ = 0;
   std::deque<Packet> q_;
   std::uint64_t bytes_ = 0;
 };

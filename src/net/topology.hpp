@@ -31,9 +31,9 @@ std::vector<NodeId> build_star(Network& net, std::size_t leaves, AsId as, const 
 struct Dumbbell {
   std::vector<NodeId> sources;
   std::vector<NodeId> sinks;
-  NodeId left_router;
-  NodeId right_router;
-  LinkId bottleneck;
+  NodeId left_router = 0;
+  NodeId right_router = 0;
+  LinkId bottleneck = 0;
 };
 Dumbbell build_dumbbell(Network& net, std::size_t pairs, const LinkSpec& edge,
                         const LinkSpec& bottleneck);

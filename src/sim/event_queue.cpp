@@ -28,7 +28,7 @@ bool EventQueue::cancel(EventId id) {
   return false;
 }
 
-void EventQueue::drop_cancelled_top() {
+void EventQueue::drop_cancelled_top() const {
   while (!heap_.empty()) {
     auto it = cancelled_.find(heap_.front().id.value);
     if (it == cancelled_.end()) return;
@@ -44,7 +44,7 @@ bool EventQueue::empty() const noexcept {
 }
 
 SimTime EventQueue::next_time() const {
-  const_cast<EventQueue*>(this)->drop_cancelled_top();
+  drop_cancelled_top();
   assert(!heap_.empty());
   return heap_.front().time;
 }

@@ -59,7 +59,7 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
-    std::uint64_t seq;
+    std::uint64_t seq = 0;
     EventId id;
     Action action;
   };
@@ -71,10 +71,12 @@ class EventQueue {
     }
   };
 
-  void drop_cancelled_top();
+  void drop_cancelled_top() const;
 
-  std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  // mutable: tombstoned entries are discarded lazily, so logically-const
+  // observers (next_time) compact the heap as a side effect.
+  mutable std::vector<Entry> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_seq_ = 0;
 };
 

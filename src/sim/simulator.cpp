@@ -11,14 +11,18 @@ EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
 }
 
 void Simulator::schedule_every(Duration period, std::function<bool()> action) {
-  // Self-rescheduling closure; stops rescheduling when action returns false.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, action = std::move(action), tick]() {
-    if (action()) {
-      schedule(period, *tick);
-    }
-  };
-  schedule(period, *tick);
+  // Each firing builds the next closure afresh around the shared action, so
+  // nothing captures an owning pointer to itself (a self-referential
+  // shared_ptr cycle would never be freed once the chain stops).
+  auto shared = std::make_shared<std::function<bool()>>(std::move(action));
+  schedule(period, [this, period, shared] { run_repeating(period, shared); });
+}
+
+void Simulator::run_repeating(Duration period,
+                              const std::shared_ptr<std::function<bool()>>& action) {
+  if ((*action)()) {
+    schedule(period, [this, period, action] { run_repeating(period, action); });
+  }
 }
 
 std::size_t Simulator::run(SimTime horizon) {

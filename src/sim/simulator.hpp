@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "sim/event_queue.hpp"
@@ -56,6 +57,8 @@ class Simulator {
   std::size_t events_pending() const { return queue_.size(); }
 
  private:
+  void run_repeating(Duration period, const std::shared_ptr<std::function<bool()>>& action);
+
   EventQueue queue_;
   SimTime now_{};
   Rng rng_;

@@ -55,7 +55,7 @@ class SimTime {
 
  private:
   explicit constexpr SimTime(std::int64_t ns) noexcept : ns_(ns) {}
-  std::int64_t ns_;
+  std::int64_t ns_ = 0;
 };
 
 /// Duration and time-point share one representation; the alias documents

@@ -55,8 +55,8 @@ class EscrowMediator {
   std::string name_;
   econ::Ledger* ledger_;
   ReputationSystem* reputation_;
-  double cap_;
-  double fee_rate_;
+  double cap_ = 0;
+  double fee_rate_ = 0;
 };
 
 }  // namespace tussle::trust

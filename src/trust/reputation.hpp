@@ -38,7 +38,7 @@ class ReputationSystem {
   struct Report {
     std::string rater;
     std::string subject;
-    bool positive;
+    bool positive = false;
   };
   std::vector<Report> reports_;
 };

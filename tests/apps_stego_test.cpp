@@ -25,8 +25,9 @@ TEST(Stego, EncryptionVsSteganographyVisibility) {
   net::Packet enc;
   enc.proto = net::AppProto::kP2p;
   enc.encrypted = true;
-  net::Packet steg = steganographize(net::Packet{.proto = net::AppProto::kP2p},
-                                     net::AppProto::kWeb);
+  net::Packet p2p;
+  p2p.proto = net::AppProto::kP2p;
+  net::Packet steg = steganographize(p2p, net::AppProto::kWeb);
   EXPECT_TRUE(enc.visibly_opaque());    // fn.14/§V-B-1: hiding is detectable
   EXPECT_FALSE(steg.visibly_opaque());  // fn.17: the next escalation isn't
 }

@@ -81,7 +81,9 @@ TEST_P(CongestionBounds, PhysicalInvariantsHold) {
   if (fq) {
     // Fair queueing guarantees compliant flows at least ~their fair share
     // once AIMD stabilizes (tail average).
-    if (frac < 1.0) EXPECT_GT(r.compliant_goodput_mean, 0.6 * fair);
+    if (frac < 1.0) {
+      EXPECT_GT(r.compliant_goodput_mean, 0.6 * fair);
+    }
   }
   // Nobody exceeds capacity single-handedly.
   EXPECT_LE(r.aggressive_goodput_mean, cfg.capacity + 1e-9);

@@ -7,7 +7,7 @@ namespace {
 
 // Small canonical topology:
 //        1 --- 2          (tier-1 peers)
-//       / \     \
+//       / \     \.
 //      3   4     5        (tier-2 customers)
 //      |    \   /
 //      6     7-8(peer)    (stubs; 7 buys from 4 and 5)

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit, against the compile database of a configured
+# build directory.
+#
+# Usage: tools/run_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#   BUILD_DIR defaults to the first of build-release, build-asan-ubsan,
+#   build that contains a compile_commands.json.
+#   CLANG_TIDY=<binary> overrides which clang-tidy to use.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "$tidy" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH (set CLANG_TIDY=...)." >&2
+  echo "The container toolchain may be gcc-only; CI runs the tidy gate." >&2
+  exit 3
+fi
+
+build_dir="${1:-}"
+if [[ -n "$build_dir" ]]; then
+  shift
+else
+  for candidate in build-release build-asan-ubsan build; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$build_dir" || ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_tidy.sh: no compile_commands.json found; configure first, e.g." >&2
+  echo "  cmake --preset release" >&2
+  exit 3
+fi
+if [[ "${1:-}" == "--" ]]; then
+  shift
+fi
+
+mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tools/**/*.cpp' 'examples/*.cpp')
+echo "run_tidy.sh: $tidy over ${#sources[@]} files (compile db: $build_dir)"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+printf '%s\n' "${sources[@]}" |
+  xargs -P "$jobs" -n 1 "$tidy" -p "$build_dir" --quiet "$@"
+echo "run_tidy.sh: clean"
