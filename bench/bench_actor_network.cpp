@@ -13,6 +13,7 @@
 
 #include "core/actor.hpp"
 #include "core/report.hpp"
+#include "harness.hpp"
 
 using namespace tussle;
 
@@ -51,13 +52,14 @@ double run_to_horizon(double entry_every_n_rounds, std::size_t rounds, double an
 
 }  // namespace
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "X2", "SII-C why run-time tussle is possible (extension)",
-      "Actor alignments anneal toward lock-in; a stream of new entrants\n"
-      "keeps durability bounded away from 1 — innovation as the\n"
-      "pre-condition of changeability.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"X2", "SII-C why run-time tussle is possible (extension)",
+       "Actor alignments anneal toward lock-in; a stream of new entrants\n"
+       "keeps durability bounded away from 1 — innovation as the\n"
+       "pre-condition of changeability."},
+      [](bench::Harness& h) {
   core::Table t({"entry-rate", "durability@25", "durability@50", "durability@100"});
   struct Row {
     const char* label;
@@ -70,8 +72,11 @@ int main() {
       {"one entrant / 3 rounds (boom)", 3},
   };
   for (const Row& r : rows) {
+    const double d100 = run_to_horizon(r.every, 100, 0.08);
     t.add_row({std::string(r.label), run_to_horizon(r.every, 25, 0.08),
-               run_to_horizon(r.every, 50, 0.08), run_to_horizon(r.every, 100, 0.08)});
+               run_to_horizon(r.every, 50, 0.08), d100});
+    if (r.every == 0) h.metrics().gauge("frozen.durability_100", d100);
+    if (r.every == 3) h.metrics().gauge("boom.durability_100", d100);
   }
   t.print(std::cout);
 
@@ -86,5 +91,5 @@ int main() {
   n.anneal(0.08, 50);
   adverse.add_row({std::string("durability after 50 quiet rounds"), n.durability()});
   adverse.print(std::cout);
-  return 0;
+      });
 }

@@ -9,16 +9,18 @@
 
 #include "core/report.hpp"
 #include "econ/open_access.hpp"
+#include "harness.hpp"
 
 using namespace tussle;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E3", "SV-A-3 residential broadband access",
-      "Duopoly wires -> high price, high HHI. Open access / municipal fiber\n"
-      "modularize along the facility|service tussle boundary and restore\n"
-      "competition — but pay the wire owner progressively less.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E3", "SV-A-3 residential broadband access",
+       "Duopoly wires -> high price, high HHI. Open access / municipal fiber\n"
+       "modularize along the facility|service tussle boundary and restore\n"
+       "competition — but pay the wire owner progressively less."},
+      [](bench::Harness& h) {
   core::Table t({"regime", "retail-isps", "mean-price", "hhi", "consumer-surplus",
                  "facility-margin"});
   for (auto regime : {econ::AccessRegime::kFacilityDuopoly, econ::AccessRegime::kOpenAccess,
@@ -31,6 +33,8 @@ int main() {
     t.add_row({to_string(regime), static_cast<long long>(r.retail_competitors),
                r.market.mean_price, r.market.hhi, r.market.consumer_surplus,
                r.facility_margin});
+    h.metrics().gauge(to_string(regime) + ".mean_price", r.market.mean_price);
+    h.metrics().gauge(to_string(regime) + ".hhi", r.market.hhi);
   }
   t.print(std::cout);
 
@@ -45,5 +49,5 @@ int main() {
     sweep.add_row({static_cast<long long>(k), r.market.mean_price, r.market.hhi});
   }
   sweep.print(std::cout);
-  return 0;
+      });
 }

@@ -9,15 +9,17 @@
 
 #include "apps/congestion.hpp"
 #include "core/report.hpp"
+#include "harness.hpp"
 
 using namespace tussle;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E12", "SII-B congestion-control compliance",
-      "Sweep the fraction of aggressive (non-backing-off) senders.\n"
-      "FIFO: compliant flows starve. Fair queueing: the tussle is bounded.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E12", "SII-B congestion-control compliance",
+       "Sweep the fraction of aggressive (non-backing-off) senders.\n"
+       "FIFO: compliant flows starve. Fair queueing: the tussle is bounded."},
+      [](bench::Harness& h) {
   core::Table t({"cheater-frac", "fifo:compliant", "fifo:cheater", "fifo:jain",
                  "fq:compliant", "fq:cheater", "fq:jain"});
   for (double f : {0.0, 0.05, 0.1, 0.25, 0.5, 0.75}) {
@@ -29,6 +31,10 @@ int main() {
     auto rq = apps::run_congestion(fq);
     t.add_row({f, rf.compliant_goodput_mean, rf.aggressive_goodput_mean, rf.jains_fairness,
                rq.compliant_goodput_mean, rq.aggressive_goodput_mean, rq.jains_fairness});
+    if (f == 0.25) {
+      h.metrics().gauge("cheat25.fifo_jain", rf.jains_fairness);
+      h.metrics().gauge("cheat25.fq_jain", rq.jains_fairness);
+    }
   }
   t.print(std::cout);
 
@@ -42,5 +48,5 @@ int main() {
                r.utilization, r.loss_rate});
   }
   u.print(std::cout);
-  return 0;
+      });
 }

@@ -13,6 +13,7 @@
 #include "core/choice.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "harness.hpp"
 #include "net/topology.hpp"
 #include "policy/packet_adapter.hpp"
 #include "routing/link_state.hpp"
@@ -27,8 +28,9 @@ namespace {
 /// visible p2p), 2 = strict (drops visible p2p AND all visible opacity...
 /// but commercial pressure caps enforcement at 80% of links).
 double run_region(int regime, bool design_has_choice, core::ChoicePoint* choices,
-                  const std::string& region_name) {
+                  const std::string& region_name, bench::Harness& h) {
   sim::Simulator sim(97);
+  h.instrument(sim);
   net::Network net(sim);
   auto ids = net::build_star(net, 2, 1, net::LinkSpec{});
   std::vector<Address> addrs;
@@ -73,13 +75,14 @@ double run_region(int regime, bool design_has_choice, core::ChoicePoint* choices
 
 }  // namespace
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "X3", "SIV design for choice (extension)",
-      "The same application crosses three regulatory regions. The rigid\n"
-      "design breaks wherever pressure exists; the design with a run-time\n"
-      "choice point flexes — variation in outcome is the survival margin.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"X3", "SIV design for choice (extension)",
+       "The same application crosses three regulatory regions. The rigid\n"
+       "design breaks wherever pressure exists; the design with a run-time\n"
+       "choice point flexes — variation in outcome is the survival margin."},
+      [](bench::Harness& h) {
   const char* regions[] = {"liberal", "commercial-dpi", "strict"};
   core::Table t({"design", "liberal", "commercial-dpi", "strict", "mean-delivery",
                  "outcome-variation", "choice-index"});
@@ -87,12 +90,16 @@ int main() {
     core::ChoicePoint cp("transport-privacy", {"cleartext", "encrypted"});
     std::vector<double> per_region;
     for (int regime = 0; regime < 3; ++regime) {
-      per_region.push_back(run_region(regime, has_choice, &cp, regions[regime]));
+      per_region.push_back(run_region(regime, has_choice, &cp, regions[regime], h));
     }
     const double mean = (per_region[0] + per_region[1] + per_region[2]) / 3.0;
     t.add_row({std::string(has_choice ? "with choice point" : "rigid (cleartext only)"),
                per_region[0], per_region[1], per_region[2], mean,
                core::outcome_variation(per_region), cp.choice_index()});
+    h.metrics().gauge(std::string(has_choice ? "choice" : "rigid") + ".mean_delivery",
+                      mean);
+    h.metrics().gauge(std::string(has_choice ? "choice" : "rigid") + ".outcome_variation",
+                      core::outcome_variation(per_region));
   }
   t.print(std::cout);
 
@@ -102,5 +109,5 @@ int main() {
                "'policy will probably trump technology in any case' (SVI-A) —\n"
                "but the choice-ful design made the regime *pay the visibility\n"
                "cost* of banning opacity outright.\n";
-  return 0;
+      });
 }

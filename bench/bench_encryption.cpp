@@ -10,6 +10,7 @@
 
 #include "apps/stego.hpp"
 #include "core/report.hpp"
+#include "harness.hpp"
 #include "net/topology.hpp"
 #include "policy/packet_adapter.hpp"
 #include "routing/link_state.hpp"
@@ -29,8 +30,9 @@ struct Delivered {
   bool policy_disclosed = false;
 };
 
-Delivered run_stage(int stage) {
+Delivered run_stage(int stage, bench::Harness& h) {
   sim::Simulator sim(71);
+  h.instrument(sim);
   net::Network net(sim);
   auto ids = net::build_star(net, 4, 1, net::LinkSpec{});
   std::vector<Address> addrs;
@@ -114,19 +116,20 @@ Delivered run_stage(int stage) {
 
 }  // namespace
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E11", "SVI-A end-to-end arguments & encryption",
-      "Stage 0: transparent carriage. Stage 1: ISP peeks and drops P2P —\n"
-      "users encrypt and win. Stage 2: ISP punishes opacity itself —\n"
-      "indiscriminate collateral damage, and the policy becomes visible.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E11", "SVI-A end-to-end arguments & encryption",
+       "Stage 0: transparent carriage. Stage 1: ISP peeks and drops P2P —\n"
+       "users encrypt and win. Stage 2: ISP punishes opacity itself —\n"
+       "indiscriminate collateral damage, and the policy becomes visible."},
+      [](bench::Harness& h) {
   const char* stages[] = {"0: transparent network", "1: DPI drops visible p2p",
                           "2: drop everything opaque", "3: + statistical stego hunt"};
   core::Table t({"isp-policy", "p2p-plain/50", "p2p-enc/50", "p2p-stego/50",
                  "business-vpn/50", "web/50", "policy-visible"});
   for (int s = 0; s <= 3; ++s) {
-    auto d = run_stage(s);
+    auto d = run_stage(s, h);
     t.add_row({std::string(stages[s]), static_cast<long long>(d.p2p_plain),
                static_cast<long long>(d.p2p_encrypted), static_cast<long long>(d.p2p_stego),
                static_cast<long long>(d.business_vpn), static_cast<long long>(d.web),
@@ -140,5 +143,5 @@ int main() {
                "the statistical hunt catches most of it but now drops innocent\n"
                "web too (false positives) — escalation never ends, it only\n"
                "relocates the collateral damage.\n";
-  return 0;
+      });
 }

@@ -10,6 +10,7 @@
 
 #include "apps/mux.hpp"
 #include "core/report.hpp"
+#include "harness.hpp"
 #include "net/topology.hpp"
 #include "policy/packet_adapter.hpp"
 #include "routing/link_state.hpp"
@@ -28,8 +29,9 @@ struct RunResult {
 };
 
 /// Star: hub router, leaf 1 = server; leaves 2-4 good users; leaf 5 attacker.
-RunResult run_variant(int variant) {
+RunResult run_variant(int variant, bench::Harness& h) {
   sim::Simulator sim(17);
+  h.instrument(sim);
   net::Network net(sim);
   auto ids = net::build_star(net, 5, 1, net::LinkSpec{});
   std::vector<Address> addrs;
@@ -77,6 +79,7 @@ RunResult run_variant(int variant) {
           return it->second;
         });
     if (variant == 3) fw_storage->user_whitelist("attacker");  // user's own call
+    fw_storage->set_trace_clock([&sim]() { return sim.now(); });
     net.node(ids[0]).add_filter(fw_storage->as_filter());
   }
 
@@ -114,24 +117,27 @@ RunResult run_variant(int variant) {
 
 }  // namespace
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E6", "SV-B trust (firewalls)",
-      "Protocol firewalls stop attacks but also the next new application;\n"
-      "trust-mediated firewalls key on WHO, recovering innovation for\n"
-      "reputable peers. Who holds the whitelist is a governance knob.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E6", "SV-B trust (firewalls)",
+       "Protocol firewalls stop attacks but also the next new application;\n"
+       "trust-mediated firewalls key on WHO, recovering innovation for\n"
+       "reputable peers. Who holds the whitelist is a governance knob."},
+      [](bench::Harness& h) {
   const char* names[] = {"no firewall", "protocol firewall (default-deny)",
                          "trust-aware firewall", "trust-aware + user whitelist"};
   core::Table t({"variant", "attack-delivered/60", "known-app/60", "novel-app/30"});
   for (int v = 0; v <= 3; ++v) {
-    auto r = run_variant(v);
+    auto r = run_variant(v, h);
     t.add_row({std::string(names[v]), static_cast<long long>(r.attack_delivered),
                static_cast<long long>(r.known_app_delivered),
                static_cast<long long>(r.novel_app_delivered)});
+    h.metrics().counter("attack.delivered").add(r.attack_delivered);
+    h.metrics().counter("novel.delivered").add(r.novel_app_delivered);
   }
   t.print(std::cout);
   std::cout << "\nRow 4 shows the governance tussle: the end user CAN choose to\n"
                "accept the attacker's traffic when the user holds authority.\n";
-  return 0;
+      });
 }

@@ -11,15 +11,17 @@
 #include "game/canonical.hpp"
 #include "game/learners.hpp"
 #include "game/solvers.hpp"
+#include "harness.hpp"
 
 using namespace tussle;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E9", "SII-B perspectives on tussle (game theory)",
-      "Zero-sum minimax convergence; PD dominance (the congestion game);\n"
-      "Vickrey truth-telling dominance; bounded-rational deviation.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E9", "SII-B perspectives on tussle (game theory)",
+       "Zero-sum minimax convergence; PD dominance (the congestion game);\n"
+       "Vickrey truth-telling dominance; bounded-rational deviation."},
+      [](bench::Harness& h) {
   std::cout << "Fictitious-play convergence on a mixed zero-sum game "
                "([[3,-1],[-2,4]], value 1.0)\n\n";
   core::Table conv({"iterations", "value-estimate", "duality-gap"});
@@ -27,6 +29,7 @@ int main() {
   for (std::size_t it : {100u, 1000u, 10000u, 100000u}) {
     auto s = game::solve_zero_sum(g, it);
     conv.add_row({static_cast<long long>(it), s.value, s.gap});
+    if (it == 100000u) h.metrics().gauge("fictitious_play.final_gap", s.gap);
   }
   conv.print(std::cout);
 
@@ -92,5 +95,5 @@ int main() {
   learn.print(std::cout);
   std::cout << "\n(eps-greedy row shows the bounded-rationality deviation: ~15%\n"
                "compliance held in place purely by exploration noise.)\n";
-  return 0;
+      });
 }

@@ -9,18 +9,20 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "harness.hpp"
 #include "routing/path_vector.hpp"
 
 using namespace tussle;
 using routing::AsId;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "X1", "SII-B byzantine actors in routing (extension)",
-      "A false-origin announcement captures a large share of the network\n"
-      "under plain Gao-Rexford; origin validation eliminates the capture.\n"
-      "Capture grows with the hijacker's position in the hierarchy.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"X1", "SII-B byzantine actors in routing (extension)",
+       "A false-origin announcement captures a large share of the network\n"
+       "under plain Gao-Rexford; origin validation eliminates the capture.\n"
+       "Capture grows with the hijacker's position in the hierarchy."},
+      [](bench::Harness& bh) {
   sim::Rng rng(81);
   auto h = routing::make_hierarchy(rng, 3, 8, 24);
   const AsId victim = h.stubs[0];
@@ -56,11 +58,13 @@ int main() {
       total += r.capture_fraction;
     }
     sweep.add_row({std::string(validation ? "on" : "off"), total / n});
+    bh.metrics().gauge(std::string("mean_capture.validation_") + (validation ? "on" : "off"),
+                       total / n);
   }
   sweep.print(std::cout);
 
   std::cout << "\nReading: the 'one right answer' design school works — when the\n"
                "right answer (the legitimate origin) can be authenticated. The\n"
                "tussle moves to who runs the trust anchor.\n";
-  return 0;
+      });
 }

@@ -8,18 +8,20 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "harness.hpp"
 #include "sim/random.hpp"
 #include "trust/certificates.hpp"
 #include "trust/reputation.hpp"
 
 using namespace tussle;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E7", "SV-B-1 the role of identity",
-      "Population picks identity schemes; peers gate interactions on\n"
-      "verification/accountability. Anonymity stays possible but costly.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E7", "SV-B-1 the role of identity",
+       "Population picks identity schemes; peers gate interactions on\n"
+       "verification/accountability. Anonymity stays possible but costly."},
+      [](bench::Harness& h) {
   trust::CertificateAuthority ca("root-ca");
   trust::CaRegistry registry;
   registry.trust(&ca);
@@ -92,11 +94,13 @@ int main() {
                std::string(v.verified ? "yes" : "no"),
                std::string(v.accountable ? "yes" : "no"),
                static_cast<double>(c.accepted) / static_cast<double>(c.attempted)});
+    h.metrics().gauge(to_string(c.scheme) + ".success_rate",
+                      static_cast<double>(c.accepted) / static_cast<double>(c.attempted));
   }
   t.print(std::cout);
 
   std::cout << "\nCompromise outcome (paper): anonymity possible (nonzero success)\n"
                "but visibly and persistently penalized; accountable identity\n"
                "compounds through reputation.\n";
-  return 0;
+      });
 }

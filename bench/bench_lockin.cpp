@@ -9,6 +9,7 @@
 #include "core/report.hpp"
 #include "econ/lock_in.hpp"
 #include "econ/market.hpp"
+#include "harness.hpp"
 #include "net/forwarding.hpp"
 
 using namespace tussle;
@@ -35,12 +36,13 @@ econ::MarketResult market_under(double switching_cost, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E1", "SV-A-1 provider lock-in from IP addressing",
-      "Easy renumbering -> lower lock-in -> lower prices & more switching;\n"
-      "portable addresses free the consumer but inflate core routing tables.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E1", "SV-A-1 provider lock-in from IP addressing",
+       "Easy renumbering -> lower lock-in -> lower prices & more switching;\n"
+       "portable addresses free the consumer but inflate core routing tables."},
+      [](bench::Harness& h) {
   econ::LockInModel model;
   const std::size_t hosts_per_site = 8;
   const std::size_t sites = 600;
@@ -66,6 +68,10 @@ int main() {
     t.add_row({to_string(mode), sc, r.mean_price, r.hhi, r.consumer_surplus,
                static_cast<long long>(r.total_switches),
                static_cast<long long>(core_fib.prefix_entries())});
+    h.metrics().gauge(to_string(mode) + ".mean_price", r.mean_price);
+    h.metrics().gauge(to_string(mode) + ".hhi", r.hhi);
+    h.metrics().gauge(to_string(mode) + ".core_prefixes",
+                      static_cast<double>(core_fib.prefix_entries()));
   }
   t.print(std::cout);
 
@@ -77,5 +83,5 @@ int main() {
                    static_cast<long long>(r.total_switches)});
   }
   sweep.print(std::cout);
-  return 0;
+      });
 }

@@ -13,22 +13,25 @@
 
 #include "core/report.hpp"
 #include "econ/investment.hpp"
+#include "harness.hpp"
 #include "net/topology.hpp"
 #include "routing/multicast.hpp"
 
 using namespace tussle;
 using net::NodeId;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "X4", "SVII fn.19 — the multicast exercise (extension)",
-      "Multicast's technical savings are real; its deployment game is the\n"
-      "QoS game with zero revenue. CDNs monetize the same savings\n"
-      "unilaterally — which is why the reader lives in a CDN world.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"X4", "SVII fn.19 — the multicast exercise (extension)",
+       "Multicast's technical savings are real; its deployment game is the\n"
+       "QoS game with zero revenue. CDNs monetize the same savings\n"
+       "unilaterally — which is why the reader lives in a CDN world."},
+      [](bench::Harness& bh) {
   // A two-level distribution topology: backbone ring of 4 hubs, each hub
   // serving 8 access leaves. Source at hub 0's first leaf.
   sim::Simulator sim(5);
+  bh.instrument(sim);
   net::Network net(sim);
   std::vector<NodeId> hubs;
   std::vector<NodeId> leaves;
@@ -58,6 +61,10 @@ int main() {
                static_cast<long long>(cost.unicast), static_cast<long long>(cost.multicast),
                static_cast<long long>(cost.cdn), cost.multicast_savings(),
                cost.cdn_savings()});
+    if (n == 32u) {
+      bh.metrics().gauge("group32.multicast_savings", cost.multicast_savings());
+      bh.metrics().gauge("group32.cdn_savings", cost.cdn_savings());
+    }
   }
   t.print(std::cout);
 
@@ -93,5 +100,5 @@ int main() {
                "CDN packaged ~the same transmission savings behind an interface\n"
                "whose deployer gets paid. Tussle-aware design would have\n"
                "predicted the winner.\n";
-  return 0;
+      });
 }

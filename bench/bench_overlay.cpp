@@ -8,6 +8,7 @@
 
 #include "apps/mux.hpp"
 #include "core/report.hpp"
+#include "harness.hpp"
 #include "net/topology.hpp"
 #include "routing/link_state.hpp"
 #include "routing/overlay.hpp"
@@ -24,8 +25,10 @@ struct TrialResult {
   double latency_stretch = 1.0;
 };
 
-TrialResult run_trial(double blocked_fraction, std::size_t members_used) {
+TrialResult run_trial(double blocked_fraction, std::size_t members_used,
+                      bench::Harness& h) {
   sim::Simulator sim(61);
+  h.instrument(sim);
   net::Network net(sim);
   // Two provider hubs in a line; 8 leaves split across them.
   auto left = net::build_star(net, 4, 1, net::LinkSpec{});
@@ -137,25 +140,31 @@ TrialResult run_trial(double blocked_fraction, std::size_t members_used) {
 
 }  // namespace
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E10", "SV-A-4 overlays as tussle tools",
-      "Providers block pairs at chokepoints; an overlay of cooperating\n"
-      "members tunnels around the policy at a latency cost.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E10", "SV-A-4 overlays as tussle tools",
+       "Providers block pairs at chokepoints; an overlay of cooperating\n"
+       "members tunnels around the policy at a latency cost."},
+      [](bench::Harness& h) {
   core::Table t({"blocked-pairs", "direct-delivery", "overlay-delivery", "latency-stretch"});
   for (double frac : {0.0, 0.2, 0.4, 0.6}) {
-    auto r = run_trial(frac, 6);
+    auto r = run_trial(frac, 6, h);
     t.add_row({frac, r.direct_delivery, r.overlay_delivery, r.latency_stretch});
+    if (frac == 0.4) {
+      h.metrics().gauge("blocked40.direct_delivery", r.direct_delivery);
+      h.metrics().gauge("blocked40.overlay_delivery", r.overlay_delivery);
+      h.metrics().gauge("blocked40.latency_stretch", r.latency_stretch);
+    }
   }
   t.print(std::cout);
 
   std::cout << "\nOverlay membership sweep at 40% blocking\n\n";
   core::Table m({"members", "overlay-delivery"});
   for (std::size_t k : {2u, 3u, 4u, 6u}) {
-    auto r = run_trial(0.4, k);
+    auto r = run_trial(0.4, k, h);
     m.add_row({static_cast<long long>(k), r.overlay_delivery});
   }
   m.print(std::cout);
-  return 0;
+      });
 }

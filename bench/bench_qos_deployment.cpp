@@ -12,16 +12,18 @@
 #include "core/report.hpp"
 #include "econ/investment.hpp"
 #include "game/canonical.hpp"
+#include "harness.hpp"
 
 using namespace tussle;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E5", "SVII lessons for designers (QoS post-mortem)",
-      "Deployment needs greed (value flow) and is accelerated by fear\n"
-      "(user choice); closed QoS deploys for the wrong reason and prices\n"
-      "the dependent application at monopoly rates.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E5", "SVII lessons for designers (QoS post-mortem)",
+       "Deployment needs greed (value flow) and is accelerated by fear\n"
+       "(user choice); closed QoS deploys for the wrong reason and prices\n"
+       "the dependent application at monopoly rates."},
+      [](bench::Harness& h) {
   core::Table t({"value-flow", "user-choice", "mode", "deploy-fraction", "open-service",
                  "app-price", "isp-profit"});
   struct Case {
@@ -49,6 +51,12 @@ int main() {
                std::string(c.closed ? "closed" : "open"), r.final_deploy_fraction,
                std::string(r.open_service_available ? "yes" : "no"), r.app_price,
                r.mean_isp_profit});
+    const std::string scenario = std::string(c.closed ? "closed" : "open") +
+                                 (c.value_flow ? ".greed" : ".nogreed") +
+                                 (c.choice ? ".fear" : ".nofear");
+    h.metrics().gauge(scenario + ".deploy_fraction", r.final_deploy_fraction);
+    h.metrics().gauge(scenario + ".app_price", r.app_price);
+    h.metrics().gauge(scenario + ".isp_profit", r.mean_isp_profit);
   }
   t.print(std::cout);
 
@@ -69,5 +77,5 @@ int main() {
   eq.add_row({std::string("value flow + choice"),
               describe(game::qos_investment_game(2, 3, 2))});
   eq.print(std::cout);
-  return 0;
+      });
 }

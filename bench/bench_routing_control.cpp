@@ -12,6 +12,7 @@
 
 #include "core/report.hpp"
 #include "econ/value_flow.hpp"
+#include "harness.hpp"
 #include "routing/path_vector.hpp"
 #include "routing/source_route.hpp"
 #include "sim/stats.hpp"
@@ -19,12 +20,13 @@
 using namespace tussle;
 using routing::AsId;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E4", "SV-A-4 competitive wide-area access",
-      "Provider routing vs user source routing: similar expressiveness,\n"
-      "different tussle outcomes; user routes need payment to be carried.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E4", "SV-A-4 competitive wide-area access",
+       "Provider routing vs user source routing: similar expressiveness,\n"
+       "different tussle outcomes; user routes need payment to be carried."},
+      [](bench::Harness& bh) {
   sim::Rng rng(31);
   auto h = routing::make_hierarchy(rng, 3, 8, 20);
   routing::PathVector pv(h.graph);
@@ -97,5 +99,8 @@ int main() {
   v.print(std::cout);
 
   std::cout << "\nLedger conservation check: " << ledger.total() << " (should be 0)\n";
-  return 0;
+  bh.metrics().gauge("provider.reachable_pairs", static_cast<double>(provider_reaches));
+  bh.metrics().gauge("user.reachable_pairs", static_cast<double>(user_reaches));
+  bh.metrics().gauge("user.paid_total", paid_total);
+      });
 }

@@ -8,17 +8,19 @@
 
 #include "core/report.hpp"
 #include "core/tussle_space.hpp"
+#include "harness.hpp"
 #include "names/name_system.hpp"
 #include "names/workload.hpp"
 
 using namespace tussle;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E8", "SIV-A modularize along tussle boundaries (DNS)",
-      "Entangled naming lets trademark disputes break machine lookups and\n"
-      "mail; modularized naming confines the damage to brand lookups.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E8", "SIV-A modularize along tussle boundaries (DNS)",
+       "Entangled naming lets trademark disputes break machine lookups and\n"
+       "mail; modularized naming confines the damage to brand lookups."},
+      [](bench::Harness& h) {
   core::Table t({"design", "disputed-frac", "brand-fail", "machine-fail", "mailbox-fail",
                  "SPILLOVER"});
   for (double frac : {0.05, 0.10, 0.20, 0.40}) {
@@ -39,6 +41,7 @@ int main() {
       }
       t.add_row({label, frac, r.brand_failure_rate(), r.machine_failure_rate(),
                  r.mailbox_failure_rate(), r.spillover_rate()});
+      if (frac == 0.20) h.metrics().gauge(label + ".spillover", r.spillover_rate());
     }
   }
   t.print(std::cout);
@@ -68,5 +71,5 @@ int main() {
                "spends three mechanisms where one 'efficient' mechanism sufficed\n"
                "(SIV-A: 'solutions that are less efficient from a technical\n"
                "perspective may do a better job of isolating tussle').\n";
-  return 0;
+      });
 }

@@ -12,15 +12,17 @@
 #include "econ/pricing.hpp"
 #include "game/canonical.hpp"
 #include "game/solvers.hpp"
+#include "harness.hpp"
 
 using namespace tussle;
 
-int main() {
-  core::print_experiment_header(
-      std::cout, "E2", "SV-A-2 value pricing",
-      "Tiered 'no servers at home' pricing triggers tunnelling; competition\n"
-      "(user choice of ISP) disciplines the pricing itself.");
-
+int main(int argc, char** argv) {
+  return bench::run(
+      argc, argv,
+      {"E2", "SV-A-2 value pricing",
+       "Tiered 'no servers at home' pricing triggers tunnelling; competition\n"
+       "(user choice of ISP) disciplines the pricing itself."},
+      [](bench::Harness& h) {
   core::Table t({"competition", "user-tunnel-rate", "isp-value-price-rate", "user-payoff",
                  "isp-payoff"});
   for (double competition : {0.0, 0.25, 0.5, 0.75, 1.0}) {
@@ -29,6 +31,11 @@ int main() {
     auto eq = game::learn_equilibrium(g, 30000, rng);
     const auto [up, ip] = g.expected_payoff(eq.row, eq.col);
     t.add_row({competition, eq.row[1], eq.col[1], up, ip});
+    if (competition == 0.0 || competition == 1.0) {
+      const std::string k = competition == 0.0 ? "monopoly" : "competitive";
+      h.metrics().gauge(k + ".tunnel_rate", eq.row[1]);
+      h.metrics().gauge(k + ".value_price_rate", eq.col[1]);
+    }
   }
   t.print(std::cout);
 
@@ -48,5 +55,5 @@ int main() {
 
   std::cout << "\nInterpretation: as competition rises the ISP retreats from value\n"
                "pricing (column 3 falls), and users stop needing tunnels.\n";
-  return 0;
+      });
 }

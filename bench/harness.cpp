@@ -1,0 +1,166 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "core/report.hpp"
+#include "sim/json.hpp"
+
+namespace tussle::bench {
+
+namespace {
+
+struct Flags {
+  std::string json_path;
+  std::string trace_path;
+  sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
+  bool profile = false;
+  double heartbeat_seconds = 0;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json <path>] [--trace <path>] "
+               "[--trace-level debug|info|warn|error] [--profile] "
+               "[--heartbeat <seconds>]\n",
+               argv0);
+}
+
+std::optional<sim::TraceLevel> parse_level(const std::string& s) {
+  if (s == "debug") return sim::TraceLevel::kDebug;
+  if (s == "info") return sim::TraceLevel::kInfo;
+  if (s == "warn") return sim::TraceLevel::kWarn;
+  if (s == "error") return sim::TraceLevel::kError;
+  return std::nullopt;
+}
+
+std::optional<Flags> parse_flags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--json") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.json_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.trace_path = v;
+    } else if (arg == "--trace-level") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      auto lvl = parse_level(v);
+      if (!lvl) return std::nullopt;
+      f.trace_level = *lvl;
+    } else if (arg == "--profile") {
+      f.profile = true;
+    } else if (arg == "--heartbeat") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.heartbeat_seconds = std::atof(v);
+      if (f.heartbeat_seconds <= 0) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return f;
+}
+
+void write_json_report(const std::string& path, const Experiment& exp,
+                       const sim::MetricSnapshot& snap, std::uint64_t total_events,
+                       double wall_seconds, const std::string& hotspots_json) {
+  sim::JsonWriter w;
+  w.begin_object();
+  w.key("experiment").begin_object();
+  w.key("id").value(exp.id);
+  w.key("section").value(exp.section);
+  w.end_object();
+  w.key("wall_seconds").value(wall_seconds);
+  w.key("total_events").value(total_events);
+  w.key("events_per_sec")
+      .value(wall_seconds > 0 ? static_cast<double>(total_events) / wall_seconds : 0.0);
+  w.key("metrics").raw(snap.to_json());
+  w.key("hotspots").raw(hotspots_json);
+  w.end_object();
+
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "harness: cannot write %s\n", path.c_str());
+    return;
+  }
+  os << w.str() << "\n";
+}
+
+}  // namespace
+
+void Harness::instrument(sim::Simulator& sim) {
+  if (profile_to_stderr_ || !json_path_.empty()) {
+    sim.set_profiler(&profiler_);
+  }
+  if (heartbeat_seconds_ > 0) {
+    sim.set_heartbeat(sim::Duration::seconds(heartbeat_seconds_));
+  }
+}
+
+int run(int argc, char** argv, const Experiment& exp,
+        const std::function<void(Harness&)>& body) {
+  auto flags = parse_flags(argc, argv);
+  if (!flags) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  Harness h;
+  h.json_path_ = flags->json_path;
+  h.profile_to_stderr_ = flags->profile;
+  h.heartbeat_seconds_ = flags->heartbeat_seconds;
+
+  // JSONL trace sink on the global tracer: every subsystem that emits to
+  // the default tracer lands in the file, whatever Network or module the
+  // bench wires up.
+  std::ofstream trace_os;
+  if (!flags->trace_path.empty()) {
+    trace_os.open(flags->trace_path);
+    if (!trace_os) {
+      std::fprintf(stderr, "harness: cannot write %s\n", flags->trace_path.c_str());
+      return 2;
+    }
+    auto& tracer = sim::Tracer::global();
+    tracer.enable(true);
+    tracer.set_level(flags->trace_level);
+    tracer.set_sink(sim::make_jsonl_sink(trace_os));
+  }
+
+  core::print_experiment_header(std::cout, exp.id, exp.section, exp.claim);
+
+  const double wall_start = sim::wall_now_seconds();
+  body(h);
+  const double wall_seconds = sim::wall_now_seconds() - wall_start;
+
+  if (!flags->trace_path.empty()) {
+    auto& tracer = sim::Tracer::global();
+    tracer.set_sink(nullptr);
+    tracer.enable(false);
+  }
+
+  const std::uint64_t total_events = h.profiler_.total_events() + h.extra_events_;
+
+  if (flags->profile) {
+    std::fprintf(stderr, "\nEvent-loop hotspots (%llu events, %.3f ms profiled)\n%s",
+                 static_cast<unsigned long long>(h.profiler_.total_events()),
+                 h.profiler_.total_wall_seconds() * 1e3, h.profiler_.report().c_str());
+  }
+
+  if (!flags->json_path.empty()) {
+    write_json_report(flags->json_path, exp, h.metrics_.snapshot(), total_events,
+                      wall_seconds, h.profiler_.hotspots_json());
+  }
+  return 0;
+}
+
+}  // namespace tussle::bench

@@ -1,0 +1,78 @@
+// Shared experiment-binary harness.
+//
+// Every table bench used to carry its own main(): print the banner, build
+// tables, exit. The harness keeps that human output byte-for-byte identical
+// (stdout is untouched unless a flag asks for more) and adds the
+// machine-readable layer on top:
+//
+//   --json <path>       write metrics + wall time + event totals + hotspots
+//                       as one JSON object (the BENCH_*.json trajectory)
+//   --trace <path>      stream flow/decision trace events as JSONL
+//   --trace-level <lvl> debug|info|warn|error (default info)
+//   --profile           print the top-k event-loop hotspot table to stderr
+//   --heartbeat <sec>   periodic progress line (sim-time, events/s) on
+//                       instrumented simulators, every <sec> of sim-time
+//
+// A bench wires its simulators in with h.instrument(sim) and publishes
+// result values through h.metrics(); both are no-ops costing one branch
+// when no observability flag is given.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "sim/metric_registry.hpp"
+#include "sim/profiler.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace tussle::bench {
+
+/// The experiment banner, unchanged from core::print_experiment_header.
+struct Experiment {
+  std::string id;
+  std::string section;
+  std::string claim;
+};
+
+class Harness {
+ public:
+  /// Scenario metrics destined for the JSON report. Counters, summaries,
+  /// gauges — anything the bench wants CI to track over time.
+  sim::MetricRegistry& metrics() noexcept { return metrics_; }
+
+  /// The shared event-loop profiler (attached to simulators on demand).
+  sim::LoopProfiler& profiler() noexcept { return profiler_; }
+
+  /// Attaches the observability hooks requested on the command line to a
+  /// simulator: the profiler when JSON/profile output was asked for, the
+  /// heartbeat when --heartbeat was given. Without flags this does
+  /// nothing, so the default run is exactly the pre-harness binary.
+  void instrument(sim::Simulator& sim);
+
+  /// Adds to the run's total simulated-event count. instrument()ed
+  /// simulators are counted automatically (via the profiler); benches
+  /// whose engines bypass the Simulator can add their own totals.
+  void add_events(std::size_t n) noexcept { extra_events_ += n; }
+
+  bool json_requested() const noexcept { return !json_path_.empty(); }
+
+ private:
+  friend int run(int argc, char** argv, const Experiment& exp,
+                 const std::function<void(Harness&)>& body);
+
+  sim::MetricRegistry metrics_;
+  sim::LoopProfiler profiler_;
+  std::size_t extra_events_ = 0;
+  bool profile_to_stderr_ = false;
+  double heartbeat_seconds_ = 0;
+  std::string json_path_;
+};
+
+/// Parses flags, prints the banner, runs `body`, then emits whatever
+/// machine-readable output was requested. Returns the process exit code.
+int run(int argc, char** argv, const Experiment& exp,
+        const std::function<void(Harness&)>& body);
+
+}  // namespace tussle::bench

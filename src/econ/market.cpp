@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/trace.hpp"
+
 namespace tussle::econ {
 
 double herfindahl(const std::vector<double>& shares) {
@@ -55,6 +57,15 @@ void Market::consumers_choose() {
     if (best == -1 && c.provider >= 0 && c.wtp - price_[static_cast<std::size_t>(c.provider)] >
                                              -c.switch_cost) {
       best = c.provider;  // cheaper to stay than to churn away
+    }
+    if (best == -1 && c.provider >= 0) {
+      // The paper's check on value pricing: a priced-out consumer walks
+      // away entirely, which is the signal competition is supposed to send.
+      TUSSLE_TRACE_EVENT(sim::Tracer::global(), sim::SimTime::zero(),
+                         sim::TraceLevel::kInfo, "econ.market", "price-rejected",
+                         {"provider", c.provider},
+                         {"price", price_[static_cast<std::size_t>(c.provider)]},
+                         {"wtp", c.wtp});
     }
     if (best != c.provider && best != -1 && c.provider != -1) ++switches_;
     c.provider = best;

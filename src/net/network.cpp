@@ -34,13 +34,24 @@ std::size_t Link::dir_index_for(NodeId from) const {
 bool Link::transmit_from(NodeId sender, Packet p) {
   if (!up_) {
     net_->counters().dropped_link_down.add();
+    TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
+                       "net.link", "drop", {"reason", "link-down"}, {"uid", p.uid},
+                       {"flow", p.flow}, {"link", id_}, {"node", sender});
     return false;
   }
   Direction& d = dir_for(sender);
+  const std::uint64_t uid = p.uid;
+  const FlowId flow = p.flow;
   if (!d.queue->enqueue(std::move(p))) {
     net_->counters().dropped_queue.add();
+    TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
+                       "net.link", "drop", {"reason", "queue-full"}, {"uid", uid},
+                       {"flow", flow}, {"link", id_}, {"node", sender});
     return false;
   }
+  TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kDebug,
+                     "net.link", "enqueue", {"uid", uid}, {"flow", flow}, {"link", id_},
+                     {"node", sender}, {"queued", d.queue->packets()});
   if (!d.transmitting) start_transmission(d);
   return true;
 }
@@ -54,12 +65,14 @@ void Link::start_transmission(Direction& d) {
   auto& sim = net_->simulator();
   // Serialization completes first; then the packet propagates while the
   // transmitter moves on to the next queued packet.
-  sim.schedule(serialization, [this, &d, pkt = std::move(*p)]() mutable {
+  sim.schedule(serialization, sim::TaskTag{"net.link", "serialize"},
+               [this, &d, pkt = std::move(*p)]() mutable {
     d.transmitting = false;
     d.tx_packets += 1;
     d.tx_bytes += pkt.size_bytes;
     const NodeId to = d.to;
-    net_->simulator().schedule(prop_, [this, to, pkt = std::move(pkt)]() mutable {
+    net_->simulator().schedule(prop_, sim::TaskTag{"net.link", "propagate"},
+                               [this, to, pkt = std::move(pkt)]() mutable {
       if (!up_) {
         net_->counters().dropped_link_down.add();
         return;
@@ -115,7 +128,11 @@ Link& Network::connect(NodeId a, NodeId b, double bits_per_second, sim::Duration
 
 void Network::notify_delivered(const Packet& p, NodeId at) {
   counters_.delivered.add();
-  counters_.delivery_latency_s.observe(sim_->now().as_seconds() - p.sent_at_s);
+  const double latency_s = sim_->now().as_seconds() - p.sent_at_s;
+  counters_.delivery_latency_s.observe(latency_s);
+  TUSSLE_TRACE_EVENT(tracer(), sim_->now(), sim::TraceLevel::kInfo, "net.node", "deliver",
+                     {"uid", p.uid}, {"flow", p.flow}, {"node", at},
+                     {"latency_s", latency_s});
   for (const auto& obs : observers_) obs(p, at);
 }
 

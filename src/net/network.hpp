@@ -12,6 +12,7 @@
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 namespace tussle::net {
 
@@ -116,6 +117,13 @@ class Network {
   const NetCounters& counters() const noexcept { return counters_; }
   PacketIdSource& packet_ids() noexcept { return ids_; }
 
+  /// Tracer receiving this network's flow-provenance events (enqueue,
+  /// forward, drop-with-reason, deliver). Defaults to the process-global
+  /// tracer, which is disabled unless someone turns it on — the data plane
+  /// pays one branch per decision point either way.
+  sim::Tracer& tracer() noexcept { return *tracer_; }
+  void set_tracer(sim::Tracer& tracer) noexcept { tracer_ = &tracer; }
+
   /// Observers invoked on every successful local delivery, after the node's
   /// own handler. Scenarios use them for global accounting; several can
   /// coexist (a FlowTracker plus a scenario counter, say).
@@ -148,6 +156,7 @@ class Network {
   NetCounters counters_;
   PacketIdSource ids_;
   std::vector<DeliveryObserver> observers_;
+  sim::Tracer* tracer_ = &sim::Tracer::global();
   bool fault_reporting_ = false;
 };
 

@@ -75,6 +75,10 @@ void Node::receive(Packet p, IfIndex /*iface*/) {
   if (blocked) {
     if (decision.action == FilterAction::kDrop) {
       net_->counters().dropped_filter.add();
+      TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
+                         "net.node", "drop", {"reason", "filter:" + decision.reason},
+                         {"uid", p.uid}, {"flow", p.flow}, {"node", id_},
+                         {"disclosed", decided_by_disclosed});
       // §VI-A "design what happens then": a *disclosed* control point
       // reports the failure to the sender; an undisclosed one is silent
       // loss, which is exactly what makes covert controls hard to debug.
@@ -93,6 +97,9 @@ void Node::receive(Packet p, IfIndex /*iface*/) {
     }
     if (decision.action == FilterAction::kRedirect && decision.redirect_to) {
       net_->counters().redirected.add();
+      TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
+                         "net.node", "redirect", {"uid", p.uid}, {"flow", p.flow},
+                         {"node", id_});
       p.dst = *decision.redirect_to;
     }
   }
@@ -112,10 +119,16 @@ void Node::receive(Packet p, IfIndex /*iface*/) {
 
   if (p.ttl == 0) {
     net_->counters().dropped_ttl.add();
+    TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
+                       "net.node", "drop", {"reason", "ttl"}, {"uid", p.uid},
+                       {"flow", p.flow}, {"node", id_});
     return;
   }
   p.ttl -= 1;
   net_->counters().forwarded.add();
+  TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kDebug,
+                     "net.node", "forward", {"uid", p.uid}, {"flow", p.flow},
+                     {"node", id_}, {"ttl", p.ttl});
   forward(std::move(p));
 }
 
@@ -151,6 +164,9 @@ void Node::forward(Packet p) {
 
   if (!iface) {
     net_->counters().dropped_no_route.add();
+    TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
+                       "net.node", "drop", {"reason", "no-route"}, {"uid", p.uid},
+                       {"flow", p.flow}, {"node", id_});
     return;
   }
   net_->link(link_of(*iface)).transmit_from(id_, std::move(p));

@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "sim/trace.hpp"
+
 namespace tussle::routing {
 
 void Overlay::set_edge_cost(net::NodeId a, net::NodeId b, double cost) {
@@ -65,7 +67,18 @@ std::vector<net::NodeId> Overlay::route(net::NodeId from, net::NodeId to) const 
 
 std::vector<net::NodeId> Overlay::send(net::NodeId from, net::NodeId to, net::Packet inner) {
   const auto path = route(from, to);
-  if (path.empty()) return {};
+  if (path.empty()) {
+    TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kWarn,
+                       "routing.overlay", "no-overlay-path", {"from", from}, {"to", to});
+    return {};
+  }
+  if (path.size() > 2) {
+    // The overlay is actually routing *around* something: the direct edge
+    // lost to a relay detour (§V-A-4 — overlays as a tool in the tussle).
+    TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
+                       "routing.overlay", "reroute", {"from", from}, {"to", to},
+                       {"relays", path.size() - 2}, {"first_relay", path[1]});
+  }
   // Wrap back-to-front: the outermost tunnel targets the first relay.
   // path = [from, r1, r2, ..., to]; the inner packet already addresses its
   // final destination, so the hop to `to` uses the member address.

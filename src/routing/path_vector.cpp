@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "sim/trace.hpp"
+
 namespace tussle::routing {
 
 PathVector::Policy PathVector::Policy::gao_rexford() {
@@ -102,7 +104,13 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
         }
         // Origin validation (RPKI analogue): discard routes that terminate
         // at an AS not authorized to originate the prefix.
-        if (origin_validation && nbr_route.as_path.back() != legitimate_origin) continue;
+        if (origin_validation && nbr_route.as_path.back() != legitimate_origin) {
+          TUSSLE_TRACE_EVENT(sim::Tracer::global(), sim::SimTime::zero(),
+                             sim::TraceLevel::kDebug, "routing.bgp", "origin-invalid",
+                             {"as", self_as}, {"from", nbr},
+                             {"claimed_origin", nbr_route.as_path.back()});
+          continue;
+        }
         std::vector<AsId> path;
         path.reserve(nbr_route.as_path.size() + 1);
         path.push_back(self_as);
@@ -148,6 +156,13 @@ HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijac
     if (it == out.routes.end() || !it->second.valid()) {
       ++h.unreachable;
     } else if (it->second.as_path.back() == hijacker) {
+      // The narrated moment of the experiment: this AS believed the
+      // hijacker's announcement and now routes the victim's prefix to it.
+      TUSSLE_TRACE_EVENT(sim::Tracer::global(), sim::SimTime::zero(),
+                         sim::TraceLevel::kInfo, "routing.bgp", "hijack-accepted",
+                         {"as", as}, {"hijacker", hijacker}, {"victim", true_origin},
+                         {"path_len", it->second.as_path.size()},
+                         {"origin_validation", origin_validation});
       ++h.captured;
     } else {
       ++h.legitimate;

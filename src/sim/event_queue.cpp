@@ -5,12 +5,20 @@
 
 namespace tussle::sim {
 
-EventId EventQueue::push(SimTime at, Action action) {
+EventId EventQueue::push(SimTime at, Action action, TaskTag tag) {
   const EventId id{next_seq_ + 1};  // ids start at 1 so {} is "no event"
   heap_.push_back(Entry{at, next_seq_, id, std::move(action)});
+  if (record_tags_ && (tag.component != nullptr || tag.kind != nullptr)) {
+    tags_.emplace(next_seq_, tag);
+  }
   ++next_seq_;
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
+}
+
+void EventQueue::record_tags(bool on) noexcept {
+  record_tags_ = on;
+  if (!on) tags_.clear();
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -33,6 +41,7 @@ void EventQueue::drop_cancelled_top() const {
     auto it = cancelled_.find(heap_.front().id.value);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
+    tags_.erase(heap_.front().seq);
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -55,7 +64,14 @@ EventQueue::Popped EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();
-  return Popped{e.time, std::move(e.action)};
+  TaskTag tag;
+  if (record_tags_) {
+    if (auto it = tags_.find(e.seq); it != tags_.end()) {
+      tag = it->second;
+      tags_.erase(it);
+    }
+  }
+  return Popped{e.time, std::move(e.action), tag};
 }
 
 }  // namespace tussle::sim

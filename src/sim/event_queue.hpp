@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/profiler.hpp"
 #include "sim/time.hpp"
 
 namespace tussle::sim {
@@ -34,8 +36,16 @@ class EventQueue {
   EventQueue(EventQueue&&) = default;
   EventQueue& operator=(EventQueue&&) = default;
 
-  /// Schedules `action` to fire at absolute time `at`.
-  EventId push(SimTime at, Action action);
+  /// Schedules `action` to fire at absolute time `at`. `tag` labels the
+  /// event for the loop profiler; it is retained only while
+  /// record_tags(true) is in effect, so the untagged common case stores
+  /// nothing per event.
+  EventId push(SimTime at, Action action, TaskTag tag = {});
+
+  /// Turns tag retention on or off (off by default). The Simulator enables
+  /// it while a profiler is attached; keeping tags out of the heap entries
+  /// keeps sift moves cheap for uninstrumented runs.
+  void record_tags(bool on) noexcept;
 
   /// Cancels a pending event. Returns false if the event already fired,
   /// was cancelled before, or never existed. Cancellation is O(1); the
@@ -48,11 +58,12 @@ class EventQueue {
   /// Earliest pending event time. Precondition: !empty().
   SimTime next_time() const;
 
-  /// Removes and returns the earliest event's action and time.
+  /// Removes and returns the earliest event's action, time, and tag.
   /// Precondition: !empty().
   struct Popped {
     SimTime time;
     Action action;
+    TaskTag tag;
   };
   Popped pop();
 
@@ -77,6 +88,11 @@ class EventQueue {
   // observers (next_time) compact the heap as a side effect.
   mutable std::vector<Entry> heap_;
   mutable std::unordered_set<std::uint64_t> cancelled_;
+  // Tags live out-of-line, keyed by sequence number, and only while a
+  // profiler wants them; entries are erased as events fire or tombstones
+  // are discarded.
+  mutable std::map<std::uint64_t, TaskTag> tags_;
+  bool record_tags_ = false;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,144 @@
+#include "sim/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tussle::sim {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // Integral values (counters, event totals) read better without ".0", and
+  // 2^53 bounds where every integer is exactly representable anyway.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // %.17g round-trips but often carries noise digits; prefer the shortest
+    // of %.15g / %.16g that still parses back exactly.
+    for (int prec = 15; prec <= 16; ++prec) {
+      char shorter[40];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      double back = 0;
+      std::sscanf(shorter, "%lf", &back);
+      if (back == v) {
+        return shorter;
+      }
+    }
+  }
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_.push_back('{');
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_.push_back('}');
+  has_elem_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_.push_back('[');
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_.push_back(']');
+  has_elem_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += json_quote(name);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  out_ += json_quote(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  separate();
+  out_ += fragment;
+  return *this;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;  // value directly follows its key, no comma
+    return;
+  }
+  if (!has_elem_.empty() && has_elem_.back()) out_.push_back(',');
+  if (!has_elem_.empty()) has_elem_.back() = true;
+}
+
+}  // namespace tussle::sim

@@ -1,0 +1,62 @@
+// Minimal JSON emission for the observability layer.
+//
+// The metric registry, the JSONL trace sink and the bench harness all emit
+// machine-readable output; this writer is the one place that knows JSON's
+// escaping and number-formatting rules. It builds a single value into a
+// string — no DOM, no allocation beyond the output buffer — which is all
+// the simulator needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tussle::sim {
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters) and
+/// returns it wrapped in double quotes.
+std::string json_quote(std::string_view s);
+
+/// Renders a double the way the rest of the tooling expects: integral
+/// values print without a fractional part, everything else with enough
+/// digits to round-trip. NaN/Inf (not representable in JSON) print as null.
+std::string json_number(double v);
+
+/// Streaming writer for one JSON value. Handles comma placement; the caller
+/// supplies structure via begin/end calls. Misuse (e.g. a key outside an
+/// object) is a programming error and is not diagnosed.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"name":` — must be followed by exactly one value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splices a pre-rendered JSON value (e.g. another writer's str()) in
+  /// value position. The fragment is trusted, not validated.
+  JsonWriter& raw(std::string_view fragment);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void separate();
+
+  std::string out_;
+  // Per-nesting-level flag: has this container already emitted an element?
+  std::vector<bool> has_elem_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace tussle::sim

@@ -1,0 +1,224 @@
+#include "sim/metric_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "sim/json.hpp"
+
+namespace tussle::sim {
+
+// ------------------------------------------------------- MetricSnapshot --
+
+MetricSnapshot::MetricSnapshot(std::vector<Entry> entries) : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+}
+
+double MetricSnapshot::get(const std::string& name, double fallback) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, const std::string& n) { return e.first < n; });
+  if (it == entries_.end() || it->first != name) return fallback;
+  return it->second;
+}
+
+bool MetricSnapshot::contains(const std::string& name) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, const std::string& n) { return e.first < n; });
+  return it != entries_.end() && it->first == name;
+}
+
+MetricSnapshot MetricSnapshot::diff(const MetricSnapshot& before, const MetricSnapshot& after) {
+  std::vector<Entry> out;
+  auto a = after.entries_.begin();
+  auto b = before.entries_.begin();
+  // Both sides are sorted: a single merge pass pairs names up.
+  while (a != after.entries_.end() || b != before.entries_.end()) {
+    if (b == before.entries_.end() || (a != after.entries_.end() && a->first < b->first)) {
+      out.emplace_back(a->first, a->second);
+      ++a;
+    } else if (a == after.entries_.end() || b->first < a->first) {
+      out.emplace_back(b->first, -b->second);
+      ++b;
+    } else {
+      out.emplace_back(a->first, a->second - b->second);
+      ++a;
+      ++b;
+    }
+  }
+  return MetricSnapshot(std::move(out));
+}
+
+std::string MetricSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  for (const Entry& e : entries_) {
+    w.key(e.first).value(e.second);
+  }
+  w.end_object();
+  return w.str();
+}
+
+MetricSnapshot MetricSnapshot::from_json(const std::string& json) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < json.size() && std::isspace(static_cast<unsigned char>(json[i])) != 0) ++i;
+  };
+  auto fail = [&](const char* why) -> void {
+    throw std::invalid_argument(std::string("MetricSnapshot::from_json: ") + why);
+  };
+  auto expect = [&](char c) {
+    skip_ws();
+    if (i >= json.size() || json[i] != c) fail("unexpected token");
+    ++i;
+  };
+
+  auto parse_string = [&]() -> std::string {
+    expect('"');
+    std::string out;
+    while (i < json.size() && json[i] != '"') {
+      char c = json[i++];
+      if (c == '\\') {
+        if (i >= json.size()) fail("truncated escape");
+        char e = json[i++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (i + 4 > json.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = json[i++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u digit");
+            }
+            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+            out.push_back(static_cast<char>(code));
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    expect('"');
+    return out;
+  };
+
+  std::vector<Entry> entries;
+  expect('{');
+  skip_ws();
+  if (i < json.size() && json[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws();
+      std::string name = parse_string();
+      expect(':');
+      skip_ws();
+      const char* start = json.c_str() + i;
+      char* end = nullptr;
+      double v = std::strtod(start, &end);
+      if (end == start) fail("expected number");
+      i += static_cast<std::size_t>(end - start);
+      entries.emplace_back(std::move(name), v);
+      skip_ws();
+      if (i < json.size() && json[i] == ',') {
+        ++i;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+  }
+  skip_ws();
+  if (i != json.size()) fail("trailing characters");
+  return MetricSnapshot(std::move(entries));
+}
+
+// ------------------------------------------------------- MetricRegistry --
+
+template <typename T>
+T& MetricRegistry::get_or_create(const std::string& name, const char* kind_name) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    it = instruments_.emplace(name, std::make_unique<Instrument>(T{})).first;
+  } else if (!std::holds_alternative<T>(*it->second)) {
+    throw std::logic_error("metric '" + name + "' already registered as " +
+                           kind_of(*it->second) + ", requested as " + kind_name);
+  }
+  return std::get<T>(*it->second);
+}
+
+const char* MetricRegistry::kind_of(const Instrument& ins) noexcept {
+  switch (ins.index()) {
+    case 0: return "counter";
+    case 1: return "summary";
+    case 2: return "histogram";
+    case 3: return "time_weighted";
+    default: return "gauge";
+  }
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  return get_or_create<Counter>(name, "counter");
+}
+
+Summary& MetricRegistry::summary(const std::string& name) {
+  return get_or_create<Summary>(name, "summary");
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  return get_or_create<Histogram>(name, "histogram");
+}
+
+TimeWeighted& MetricRegistry::time_weighted(const std::string& name) {
+  return get_or_create<TimeWeighted>(name, "time_weighted");
+}
+
+void MetricRegistry::gauge(const std::string& name, double value) {
+  get_or_create<double>(name, "gauge") = value;
+}
+
+MetricSnapshot MetricRegistry::snapshot(SimTime now) const {
+  std::vector<MetricSnapshot::Entry> out;
+  out.reserve(instruments_.size() * 2);
+  for (const auto& [name, ins] : instruments_) {
+    if (const auto* c = std::get_if<Counter>(ins.get())) {
+      out.emplace_back(name, static_cast<double>(c->value()));
+    } else if (const auto* s = std::get_if<Summary>(ins.get())) {
+      out.emplace_back(name + ".count", static_cast<double>(s->count()));
+      out.emplace_back(name + ".mean", s->mean());
+      out.emplace_back(name + ".min", s->min());
+      out.emplace_back(name + ".max", s->max());
+      out.emplace_back(name + ".stddev", s->stddev());
+    } else if (const auto* h = std::get_if<Histogram>(ins.get())) {
+      out.emplace_back(name + ".count", static_cast<double>(h->count()));
+      out.emplace_back(name + ".mean", h->mean());
+      out.emplace_back(name + ".p50", h->quantile(0.50));
+      out.emplace_back(name + ".p90", h->quantile(0.90));
+      out.emplace_back(name + ".p99", h->quantile(0.99));
+    } else if (const auto* tw = std::get_if<TimeWeighted>(ins.get())) {
+      out.emplace_back(name + ".avg", tw->average(now));
+      out.emplace_back(name + ".current", tw->current());
+    } else {
+      out.emplace_back(name, std::get<double>(*ins));
+    }
+  }
+  return MetricSnapshot(std::move(out));
+}
+
+}  // namespace tussle::sim

@@ -1,0 +1,94 @@
+// Central registry of named instruments.
+//
+// Subsystems register hierarchically-named instruments ("net.delivered",
+// "link.0.backlog") once and update them on hot paths at plain-field cost;
+// the registry owns the instruments and knows how to flatten all of them
+// into a snapshot — an ordered name→number map that can be diffed against
+// an earlier snapshot ("what happened during this window?") and serialized
+// to JSON for the bench harness and CI perf trajectory.
+//
+// Names are dot-separated, unique across instrument kinds: registering
+// "x" as a counter and again as a summary is a programming error and
+// throws. Re-requesting the same name with the same kind returns the same
+// instrument, so independent modules can share one ("net.drops").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace tussle::sim {
+
+/// A flattened, deterministic view of every instrument at one instant.
+/// Multi-valued instruments expand into suffixed entries: a Summary "lat"
+/// becomes "lat.count", "lat.mean", "lat.min", "lat.max", "lat.stddev"; a
+/// Histogram adds "x.p50", "x.p90", "x.p99"; a TimeWeighted becomes
+/// "x.avg" and "x.current". Entries are sorted by name.
+class MetricSnapshot {
+ public:
+  using Entry = std::pair<std::string, double>;
+
+  explicit MetricSnapshot(std::vector<Entry> entries = {});
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  double get(const std::string& name, double fallback = 0.0) const;
+  bool contains(const std::string& name) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Per-name `after - before`. Names present on only one side keep their
+  /// sign (a metric that appeared mid-window diffs against zero).
+  static MetricSnapshot diff(const MetricSnapshot& before, const MetricSnapshot& after);
+
+  /// One flat JSON object, keys in sorted order: {"a.b":1,"a.c":2.5}.
+  std::string to_json() const;
+
+  /// Parses the output of to_json() (a flat object of string→number).
+  /// Throws std::invalid_argument on malformed input — this is a schema
+  /// check for round-trip tests and tooling, not a general JSON parser.
+  static MetricSnapshot from_json(const std::string& json);
+
+ private:
+  std::vector<Entry> entries_;  // sorted by name
+};
+
+class MetricRegistry {
+ public:
+  /// Get-or-create. Throws std::logic_error if `name` is already
+  /// registered as a different kind of instrument.
+  Counter& counter(const std::string& name);
+  Summary& summary(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  TimeWeighted& time_weighted(const std::string& name);
+
+  /// Scalar output metric (a result, not an accumulator): last put wins.
+  /// Same-name collision rules apply against the instrument kinds.
+  void gauge(const std::string& name, double value);
+
+  bool contains(const std::string& name) const { return instruments_.count(name) != 0; }
+  std::size_t size() const noexcept { return instruments_.size(); }
+
+  /// `now` closes out TimeWeighted averages; pass the simulator's clock.
+  MetricSnapshot snapshot(SimTime now = SimTime::zero()) const;
+
+  std::string to_json(SimTime now = SimTime::zero()) const { return snapshot(now).to_json(); }
+
+ private:
+  // unique_ptr keeps instrument addresses stable across rehash-free map
+  // growth *and* makes the intent explicit: handed-out references live as
+  // long as the registry.
+  using Instrument = std::variant<Counter, Summary, Histogram, TimeWeighted, double>;
+
+  template <typename T>
+  T& get_or_create(const std::string& name, const char* kind_name);
+
+  static const char* kind_of(const Instrument& ins) noexcept;
+
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+};
+
+}  // namespace tussle::sim

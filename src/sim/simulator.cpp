@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 
@@ -10,29 +11,96 @@ EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
   return queue_.push(at, std::move(action));
 }
 
+EventId Simulator::schedule_at(SimTime at, TaskTag tag, EventQueue::Action action) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time is in the past");
+  return queue_.push(at, std::move(action), tag);
+}
+
 void Simulator::schedule_every(Duration period, std::function<bool()> action) {
+  schedule_every(period, TaskTag{}, std::move(action));
+}
+
+void Simulator::schedule_every(Duration period, TaskTag tag, std::function<bool()> action) {
   // Each firing builds the next closure afresh around the shared action, so
   // nothing captures an owning pointer to itself (a self-referential
   // shared_ptr cycle would never be freed once the chain stops).
   auto shared = std::make_shared<std::function<bool()>>(std::move(action));
-  schedule(period, [this, period, shared] { run_repeating(period, shared); });
+  schedule(period, tag, [this, period, tag, shared] { run_repeating(period, tag, shared); });
 }
 
-void Simulator::run_repeating(Duration period,
+void Simulator::run_repeating(Duration period, TaskTag tag,
                               const std::shared_ptr<std::function<bool()>>& action) {
   if ((*action)()) {
-    schedule(period, [this, period, action] { run_repeating(period, action); });
+    schedule(period, tag, [this, period, tag, action] { run_repeating(period, tag, action); });
   }
+}
+
+void Simulator::set_heartbeat(Duration period, HeartbeatFn fn) {
+  heartbeat_period_ = period;
+  if (period.as_nanos() <= 0) {
+    heartbeat_ = nullptr;
+  } else if (fn) {
+    heartbeat_ = std::move(fn);
+  } else {
+    heartbeat_ = [](const Heartbeat& hb) {
+      std::fprintf(stderr,
+                   "heartbeat: sim-time %s, %zu events (%.0f/s), queue depth %zu, "
+                   "wall %.2fs\n",
+                   hb.sim_now.to_string().c_str(), hb.events_executed, hb.events_per_sec,
+                   hb.queue_depth, hb.wall_seconds);
+    };
+  }
+  next_heartbeat_ = now_ + heartbeat_period_;
+  instrumented_ = profiler_ != nullptr || static_cast<bool>(heartbeat_);
+}
+
+void Simulator::dispatch_instrumented(EventQueue::Popped& ev) {
+  if (profiler_ != nullptr) {
+    const double t0 = wall_now_seconds();
+    ev.action();
+    profiler_->record(ev.tag, wall_now_seconds() - t0);
+  } else {
+    ev.action();
+  }
+  if (heartbeat_ && now_ >= next_heartbeat_) maybe_heartbeat();
+}
+
+void Simulator::maybe_heartbeat() {
+  const double wall = wall_now_seconds();
+  Heartbeat hb;
+  hb.sim_now = now_;
+  hb.events_executed = executed_ + 1;  // the event being dispatched
+  hb.queue_depth = queue_.size();
+  hb.wall_seconds = wall - run_wall_start_;
+  const double dt = wall - last_beat_wall_;
+  hb.events_per_sec =
+      dt > 0 ? static_cast<double>(hb.events_executed - last_beat_events_) / dt : 0;
+  heartbeat_(hb);
+  last_beat_wall_ = wall;
+  last_beat_events_ = hb.events_executed;
+  // Catch up past idle stretches so a long event gap emits one beat, not a
+  // burst of back-dated ones.
+  while (next_heartbeat_ <= now_) next_heartbeat_ += heartbeat_period_;
 }
 
 std::size_t Simulator::run(SimTime horizon) {
   stopping_ = false;
+  if (instrumented_) {
+    run_wall_start_ = wall_now_seconds();
+    last_beat_wall_ = run_wall_start_;
+    last_beat_events_ = executed_;
+    if (heartbeat_) next_heartbeat_ = now_ + heartbeat_period_;
+  }
   std::size_t n = 0;
   while (!queue_.empty() && !stopping_) {
     if (queue_.next_time() > horizon) break;
-    auto [time, action] = queue_.pop();
-    now_ = time;
-    action();
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    if (instrumented_) {
+      dispatch_instrumented(ev);
+    } else {
+      ev.action();
+    }
     ++n;
     ++executed_;
   }
@@ -44,9 +112,13 @@ std::size_t Simulator::run(SimTime horizon) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto [time, action] = queue_.pop();
-  now_ = time;
-  action();
+  auto ev = queue_.pop();
+  now_ = ev.time;
+  if (instrumented_) {
+    dispatch_instrumented(ev);
+  } else {
+    ev.action();
+  }
   ++executed_;
   return true;
 }

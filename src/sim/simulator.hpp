@@ -3,6 +3,13 @@
 // Single-threaded by design: tussle experiments need bit-exact replay far
 // more than they need parallel speedup, and a single run of the largest
 // scenario completes in seconds.
+//
+// Observability hooks (all off by default, one branch per event when off):
+//  - set_profiler() attributes each dispatched event's wall-clock cost to
+//    its TaskTag; see sim/profiler.hpp.
+//  - set_heartbeat() prints a periodic progress line (sim-time, events/sec,
+//    queue depth) from inside the dispatch loop — it schedules nothing, so
+//    enabling it cannot change the event sequence.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +18,7 @@
 #include <string>
 
 #include "sim/event_queue.hpp"
+#include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
@@ -33,12 +41,19 @@ class Simulator {
     return queue_.push(now_ + delay, std::move(action));
   }
 
+  /// Tagged variant: the tag labels the event for the loop profiler.
+  EventId schedule(Duration delay, TaskTag tag, EventQueue::Action action) {
+    return queue_.push(now_ + delay, std::move(action), tag);
+  }
+
   /// Schedules at an absolute time, which must not be in the past.
   EventId schedule_at(SimTime at, EventQueue::Action action);
+  EventId schedule_at(SimTime at, TaskTag tag, EventQueue::Action action);
 
   /// Schedules a recurring action every `period`, starting one period from
   /// now, until `action` returns false or the simulation stops.
   void schedule_every(Duration period, std::function<bool()> action);
+  void schedule_every(Duration period, TaskTag tag, std::function<bool()> action);
 
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -56,14 +71,51 @@ class Simulator {
   std::size_t events_executed() const noexcept { return executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  /// Attaches (or detaches, with nullptr) an event-loop profiler. Not
+  /// owned; must outlive the simulator or be detached first.
+  void set_profiler(LoopProfiler* profiler) noexcept {
+    profiler_ = profiler;
+    queue_.record_tags(profiler_ != nullptr);
+    instrumented_ = profiler_ != nullptr || heartbeat_;
+  }
+  LoopProfiler* profiler() const noexcept { return profiler_; }
+
+  /// One progress report, emitted every heartbeat period of *simulated*
+  /// time while the dispatch loop runs.
+  struct Heartbeat {
+    SimTime sim_now;
+    std::size_t events_executed = 0;  ///< lifetime total for this simulator
+    std::size_t queue_depth = 0;
+    double wall_seconds = 0;       ///< wall time since run() started
+    double events_per_sec = 0;     ///< dispatch rate since the last beat
+  };
+  using HeartbeatFn = std::function<void(const Heartbeat&)>;
+
+  /// Enables a heartbeat every `period` of sim-time; `fn` defaults to a
+  /// stderr progress line. A zero period disables.
+  void set_heartbeat(Duration period, HeartbeatFn fn = nullptr);
+
  private:
-  void run_repeating(Duration period, const std::shared_ptr<std::function<bool()>>& action);
+  void run_repeating(Duration period, TaskTag tag,
+                     const std::shared_ptr<std::function<bool()>>& action);
+  void dispatch_instrumented(EventQueue::Popped& ev);
+  void maybe_heartbeat();
 
   EventQueue queue_;
   SimTime now_{};
   Rng rng_;
   bool stopping_ = false;
   std::size_t executed_ = 0;
+
+  // --- observability (never consulted by simulation logic) ---
+  bool instrumented_ = false;  ///< profiler_ or heartbeat active
+  LoopProfiler* profiler_ = nullptr;
+  Duration heartbeat_period_{};
+  HeartbeatFn heartbeat_;
+  SimTime next_heartbeat_{};
+  double run_wall_start_ = 0;
+  double last_beat_wall_ = 0;
+  std::size_t last_beat_events_ = 0;
 };
 
 }  // namespace tussle::sim

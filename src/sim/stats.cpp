@@ -63,6 +63,8 @@ double Histogram::mean() const noexcept {
 void TimeWeighted::set(SimTime now, double value) noexcept {
   if (started_) {
     weighted_sum_ += value_ * (now - last_).as_seconds();
+  } else {
+    first_ = now;
   }
   last_ = now;
   value_ = value;
@@ -71,29 +73,23 @@ void TimeWeighted::set(SimTime now, double value) noexcept {
 
 double TimeWeighted::average(SimTime now) const noexcept {
   if (!started_) return 0.0;
-  const double span = (now).as_seconds();
+  const double span = (now - first_).as_seconds();
   if (span <= 0) return value_;
   const double tail = value_ * (now - last_).as_seconds();
   return (weighted_sum_ + tail) / span;
 }
 
 double MetricSet::get(const std::string& key, double fallback) const {
-  auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  auto it = index_.find(key);
+  return it == index_.end() ? fallback : order_[it->second].second;
 }
 
 void MetricSet::ordered_put(const std::string& key, double value) {
-  auto [it, inserted] = values_.insert_or_assign(key, value);
-  (void)it;
+  auto [it, inserted] = index_.try_emplace(key, order_.size());
   if (inserted) {
     order_.emplace_back(key, value);
   } else {
-    for (auto& kv : order_) {
-      if (kv.first == key) {
-        kv.second = value;
-        break;
-      }
-    }
+    order_[it->second].second = value;
   }
 }
 

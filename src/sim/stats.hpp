@@ -67,7 +67,9 @@ class Histogram {
 };
 
 /// Time-weighted average of a piecewise-constant signal (queue depth,
-/// price level, share of compliant actors, ...).
+/// price level, share of compliant actors, ...). The averaging window
+/// starts at the first set(): a signal that begins mid-run is averaged
+/// over its own lifetime, not since t=0.
 class TimeWeighted {
  public:
   void set(SimTime now, double value) noexcept;
@@ -75,6 +77,7 @@ class TimeWeighted {
   double current() const noexcept { return value_; }
 
  private:
+  SimTime first_{};
   SimTime last_{};
   double value_ = 0;
   double weighted_sum_ = 0;
@@ -87,12 +90,14 @@ class MetricSet {
  public:
   void put(const std::string& key, double value) { ordered_put(key, value); }
   double get(const std::string& key, double fallback = 0.0) const;
-  bool contains(const std::string& key) const { return values_.count(key) != 0; }
+  bool contains(const std::string& key) const { return index_.count(key) != 0; }
   const std::vector<std::pair<std::string, double>>& items() const noexcept { return order_; }
 
  private:
   void ordered_put(const std::string& key, double value);
-  std::map<std::string, double> values_;
+  // Maps each key to its slot in order_, which holds the authoritative
+  // value; updates to hot keys are O(log n) instead of a linear re-scan.
+  std::map<std::string, std::size_t> index_;
   std::vector<std::pair<std::string, double>> order_;
 };
 

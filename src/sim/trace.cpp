@@ -1,6 +1,9 @@
 #include "sim/trace.hpp"
 
 #include <cstdio>
+#include <ostream>
+
+#include "sim/json.hpp"
 
 namespace tussle::sim {
 
@@ -23,13 +26,38 @@ std::vector<Tracer::Record> Tracer::drain() {
 void Tracer::emit(SimTime now, TraceLevel level, std::string_view component,
                   std::string message) {
   if (!enabled_for(level)) return;
-  Record rec{now, level, std::string(component), std::move(message)};
+  dispatch(Record{now, level, std::string(component), std::move(message), {}});
+}
+
+void Tracer::emit_event(SimTime now, TraceLevel level, std::string_view component,
+                        std::string_view event, std::initializer_list<TraceField> fields) {
+  if (!enabled_for(level)) return;
+  dispatch(Record{now, level, std::string(component), std::string(event),
+                  std::vector<TraceField>(fields)});
+}
+
+void Tracer::dispatch(Record rec) {
   if (sink_) {
     sink_(rec);
   } else if (!keep_) {
+    std::string line = rec.message;
+    for (const TraceField& f : rec.fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      if (const auto* s = std::get_if<std::string>(&f.value)) {
+        line += *s;
+      } else if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+        line += std::to_string(*i);
+      } else if (const auto* d = std::get_if<double>(&f.value)) {
+        line += json_number(*d);
+      } else {
+        line += std::get<bool>(f.value) ? "true" : "false";
+      }
+    }
     std::fprintf(stderr, "[%s] %s %s: %s\n", rec.time.to_string().c_str(),
-                 std::string(to_string(level)).c_str(), rec.component.c_str(),
-                 rec.message.c_str());
+                 std::string(to_string(rec.level)).c_str(), rec.component.c_str(),
+                 line.c_str());
   }
   if (keep_) records_.push_back(std::move(rec));
 }
@@ -37,6 +65,33 @@ void Tracer::emit(SimTime now, TraceLevel level, std::string_view component,
 Tracer& Tracer::global() {
   static Tracer tracer;
   return tracer;
+}
+
+std::string to_jsonl(const Tracer::Record& rec) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("t_ns").value(rec.time.as_nanos());
+  w.key("level").value(to_string(rec.level));
+  w.key("component").value(rec.component);
+  w.key("event").value(rec.message);
+  for (const TraceField& f : rec.fields) {
+    w.key(f.key);
+    if (const auto* s = std::get_if<std::string>(&f.value)) {
+      w.value(std::string_view(*s));
+    } else if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+      w.value(*i);
+    } else if (const auto* d = std::get_if<double>(&f.value)) {
+      w.value(*d);
+    } else {
+      w.value(std::get<bool>(f.value));
+    }
+  }
+  w.end_object();
+  return w.str();
+}
+
+Tracer::Sink make_jsonl_sink(std::ostream& os) {
+  return [&os](const Tracer::Record& rec) { os << to_jsonl(rec) << '\n'; };
 }
 
 }  // namespace tussle::sim

@@ -1,14 +1,23 @@
 // Lightweight component-tagged trace log.
 //
 // The tussle experiments mostly report aggregate metrics, but protocol
-// debugging needs an ordered record of what happened. Tracing is off by
-// default and costs one branch per call site when disabled.
+// debugging needs an ordered record of what happened. Two shapes coexist:
+// free-text messages (TUSSLE_TRACE) and typed events with key/value fields
+// (TUSSLE_TRACE_EVENT) — the latter is what the flow-provenance points
+// (enqueue / forward / drop / deliver) emit, so a single packet's fate can
+// be reconstructed from a JSONL trace file. Tracing is off by default and
+// costs one branch per call site when disabled.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <initializer_list>
+#include <iosfwd>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <variant>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -19,15 +28,37 @@ enum class TraceLevel { kDebug, kInfo, kWarn, kError };
 
 std::string_view to_string(TraceLevel level) noexcept;
 
+/// One typed key/value attribute of a trace event. Integral values (ids,
+/// counts) keep full 64-bit precision instead of decaying to double.
+struct TraceField {
+  using Value = std::variant<std::string, std::int64_t, double, bool>;
+
+  TraceField(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  TraceField(std::string k, std::string_view v) : key(std::move(k)), value(std::string(v)) {}
+  TraceField(std::string k, const char* v) : key(std::move(k)), value(std::string(v)) {}
+  TraceField(std::string k, double v) : key(std::move(k)), value(v) {}
+  TraceField(std::string k, bool v) : key(std::move(k)), value(v) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  TraceField(std::string k, T v) : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+
+  std::string key;
+  Value value;
+};
+
 /// Collects trace records; scenarios can attach a sink (stderr, memory, a
-/// test expectation) at run time.
+/// test expectation, a JSONL file) at run time.
 class Tracer {
  public:
   struct Record {
     SimTime time;
     TraceLevel level;
     std::string component;
+    /// Free text for message traces; the event name ("drop", "deliver")
+    /// for typed events.
     std::string message;
+    /// Typed attributes, in emission order; empty for message traces.
+    std::vector<TraceField> fields;
   };
   using Sink = std::function<void(const Record&)>;
 
@@ -45,16 +76,31 @@ class Tracer {
 
   void emit(SimTime now, TraceLevel level, std::string_view component, std::string message);
 
+  /// Typed event with fields. `event` is a short stable identifier
+  /// ("enqueue", "drop"); field order is preserved into sinks.
+  void emit_event(SimTime now, TraceLevel level, std::string_view component,
+                  std::string_view event, std::initializer_list<TraceField> fields);
+
   /// Process-wide default tracer used by modules that are not handed one.
   static Tracer& global();
 
  private:
+  void dispatch(Record rec);
+
   bool enabled_ = false;
   bool keep_ = false;
   TraceLevel level_ = TraceLevel::kInfo;
   Sink sink_;
   std::vector<Record> records_;
 };
+
+/// Renders one record as a single JSON line. Key order is stable:
+/// t_ns, level, component, event, then each field in emission order.
+std::string to_jsonl(const Tracer::Record& rec);
+
+/// Sink that appends one JSON line per record to `os`. The stream must
+/// outlive the sink's installation in the tracer.
+Tracer::Sink make_jsonl_sink(std::ostream& os);
 
 /// Convenience macro: evaluates the message expression only when tracing is
 /// on for the level.
@@ -65,6 +111,20 @@ class Tracer {
       std::ostringstream os_;                                              \
       os_ << expr;                                                         \
       t_.emit((now), (level), (component), os_.str());                     \
+    }                                                                      \
+  } while (0)
+
+/// Typed-event variant: the trailing arguments are brace-initialized
+/// TraceFields, evaluated only when tracing is on for the level —
+/// one branch when disabled, like TUSSLE_TRACE.
+///
+///   TUSSLE_TRACE_EVENT(tracer, now, TraceLevel::kInfo, "net.node", "drop",
+///                      {"reason", "ttl"}, {"uid", p.uid});
+#define TUSSLE_TRACE_EVENT(tracer, now, level, component, event, ...)      \
+  do {                                                                     \
+    auto& te_ = (tracer);                                                  \
+    if (te_.enabled_for(level)) {                                          \
+      te_.emit_event((now), (level), (component), (event), {__VA_ARGS__}); \
     }                                                                      \
   } while (0)
 

@@ -2,6 +2,21 @@
 
 namespace tussle::trust {
 
+namespace {
+
+// One typed trace event per firewall verdict (§V-B: who is communicating,
+// and was the refusal visible?). Reasons mirror the FilterDecision reasons.
+void trace_verdict(const TrustFirewall& fw, sim::SimTime now, const net::Packet& p,
+                   bool accepted, const char* reason) {
+  TUSSLE_TRACE_EVENT(sim::Tracer::global(), now, sim::TraceLevel::kInfo, "trust.firewall",
+                     accepted ? "accept" : "reject", {"firewall", fw.name()},
+                     {"reason", reason}, {"uid", p.uid}, {"flow", p.flow},
+                     {"authority", to_string(fw.config().authority)},
+                     {"disclosed", fw.config().disclosed});
+}
+
+}  // namespace
+
 std::string to_string(PolicyAuthority a) {
   switch (a) {
     case PolicyAuthority::kEndUser: return "end-user";
@@ -15,9 +30,12 @@ net::FilterDecision TrustFirewall::decide(const net::Packet& p) const {
   const auto identity = resolver_ ? resolver_(p.src) : std::nullopt;
 
   if (!identity) {
-    return cfg_.accept_unknown
-               ? net::FilterDecision::accept()
-               : net::FilterDecision::drop(name_ + ":unknown-sender");
+    if (cfg_.accept_unknown) {
+      trace_verdict(*this, trace_now(), p, true, "unknown-sender");
+      return net::FilterDecision::accept();
+    }
+    trace_verdict(*this, trace_now(), p, false, "unknown-sender");
+    return net::FilterDecision::drop(name_ + ":unknown-sender");
   }
 
   // End-user whitelists override trust thresholds — but only when the end
@@ -25,10 +43,14 @@ net::FilterDecision TrustFirewall::decide(const net::Packet& p) const {
   // ignores user exceptions, which is exactly the governance tussle.
   if (cfg_.authority == PolicyAuthority::kEndUser && !identity->name.empty()) {
     auto it = whitelist_.find(identity->name);
-    if (it != whitelist_.end() && it->second) return net::FilterDecision::accept();
+    if (it != whitelist_.end() && it->second) {
+      trace_verdict(*this, trace_now(), p, true, "user-whitelist");
+      return net::FilterDecision::accept();
+    }
   }
 
   if (cfg_.require_identified && identity->visibly_anonymous()) {
+    trace_verdict(*this, trace_now(), p, false, "anonymous-refused");
     return net::FilterDecision::drop(name_ + ":anonymous-refused");
   }
 
@@ -37,11 +59,13 @@ net::FilterDecision TrustFirewall::decide(const net::Packet& p) const {
   // at least linkable targets for reputation).
   const double score = identity->name.empty() ? 0.5 : reputation_->score(identity->name);
   if (score < cfg_.min_reputation) {
+    trace_verdict(*this, trace_now(), p, false, "low-reputation");
     return net::FilterDecision::drop(name_ + ":low-reputation");
   }
   // Accountable identities get the benefit of the doubt; unaccountable
   // ones must clear the bar on reputation alone (they just did).
   (void)v;
+  trace_verdict(*this, trace_now(), p, true, "reputation-ok");
   return net::FilterDecision::accept();
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "net/node.hpp"
+#include "sim/trace.hpp"
 #include "trust/identity.hpp"
 #include "trust/reputation.hpp"
 
@@ -63,13 +64,22 @@ class TrustFirewall {
   const TrustFirewallConfig& config() const noexcept { return cfg_; }
   const std::string& name() const noexcept { return name_; }
 
+  /// Timestamps for the firewall's accept/reject trace events. A firewall
+  /// sits outside the simulator, so it cannot read the clock itself;
+  /// scenarios that want timestamped traces pass one in (events default to
+  /// t=0 otherwise). Decisions go to the process-global tracer.
+  void set_trace_clock(std::function<sim::SimTime()> clock) { clock_ = std::move(clock); }
+
  private:
+  sim::SimTime trace_now() const { return clock_ ? clock_() : sim::SimTime::zero(); }
+
   std::string name_;
   TrustFirewallConfig cfg_;
   const IdentityFramework* framework_;
   const ReputationSystem* reputation_;
   IdentityResolver resolver_;
   std::map<std::string, bool> whitelist_;
+  std::function<sim::SimTime()> clock_;
 };
 
 }  // namespace tussle::trust

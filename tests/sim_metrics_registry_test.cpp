@@ -1,0 +1,138 @@
+#include "sim/metric_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/json.hpp"
+
+namespace tussle::sim {
+namespace {
+
+TEST(MetricRegistry, GetOrCreateReturnsSameInstrument) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("net.delivered");
+  Counter& b = reg.counter("net.delivered");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, DuplicateNameDifferentKindThrows) {
+  MetricRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.summary("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x"), std::logic_error);
+  EXPECT_THROW(reg.time_weighted("x"), std::logic_error);
+  EXPECT_THROW(reg.gauge("x", 1.0), std::logic_error);
+  // The failed registrations must not have clobbered the counter.
+  reg.counter("x").add(1);
+  EXPECT_EQ(reg.counter("x").value(), 1);
+}
+
+TEST(MetricRegistry, GaugeLastPutWins) {
+  MetricRegistry reg;
+  reg.gauge("price", 4.0);
+  reg.gauge("price", 7.5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().get("price"), 7.5);
+}
+
+TEST(MetricRegistry, SnapshotFlattensEveryKind) {
+  MetricRegistry reg;
+  reg.counter("drops").add(5);
+  Summary& lat = reg.summary("latency");
+  lat.observe(1.0);
+  lat.observe(3.0);
+  Histogram& sizes = reg.histogram("sizes");
+  for (int i = 1; i <= 100; ++i) sizes.observe(static_cast<double>(i));
+  TimeWeighted& depth = reg.time_weighted("depth");
+  depth.set(SimTime::seconds(0), 2.0);
+  depth.set(SimTime::seconds(1), 4.0);
+  reg.gauge("hhi", 0.42);
+
+  auto snap = reg.snapshot(SimTime::seconds(2));
+  EXPECT_DOUBLE_EQ(snap.get("drops"), 5.0);
+  EXPECT_DOUBLE_EQ(snap.get("latency.count"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.get("latency.mean"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.get("latency.min"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.get("latency.max"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.get("sizes.p50"), sizes.quantile(0.5));
+  EXPECT_DOUBLE_EQ(snap.get("sizes.p99"), sizes.quantile(0.99));
+  // 1s at value 2 + 1s at value 4 over a 2s window.
+  EXPECT_DOUBLE_EQ(snap.get("depth.avg"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.get("depth.current"), 4.0);
+  EXPECT_DOUBLE_EQ(snap.get("hhi"), 0.42);
+
+  // Entries come out sorted by name.
+  for (std::size_t i = 1; i < snap.entries().size(); ++i) {
+    EXPECT_LT(snap.entries()[i - 1].first, snap.entries()[i].first);
+  }
+}
+
+TEST(MetricSnapshot, GetFallbackAndContains) {
+  MetricSnapshot snap({{"a", 1.0}, {"b", 2.0}});
+  EXPECT_TRUE(snap.contains("a"));
+  EXPECT_FALSE(snap.contains("c"));
+  EXPECT_DOUBLE_EQ(snap.get("c", -1.0), -1.0);
+}
+
+TEST(MetricSnapshot, DiffSubtractsPerName) {
+  MetricSnapshot before({{"a", 10.0}, {"b", 1.0}});
+  MetricSnapshot after({{"a", 15.0}, {"c", 2.0}});
+  auto d = MetricSnapshot::diff(before, after);
+  EXPECT_DOUBLE_EQ(d.get("a"), 5.0);
+  EXPECT_DOUBLE_EQ(d.get("b"), -1.0);  // vanished: diffs against zero
+  EXPECT_DOUBLE_EQ(d.get("c"), 2.0);   // appeared mid-window
+}
+
+TEST(MetricSnapshot, JsonRoundTrip) {
+  MetricRegistry reg;
+  reg.counter("net.delivered").add(123456789);
+  reg.gauge("price.mean", 3.14159265358979);
+  reg.gauge("negative", -0.5);
+  auto snap = reg.snapshot();
+  auto back = MetricSnapshot::from_json(snap.to_json());
+  ASSERT_EQ(back.size(), snap.size());
+  for (const auto& [name, value] : snap.entries()) {
+    EXPECT_DOUBLE_EQ(back.get(name), value) << name;
+  }
+}
+
+TEST(MetricSnapshot, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW(MetricSnapshot::from_json(""), std::invalid_argument);
+  EXPECT_THROW(MetricSnapshot::from_json("[1,2]"), std::invalid_argument);
+  EXPECT_THROW(MetricSnapshot::from_json("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW(MetricSnapshot::from_json("{\"a\":1"), std::invalid_argument);
+}
+
+TEST(Json, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(json_quote(std::string("nul\x01") + "x"), "\"nul\\u0001x\"");
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(json_number(5.0), "5");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  // Round-trips exactly even for doubles needing full precision.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(v)), v);
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(Json, WriterCommaPlacement) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(std::int64_t{1});
+  w.key("b").begin_array().value(true).null().value("x").end_array();
+  w.key("c").raw("{\"nested\":2}");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[true,null,\"x\"],\"c\":{\"nested\":2}}");
+}
+
+}  // namespace
+}  // namespace tussle::sim

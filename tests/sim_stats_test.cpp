@@ -108,6 +108,41 @@ TEST(TimeWeighted, StepSignal) {
   EXPECT_DOUBLE_EQ(tw.current(), 10.0);
 }
 
+// Regression: a signal first observed mid-run must be averaged over its own
+// lifetime, not since t=0 — the old code diluted the average with an
+// imaginary [0, first-set) span of value 0.
+TEST(TimeWeighted, SignalStartingMidRunAveragesOverOwnLifetime) {
+  TimeWeighted tw;
+  tw.set(SimTime::seconds(100), 8.0);
+  EXPECT_DOUBLE_EQ(tw.average(SimTime::seconds(110)), 8.0);
+
+  TimeWeighted step;
+  step.set(SimTime::seconds(100), 0.0);
+  step.set(SimTime::seconds(105), 10.0);
+  EXPECT_DOUBLE_EQ(step.average(SimTime::seconds(110)), 5.0);
+}
+
+TEST(TimeWeighted, NoObservationsAveragesToZero) {
+  TimeWeighted tw;
+  EXPECT_DOUBLE_EQ(tw.average(SimTime::seconds(5)), 0.0);
+}
+
+// Regression: updating an existing key repeatedly must not re-scan the
+// ordered vector (it used to be O(n) per update). Behaviourally we can only
+// check the semantics; the complexity is covered by bench_micro.
+TEST(MetricSet, HotKeyUpdateKeepsOrderAndLatestValue) {
+  MetricSet m;
+  m.put("first", 1);
+  m.put("hot", 0);
+  m.put("last", 3);
+  for (int i = 1; i <= 1000; ++i) m.put("hot", static_cast<double>(i));
+  ASSERT_EQ(m.items().size(), 3u);
+  EXPECT_EQ(m.items()[0].first, "first");
+  EXPECT_EQ(m.items()[1].first, "hot");
+  EXPECT_EQ(m.items()[2].first, "last");
+  EXPECT_DOUBLE_EQ(m.get("hot"), 1000.0);
+}
+
 TEST(MetricSet, PreservesInsertionOrderAndUpdates) {
   MetricSet m;
   m.put("b", 2);

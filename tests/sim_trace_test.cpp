@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace tussle::sim {
 namespace {
 
@@ -87,6 +89,85 @@ TEST(Tracer, RecordCarriesTimestamp) {
   auto recs = t.drain();
   ASSERT_EQ(recs.size(), 1u);
   EXPECT_EQ(recs[0].time, SimTime::seconds(1.5));
+}
+
+TEST(Tracer, TypedEventPreservesFieldOrderAndTypes) {
+  Tracer t;
+  t.enable(true);
+  t.keep_records(true);
+  TUSSLE_TRACE_EVENT(t, SimTime::millis(3), TraceLevel::kInfo, "net.node", "drop",
+                     {"reason", "ttl"}, {"uid", std::uint64_t{7}}, {"latency", 0.25},
+                     {"disclosed", true});
+  auto recs = t.drain();
+  ASSERT_EQ(recs.size(), 1u);
+  const auto& r = recs[0];
+  EXPECT_EQ(r.message, "drop");
+  ASSERT_EQ(r.fields.size(), 4u);
+  EXPECT_EQ(r.fields[0].key, "reason");
+  EXPECT_EQ(std::get<std::string>(r.fields[0].value), "ttl");
+  EXPECT_EQ(r.fields[1].key, "uid");
+  EXPECT_EQ(std::get<std::int64_t>(r.fields[1].value), 7);
+  EXPECT_EQ(r.fields[2].key, "latency");
+  EXPECT_DOUBLE_EQ(std::get<double>(r.fields[2].value), 0.25);
+  EXPECT_EQ(r.fields[3].key, "disclosed");
+  EXPECT_TRUE(std::get<bool>(r.fields[3].value));
+}
+
+TEST(Tracer, EventMacroEvaluatesFieldsLazily) {
+  Tracer t;  // disabled
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  TUSSLE_TRACE_EVENT(t, SimTime::zero(), TraceLevel::kError, "c", "e",
+                     {"v", expensive()});
+  EXPECT_EQ(evaluations, 0);
+  t.enable(true);
+  TUSSLE_TRACE_EVENT(t, SimTime::zero(), TraceLevel::kError, "c", "e",
+                     {"v", expensive()});
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Jsonl, StableKeyOrderAndValueRendering) {
+  Tracer::Record rec;
+  rec.time = SimTime::millis(2);
+  rec.level = TraceLevel::kWarn;
+  rec.component = "routing.bgp";
+  rec.message = "hijack-accepted";
+  rec.fields.push_back({"as", std::int64_t{12}});
+  rec.fields.push_back({"fraction", 0.5});
+  rec.fields.push_back({"validated", false});
+  rec.fields.push_back({"victim", "as-3"});
+  EXPECT_EQ(to_jsonl(rec),
+            "{\"t_ns\":2000000,\"level\":\"WARN\",\"component\":\"routing.bgp\","
+            "\"event\":\"hijack-accepted\",\"as\":12,\"fraction\":0.5,"
+            "\"validated\":false,\"victim\":\"as-3\"}");
+}
+
+TEST(Jsonl, EscapesSpecialCharactersInKeysAndValues) {
+  Tracer::Record rec;
+  rec.time = SimTime::zero();
+  rec.level = TraceLevel::kInfo;
+  rec.component = "c";
+  rec.message = "quote\"and\\slash";
+  rec.fields.push_back({"new\nline", std::string("tab\there")});
+  EXPECT_EQ(to_jsonl(rec),
+            "{\"t_ns\":0,\"level\":\"INFO\",\"component\":\"c\","
+            "\"event\":\"quote\\\"and\\\\slash\",\"new\\nline\":\"tab\\there\"}");
+}
+
+TEST(Jsonl, SinkWritesOneLinePerRecord) {
+  Tracer t;
+  t.enable(true);
+  std::ostringstream os;
+  t.set_sink(make_jsonl_sink(os));
+  t.emit_event(SimTime::millis(1), TraceLevel::kInfo, "a", "x", {{"k", 1}});
+  t.emit_event(SimTime::millis(2), TraceLevel::kInfo, "b", "y", {});
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("\"component\":\"a\""), std::string::npos);
+  EXPECT_NE(out.find("\"event\":\"y\""), std::string::npos);
 }
 
 }  // namespace
