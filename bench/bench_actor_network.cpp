@@ -60,36 +60,57 @@ int main(int argc, char** argv) {
        "keeps durability bounded away from 1 — innovation as the\n"
        "pre-condition of changeability."},
       [](bench::Harness& h) {
-  core::Table t({"entry-rate", "durability@25", "durability@50", "durability@100"});
-  struct Row {
-    const char* label;
-    double every;
-  };
-  const Row rows[] = {
-      {"no new entrants (frozen)", 0},
-      {"one entrant / 20 rounds", 20},
-      {"one entrant / 8 rounds", 8},
-      {"one entrant / 3 rounds (boom)", 3},
-  };
-  for (const Row& r : rows) {
-    const double d100 = run_to_horizon(r.every, 100, 0.08);
-    t.add_row({std::string(r.label), run_to_horizon(r.every, 25, 0.08),
-               run_to_horizon(r.every, 50, 0.08), d100});
-    if (r.every == 0) h.metrics().gauge("frozen.durability_100", d100);
-    if (r.every == 3) h.metrics().gauge("boom.durability_100", d100);
-  }
-  t.print(std::cout);
+        core::ScenarioSpec entry;
+        entry.name = "entry-rate-sweep";
+        entry.description = "durability trajectory per entrant rate, 3 horizons";
+        entry.grid.axis("entry_every", {0, 20, 8, 3});
+        entry.body = [](core::RunContext& ctx) {
+          const double every = ctx.param("entry_every");
+          ctx.put("durability_25", run_to_horizon(every, 25, 0.08));
+          ctx.put("durability_50", run_to_horizon(every, 50, 0.08));
+          ctx.put("durability_100", run_to_horizon(every, 100, 0.08));
+        };
+        h.scenario(entry, [&h](const core::SweepResult& res) {
+          const char* labels[] = {"no new entrants (frozen)", "one entrant / 20 rounds",
+                                  "one entrant / 8 rounds", "one entrant / 3 rounds (boom)"};
+          core::Table t({"entry-rate", "durability@25", "durability@50", "durability@100"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            const double d100 = res.mean(p, "durability_100");
+            t.add_row({std::string(labels[p]), res.mean(p, "durability_25"),
+                       res.mean(p, "durability_50"), d100});
+            if (res.points[p].get("entry_every") == 0) {
+              h.metrics().gauge("frozen.durability_100", d100);
+            }
+            if (res.points[p].get("entry_every") == 3) {
+              h.metrics().gauge("boom.durability_100", d100);
+            }
+          }
+          t.print(std::cout);
+        });
 
-  std::cout << "\nAdverse-interest drag: pairs with opposed stakes anneal at half\n"
-               "speed, so a network full of unresolved tussle stays pliable longer\n"
-               "— 'the tussles ... have not been driven out of it.'\n\n";
-
-  core::ActorNetwork n = seed_network();
-  core::Table adverse({"metric", "value"});
-  adverse.add_row({std::string("actors"), static_cast<long long>(n.size())});
-  adverse.add_row({std::string("adverse pairs"), static_cast<long long>(n.adverse_pairs())});
-  n.anneal(0.08, 50);
-  adverse.add_row({std::string("durability after 50 quiet rounds"), n.durability()});
-  adverse.print(std::cout);
+        core::ScenarioSpec drag;
+        drag.name = "adverse-drag";
+        drag.description = "adverse-pair count and quiet-anneal durability";
+        drag.body = [](core::RunContext& ctx) {
+          core::ActorNetwork n = seed_network();
+          ctx.put("actors", static_cast<double>(n.size()));
+          ctx.put("adverse_pairs", static_cast<double>(n.adverse_pairs()));
+          n.anneal(0.08, 50);
+          ctx.put("durability_after_50", n.durability());
+        };
+        h.scenario(drag, [](const core::SweepResult& res) {
+          std::cout
+              << "\nAdverse-interest drag: pairs with opposed stakes anneal at half\n"
+                 "speed, so a network full of unresolved tussle stays pliable longer\n"
+                 "— 'the tussles ... have not been driven out of it.'\n\n";
+          core::Table adverse({"metric", "value"});
+          adverse.add_row({std::string("actors"),
+                           static_cast<long long>(res.mean(0, "actors"))});
+          adverse.add_row({std::string("adverse pairs"),
+                           static_cast<long long>(res.mean(0, "adverse_pairs"))});
+          adverse.add_row({std::string("durability after 50 quiet rounds"),
+                           res.mean(0, "durability_after_50")});
+          adverse.print(std::cout);
+        });
       });
 }

@@ -13,6 +13,14 @@
 
 using namespace tussle;
 
+namespace {
+
+constexpr econ::AccessRegime kRegimes[] = {econ::AccessRegime::kFacilityDuopoly,
+                                           econ::AccessRegime::kOpenAccess,
+                                           econ::AccessRegime::kMunicipalFiber};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   return bench::run(
       argc, argv,
@@ -21,33 +29,53 @@ int main(int argc, char** argv) {
        "modularize along the facility|service tussle boundary and restore\n"
        "competition — but pay the wire owner progressively less."},
       [](bench::Harness& h) {
-  core::Table t({"regime", "retail-isps", "mean-price", "hhi", "consumer-surplus",
-                 "facility-margin"});
-  for (auto regime : {econ::AccessRegime::kFacilityDuopoly, econ::AccessRegime::kOpenAccess,
-                      econ::AccessRegime::kMunicipalFiber}) {
-    econ::BroadbandConfig cfg;
-    cfg.regime = regime;
-    cfg.service_isps = 6;
-    sim::Rng rng(21);
-    auto r = econ::run_broadband(cfg, rng);
-    t.add_row({to_string(regime), static_cast<long long>(r.retail_competitors),
-               r.market.mean_price, r.market.hhi, r.market.consumer_surplus,
-               r.facility_margin});
-    h.metrics().gauge(to_string(regime) + ".mean_price", r.market.mean_price);
-    h.metrics().gauge(to_string(regime) + ".hhi", r.market.hhi);
-  }
-  t.print(std::cout);
+        core::ScenarioSpec regimes;
+        regimes.name = "access-regimes";
+        regimes.description = "duopoly vs open access vs municipal fiber, 6 service ISPs";
+        regimes.grid.axis("regime", {0, 1, 2});
+        regimes.body = [](core::RunContext& ctx) {
+          econ::BroadbandConfig cfg;
+          cfg.regime = kRegimes[static_cast<std::size_t>(ctx.param("regime"))];
+          cfg.service_isps = 6;
+          auto r = econ::run_broadband(cfg, ctx.rng());
+          ctx.put("retail_isps", static_cast<double>(r.retail_competitors));
+          ctx.put("mean_price", r.market.mean_price);
+          ctx.put("hhi", r.market.hhi);
+          ctx.put("consumer_surplus", r.market.consumer_surplus);
+          ctx.put("facility_margin", r.facility_margin);
+        };
+        h.scenario(regimes, [](const core::SweepResult& res) {
+          core::Table t({"regime", "retail-isps", "mean-price", "hhi", "consumer-surplus",
+                         "facility-margin"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({to_string(kRegimes[p]),
+                       static_cast<long long>(res.mean(p, "retail_isps")),
+                       res.mean(p, "mean_price"), res.mean(p, "hhi"),
+                       res.mean(p, "consumer_surplus"), res.mean(p, "facility_margin")});
+          }
+          t.print(std::cout);
+        });
 
-  std::cout << "\nSweep: how many service ISPs does open access need?\n\n";
-  core::Table sweep({"service-isps", "mean-price", "hhi"});
-  for (std::size_t k : {2u, 3u, 4u, 6u, 10u}) {
-    econ::BroadbandConfig cfg;
-    cfg.regime = econ::AccessRegime::kOpenAccess;
-    cfg.service_isps = k;
-    sim::Rng rng(22);
-    auto r = econ::run_broadband(cfg, rng);
-    sweep.add_row({static_cast<long long>(k), r.market.mean_price, r.market.hhi});
-  }
-  sweep.print(std::cout);
+        core::ScenarioSpec sweep;
+        sweep.name = "service-isp-sweep";
+        sweep.description = "open-access outcome vs number of service ISPs";
+        sweep.grid.axis("service_isps", {2, 3, 4, 6, 10});
+        sweep.body = [](core::RunContext& ctx) {
+          econ::BroadbandConfig cfg;
+          cfg.regime = econ::AccessRegime::kOpenAccess;
+          cfg.service_isps = static_cast<std::size_t>(ctx.param("service_isps"));
+          auto r = econ::run_broadband(cfg, ctx.rng());
+          ctx.put("mean_price", r.market.mean_price);
+          ctx.put("hhi", r.market.hhi);
+        };
+        h.scenario(sweep, [](const core::SweepResult& res) {
+          std::cout << "\nSweep: how many service ISPs does open access need?\n\n";
+          core::Table t({"service-isps", "mean-price", "hhi"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({static_cast<long long>(res.points[p].get("service_isps")),
+                       res.mean(p, "mean_price"), res.mean(p, "hhi")});
+          }
+          t.print(std::cout);
+        });
       });
 }

@@ -20,33 +20,57 @@ int main(int argc, char** argv) {
        "Sweep the fraction of aggressive (non-backing-off) senders.\n"
        "FIFO: compliant flows starve. Fair queueing: the tussle is bounded."},
       [](bench::Harness& h) {
-  core::Table t({"cheater-frac", "fifo:compliant", "fifo:cheater", "fifo:jain",
-                 "fq:compliant", "fq:cheater", "fq:jain"});
-  for (double f : {0.0, 0.05, 0.1, 0.25, 0.5, 0.75}) {
-    apps::CongestionConfig fifo;
-    fifo.aggressive_fraction = f;
-    auto rf = apps::run_congestion(fifo);
-    apps::CongestionConfig fq = fifo;
-    fq.fair_queueing = true;
-    auto rq = apps::run_congestion(fq);
-    t.add_row({f, rf.compliant_goodput_mean, rf.aggressive_goodput_mean, rf.jains_fairness,
-               rq.compliant_goodput_mean, rq.aggressive_goodput_mean, rq.jains_fairness});
-    if (f == 0.25) {
-      h.metrics().gauge("cheat25.fifo_jain", rf.jains_fairness);
-      h.metrics().gauge("cheat25.fq_jain", rq.jains_fairness);
-    }
-  }
-  t.print(std::cout);
+        core::ScenarioSpec sweep;
+        sweep.name = "cheater-sweep";
+        sweep.description = "FIFO vs fair-queueing goodput as cheaters grow";
+        sweep.grid.axis("cheater_frac", {0.0, 0.05, 0.1, 0.25, 0.5, 0.75});
+        sweep.body = [](core::RunContext& ctx) {
+          apps::CongestionConfig fifo;
+          fifo.aggressive_fraction = ctx.param("cheater_frac");
+          auto rf = apps::run_congestion(fifo);
+          apps::CongestionConfig fq = fifo;
+          fq.fair_queueing = true;
+          auto rq = apps::run_congestion(fq);
+          ctx.put("fifo_compliant", rf.compliant_goodput_mean);
+          ctx.put("fifo_cheater", rf.aggressive_goodput_mean);
+          ctx.put("fifo_jain", rf.jains_fairness);
+          ctx.put("fq_compliant", rq.compliant_goodput_mean);
+          ctx.put("fq_cheater", rq.aggressive_goodput_mean);
+          ctx.put("fq_jain", rq.jains_fairness);
+        };
+        h.scenario(sweep, [](const core::SweepResult& res) {
+          core::Table t({"cheater-frac", "fifo:compliant", "fifo:cheater", "fifo:jain",
+                         "fq:compliant", "fq:cheater", "fq:jain"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({res.points[p].get("cheater_frac"), res.mean(p, "fifo_compliant"),
+                       res.mean(p, "fifo_cheater"), res.mean(p, "fifo_jain"),
+                       res.mean(p, "fq_compliant"), res.mean(p, "fq_cheater"),
+                       res.mean(p, "fq_jain")});
+          }
+          t.print(std::cout);
+        });
 
-  std::cout << "\nUtilization / loss under full defection\n\n";
-  core::Table u({"scenario", "utilization", "loss-rate"});
-  for (double f : {0.0, 1.0}) {
-    apps::CongestionConfig cfg;
-    cfg.aggressive_fraction = f;
-    auto r = apps::run_congestion(cfg);
-    u.add_row({f == 0.0 ? std::string("all compliant") : std::string("all aggressive"),
-               r.utilization, r.loss_rate});
-  }
-  u.print(std::cout);
+        core::ScenarioSpec defect;
+        defect.name = "full-defection";
+        defect.description = "utilization and loss, all-compliant vs all-aggressive";
+        defect.grid.axis("aggressive", {0.0, 1.0});
+        defect.body = [](core::RunContext& ctx) {
+          apps::CongestionConfig cfg;
+          cfg.aggressive_fraction = ctx.param("aggressive");
+          auto r = apps::run_congestion(cfg);
+          ctx.put("utilization", r.utilization);
+          ctx.put("loss_rate", r.loss_rate);
+        };
+        h.scenario(defect, [](const core::SweepResult& res) {
+          std::cout << "\nUtilization / loss under full defection\n\n";
+          core::Table t({"scenario", "utilization", "loss-rate"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({res.points[p].get("aggressive") == 0.0
+                           ? std::string("all compliant")
+                           : std::string("all aggressive"),
+                       res.mean(p, "utilization"), res.mean(p, "loss_rate")});
+          }
+          t.print(std::cout);
+        });
       });
 }

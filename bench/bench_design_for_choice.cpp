@@ -12,7 +12,6 @@
 
 #include "core/choice.hpp"
 #include "core/report.hpp"
-#include "core/scenario.hpp"
 #include "harness.hpp"
 #include "net/topology.hpp"
 #include "policy/packet_adapter.hpp"
@@ -28,9 +27,9 @@ namespace {
 /// visible p2p), 2 = strict (drops visible p2p AND all visible opacity...
 /// but commercial pressure caps enforcement at 80% of links).
 double run_region(int regime, bool design_has_choice, core::ChoicePoint* choices,
-                  const std::string& region_name, bench::Harness& h) {
-  sim::Simulator sim(97);
-  h.instrument(sim);
+                  const std::string& region_name, core::RunContext& ctx) {
+  sim::Simulator sim(ctx.rng().next_u64());
+  ctx.instrument(sim);
   net::Network net(sim);
   auto ids = net::build_star(net, 2, 1, net::LinkSpec{});
   std::vector<Address> addrs;
@@ -69,7 +68,7 @@ double run_region(int regime, bool design_has_choice, core::ChoicePoint* choices
       net.node(ids[1]).originate(std::move(p));
     });
   }
-  sim.run();
+  ctx.add_events(sim.run());
   return static_cast<double>(net.counters().delivered.value()) / n;
 }
 
@@ -83,31 +82,53 @@ int main(int argc, char** argv) {
        "design breaks wherever pressure exists; the design with a run-time\n"
        "choice point flexes — variation in outcome is the survival margin."},
       [](bench::Harness& h) {
-  const char* regions[] = {"liberal", "commercial-dpi", "strict"};
-  core::Table t({"design", "liberal", "commercial-dpi", "strict", "mean-delivery",
-                 "outcome-variation", "choice-index"});
-  for (bool has_choice : {false, true}) {
-    core::ChoicePoint cp("transport-privacy", {"cleartext", "encrypted"});
-    std::vector<double> per_region;
-    for (int regime = 0; regime < 3; ++regime) {
-      per_region.push_back(run_region(regime, has_choice, &cp, regions[regime], h));
-    }
-    const double mean = (per_region[0] + per_region[1] + per_region[2]) / 3.0;
-    t.add_row({std::string(has_choice ? "with choice point" : "rigid (cleartext only)"),
-               per_region[0], per_region[1], per_region[2], mean,
-               core::outcome_variation(per_region), cp.choice_index()});
-    h.metrics().gauge(std::string(has_choice ? "choice" : "rigid") + ".mean_delivery",
-                      mean);
-    h.metrics().gauge(std::string(has_choice ? "choice" : "rigid") + ".outcome_variation",
-                      core::outcome_variation(per_region));
-  }
-  t.print(std::cout);
+        // One run per design: the ChoicePoint accumulates each region's
+        // selection, so the three regions stay inside a single body.
+        core::ScenarioSpec regions;
+        regions.name = "three-regions";
+        regions.description = "rigid vs choice-ful design across three regimes";
+        regions.grid.axis("has_choice", {0, 1});
+        regions.body = [](core::RunContext& ctx) {
+          const char* region_names[] = {"liberal", "commercial-dpi", "strict"};
+          const bool has_choice = ctx.param("has_choice") > 0.5;
+          core::ChoicePoint cp("transport-privacy", {"cleartext", "encrypted"});
+          std::vector<double> per_region;
+          for (int regime = 0; regime < 3; ++regime) {
+            per_region.push_back(
+                run_region(regime, has_choice, &cp, region_names[regime], ctx));
+          }
+          ctx.put("liberal_delivery", per_region[0]);
+          ctx.put("commercial_delivery", per_region[1]);
+          ctx.put("strict_delivery", per_region[2]);
+          ctx.put("mean_delivery", (per_region[0] + per_region[1] + per_region[2]) / 3.0);
+          ctx.put("outcome_variation", core::outcome_variation(per_region));
+          ctx.put("choice_index", cp.choice_index());
+        };
+        h.scenario(regions, [&h](const core::SweepResult& res) {
+          core::Table t({"design", "liberal", "commercial-dpi", "strict", "mean-delivery",
+                         "outcome-variation", "choice-index"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            const bool has_choice = res.points[p].get("has_choice") > 0.5;
+            t.add_row({std::string(has_choice ? "with choice point"
+                                              : "rigid (cleartext only)"),
+                       res.mean(p, "liberal_delivery"), res.mean(p, "commercial_delivery"),
+                       res.mean(p, "strict_delivery"), res.mean(p, "mean_delivery"),
+                       res.mean(p, "outcome_variation"), res.mean(p, "choice_index")});
+            h.metrics().gauge(std::string(has_choice ? "choice" : "rigid") +
+                                  ".mean_delivery",
+                              res.mean(p, "mean_delivery"));
+            h.metrics().gauge(std::string(has_choice ? "choice" : "rigid") +
+                                  ".outcome_variation",
+                              res.mean(p, "outcome_variation"));
+          }
+          t.print(std::cout);
 
-  std::cout << "\nReading: the flexible design survives the commercial region\n"
-               "outright (delivery 1.0 vs 0.0) because users could adapt inside\n"
-               "the protocol. Against the strict regime both designs lose —\n"
-               "'policy will probably trump technology in any case' (SVI-A) —\n"
-               "but the choice-ful design made the regime *pay the visibility\n"
-               "cost* of banning opacity outright.\n";
+          std::cout << "\nReading: the flexible design survives the commercial region\n"
+                       "outright (delivery 1.0 vs 0.0) because users could adapt inside\n"
+                       "the protocol. Against the strict regime both designs lose —\n"
+                       "'policy will probably trump technology in any case' (SVI-A) —\n"
+                       "but the choice-ful design made the regime *pay the visibility\n"
+                       "cost* of banning opacity outright.\n";
+        });
       });
 }

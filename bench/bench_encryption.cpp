@@ -21,18 +21,9 @@ using net::NodeId;
 
 namespace {
 
-struct Delivered {
-  int p2p_plain = 0;
-  int p2p_encrypted = 0;
-  int p2p_stego = 0;
-  int business_vpn = 0;
-  int web = 0;
-  bool policy_disclosed = false;
-};
-
-Delivered run_stage(int stage, bench::Harness& h) {
-  sim::Simulator sim(71);
-  h.instrument(sim);
+void run_stage(int stage, core::RunContext& ctx) {
+  sim::Simulator sim(ctx.rng().next_u64());
+  ctx.instrument(sim);
   net::Network net(sim);
   auto ids = net::build_star(net, 4, 1, net::LinkSpec{});
   std::vector<Address> addrs;
@@ -64,13 +55,13 @@ Delivered run_stage(int stage, bench::Harness& h) {
         apps::make_stego_detector(net, "traffic-classifier", net::AppProto::kWeb, 0.7, 0.05));
   }
 
-  Delivered d;
+  int p2p_plain = 0, p2p_encrypted = 0, p2p_stego = 0, business_vpn = 0, web = 0;
   net.set_delivery_observer([&](const net::Packet& p, NodeId) {
-    if (p.payload_tag == "p2p-plain") ++d.p2p_plain;
-    if (p.payload_tag == "p2p-enc") ++d.p2p_encrypted;
-    if (p.payload_tag == "p2p-stego") ++d.p2p_stego;
-    if (p.payload_tag == "biz-vpn") ++d.business_vpn;
-    if (p.payload_tag == "web") ++d.web;
+    if (p.payload_tag == "p2p-plain") ++p2p_plain;
+    if (p.payload_tag == "p2p-enc") ++p2p_encrypted;
+    if (p.payload_tag == "p2p-stego") ++p2p_stego;
+    if (p.payload_tag == "biz-vpn") ++business_vpn;
+    if (p.payload_tag == "web") ++web;
   });
 
   int seq = 0;
@@ -109,9 +100,14 @@ Delivered run_stage(int stage, bench::Harness& h) {
     send(3, 4, net::AppProto::kWeb, false, "web", false);
     send(3, 4, net::AppProto::kMail, false, "biz-vpn", true);  // telework tunnel
   }
-  sim.run();
-  d.policy_disclosed = !net.node(ids[0]).disclosed_filter_names().empty();
-  return d;
+  ctx.add_events(sim.run());
+  ctx.put("p2p_plain", p2p_plain);
+  ctx.put("p2p_encrypted", p2p_encrypted);
+  ctx.put("p2p_stego", p2p_stego);
+  ctx.put("business_vpn", business_vpn);
+  ctx.put("web", web);
+  ctx.put("policy_visible",
+          net.node(ids[0]).disclosed_filter_names().empty() ? 0.0 : 1.0);
 }
 
 }  // namespace
@@ -124,24 +120,35 @@ int main(int argc, char** argv) {
        "users encrypt and win. Stage 2: ISP punishes opacity itself —\n"
        "indiscriminate collateral damage, and the policy becomes visible."},
       [](bench::Harness& h) {
-  const char* stages[] = {"0: transparent network", "1: DPI drops visible p2p",
-                          "2: drop everything opaque", "3: + statistical stego hunt"};
-  core::Table t({"isp-policy", "p2p-plain/50", "p2p-enc/50", "p2p-stego/50",
-                 "business-vpn/50", "web/50", "policy-visible"});
-  for (int s = 0; s <= 3; ++s) {
-    auto d = run_stage(s, h);
-    t.add_row({std::string(stages[s]), static_cast<long long>(d.p2p_plain),
-               static_cast<long long>(d.p2p_encrypted), static_cast<long long>(d.p2p_stego),
-               static_cast<long long>(d.business_vpn), static_cast<long long>(d.web),
-               std::string(d.policy_disclosed ? "yes" : "no")});
-  }
-  t.print(std::cout);
+        core::ScenarioSpec esc;
+        esc.name = "escalation-ladder";
+        esc.description = "delivery per traffic class at each ISP policy stage";
+        esc.grid.axis("stage", {0, 1, 2, 3});
+        esc.body = [](core::RunContext& ctx) {
+          run_stage(static_cast<int>(ctx.param("stage")), ctx);
+        };
+        h.scenario(esc, [](const core::SweepResult& res) {
+          const char* stages[] = {"0: transparent network", "1: DPI drops visible p2p",
+                                  "2: drop everything opaque", "3: + statistical stego hunt"};
+          core::Table t({"isp-policy", "p2p-plain/50", "p2p-enc/50", "p2p-stego/50",
+                         "business-vpn/50", "web/50", "policy-visible"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({std::string(stages[p]),
+                       static_cast<long long>(res.mean(p, "p2p_plain")),
+                       static_cast<long long>(res.mean(p, "p2p_encrypted")),
+                       static_cast<long long>(res.mean(p, "p2p_stego")),
+                       static_cast<long long>(res.mean(p, "business_vpn")),
+                       static_cast<long long>(res.mean(p, "web")),
+                       std::string(res.mean(p, "policy_visible") > 0.5 ? "yes" : "no")});
+          }
+          t.print(std::cout);
 
-  std::cout << "\nShape check (paper): encryption defeats stage 1; stage 2 'wins'\n"
-               "only by also destroying the opaque traffic of paying customers.\n"
-               "Stage 3 (fn.17): steganography sails through stages 1-2 untouched;\n"
-               "the statistical hunt catches most of it but now drops innocent\n"
-               "web too (false positives) — escalation never ends, it only\n"
-               "relocates the collateral damage.\n";
+          std::cout << "\nShape check (paper): encryption defeats stage 1; stage 2 'wins'\n"
+                       "only by also destroying the opaque traffic of paying customers.\n"
+                       "Stage 3 (fn.17): steganography sails through stages 1-2 untouched;\n"
+                       "the statistical hunt catches most of it but now drops innocent\n"
+                       "web too (false positives) — escalation never ends, it only\n"
+                       "relocates the collateral damage.\n";
+        });
       });
 }

@@ -22,16 +22,10 @@ using net::NodeId;
 
 namespace {
 
-struct RunResult {
-  int attack_delivered = 0;
-  int known_app_delivered = 0;
-  int novel_app_delivered = 0;
-};
-
 /// Star: hub router, leaf 1 = server; leaves 2-4 good users; leaf 5 attacker.
-RunResult run_variant(int variant, bench::Harness& h) {
-  sim::Simulator sim(17);
-  h.instrument(sim);
+void run_variant(int variant, core::RunContext& ctx) {
+  sim::Simulator sim(ctx.rng().next_u64());
+  ctx.instrument(sim);
   net::Network net(sim);
   auto ids = net::build_star(net, 5, 1, net::LinkSpec{});
   std::vector<Address> addrs;
@@ -83,12 +77,12 @@ RunResult run_variant(int variant, bench::Harness& h) {
     net.node(ids[0]).add_filter(fw_storage->as_filter());
   }
 
-  RunResult r;
+  int attack_delivered = 0, known_app_delivered = 0, novel_app_delivered = 0;
   auto mux = apps::AppMux::install(net.node(ids[1]));
-  mux->set_handler(net::AppProto::kWeb, [&](const net::Packet&) { ++r.known_app_delivered; });
+  mux->set_handler(net::AppProto::kWeb, [&](const net::Packet&) { ++known_app_delivered; });
   mux->set_default([&](const net::Packet& p) {
-    if (p.payload_tag == "novel") ++r.novel_app_delivered;
-    if (p.payload_tag == "attack") ++r.attack_delivered;
+    if (p.payload_tag == "novel") ++novel_app_delivered;
+    if (p.payload_tag == "attack") ++attack_delivered;
   });
 
   int seq = 0;
@@ -111,8 +105,10 @@ RunResult run_variant(int variant, bench::Harness& h) {
     for (int k = 0; k < 10; ++k) send(u, net::AppProto::kUnknown, "novel");
   }
   for (int k = 0; k < 60; ++k) send(5, net::AppProto::kUnknown, "attack");
-  sim.run();
-  return r;
+  ctx.add_events(sim.run());
+  ctx.put("attack_delivered", attack_delivered);
+  ctx.put("known_app_delivered", known_app_delivered);
+  ctx.put("novel_app_delivered", novel_app_delivered);
 }
 
 }  // namespace
@@ -125,19 +121,31 @@ int main(int argc, char** argv) {
        "trust-mediated firewalls key on WHO, recovering innovation for\n"
        "reputable peers. Who holds the whitelist is a governance knob."},
       [](bench::Harness& h) {
-  const char* names[] = {"no firewall", "protocol firewall (default-deny)",
-                         "trust-aware firewall", "trust-aware + user whitelist"};
-  core::Table t({"variant", "attack-delivered/60", "known-app/60", "novel-app/30"});
-  for (int v = 0; v <= 3; ++v) {
-    auto r = run_variant(v, h);
-    t.add_row({std::string(names[v]), static_cast<long long>(r.attack_delivered),
-               static_cast<long long>(r.known_app_delivered),
-               static_cast<long long>(r.novel_app_delivered)});
-    h.metrics().counter("attack.delivered").add(r.attack_delivered);
-    h.metrics().counter("novel.delivered").add(r.novel_app_delivered);
-  }
-  t.print(std::cout);
-  std::cout << "\nRow 4 shows the governance tussle: the end user CAN choose to\n"
-               "accept the attacker's traffic when the user holds authority.\n";
+        core::ScenarioSpec fw;
+        fw.name = "firewall-variants";
+        fw.description = "attack vs known-app vs novel-app delivery per firewall design";
+        fw.grid.axis("variant", {0, 1, 2, 3});
+        fw.body = [](core::RunContext& ctx) {
+          run_variant(static_cast<int>(ctx.param("variant")), ctx);
+        };
+        h.scenario(fw, [&h](const core::SweepResult& res) {
+          const char* names[] = {"no firewall", "protocol firewall (default-deny)",
+                                 "trust-aware firewall", "trust-aware + user whitelist"};
+          core::Table t({"variant", "attack-delivered/60", "known-app/60", "novel-app/30"});
+          double attacks = 0, novel = 0;
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({std::string(names[p]),
+                       static_cast<long long>(res.mean(p, "attack_delivered")),
+                       static_cast<long long>(res.mean(p, "known_app_delivered")),
+                       static_cast<long long>(res.mean(p, "novel_app_delivered"))});
+            attacks += res.mean(p, "attack_delivered");
+            novel += res.mean(p, "novel_app_delivered");
+          }
+          h.metrics().counter("attack.delivered").add(attacks);
+          h.metrics().counter("novel.delivered").add(novel);
+          t.print(std::cout);
+          std::cout << "\nRow 4 shows the governance tussle: the end user CAN choose to\n"
+                       "accept the attacker's traffic when the user holds authority.\n";
+        });
       });
 }

@@ -22,78 +22,125 @@ int main(int argc, char** argv) {
        "Zero-sum minimax convergence; PD dominance (the congestion game);\n"
        "Vickrey truth-telling dominance; bounded-rational deviation."},
       [](bench::Harness& h) {
-  std::cout << "Fictitious-play convergence on a mixed zero-sum game "
-               "([[3,-1],[-2,4]], value 1.0)\n\n";
-  core::Table conv({"iterations", "value-estimate", "duality-gap"});
-  auto g = game::MatrixGame::zero_sum({{3, -1}, {-2, 4}});
-  for (std::size_t it : {100u, 1000u, 10000u, 100000u}) {
-    auto s = game::solve_zero_sum(g, it);
-    conv.add_row({static_cast<long long>(it), s.value, s.gap});
-    if (it == 100000u) h.metrics().gauge("fictitious_play.final_gap", s.gap);
-  }
-  conv.print(std::cout);
+        core::ScenarioSpec conv;
+        conv.name = "fictitious-play";
+        conv.description = "zero-sum minimax convergence on [[3,-1],[-2,4]]";
+        conv.grid.axis("iterations", {100, 1000, 10000, 100000});
+        conv.body = [](core::RunContext& ctx) {
+          auto g = game::MatrixGame::zero_sum({{3, -1}, {-2, 4}});
+          auto s = game::solve_zero_sum(g, static_cast<std::size_t>(ctx.param("iterations")));
+          ctx.put("value_estimate", s.value);
+          ctx.put("duality_gap", s.gap);
+        };
+        h.scenario(conv, [](const core::SweepResult& res) {
+          std::cout << "Fictitious-play convergence on a mixed zero-sum game "
+                       "([[3,-1],[-2,4]], value 1.0)\n\n";
+          core::Table t({"iterations", "value-estimate", "duality-gap"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({static_cast<long long>(res.points[p].get("iterations")),
+                       res.mean(p, "value_estimate"), res.mean(p, "duality_gap")});
+          }
+          t.print(std::cout);
+        });
 
-  std::cout << "\nCanonical tussle games: pure Nash structure\n\n";
-  core::Table nash({"game", "pure-nash", "pareto-trap"});
-  auto describe = [](const game::MatrixGame& gm) {
-    auto eqs = gm.pure_nash();
-    std::string s;
-    for (auto [i, j] : eqs) {
-      if (!s.empty()) s += " ";
-      s += "(" + gm.row_name(i) + "," + gm.col_name(j) + ")";
-    }
-    return s.empty() ? std::string("none") : s;
-  };
-  nash.add_row({std::string("congestion compliance (PD)"),
-                describe(game::congestion_compliance_game()), std::string("yes")});
-  nash.add_row({std::string("standards coordination"),
-                describe(game::standards_coordination_game()), std::string("no")});
-  nash.add_row({std::string("ISP peering (chicken)"), describe(game::peering_game()),
-                std::string("no")});
-  nash.add_row({std::string("matching pennies (zero-sum)"),
-                describe(game::matching_pennies()), std::string("no")});
-  nash.print(std::cout);
+        core::ScenarioSpec nash;
+        nash.name = "nash-structure";
+        nash.description = "pure Nash equilibria of the canonical tussle games";
+        nash.body = [](core::RunContext& ctx) {
+          auto describe = [](const game::MatrixGame& gm) {
+            auto eqs = gm.pure_nash();
+            std::string s;
+            for (auto [i, j] : eqs) {
+              if (!s.empty()) s += " ";
+              s += "(" + gm.row_name(i) + "," + gm.col_name(j) + ")";
+            }
+            return s.empty() ? std::string("none") : s;
+          };
+          ctx.note(describe(game::congestion_compliance_game()));
+          ctx.note(describe(game::standards_coordination_game()));
+          ctx.note(describe(game::peering_game()));
+          ctx.note(describe(game::matching_pennies()));
+          ctx.put("congestion_pure_nash",
+                  static_cast<double>(game::congestion_compliance_game().pure_nash().size()));
+        };
+        h.scenario(nash, [](const core::SweepResult& res) {
+          std::cout << "\nCanonical tussle games: pure Nash structure\n\n";
+          const auto& notes = res.run(0, 0).notes;
+          core::Table t({"game", "pure-nash", "pareto-trap"});
+          t.add_row({std::string("congestion compliance (PD)"), notes[0], std::string("yes")});
+          t.add_row({std::string("standards coordination"), notes[1], std::string("no")});
+          t.add_row({std::string("ISP peering (chicken)"), notes[2], std::string("no")});
+          t.add_row({std::string("matching pennies (zero-sum)"), notes[3], std::string("no")});
+          t.print(std::cout);
+        });
 
-  std::cout << "\nVickrey vs first-price: expected utility of deviating from truth\n\n";
-  sim::Rng rng(51);
-  double vick_honest = 0, vick_shaded = 0, first_honest = 0, first_shaded = 0;
-  const int trials = 20000;
-  for (int i = 0; i < trials; ++i) {
-    const double value = rng.uniform(0, 100);
-    std::vector<double> rivals{rng.uniform(0, 100), rng.uniform(0, 100)};
-    const double shade = value * 0.8;
-    vick_honest += game::vickrey_utility(value, value, rivals);
-    vick_shaded += game::vickrey_utility(value, shade, rivals);
-    first_honest += game::first_price_utility(value, value, rivals);
-    first_shaded += game::first_price_utility(value, shade, rivals);
-  }
-  core::Table auc({"mechanism", "truthful-bid", "shaded-bid-(80%)", "truth-dominant"});
-  auc.add_row({std::string("vickrey (2nd price)"), vick_honest / trials,
-               vick_shaded / trials,
-               std::string(vick_honest >= vick_shaded ? "yes" : "NO")});
-  auc.add_row({std::string("first price"), first_honest / trials, first_shaded / trials,
-               std::string(first_honest >= first_shaded ? "yes" : "NO")});
-  auc.print(std::cout);
+        core::ScenarioSpec auction;
+        auction.name = "vickrey";
+        auction.description = "expected utility of shading a bid, both mechanisms";
+        auction.body = [](core::RunContext& ctx) {
+          double vick_honest = 0, vick_shaded = 0, first_honest = 0, first_shaded = 0;
+          const int trials = 20000;
+          for (int i = 0; i < trials; ++i) {
+            const double value = ctx.rng().uniform(0, 100);
+            std::vector<double> rivals{ctx.rng().uniform(0, 100), ctx.rng().uniform(0, 100)};
+            const double shade = value * 0.8;
+            vick_honest += game::vickrey_utility(value, value, rivals);
+            vick_shaded += game::vickrey_utility(value, shade, rivals);
+            first_honest += game::first_price_utility(value, value, rivals);
+            first_shaded += game::first_price_utility(value, shade, rivals);
+          }
+          ctx.put("vickrey_honest", vick_honest / trials);
+          ctx.put("vickrey_shaded", vick_shaded / trials);
+          ctx.put("first_price_honest", first_honest / trials);
+          ctx.put("first_price_shaded", first_shaded / trials);
+        };
+        h.scenario(auction, [](const core::SweepResult& res) {
+          std::cout << "\nVickrey vs first-price: expected utility of deviating from truth\n\n";
+          const double vh = res.mean(0, "vickrey_honest");
+          const double vs = res.mean(0, "vickrey_shaded");
+          const double fh = res.mean(0, "first_price_honest");
+          const double fs = res.mean(0, "first_price_shaded");
+          core::Table t({"mechanism", "truthful-bid", "shaded-bid-(80%)", "truth-dominant"});
+          t.add_row({std::string("vickrey (2nd price)"), vh, vs,
+                     std::string(vh >= vs ? "yes" : "NO")});
+          t.add_row({std::string("first price"), fh, fs, std::string(fh >= fs ? "yes" : "NO")});
+          t.print(std::cout);
+        });
 
-  std::cout << "\nLearning dynamics in the congestion game (20k rounds)\n\n";
-  core::Table learn({"row-learner", "col-learner", "row-defect-rate", "col-defect-rate",
-                     "row-avg-regret"});
-  {
-    auto pd = game::congestion_compliance_game();
-    game::RegretMatching a(game::row_payoff_matrix(pd));
-    game::RegretMatching b(game::col_payoff_matrix(pd));
-    sim::Rng r2(52);
-    auto out = game::play_repeated(pd, a, b, 20000, r2);
-    learn.add_row({std::string("regret-matching"), std::string("regret-matching"),
-                   out.row_empirical[1], out.col_empirical[1], a.average_regret()});
-    game::EpsilonGreedy e(2, 0.3);
-    game::RegretMatching c(game::col_payoff_matrix(pd));
-    auto out2 = game::play_repeated(pd, e, c, 20000, r2);
-    learn.add_row({std::string("eps-greedy(0.3)"), std::string("regret-matching"),
-                   out2.row_empirical[1], out2.col_empirical[1], -1.0});
-  }
-  learn.print(std::cout);
-  std::cout << "\n(eps-greedy row shows the bounded-rationality deviation: ~15%\n"
-               "compliance held in place purely by exploration noise.)\n";
+        core::ScenarioSpec learn;
+        learn.name = "learning-dynamics";
+        learn.description = "repeated congestion game, 20k rounds per learner pair";
+        learn.grid.axis("row_learner", {0, 1});  // 0 = regret-matching, 1 = eps-greedy(0.3)
+        learn.body = [](core::RunContext& ctx) {
+          auto pd = game::congestion_compliance_game();
+          game::RegretMatching col(game::col_payoff_matrix(pd));
+          if (ctx.param("row_learner") == 0) {
+            game::RegretMatching row(game::row_payoff_matrix(pd));
+            auto out = game::play_repeated(pd, row, col, 20000, ctx.rng());
+            ctx.put("row_defect_rate", out.row_empirical[1]);
+            ctx.put("col_defect_rate", out.col_empirical[1]);
+            ctx.put("row_avg_regret", row.average_regret());
+          } else {
+            game::EpsilonGreedy row(2, 0.3);
+            auto out = game::play_repeated(pd, row, col, 20000, ctx.rng());
+            ctx.put("row_defect_rate", out.row_empirical[1]);
+            ctx.put("col_defect_rate", out.col_empirical[1]);
+            ctx.put("row_avg_regret", -1.0);
+          }
+        };
+        h.scenario(learn, [](const core::SweepResult& res) {
+          std::cout << "\nLearning dynamics in the congestion game (20k rounds)\n\n";
+          const char* row_names[] = {"regret-matching", "eps-greedy(0.3)"};
+          core::Table t({"row-learner", "col-learner", "row-defect-rate", "col-defect-rate",
+                         "row-avg-regret"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({std::string(row_names[p]), std::string("regret-matching"),
+                       res.mean(p, "row_defect_rate"), res.mean(p, "col_defect_rate"),
+                       res.mean(p, "row_avg_regret")});
+          }
+          t.print(std::cout);
+          std::cout << "\n(eps-greedy row shows the bounded-rationality deviation: ~15%\n"
+                       "compliance held in place purely by exploration noise.)\n";
+        });
       });
 }

@@ -23,48 +23,73 @@ int main(int argc, char** argv) {
        "under plain Gao-Rexford; origin validation eliminates the capture.\n"
        "Capture grows with the hijacker's position in the hierarchy."},
       [](bench::Harness& bh) {
-  sim::Rng rng(81);
-  auto h = routing::make_hierarchy(rng, 3, 8, 24);
-  const AsId victim = h.stubs[0];
+        core::ScenarioSpec tiers;
+        tiers.name = "hijack-by-tier";
+        tiers.description = "capture by hijacker tier; validation on/off on one graph";
+        tiers.grid.axis("tier", {0, 1, 2});
+        // Both validation variants run against the same sampled hierarchy, so
+        // the on/off rows stay a paired comparison.
+        tiers.body = [](core::RunContext& ctx) {
+          auto h = routing::make_hierarchy(ctx.rng(), 3, 8, 24);
+          const AsId victim = h.stubs[0];
+          const AsId attackers[] = {h.stubs.back(), h.tier2[0], h.tier1[0]};
+          const AsId attacker = attackers[static_cast<std::size_t>(ctx.param("tier"))];
+          for (bool validation : {false, true}) {
+            auto r = routing::simulate_hijack(h.graph, victim, attacker, validation);
+            const std::string k = validation ? "on." : "off.";
+            ctx.put(k + "captured", static_cast<double>(r.captured));
+            ctx.put(k + "legitimate", static_cast<double>(r.legitimate));
+            ctx.put(k + "unreachable", static_cast<double>(r.unreachable));
+            ctx.put(k + "capture_fraction", r.capture_fraction);
+          }
+        };
+        bh.scenario(tiers, [](const core::SweepResult& res) {
+          const char* labels[] = {"stub", "tier-2 transit", "tier-1 backbone"};
+          core::Table t({"hijacker-tier", "validation", "captured", "legitimate",
+                         "unreachable", "capture-fraction"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            for (const char* k : {"off", "on"}) {
+              const std::string pre = std::string(k) + ".";
+              t.add_row({std::string(labels[p]), std::string(k),
+                         static_cast<long long>(res.mean(p, pre + "captured")),
+                         static_cast<long long>(res.mean(p, pre + "legitimate")),
+                         static_cast<long long>(res.mean(p, pre + "unreachable")),
+                         res.mean(p, pre + "capture_fraction")});
+            }
+          }
+          t.print(std::cout);
+        });
 
-  core::Table t({"hijacker-tier", "validation", "captured", "legitimate", "unreachable",
-                 "capture-fraction"});
-  struct Case {
-    const char* label;
-    AsId attacker;
-  };
-  const Case cases[] = {
-      {"stub", h.stubs.back()},
-      {"tier-2 transit", h.tier2[0]},
-      {"tier-1 backbone", h.tier1[0]},
-  };
-  for (const Case& c : cases) {
-    for (bool validation : {false, true}) {
-      auto r = routing::simulate_hijack(h.graph, victim, c.attacker, validation);
-      t.add_row({std::string(c.label), std::string(validation ? "on" : "off"),
-                 static_cast<long long>(r.captured), static_cast<long long>(r.legitimate),
-                 static_cast<long long>(r.unreachable), r.capture_fraction});
-    }
-  }
-  t.print(std::cout);
+        core::ScenarioSpec pairs;
+        pairs.name = "stub-pair-sweep";
+        pairs.description = "mean capture across 10 random victim/attacker stub pairs";
+        pairs.body = [](core::RunContext& ctx) {
+          auto h = routing::make_hierarchy(ctx.rng(), 3, 8, 24);
+          for (bool validation : {false, true}) {
+            double total = 0;
+            int n = 0;
+            for (std::size_t i = 0; i + 1 < h.stubs.size() && n < 10; i += 2, ++n) {
+              auto r =
+                  routing::simulate_hijack(h.graph, h.stubs[i], h.stubs[i + 1], validation);
+              total += r.capture_fraction;
+            }
+            ctx.put(std::string("mean_capture.validation_") + (validation ? "on" : "off"),
+                    total / n);
+          }
+        };
+        bh.scenario(pairs, [&bh](const core::SweepResult& res) {
+          std::cout << "\nMean capture across 10 random victim/attacker stub pairs\n\n";
+          core::Table t({"validation", "mean-capture-fraction"});
+          for (const char* k : {"off", "on"}) {
+            const std::string key = std::string("mean_capture.validation_") + k;
+            t.add_row({std::string(k), res.mean(0, key)});
+            bh.metrics().gauge(key, res.mean(0, key));
+          }
+          t.print(std::cout);
 
-  std::cout << "\nMean capture across 10 random victim/attacker stub pairs\n\n";
-  core::Table sweep({"validation", "mean-capture-fraction"});
-  for (bool validation : {false, true}) {
-    double total = 0;
-    int n = 0;
-    for (std::size_t i = 0; i + 1 < h.stubs.size() && n < 10; i += 2, ++n) {
-      auto r = routing::simulate_hijack(h.graph, h.stubs[i], h.stubs[i + 1], validation);
-      total += r.capture_fraction;
-    }
-    sweep.add_row({std::string(validation ? "on" : "off"), total / n});
-    bh.metrics().gauge(std::string("mean_capture.validation_") + (validation ? "on" : "off"),
-                       total / n);
-  }
-  sweep.print(std::cout);
-
-  std::cout << "\nReading: the 'one right answer' design school works — when the\n"
-               "right answer (the legitimate origin) can be authenticated. The\n"
-               "tussle moves to who runs the trust anchor.\n";
+          std::cout << "\nReading: the 'one right answer' design school works — when the\n"
+                       "right answer (the legitimate origin) can be authenticated. The\n"
+                       "tussle moves to who runs the trust anchor.\n";
+        });
       });
 }

@@ -5,6 +5,7 @@
 // communicate with you if you do"; (c) hiding should be hard to disguise
 // (anonymity is visible); (d) accountability accrues only to schemes that
 // support it — certified actors build reputation fastest.
+#include <algorithm>
 #include <iostream>
 
 #include "core/report.hpp"
@@ -15,6 +16,18 @@
 
 using namespace tussle;
 
+namespace {
+
+constexpr trust::IdentityScheme kSchemes[] = {
+    trust::IdentityScheme::kAnonymous, trust::IdentityScheme::kSelfAsserted,
+    trust::IdentityScheme::kPseudonymous, trust::IdentityScheme::kCertified};
+
+std::string metric_key(trust::IdentityScheme scheme) {
+  return to_string(scheme) + ".success_rate";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   return bench::run(
       argc, argv,
@@ -22,85 +35,105 @@ int main(int argc, char** argv) {
        "Population picks identity schemes; peers gate interactions on\n"
        "verification/accountability. Anonymity stays possible but costly."},
       [](bench::Harness& h) {
-  trust::CertificateAuthority ca("root-ca");
-  trust::CaRegistry registry;
-  registry.trust(&ca);
-  trust::IdentityFramework framework;
-  framework.set_verifier(trust::IdentityScheme::kCertified, registry.verifier());
+        core::ScenarioSpec id;
+        id.name = "identity-schemes";
+        id.description = "interaction success per identity scheme, 200 rounds";
+        id.body = [](core::RunContext& ctx) {
+          trust::CertificateAuthority ca("root-ca");
+          trust::CaRegistry registry;
+          registry.trust(&ca);
+          trust::IdentityFramework framework;
+          framework.set_verifier(trust::IdentityScheme::kCertified, registry.verifier());
 
-  trust::ReputationSystem reputation;
-  sim::Rng rng(23);
+          trust::ReputationSystem reputation;
 
-  struct Cohort {
-    trust::IdentityScheme scheme;
-    int size;
-    int accepted = 0;
-    int attempted = 0;
-  };
-  std::vector<Cohort> cohorts = {
-      {trust::IdentityScheme::kAnonymous, 30},
-      {trust::IdentityScheme::kSelfAsserted, 30},
-      {trust::IdentityScheme::kPseudonymous, 30},
-      {trust::IdentityScheme::kCertified, 30},
-  };
+          struct Cohort {
+            trust::IdentityScheme scheme;
+            int size;
+            int accepted = 0;
+            int attempted = 0;
+          };
+          std::vector<Cohort> cohorts;
+          for (auto scheme : kSchemes) cohorts.push_back({scheme, 30});
 
-  // Enroll the certified cohort.
-  for (int i = 0; i < 30; ++i) {
-    registry.enroll(ca.issue("cert-" + std::to_string(i)));
-  }
+          // Enroll the certified cohort.
+          for (int i = 0; i < 30; ++i) {
+            registry.enroll(ca.issue("cert-" + std::to_string(i)));
+          }
 
-  // Interaction model: a peer accepts a counterparty with probability that
-  // rises with verification, accountability, and (for linkable schemes)
-  // accumulated reputation. Good behaviour is reported when linkable.
-  const int rounds = 200;
-  for (int t = 0; t < rounds; ++t) {
-    for (auto& c : cohorts) {
-      for (int i = 0; i < c.size; ++i) {
-        std::string name;
-        switch (c.scheme) {
-          case trust::IdentityScheme::kAnonymous: name = ""; break;
-          case trust::IdentityScheme::kSelfAsserted: name = "self-" + std::to_string(i); break;
-          case trust::IdentityScheme::kPseudonymous: name = "pseud-" + std::to_string(i); break;
-          default: name = "cert-" + std::to_string(i); break;
-        }
-        trust::Identity id{c.scheme, name, c.scheme == trust::IdentityScheme::kCertified
-                                               ? "root-ca"
-                                               : ""};
-        const auto v = framework.verify(id);
-        double accept_p = 0.15;  // hard floor: some peers talk to anyone
-        if (v.verified) accept_p += 0.25;
-        if (v.accountable) accept_p += 0.25;
-        if (v.linkable && !name.empty()) {
-          accept_p += 0.35 * (reputation.score(name) - 0.5) * 2.0;
-        }
-        ++c.attempted;
-        if (rng.bernoulli(std::min(1.0, std::max(0.0, accept_p)))) {
-          ++c.accepted;
-          if (v.linkable && !name.empty()) reputation.record("peer", name, true);
-        }
-      }
-    }
-  }
+          // Interaction model: a peer accepts a counterparty with probability
+          // that rises with verification, accountability, and (for linkable
+          // schemes) accumulated reputation. Good behaviour is reported when
+          // linkable.
+          const int rounds = 200;
+          for (int t = 0; t < rounds; ++t) {
+            for (auto& c : cohorts) {
+              for (int i = 0; i < c.size; ++i) {
+                std::string name;
+                switch (c.scheme) {
+                  case trust::IdentityScheme::kAnonymous: name = ""; break;
+                  case trust::IdentityScheme::kSelfAsserted:
+                    name = "self-" + std::to_string(i);
+                    break;
+                  case trust::IdentityScheme::kPseudonymous:
+                    name = "pseud-" + std::to_string(i);
+                    break;
+                  default: name = "cert-" + std::to_string(i); break;
+                }
+                trust::Identity ident{c.scheme, name,
+                                      c.scheme == trust::IdentityScheme::kCertified
+                                          ? "root-ca"
+                                          : ""};
+                const auto v = framework.verify(ident);
+                double accept_p = 0.15;  // hard floor: some peers talk to anyone
+                if (v.verified) accept_p += 0.25;
+                if (v.accountable) accept_p += 0.25;
+                if (v.linkable && !name.empty()) {
+                  accept_p += 0.35 * (reputation.score(name) - 0.5) * 2.0;
+                }
+                ++c.attempted;
+                if (ctx.rng().bernoulli(std::min(1.0, std::max(0.0, accept_p)))) {
+                  ++c.accepted;
+                  if (v.linkable && !name.empty()) reputation.record("peer", name, true);
+                }
+              }
+            }
+          }
 
-  core::Table t({"scheme", "visibly-anonymous", "verified", "accountable",
-                 "interaction-success"});
-  for (const auto& c : cohorts) {
-    trust::Identity sample{c.scheme,
-                           c.scheme == trust::IdentityScheme::kAnonymous ? "" : "cert-0",
-                           c.scheme == trust::IdentityScheme::kCertified ? "root-ca" : ""};
-    const auto v = framework.verify(sample);
-    t.add_row({to_string(c.scheme),
-               std::string(sample.visibly_anonymous() ? "yes" : "no"),
-               std::string(v.verified ? "yes" : "no"),
-               std::string(v.accountable ? "yes" : "no"),
-               static_cast<double>(c.accepted) / static_cast<double>(c.attempted)});
-    h.metrics().gauge(to_string(c.scheme) + ".success_rate",
-                      static_cast<double>(c.accepted) / static_cast<double>(c.attempted));
-  }
-  t.print(std::cout);
+          for (const auto& c : cohorts) {
+            ctx.put(metric_key(c.scheme),
+                    static_cast<double>(c.accepted) / static_cast<double>(c.attempted));
+          }
+        };
+        h.scenario(id, [](const core::SweepResult& res) {
+          // The verification flags are a pure property of the framework, so
+          // the render recomputes them; only the success rates are sampled.
+          trust::CertificateAuthority ca("root-ca");
+          trust::CaRegistry registry;
+          registry.trust(&ca);
+          registry.enroll(ca.issue("cert-0"));
+          trust::IdentityFramework framework;
+          framework.set_verifier(trust::IdentityScheme::kCertified, registry.verifier());
 
-  std::cout << "\nCompromise outcome (paper): anonymity possible (nonzero success)\n"
-               "but visibly and persistently penalized; accountable identity\n"
-               "compounds through reputation.\n";
+          core::Table t({"scheme", "visibly-anonymous", "verified", "accountable",
+                         "interaction-success"});
+          for (auto scheme : kSchemes) {
+            trust::Identity sample{scheme,
+                                   scheme == trust::IdentityScheme::kAnonymous ? "" : "cert-0",
+                                   scheme == trust::IdentityScheme::kCertified ? "root-ca"
+                                                                               : ""};
+            const auto v = framework.verify(sample);
+            t.add_row({to_string(scheme),
+                       std::string(sample.visibly_anonymous() ? "yes" : "no"),
+                       std::string(v.verified ? "yes" : "no"),
+                       std::string(v.accountable ? "yes" : "no"),
+                       res.mean(0, metric_key(scheme))});
+          }
+          t.print(std::cout);
+
+          std::cout << "\nCompromise outcome (paper): anonymity possible (nonzero success)\n"
+                       "but visibly and persistently penalized; accountable identity\n"
+                       "compounds through reputation.\n";
+        });
       });
 }

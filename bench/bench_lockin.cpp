@@ -16,7 +16,7 @@ using namespace tussle;
 
 namespace {
 
-econ::MarketResult market_under(double switching_cost, std::uint64_t seed) {
+econ::MarketResult market_under(double switching_cost, sim::Rng& rng) {
   econ::MarketConfig cfg;
   cfg.consumers = 600;
   cfg.periods = 600;
@@ -29,10 +29,13 @@ econ::MarketResult market_under(double switching_cost, std::uint64_t seed) {
     p.initial_price = 6.0;
     providers.push_back(p);
   }
-  sim::Rng rng(seed);
   econ::Market market(cfg, providers, rng);
   return market.run();
 }
+
+constexpr econ::AddressingMode kModes[] = {econ::AddressingMode::kStaticProviderAssigned,
+                                           econ::AddressingMode::kDhcpDynamicDns,
+                                           econ::AddressingMode::kProviderIndependent};
 
 }  // namespace
 
@@ -43,45 +46,67 @@ int main(int argc, char** argv) {
        "Easy renumbering -> lower lock-in -> lower prices & more switching;\n"
        "portable addresses free the consumer but inflate core routing tables."},
       [](bench::Harness& h) {
-  econ::LockInModel model;
-  const std::size_t hosts_per_site = 8;
-  const std::size_t sites = 600;
+        core::ScenarioSpec modes;
+        modes.name = "addressing-modes";
+        modes.description = "market outcome + core FIB cost per addressing mode";
+        modes.grid.axis("mode", {0, 1, 2});
+        modes.body = [](core::RunContext& ctx) {
+          econ::LockInModel model;
+          const std::size_t hosts_per_site = 8;
+          const std::size_t sites = 600;
+          const auto mode = kModes[static_cast<std::size_t>(ctx.param("mode"))];
+          const double sc = model.switching_cost(mode, hosts_per_site);
+          auto r = market_under(sc, ctx.rng());
 
-  core::Table t({"addressing", "switch-cost", "mean-price", "hhi", "consumer-surplus",
-                 "switches", "core-prefixes"});
-  for (auto mode : {econ::AddressingMode::kStaticProviderAssigned,
-                    econ::AddressingMode::kDhcpDynamicDns,
-                    econ::AddressingMode::kProviderIndependent}) {
-    const double sc = model.switching_cost(mode, hosts_per_site);
-    auto r = market_under(sc, 42);
+          // Core-table cost: install the portable prefixes into a core router
+          // FIB and count entries (the data-plane side of the dilemma).
+          net::ForwardingTable core_fib;
+          const std::size_t extra = model.core_table_entries(mode, sites);
+          for (std::size_t s = 0; s < extra; ++s) {
+            core_fib.set_prefix_route(
+                net::Prefix{.provider = 1, .subscriber = static_cast<std::uint32_t>(s),
+                            .portable = true},
+                0);
+          }
+          ctx.put("switch_cost", sc);
+          ctx.put("mean_price", r.mean_price);
+          ctx.put("hhi", r.hhi);
+          ctx.put("consumer_surplus", r.consumer_surplus);
+          ctx.put("switches", static_cast<double>(r.total_switches));
+          ctx.put("core_prefixes", static_cast<double>(core_fib.prefix_entries()));
+        };
+        h.scenario(modes, [](const core::SweepResult& res) {
+          core::Table t({"addressing", "switch-cost", "mean-price", "hhi",
+                         "consumer-surplus", "switches", "core-prefixes"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({to_string(kModes[p]), res.mean(p, "switch_cost"),
+                       res.mean(p, "mean_price"), res.mean(p, "hhi"),
+                       res.mean(p, "consumer_surplus"),
+                       static_cast<long long>(res.mean(p, "switches")),
+                       static_cast<long long>(res.mean(p, "core_prefixes"))});
+          }
+          t.print(std::cout);
+        });
 
-    // Core-table cost: install the portable prefixes into a core router FIB
-    // and count entries (the data-plane side of the dilemma).
-    net::ForwardingTable core_fib;
-    const std::size_t extra = model.core_table_entries(mode, sites);
-    for (std::size_t s = 0; s < extra; ++s) {
-      core_fib.set_prefix_route(
-          net::Prefix{.provider = 1, .subscriber = static_cast<std::uint32_t>(s),
-                      .portable = true},
-          0);
-    }
-    t.add_row({to_string(mode), sc, r.mean_price, r.hhi, r.consumer_surplus,
-               static_cast<long long>(r.total_switches),
-               static_cast<long long>(core_fib.prefix_entries())});
-    h.metrics().gauge(to_string(mode) + ".mean_price", r.mean_price);
-    h.metrics().gauge(to_string(mode) + ".hhi", r.hhi);
-    h.metrics().gauge(to_string(mode) + ".core_prefixes",
-                      static_cast<double>(core_fib.prefix_entries()));
-  }
-  t.print(std::cout);
-
-  std::cout << "\nSweep: switching cost vs market outcome (3 ISPs)\n\n";
-  core::Table sweep({"switching-cost", "mean-price", "provider-profit", "switches"});
-  for (double sc : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    auto r = market_under(sc, 7);
-    sweep.add_row({sc, r.mean_price, r.provider_profit,
-                   static_cast<long long>(r.total_switches)});
-  }
-  sweep.print(std::cout);
+        core::ScenarioSpec sweep;
+        sweep.name = "switching-cost-sweep";
+        sweep.description = "market outcome vs switching cost, 3 ISPs";
+        sweep.grid.axis("switching_cost", {0.0, 0.5, 1.0, 2.0, 4.0, 8.0});
+        sweep.body = [](core::RunContext& ctx) {
+          auto r = market_under(ctx.param("switching_cost"), ctx.rng());
+          ctx.put("mean_price", r.mean_price);
+          ctx.put("provider_profit", r.provider_profit);
+          ctx.put("switches", static_cast<double>(r.total_switches));
+        };
+        h.scenario(sweep, [](const core::SweepResult& res) {
+          std::cout << "\nSweep: switching cost vs market outcome (3 ISPs)\n\n";
+          core::Table t({"switching-cost", "mean-price", "provider-profit", "switches"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({res.points[p].get("switching_cost"), res.mean(p, "mean_price"),
+                       res.mean(p, "provider_profit"),
+                       static_cast<long long>(res.mean(p, "switches"))});
+          }
+          t.print(std::cout);
+        });
       });
 }

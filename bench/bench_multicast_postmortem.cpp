@@ -28,77 +28,101 @@ int main(int argc, char** argv) {
        "QoS game with zero revenue. CDNs monetize the same savings\n"
        "unilaterally — which is why the reader lives in a CDN world."},
       [](bench::Harness& bh) {
-  // A two-level distribution topology: backbone ring of 4 hubs, each hub
-  // serving 8 access leaves. Source at hub 0's first leaf.
-  sim::Simulator sim(5);
-  bh.instrument(sim);
-  net::Network net(sim);
-  std::vector<NodeId> hubs;
-  std::vector<NodeId> leaves;
-  for (int h = 0; h < 4; ++h) hubs.push_back(net.add_node(1));
-  for (int h = 0; h < 4; ++h) {
-    net.connect(hubs[static_cast<std::size_t>(h)],
-                hubs[static_cast<std::size_t>((h + 1) % 4)], 100e6,
-                sim::Duration::millis(5));
-  }
-  for (NodeId h : hubs) {
-    for (int l = 0; l < 8; ++l) {
-      NodeId leaf = net.add_node(1);
-      net.connect(h, leaf, 10e6, sim::Duration::millis(2));
-      leaves.push_back(leaf);
-    }
-  }
-  const NodeId source = leaves[0];
+        core::ScenarioSpec dist;
+        dist.name = "distribution-cost";
+        dist.description = "unicast vs multicast vs CDN link transmissions per group size";
+        dist.grid.axis("group_size", {4, 8, 16, 32});
+        dist.body = [](core::RunContext& ctx) {
+          // A two-level distribution topology: backbone ring of 4 hubs, each
+          // hub serving 8 access leaves. Source at hub 0's first leaf.
+          sim::Simulator sim(ctx.rng().next_u64());
+          ctx.instrument(sim);
+          net::Network net(sim);
+          std::vector<NodeId> hubs;
+          std::vector<NodeId> leaves;
+          for (int h = 0; h < 4; ++h) hubs.push_back(net.add_node(1));
+          for (int h = 0; h < 4; ++h) {
+            net.connect(hubs[static_cast<std::size_t>(h)],
+                        hubs[static_cast<std::size_t>((h + 1) % 4)], 100e6,
+                        sim::Duration::millis(5));
+          }
+          for (NodeId h : hubs) {
+            for (int l = 0; l < 8; ++l) {
+              NodeId leaf = net.add_node(1);
+              net.connect(h, leaf, 10e6, sim::Duration::millis(2));
+              leaves.push_back(leaf);
+            }
+          }
+          const NodeId source = leaves[0];
+          const auto n = static_cast<std::size_t>(ctx.param("group_size"));
+          std::vector<NodeId> members(leaves.begin() + 1,
+                                      leaves.begin() + 1 +
+                                          static_cast<std::ptrdiff_t>(
+                                              std::min(n, leaves.size() - 1)));
+          auto cost = routing::compare_distribution(net, source, members, hubs);
+          ctx.put("members", static_cast<double>(members.size()));
+          ctx.put("unicast", static_cast<double>(cost.unicast));
+          ctx.put("multicast", static_cast<double>(cost.multicast));
+          ctx.put("cdn", static_cast<double>(cost.cdn));
+          ctx.put("multicast_savings", cost.multicast_savings());
+          ctx.put("cdn_savings", cost.cdn_savings());
+        };
+        bh.scenario(dist, [&bh](const core::SweepResult& res) {
+          std::cout << "Link-transmission cost of delivering one item to N members\n\n";
+          core::Table t({"group-size", "unicast", "multicast", "cdn(4-caches)",
+                         "multicast-saves", "cdn-saves"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({static_cast<long long>(res.mean(p, "members")),
+                       static_cast<long long>(res.mean(p, "unicast")),
+                       static_cast<long long>(res.mean(p, "multicast")),
+                       static_cast<long long>(res.mean(p, "cdn")),
+                       res.mean(p, "multicast_savings"), res.mean(p, "cdn_savings")});
+            if (res.points[p].get("group_size") == 32) {
+              bh.metrics().gauge("group32.multicast_savings",
+                                 res.mean(p, "multicast_savings"));
+              bh.metrics().gauge("group32.cdn_savings", res.mean(p, "cdn_savings"));
+            }
+          }
+          t.print(std::cout);
+        });
 
-  std::cout << "Link-transmission cost of delivering one item to N members\n\n";
-  core::Table t({"group-size", "unicast", "multicast", "cdn(4-caches)",
-                 "multicast-saves", "cdn-saves"});
-  for (std::size_t n : {4u, 8u, 16u, 32u}) {
-    std::vector<NodeId> members(leaves.begin() + 1,
-                                leaves.begin() + 1 + std::min(n, leaves.size() - 1));
-    auto cost = routing::compare_distribution(net, source, members, hubs);
-    t.add_row({static_cast<long long>(members.size()),
-               static_cast<long long>(cost.unicast), static_cast<long long>(cost.multicast),
-               static_cast<long long>(cost.cdn), cost.multicast_savings(),
-               cost.cdn_savings()});
-    if (n == 32u) {
-      bh.metrics().gauge("group32.multicast_savings", cost.multicast_savings());
-      bh.metrics().gauge("group32.cdn_savings", cost.cdn_savings());
-    }
-  }
-  t.print(std::cout);
+        core::ScenarioSpec game;
+        game.name = "deployment-game";
+        game.description = "E5's investment game with multicast vs CDN parameters";
+        game.grid.axis("design", {0, 1});  // 0 = IP multicast, 1 = CDN
+        game.body = [](core::RunContext& ctx) {
+          econ::InvestmentConfig cfg;
+          cfg.deploy_cost = 2.0;
+          if (ctx.param("design") == 0) {
+            // Historical multicast: router cost, no inter-provider billing.
+            cfg.value_flow = false;
+            cfg.user_choice = false;
+          } else {
+            // CDN: the deployer bills for delivery — value flows to the
+            // investor, and content providers pick CDNs competitively.
+            cfg.value_flow = true;
+            cfg.qos_revenue = 3.0;
+            cfg.user_choice = true;
+          }
+          auto res = econ::run_investment(cfg, ctx.rng());
+          ctx.put("deploy_fraction", res.final_deploy_fraction);
+        };
+        bh.scenario(game, [](const core::SweepResult& res) {
+          std::cout << "\nDeployment game (same engine as E5, multicast parameters)\n\n";
+          core::Table g({"design", "value-flow", "deploy-fraction",
+                         "who-captures-the-savings"});
+          g.add_row({std::string("IP multicast (as shipped)"), std::string("no"),
+                     res.mean(0, "deploy_fraction"),
+                     std::string("content providers (not the ISP)")});
+          g.add_row({std::string("CDN caches"), std::string("yes"),
+                     res.mean(1, "deploy_fraction"), std::string("the deployer")});
+          g.print(std::cout);
 
-  std::cout << "\nDeployment game (same engine as E5, multicast parameters)\n\n";
-  core::Table g({"design", "value-flow", "deploy-fraction", "who-captures-the-savings"});
-  {
-    // Historical multicast: router cost, no inter-provider billing model.
-    econ::InvestmentConfig cfg;
-    cfg.deploy_cost = 2.0;
-    cfg.value_flow = false;
-    cfg.user_choice = false;
-    sim::Rng r1(1);
-    auto res = econ::run_investment(cfg, r1);
-    g.add_row({std::string("IP multicast (as shipped)"), std::string("no"),
-               res.final_deploy_fraction, std::string("content providers (not the ISP)")});
-  }
-  {
-    // CDN: the deployer bills for delivery — value flows to the investor.
-    econ::InvestmentConfig cfg;
-    cfg.deploy_cost = 2.0;
-    cfg.value_flow = true;
-    cfg.qos_revenue = 3.0;  // delivery fees
-    cfg.user_choice = true; // content providers pick CDNs competitively
-    sim::Rng r2(2);
-    auto res = econ::run_investment(cfg, r2);
-    g.add_row({std::string("CDN caches"), std::string("yes"), res.final_deploy_fraction,
-               std::string("the deployer")});
-  }
-  g.print(std::cout);
-
-  std::cout << "\nAnswer to the exercise: multicast failed exactly like QoS —\n"
-               "all mechanism, no value flow, no competitive fear — while the\n"
-               "CDN packaged ~the same transmission savings behind an interface\n"
-               "whose deployer gets paid. Tussle-aware design would have\n"
-               "predicted the winner.\n";
+          std::cout << "\nAnswer to the exercise: multicast failed exactly like QoS —\n"
+                       "all mechanism, no value flow, no competitive fear — while the\n"
+                       "CDN packaged ~the same transmission savings behind an interface\n"
+                       "whose deployer gets paid. Tussle-aware design would have\n"
+                       "predicted the winner.\n";
+        });
       });
 }

@@ -19,16 +19,9 @@ using net::NodeId;
 
 namespace {
 
-struct TrialResult {
-  double direct_delivery = 0;
-  double overlay_delivery = 0;
-  double latency_stretch = 1.0;
-};
-
-TrialResult run_trial(double blocked_fraction, std::size_t members_used,
-                      bench::Harness& h) {
-  sim::Simulator sim(61);
-  h.instrument(sim);
+void run_trial(double blocked_fraction, std::size_t members_used, core::RunContext& ctx) {
+  sim::Simulator sim(ctx.rng().next_u64());
+  ctx.instrument(sim);
   net::Network net(sim);
   // Two provider hubs in a line; 8 leaves split across them.
   auto left = net::build_star(net, 4, 1, net::LinkSpec{});
@@ -91,9 +84,8 @@ TrialResult run_trial(double blocked_fraction, std::size_t members_used,
       ++sent;
     }
   }
-  sim.run();
-  TrialResult out;
-  out.direct_delivery =
+  ctx.add_events(sim.run());
+  const double direct_delivery =
       static_cast<double>(net.counters().delivered.value()) / static_cast<double>(sent);
   const double direct_latency = net.counters().delivery_latency_s.mean();
   net.counters().reset();
@@ -127,15 +119,19 @@ TrialResult run_trial(double blocked_fraction, std::size_t members_used,
       if (!overlay.send(a, b, std::move(p)).empty()) ++osent;
     }
   }
-  sim.run();
-  out.overlay_delivery = osent == 0 ? 0.0
-                                    : static_cast<double>(net.counters().delivered.value()) /
-                                          static_cast<double>(osent);
+  ctx.add_events(sim.run());
+  const double overlay_delivery =
+      osent == 0 ? 0.0
+                 : static_cast<double>(net.counters().delivered.value()) /
+                       static_cast<double>(osent);
   const double overlay_latency = net.counters().delivery_latency_s.mean();
+  double stretch = 1.0;
   if (direct_latency > 0 && overlay_latency > 0) {
-    out.latency_stretch = overlay_latency / direct_latency;
+    stretch = overlay_latency / direct_latency;
   }
-  return out;
+  ctx.put("direct_delivery", direct_delivery);
+  ctx.put("overlay_delivery", overlay_delivery);
+  ctx.put("latency_stretch", stretch);
 }
 
 }  // namespace
@@ -147,24 +143,38 @@ int main(int argc, char** argv) {
        "Providers block pairs at chokepoints; an overlay of cooperating\n"
        "members tunnels around the policy at a latency cost."},
       [](bench::Harness& h) {
-  core::Table t({"blocked-pairs", "direct-delivery", "overlay-delivery", "latency-stretch"});
-  for (double frac : {0.0, 0.2, 0.4, 0.6}) {
-    auto r = run_trial(frac, 6, h);
-    t.add_row({frac, r.direct_delivery, r.overlay_delivery, r.latency_stretch});
-    if (frac == 0.4) {
-      h.metrics().gauge("blocked40.direct_delivery", r.direct_delivery);
-      h.metrics().gauge("blocked40.overlay_delivery", r.overlay_delivery);
-      h.metrics().gauge("blocked40.latency_stretch", r.latency_stretch);
-    }
-  }
-  t.print(std::cout);
+        core::ScenarioSpec blocking;
+        blocking.name = "blocking-sweep";
+        blocking.description = "delivery vs blocked-pair fraction, 6 overlay members";
+        blocking.grid.axis("blocked_frac", {0.0, 0.2, 0.4, 0.6});
+        blocking.body = [](core::RunContext& ctx) {
+          run_trial(ctx.param("blocked_frac"), 6, ctx);
+        };
+        h.scenario(blocking, [](const core::SweepResult& res) {
+          core::Table t({"blocked-pairs", "direct-delivery", "overlay-delivery",
+                         "latency-stretch"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({res.points[p].get("blocked_frac"), res.mean(p, "direct_delivery"),
+                       res.mean(p, "overlay_delivery"), res.mean(p, "latency_stretch")});
+          }
+          t.print(std::cout);
+        });
 
-  std::cout << "\nOverlay membership sweep at 40% blocking\n\n";
-  core::Table m({"members", "overlay-delivery"});
-  for (std::size_t k : {2u, 3u, 4u, 6u}) {
-    auto r = run_trial(0.4, k, h);
-    m.add_row({static_cast<long long>(k), r.overlay_delivery});
-  }
-  m.print(std::cout);
+        core::ScenarioSpec membership;
+        membership.name = "membership-sweep";
+        membership.description = "overlay delivery vs member count at 40% blocking";
+        membership.grid.axis("members", {2, 3, 4, 6});
+        membership.body = [](core::RunContext& ctx) {
+          run_trial(0.4, static_cast<std::size_t>(ctx.param("members")), ctx);
+        };
+        h.scenario(membership, [](const core::SweepResult& res) {
+          std::cout << "\nOverlay membership sweep at 40% blocking\n\n";
+          core::Table m({"members", "overlay-delivery"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            m.add_row({static_cast<long long>(res.points[p].get("members")),
+                       res.mean(p, "overlay_delivery")});
+          }
+          m.print(std::cout);
+        });
       });
 }

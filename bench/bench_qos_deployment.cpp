@@ -16,6 +16,25 @@
 
 using namespace tussle;
 
+namespace {
+
+struct Regime {
+  const char* name;
+  bool value_flow;
+  bool choice;
+  bool closed;
+};
+
+constexpr Regime kRegimes[] = {
+    {"historical failure", false, false, false},
+    {"fear alone", false, true, false},
+    {"greed alone", true, false, false},
+    {"greed + fear", true, true, false},
+    {"vertical integration", false, false, true},
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   return bench::run(
       argc, argv,
@@ -24,58 +43,67 @@ int main(int argc, char** argv) {
        "(user choice); closed QoS deploys for the wrong reason and prices\n"
        "the dependent application at monopoly rates."},
       [](bench::Harness& h) {
-  core::Table t({"value-flow", "user-choice", "mode", "deploy-fraction", "open-service",
-                 "app-price", "isp-profit"});
-  struct Case {
-    bool value_flow;
-    bool choice;
-    bool closed;
-  };
-  const Case cases[] = {
-      {false, false, false},  // the historical failure
-      {false, true, false},   // fear alone
-      {true, false, false},   // greed alone
-      {true, true, false},    // the paper's recipe
-      {false, false, true},   // vertical integration instead
-  };
-  int seed = 1;
-  for (const Case& c : cases) {
-    econ::InvestmentConfig cfg;
-    cfg.value_flow = c.value_flow;
-    cfg.user_choice = c.choice;
-    cfg.closed_mode = c.closed;
-    sim::Rng rng(seed++);
-    auto r = econ::run_investment(cfg, rng);
-    t.add_row({std::string(c.value_flow ? "yes" : "no"),
-               std::string(c.choice ? "yes" : "no"),
-               std::string(c.closed ? "closed" : "open"), r.final_deploy_fraction,
-               std::string(r.open_service_available ? "yes" : "no"), r.app_price,
-               r.mean_isp_profit});
-    const std::string scenario = std::string(c.closed ? "closed" : "open") +
-                                 (c.value_flow ? ".greed" : ".nogreed") +
-                                 (c.choice ? ".fear" : ".nofear");
-    h.metrics().gauge(scenario + ".deploy_fraction", r.final_deploy_fraction);
-    h.metrics().gauge(scenario + ".app_price", r.app_price);
-    h.metrics().gauge(scenario + ".isp_profit", r.mean_isp_profit);
-  }
-  t.print(std::cout);
+        core::ScenarioSpec deploy;
+        deploy.name = "deployment-regimes";
+        deploy.description = "QoS investment under each greed/fear/closed regime";
+        deploy.grid.axis("regime", {0, 1, 2, 3, 4});
+        deploy.body = [](core::RunContext& ctx) {
+          const Regime& c = kRegimes[static_cast<std::size_t>(ctx.param("regime"))];
+          econ::InvestmentConfig cfg;
+          cfg.value_flow = c.value_flow;
+          cfg.user_choice = c.choice;
+          cfg.closed_mode = c.closed;
+          auto r = econ::run_investment(cfg, ctx.rng());
+          ctx.put("deploy_fraction", r.final_deploy_fraction);
+          ctx.put("open_service", r.open_service_available ? 1.0 : 0.0);
+          ctx.put("app_price", r.app_price);
+          ctx.put("isp_profit", r.mean_isp_profit);
+        };
+        h.scenario(deploy, [](const core::SweepResult& res) {
+          core::Table t({"value-flow", "user-choice", "mode", "deploy-fraction",
+                         "open-service", "app-price", "isp-profit"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            const Regime& c = kRegimes[p];
+            t.add_row({std::string(c.value_flow ? "yes" : "no"),
+                       std::string(c.choice ? "yes" : "no"),
+                       std::string(c.closed ? "closed" : "open"),
+                       res.mean(p, "deploy_fraction"),
+                       std::string(res.mean(p, "open_service") > 0.5 ? "yes" : "no"),
+                       res.mean(p, "app_price"), res.mean(p, "isp_profit")});
+          }
+          t.print(std::cout);
+        });
 
-  std::cout << "\nOne-shot structure (2-ISP investment game equilibria)\n\n";
-  core::Table eq({"scenario", "nash-equilibrium"});
-  auto describe = [](const game::MatrixGame& g) {
-    auto e = g.pure_nash();
-    std::string s;
-    for (auto [i, j] : e) {
-      if (!s.empty()) s += ", ";
-      s += "(" + g.row_name(i) + "," + g.col_name(j) + ")";
-    }
-    return s.empty() ? std::string("none (mixed only)") : s;
-  };
-  eq.add_row({std::string("no value flow, no choice"),
-              describe(game::qos_investment_game(2, 0, 0))});
-  eq.add_row({std::string("value flow only"), describe(game::qos_investment_game(2, 3, 0))});
-  eq.add_row({std::string("value flow + choice"),
-              describe(game::qos_investment_game(2, 3, 2))});
-  eq.print(std::cout);
+        core::ScenarioSpec eq;
+        eq.name = "one-shot-equilibria";
+        eq.description = "pure Nash of the 2-ISP investment game, three regimes";
+        eq.grid.axis("structure", {0, 1, 2});
+        eq.body = [](core::RunContext& ctx) {
+          auto describe = [](const game::MatrixGame& g) {
+            auto e = g.pure_nash();
+            std::string s;
+            for (auto [i, j] : e) {
+              if (!s.empty()) s += ", ";
+              s += "(" + g.row_name(i) + "," + g.col_name(j) + ")";
+            }
+            return s.empty() ? std::string("none (mixed only)") : s;
+          };
+          const int structure = static_cast<int>(ctx.param("structure"));
+          const double value = structure >= 1 ? 3 : 0;
+          const double fear = structure >= 2 ? 2 : 0;
+          auto g = game::qos_investment_game(2, value, fear);
+          ctx.note(describe(g));
+          ctx.put("pure_nash_count", static_cast<double>(g.pure_nash().size()));
+        };
+        h.scenario(eq, [](const core::SweepResult& res) {
+          std::cout << "\nOne-shot structure (2-ISP investment game equilibria)\n\n";
+          const char* names[] = {"no value flow, no choice", "value flow only",
+                                 "value flow + choice"};
+          core::Table t({"scenario", "nash-equilibrium"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({std::string(names[p]), res.run(p, 0).notes.at(0)});
+          }
+          t.print(std::cout);
+        });
       });
 }

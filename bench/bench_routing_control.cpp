@@ -27,80 +27,106 @@ int main(int argc, char** argv) {
        "Provider routing vs user source routing: similar expressiveness,\n"
        "different tussle outcomes; user routes need payment to be carried."},
       [](bench::Harness& bh) {
-  sim::Rng rng(31);
-  auto h = routing::make_hierarchy(rng, 3, 8, 20);
-  routing::PathVector pv(h.graph);
-  routing::SourceRouteBuilder builder(h.graph);
-  econ::Ledger ledger;
-  econ::PaidTransit transit(h.graph, ledger);
+        core::ScenarioSpec wide;
+        wide.name = "wide-area-access";
+        wide.description = "provider vs user routing over a sampled AS hierarchy";
+        wide.body = [](core::RunContext& ctx) {
+          auto h = routing::make_hierarchy(ctx.rng(), 3, 8, 20);
+          routing::PathVector pv(h.graph);
+          routing::SourceRouteBuilder builder(h.graph);
+          econ::Ledger ledger;
+          econ::PaidTransit transit(h.graph, ledger);
 
-  // Sample src-dst stub pairs.
-  std::vector<std::pair<AsId, AsId>> pairs;
-  for (std::size_t i = 0; i + 1 < h.stubs.size(); i += 2) {
-    pairs.emplace_back(h.stubs[i], h.stubs[i + 1]);
-  }
+          // Sample src-dst stub pairs.
+          std::vector<std::pair<AsId, AsId>> pairs;
+          for (std::size_t i = 0; i + 1 < h.stubs.size(); i += 2) {
+            pairs.emplace_back(h.stubs[i], h.stubs[i + 1]);
+          }
 
-  std::size_t provider_reaches = 0, user_reaches = 0, user_extra_choice = 0;
-  std::size_t free_routes = 0, refused_unpaid = 0, viable_paid = 0;
-  double paid_total = 0;
-  sim::Summary provider_len, user_len;
+          std::size_t provider_reaches = 0, user_reaches = 0, user_extra_choice = 0;
+          std::size_t free_routes = 0, refused_unpaid = 0, viable_paid = 0;
+          double paid_total = 0;
+          sim::Summary provider_len, user_len;
 
-  for (auto [src, dst] : pairs) {
-    auto outcome = pv.compute(dst);
-    const bool provider_ok = outcome.routes.count(src) != 0;
-    if (provider_ok) {
-      ++provider_reaches;
-      provider_len.observe(static_cast<double>(outcome.routes.at(src).as_path.size()));
-    }
-    auto paths = builder.k_shortest_paths(src, dst, 4);
-    if (!paths.empty()) {
-      ++user_reaches;
-      user_len.observe(static_cast<double>(paths[0].size()));
-      if (paths.size() > 1) ++user_extra_choice;
-      for (const auto& p : paths) {
-        auto off = builder.off_contract_ases(p);
-        if (off.empty()) {
-          ++free_routes;
-        } else {
-          ++refused_unpaid;  // without value flow, these are dead letters
-          auto q = transit.quote(p);
-          paid_total += transit.settle("user:" + std::to_string(src), q);
-          ++viable_paid;
-        }
-      }
-    }
-  }
+          for (auto [src, dst] : pairs) {
+            auto outcome = pv.compute(dst);
+            const bool provider_ok = outcome.routes.count(src) != 0;
+            if (provider_ok) {
+              ++provider_reaches;
+              provider_len.observe(
+                  static_cast<double>(outcome.routes.at(src).as_path.size()));
+            }
+            auto paths = builder.k_shortest_paths(src, dst, 4);
+            if (!paths.empty()) {
+              ++user_reaches;
+              user_len.observe(static_cast<double>(paths[0].size()));
+              if (paths.size() > 1) ++user_extra_choice;
+              for (const auto& p : paths) {
+                auto off = builder.off_contract_ases(p);
+                if (off.empty()) {
+                  ++free_routes;
+                } else {
+                  ++refused_unpaid;  // without value flow, these are dead letters
+                  auto q = transit.quote(p);
+                  paid_total += transit.settle("user:" + std::to_string(src), q);
+                  ++viable_paid;
+                }
+              }
+            }
+          }
 
-  core::Table t({"metric", "provider-routing", "user-source-routing"});
-  t.add_row({std::string("reachable sample pairs"),
-             static_cast<long long>(provider_reaches), static_cast<long long>(user_reaches)});
-  t.add_row({std::string("mean path length (ASes)"), provider_len.mean(), user_len.mean()});
-  t.add_row({std::string("pairs with >1 usable path"), 0LL,
-             static_cast<long long>(user_extra_choice)});
-  t.print(std::cout);
+          auto vis = routing::compare_visibility(h.graph, pv);
+          ctx.put("provider.reachable_pairs", static_cast<double>(provider_reaches));
+          ctx.put("user.reachable_pairs", static_cast<double>(user_reaches));
+          ctx.put("provider.mean_path_len", provider_len.mean());
+          ctx.put("user.mean_path_len", user_len.mean());
+          ctx.put("user.extra_choice_pairs", static_cast<double>(user_extra_choice));
+          ctx.put("routes.free", static_cast<double>(free_routes));
+          ctx.put("routes.refused_unpaid", static_cast<double>(refused_unpaid));
+          ctx.put("routes.viable_paid", static_cast<double>(viable_paid));
+          ctx.put("user.paid_total", paid_total);
+          ctx.put("vis.edges_total", static_cast<double>(vis.edges_total));
+          ctx.put("vis.pv_edges_visible", vis.mean_edges_visible_pv);
+          ctx.put("vis.ratio", vis.visibility_ratio);
+          ctx.put("ledger.total", ledger.total());
+        };
+        bh.scenario(wide, [&bh](const core::SweepResult& res) {
+          core::Table t({"metric", "provider-routing", "user-source-routing"});
+          t.add_row({std::string("reachable sample pairs"),
+                     static_cast<long long>(res.mean(0, "provider.reachable_pairs")),
+                     static_cast<long long>(res.mean(0, "user.reachable_pairs"))});
+          t.add_row({std::string("mean path length (ASes)"),
+                     res.mean(0, "provider.mean_path_len"),
+                     res.mean(0, "user.mean_path_len")});
+          t.add_row({std::string("pairs with >1 usable path"), 0LL,
+                     static_cast<long long>(res.mean(0, "user.extra_choice_pairs"))});
+          t.print(std::cout);
 
-  std::cout << "\nValue flow: candidate user routes by payment status\n\n";
-  core::Table pay({"status", "routes", "total-paid"});
-  pay.add_row({std::string("valley-free (free of charge)"),
-               static_cast<long long>(free_routes), 0.0});
-  pay.add_row({std::string("off-contract, unpaid (refused)"),
-               static_cast<long long>(refused_unpaid), 0.0});
-  pay.add_row({std::string("off-contract, settled via ledger"),
-               static_cast<long long>(viable_paid), paid_total});
-  pay.print(std::cout);
+          std::cout << "\nValue flow: candidate user routes by payment status\n\n";
+          core::Table pay({"status", "routes", "total-paid"});
+          pay.add_row({std::string("valley-free (free of charge)"),
+                       static_cast<long long>(res.mean(0, "routes.free")), 0.0});
+          pay.add_row({std::string("off-contract, unpaid (refused)"),
+                       static_cast<long long>(res.mean(0, "routes.refused_unpaid")), 0.0});
+          pay.add_row({std::string("off-contract, settled via ledger"),
+                       static_cast<long long>(res.mean(0, "routes.viable_paid")),
+                       res.mean(0, "user.paid_total")});
+          pay.print(std::cout);
 
-  std::cout << "\nVisibility of internal choices (SIV-C)\n\n";
-  auto vis = routing::compare_visibility(h.graph, pv);
-  core::Table v({"design", "edges-visible-per-AS", "fraction-of-topology"});
-  v.add_row({std::string("link-state (exports all costs)"),
-             static_cast<double>(vis.edges_total), 1.0});
-  v.add_row({std::string("path-vector (chosen paths only)"), vis.mean_edges_visible_pv,
-             vis.visibility_ratio});
-  v.print(std::cout);
+          std::cout << "\nVisibility of internal choices (SIV-C)\n\n";
+          core::Table v({"design", "edges-visible-per-AS", "fraction-of-topology"});
+          v.add_row({std::string("link-state (exports all costs)"),
+                     res.mean(0, "vis.edges_total"), 1.0});
+          v.add_row({std::string("path-vector (chosen paths only)"),
+                     res.mean(0, "vis.pv_edges_visible"), res.mean(0, "vis.ratio")});
+          v.print(std::cout);
 
-  std::cout << "\nLedger conservation check: " << ledger.total() << " (should be 0)\n";
-  bh.metrics().gauge("provider.reachable_pairs", static_cast<double>(provider_reaches));
-  bh.metrics().gauge("user.reachable_pairs", static_cast<double>(user_reaches));
-  bh.metrics().gauge("user.paid_total", paid_total);
+          std::cout << "\nLedger conservation check: " << res.mean(0, "ledger.total")
+                    << " (should be 0)\n";
+          bh.metrics().gauge("provider.reachable_pairs",
+                             res.mean(0, "provider.reachable_pairs"));
+          bh.metrics().gauge("user.reachable_pairs", res.mean(0, "user.reachable_pairs"));
+          bh.metrics().gauge("user.paid_total", res.mean(0, "user.paid_total"));
+        });
       });
 }

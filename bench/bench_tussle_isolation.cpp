@@ -21,55 +21,79 @@ int main(int argc, char** argv) {
        "Entangled naming lets trademark disputes break machine lookups and\n"
        "mail; modularized naming confines the damage to brand lookups."},
       [](bench::Harness& h) {
-  core::Table t({"design", "disputed-frac", "brand-fail", "machine-fail", "mailbox-fail",
-                 "SPILLOVER"});
-  for (double frac : {0.05, 0.10, 0.20, 0.40}) {
-    for (int design = 0; design < 2; ++design) {
-      names::WorkloadConfig cfg;
-      cfg.disputed_fraction = frac;
-      sim::Rng rng(41);
-      names::WorkloadResult r;
-      std::string label;
-      if (design == 0) {
-        names::EntangledNameSystem s;
-        r = names::run_workload(s, cfg, rng);
-        label = s.design();
-      } else {
-        names::ModularNameSystem s;
-        r = names::run_workload(s, cfg, rng);
-        label = s.design();
-      }
-      t.add_row({label, frac, r.brand_failure_rate(), r.machine_failure_rate(),
-                 r.mailbox_failure_rate(), r.spillover_rate()});
-      if (frac == 0.20) h.metrics().gauge(label + ".spillover", r.spillover_rate());
-    }
-  }
-  t.print(std::cout);
+        core::ScenarioSpec ablation;
+        ablation.name = "dns-ablation";
+        ablation.description = "spillover vs dispute rate, entangled vs modular naming";
+        ablation.grid.axis("disputed_frac", {0.05, 0.10, 0.20, 0.40})
+            .axis("design", {0, 1});
+        ablation.body = [](core::RunContext& ctx) {
+          names::WorkloadConfig cfg;
+          cfg.disputed_fraction = ctx.param("disputed_frac");
+          names::WorkloadResult r;
+          if (ctx.param("design") == 0) {
+            names::EntangledNameSystem s;
+            r = names::run_workload(s, cfg, ctx.rng());
+            ctx.note(s.design());
+          } else {
+            names::ModularNameSystem s;
+            r = names::run_workload(s, cfg, ctx.rng());
+            ctx.note(s.design());
+          }
+          ctx.put("brand_fail", r.brand_failure_rate());
+          ctx.put("machine_fail", r.machine_failure_rate());
+          ctx.put("mailbox_fail", r.mailbox_failure_rate());
+          ctx.put("spillover", r.spillover_rate());
+        };
+        h.scenario(ablation, [](const core::SweepResult& res) {
+          core::Table t({"design", "disputed-frac", "brand-fail", "machine-fail",
+                         "mailbox-fail", "SPILLOVER"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({res.run(p, 0).notes.at(0), res.points[p].get("disputed_frac"),
+                       res.mean(p, "brand_fail"), res.mean(p, "machine_fail"),
+                       res.mean(p, "mailbox_fail"), res.mean(p, "spillover")});
+          }
+          t.print(std::cout);
+        });
 
-  // Architecture-level audit via the TussleMap: which design's mechanisms
-  // touch multiple tussle spaces?
-  std::cout << "\nMechanism audit (spaces touched per mechanism)\n\n";
-  core::TussleMap entangled_map;
-  entangled_map.add_mechanism("dns-record", {"trademark", "machine-location", "mail-routing"});
-  core::TussleMap modular_map;
-  modular_map.add_mechanism("brand-directory", {"trademark"});
-  modular_map.add_mechanism("machine-names", {"machine-location"});
-  modular_map.add_mechanism("mailbox-plane", {"mail-routing"});
+        core::ScenarioSpec audit;
+        audit.name = "mechanism-audit";
+        audit.description = "TussleMap entanglement audit of both naming designs";
+        audit.body = [](core::RunContext& ctx) {
+          // Architecture-level audit via the TussleMap: which design's
+          // mechanisms touch multiple tussle spaces?
+          core::TussleMap entangled_map;
+          entangled_map.add_mechanism("dns-record",
+                                      {"trademark", "machine-location", "mail-routing"});
+          core::TussleMap modular_map;
+          modular_map.add_mechanism("brand-directory", {"trademark"});
+          modular_map.add_mechanism("machine-names", {"machine-location"});
+          modular_map.add_mechanism("mailbox-plane", {"mail-routing"});
+          ctx.put("entangled.mechanisms",
+                  static_cast<double>(entangled_map.mechanisms().size()));
+          ctx.put("entangled.multi_space",
+                  static_cast<double>(entangled_map.entangled_mechanisms().size()));
+          ctx.put("entangled.ratio", entangled_map.entanglement_ratio());
+          ctx.put("modular.mechanisms", static_cast<double>(modular_map.mechanisms().size()));
+          ctx.put("modular.multi_space",
+                  static_cast<double>(modular_map.entangled_mechanisms().size()));
+          ctx.put("modular.ratio", modular_map.entanglement_ratio());
+        };
+        h.scenario(audit, [](const core::SweepResult& res) {
+          std::cout << "\nMechanism audit (spaces touched per mechanism)\n\n";
+          core::Table t(
+              {"design", "mechanisms", "entangled-mechanisms", "entanglement-ratio"});
+          for (const char* design : {"entangled", "modular"}) {
+            const std::string d = design;
+            t.add_row({d, static_cast<long long>(res.mean(0, d + ".mechanisms")),
+                       static_cast<long long>(res.mean(0, d + ".multi_space")),
+                       res.mean(0, d + ".ratio")});
+          }
+          t.print(std::cout);
 
-  core::Table audit({"design", "mechanisms", "entangled-mechanisms", "entanglement-ratio"});
-  audit.add_row({std::string("entangled"),
-                 static_cast<long long>(entangled_map.mechanisms().size()),
-                 static_cast<long long>(entangled_map.entangled_mechanisms().size()),
-                 entangled_map.entanglement_ratio()});
-  audit.add_row({std::string("modular"),
-                 static_cast<long long>(modular_map.mechanisms().size()),
-                 static_cast<long long>(modular_map.entangled_mechanisms().size()),
-                 modular_map.entanglement_ratio()});
-  audit.print(std::cout);
-
-  std::cout << "\nNote the cost asymmetry the paper accepts: the modular design\n"
-               "spends three mechanisms where one 'efficient' mechanism sufficed\n"
-               "(SIV-A: 'solutions that are less efficient from a technical\n"
-               "perspective may do a better job of isolating tussle').\n";
+          std::cout << "\nNote the cost asymmetry the paper accepts: the modular design\n"
+                       "spends three mechanisms where one 'efficient' mechanism sufficed\n"
+                       "(SIV-A: 'solutions that are less efficient from a technical\n"
+                       "perspective may do a better job of isolating tussle').\n";
+        });
       });
 }

@@ -23,37 +23,55 @@ int main(int argc, char** argv) {
        "Tiered 'no servers at home' pricing triggers tunnelling; competition\n"
        "(user choice of ISP) disciplines the pricing itself."},
       [](bench::Harness& h) {
-  core::Table t({"competition", "user-tunnel-rate", "isp-value-price-rate", "user-payoff",
-                 "isp-payoff"});
-  for (double competition : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    auto g = game::value_pricing_game(/*tunnel_cost=*/1.0, competition);
-    sim::Rng rng(11);
-    auto eq = game::learn_equilibrium(g, 30000, rng);
-    const auto [up, ip] = g.expected_payoff(eq.row, eq.col);
-    t.add_row({competition, eq.row[1], eq.col[1], up, ip});
-    if (competition == 0.0 || competition == 1.0) {
-      const std::string k = competition == 0.0 ? "monopoly" : "competitive";
-      h.metrics().gauge(k + ".tunnel_rate", eq.row[1]);
-      h.metrics().gauge(k + ".value_price_rate", eq.col[1]);
-    }
-  }
-  t.print(std::cout);
+        core::ScenarioSpec comp;
+        comp.name = "competition-sweep";
+        comp.description = "learned tussle equilibrium vs ISP competition level";
+        comp.grid.axis("competition", {0.0, 0.25, 0.5, 0.75, 1.0});
+        comp.body = [](core::RunContext& ctx) {
+          auto g = game::value_pricing_game(/*tunnel_cost=*/1.0, ctx.param("competition"));
+          auto eq = game::learn_equilibrium(g, 30000, ctx.rng());
+          const auto [up, ip] = g.expected_payoff(eq.row, eq.col);
+          ctx.put("tunnel_rate", eq.row[1]);
+          ctx.put("value_price_rate", eq.col[1]);
+          ctx.put("user_payoff", up);
+          ctx.put("isp_payoff", ip);
+        };
+        h.scenario(comp, [](const core::SweepResult& res) {
+          core::Table t({"competition", "user-tunnel-rate", "isp-value-price-rate",
+                         "user-payoff", "isp-payoff"});
+          for (std::size_t p = 0; p < res.points.size(); ++p) {
+            t.add_row({res.points[p].get("competition"), res.mean(p, "tunnel_rate"),
+                       res.mean(p, "value_price_rate"), res.mean(p, "user_payoff"),
+                       res.mean(p, "isp_payoff")});
+          }
+          t.print(std::cout);
+        });
 
-  std::cout << "\nMechanism check: what the billing system can see\n\n";
-  econ::ValuePricing pricing(4.0, 3.0);
-  core::Table bills({"customer", "runs-server", "visible-on-wire", "monthly-bill"});
-  econ::UsageProfile honest{.runs_server = true, .runs_server_visible = true};
-  econ::UsageProfile tunneler{.runs_server = true, .runs_server_visible = false};
-  econ::UsageProfile plain{};
-  bills.add_row({std::string("honest-server"), std::string("yes"), std::string("yes"),
-                 pricing.charge(honest)});
-  bills.add_row({std::string("tunneling-server"), std::string("yes"), std::string("no"),
-                 pricing.charge(tunneler)});
-  bills.add_row({std::string("no-server"), std::string("no"), std::string("no"),
-                 pricing.charge(plain)});
-  bills.print(std::cout);
+        core::ScenarioSpec bills;
+        bills.name = "billing-visibility";
+        bills.description = "what the billing system can see per usage profile";
+        bills.body = [](core::RunContext& ctx) {
+          econ::ValuePricing pricing(4.0, 3.0);
+          econ::UsageProfile honest{.runs_server = true, .runs_server_visible = true};
+          econ::UsageProfile tunneler{.runs_server = true, .runs_server_visible = false};
+          econ::UsageProfile plain{};
+          ctx.put("honest_bill", pricing.charge(honest));
+          ctx.put("tunneler_bill", pricing.charge(tunneler));
+          ctx.put("plain_bill", pricing.charge(plain));
+        };
+        h.scenario(bills, [](const core::SweepResult& res) {
+          std::cout << "\nMechanism check: what the billing system can see\n\n";
+          core::Table t({"customer", "runs-server", "visible-on-wire", "monthly-bill"});
+          t.add_row({std::string("honest-server"), std::string("yes"), std::string("yes"),
+                     res.mean(0, "honest_bill")});
+          t.add_row({std::string("tunneling-server"), std::string("yes"), std::string("no"),
+                     res.mean(0, "tunneler_bill")});
+          t.add_row({std::string("no-server"), std::string("no"), std::string("no"),
+                     res.mean(0, "plain_bill")});
+          t.print(std::cout);
 
-  std::cout << "\nInterpretation: as competition rises the ISP retreats from value\n"
-               "pricing (column 3 falls), and users stop needing tunnels.\n";
+          std::cout << "\nInterpretation: as competition rises the ISP retreats from value\n"
+                       "pricing (column 3 falls), and users stop needing tunnels.\n";
+        });
       });
 }

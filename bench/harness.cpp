@@ -20,13 +20,19 @@ struct Flags {
   sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
   bool profile = false;
   double heartbeat_seconds = 0;
+  bool list = false;
+  std::string case_filter;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 0;
+  std::size_t replicas = 0;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json <path>] [--trace <path>] "
-               "[--trace-level debug|info|warn|error] [--profile] "
-               "[--heartbeat <seconds>]\n",
+               "usage: %s [--list] [--case <name>] [--replicas <n>] [--seed <s>]\n"
+               "          [--jobs <n>] [--json <path>] [--trace <path>]\n"
+               "          [--trace-level debug|info|warn|error] [--profile]\n"
+               "          [--heartbeat <seconds>]\n",
                argv0);
 }
 
@@ -64,6 +70,28 @@ std::optional<Flags> parse_flags(int argc, char** argv) {
       if (!v) return std::nullopt;
       f.heartbeat_seconds = std::atof(v);
       if (f.heartbeat_seconds <= 0) return std::nullopt;
+    } else if (arg == "--list") {
+      f.list = true;
+    } else if (arg == "--case") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.case_filter = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const long n = std::atol(v);
+      if (n <= 0) return std::nullopt;
+      f.jobs = static_cast<std::size_t>(n);
+    } else if (arg == "--replicas") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const long n = std::atol(v);
+      if (n < 0) return std::nullopt;
+      f.replicas = static_cast<std::size_t>(n);
     } else {
       return std::nullopt;
     }
@@ -98,13 +126,36 @@ void write_json_report(const std::string& path, const Experiment& exp,
 
 }  // namespace
 
-void Harness::instrument(sim::Simulator& sim) {
-  if (profile_to_stderr_ || !json_path_.empty()) {
-    sim.set_profiler(&profiler_);
+core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render& render) {
+  cases_.push_back({spec.name, spec.description});
+  if (list_) return {};
+  if (!case_filter_.empty() && case_filter_ != spec.name) return {};
+  case_matched_ = true;
+
+  core::SweepOptions opts;
+  opts.base_seed = seed_;
+  opts.jobs = serial_required_ ? 1 : jobs_;
+  opts.replicas = replicas_;
+  opts.profile = profile_to_stderr_ || json_requested();
+  opts.heartbeat_seconds = heartbeat_seconds_;
+
+  core::SweepResult result = core::run_sweep(spec, opts);
+
+  sweep_events_ += result.total_events();
+  for (const auto& r : result.runs) {
+    if (r.profiler) profiler_.merge(*r.profiler);
   }
-  if (heartbeat_seconds_ > 0) {
-    sim.set_heartbeat(sim::Duration::seconds(heartbeat_seconds_));
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    std::string prefix = spec.name;
+    const std::string label = result.points[p].label();
+    if (!label.empty()) prefix += "." + label;
+    const sim::MetricSet agg = result.aggregate(p);
+    for (const auto& [key, value] : agg.items()) {
+      metrics_.gauge(prefix + "." + key, value);
+    }
   }
+  if (render) render(result);
+  return result;
 }
 
 int run(int argc, char** argv, const Experiment& exp,
@@ -119,6 +170,23 @@ int run(int argc, char** argv, const Experiment& exp,
   h.json_path_ = flags->json_path;
   h.profile_to_stderr_ = flags->profile;
   h.heartbeat_seconds_ = flags->heartbeat_seconds;
+  h.list_ = flags->list;
+  h.case_filter_ = flags->case_filter;
+  h.seed_ = flags->seed;
+  h.jobs_ = flags->jobs;
+  h.replicas_ = flags->replicas;
+  // The global tracer and the heartbeat's stderr stream are shared sinks;
+  // concurrent runs would interleave their writes.
+  h.serial_required_ = !flags->trace_path.empty() || flags->heartbeat_seconds > 0;
+
+  if (h.list_) {
+    // Declaration pass only: scenario() records names without running.
+    body(h);
+    for (const auto& c : h.cases_) {
+      std::printf("%-28s %s\n", c.name.c_str(), c.description.c_str());
+    }
+    return 0;
+  }
 
   // JSONL trace sink on the global tracer: every subsystem that emits to
   // the default tracer lands in the file, whatever Network or module the
@@ -148,7 +216,14 @@ int run(int argc, char** argv, const Experiment& exp,
     tracer.enable(false);
   }
 
-  const std::uint64_t total_events = h.profiler_.total_events() + h.extra_events_;
+  if (!h.case_filter_.empty() && !h.case_matched_) {
+    std::fprintf(stderr, "%s: no case named '%s'; available:\n", argv[0],
+                 h.case_filter_.c_str());
+    for (const auto& c : h.cases_) std::fprintf(stderr, "  %s\n", c.name.c_str());
+    return 2;
+  }
+
+  const std::uint64_t total_events = h.sweep_events_ + h.extra_events_;
 
   if (flags->profile) {
     std::fprintf(stderr, "\nEvent-loop hotspots (%llu events, %.3f ms profiled)\n%s",

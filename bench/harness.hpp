@@ -1,30 +1,38 @@
 // Shared experiment-binary harness.
 //
-// Every table bench used to carry its own main(): print the banner, build
-// tables, exit. The harness keeps that human output byte-for-byte identical
-// (stdout is untouched unless a flag asks for more) and adds the
-// machine-readable layer on top:
+// A bench declares its cases once, as core::ScenarioSpec values, and the
+// harness supplies the entire command-line surface every experiment binary
+// shares:
 //
+//   --list              print the declared cases and exit
+//   --case <name>       run only the named case
+//   --replicas <n>      override every case's replica count
+//   --seed <s>          base seed for the run-index RNG streams (default 1)
+//   --jobs <n>          worker threads for the sweep engine
+//                       (default: $TUSSLE_JOBS, else hardware_concurrency)
 //   --json <path>       write metrics + wall time + event totals + hotspots
 //                       as one JSON object (the BENCH_*.json trajectory)
 //   --trace <path>      stream flow/decision trace events as JSONL
 //   --trace-level <lvl> debug|info|warn|error (default info)
 //   --profile           print the top-k event-loop hotspot table to stderr
-//   --heartbeat <sec>   periodic progress line (sim-time, events/s) on
-//                       instrumented simulators, every <sec> of sim-time
+//   --heartbeat <sec>   periodic progress line on instrumented simulators
 //
-// A bench wires its simulators in with h.instrument(sim) and publishes
-// result values through h.metrics(); both are no-ops costing one branch
-// when no observability flag is given.
+// Determinism contract: metric output is bit-identical for a given
+// (--seed, --replicas) at any --jobs, because each run draws from
+// sim::Rng::stream(seed, run_index) and results merge in run-index order
+// (see core/sweep.hpp). --trace and --heartbeat force --jobs 1: both write
+// to shared sinks mid-run. --profile does not — each run profiles into its
+// own LoopProfiler and the harness merges them in run order.
 #pragma once
 
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "core/sweep.hpp"
 #include "sim/metric_registry.hpp"
 #include "sim/profiler.hpp"
-#include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace tussle::bench {
@@ -38,40 +46,62 @@ struct Experiment {
 
 class Harness {
  public:
-  /// Scenario metrics destined for the JSON report. Counters, summaries,
-  /// gauges — anything the bench wants CI to track over time.
+  using Render = std::function<void(const core::SweepResult&)>;
+
+  /// Declares one case and — unless --list is active or --case selects a
+  /// different one — runs it through the sweep engine with the harness's
+  /// seed/replicas/jobs, publishes per-point aggregates into metrics() as
+  /// gauges named "<case>[.<params>].<key>[.<stat>]", then hands the full
+  /// result to `render` for table/prose output. Returns the result (empty
+  /// when the case was skipped).
+  core::SweepResult scenario(const core::ScenarioSpec& spec, const Render& render = nullptr);
+
+  /// Scenario metrics destined for the JSON report. scenario() fills this
+  /// automatically; benches may add extra gauges of their own.
   sim::MetricRegistry& metrics() noexcept { return metrics_; }
 
-  /// The shared event-loop profiler (attached to simulators on demand).
+  /// The merged event-loop profile across every profiled run.
   sim::LoopProfiler& profiler() noexcept { return profiler_; }
 
-  /// Attaches the observability hooks requested on the command line to a
-  /// simulator: the profiler when JSON/profile output was asked for, the
-  /// heartbeat when --heartbeat was given. Without flags this does
-  /// nothing, so the default run is exactly the pre-harness binary.
-  void instrument(sim::Simulator& sim);
-
-  /// Adds to the run's total simulated-event count. instrument()ed
-  /// simulators are counted automatically (via the profiler); benches
-  /// whose engines bypass the Simulator can add their own totals.
+  /// Adds to the run's total simulated-event count for engines that run
+  /// outside the sweep bodies (sweep runs report via ctx.add_events()).
   void add_events(std::size_t n) noexcept { extra_events_ += n; }
 
   bool json_requested() const noexcept { return !json_path_.empty(); }
+  bool list_requested() const noexcept { return list_; }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::size_t jobs() const noexcept { return jobs_; }
 
  private:
   friend int run(int argc, char** argv, const Experiment& exp,
                  const std::function<void(Harness&)>& body);
 
+  struct Case {
+    std::string name;
+    std::string description;
+  };
+
   sim::MetricRegistry metrics_;
   sim::LoopProfiler profiler_;
+  std::vector<Case> cases_;
   std::size_t extra_events_ = 0;
+  std::size_t sweep_events_ = 0;
   bool profile_to_stderr_ = false;
+  bool serial_required_ = false;  ///< --trace/--heartbeat share global sinks
   double heartbeat_seconds_ = 0;
   std::string json_path_;
+  bool list_ = false;
+  std::string case_filter_;
+  bool case_matched_ = false;
+  std::uint64_t seed_ = 1;
+  std::size_t jobs_ = 0;      ///< 0 = auto (TUSSLE_JOBS, hardware_concurrency)
+  std::size_t replicas_ = 0;  ///< 0 = keep each spec's own count
 };
 
-/// Parses flags, prints the banner, runs `body`, then emits whatever
-/// machine-readable output was requested. Returns the process exit code.
+/// Parses flags, prints the banner, runs `body` (which declares cases via
+/// Harness::scenario), then emits whatever machine-readable output was
+/// requested. Returns the process exit code.
 int run(int argc, char** argv, const Experiment& exp,
         const std::function<void(Harness&)>& body);
 

@@ -4,61 +4,98 @@
 // regimes (the lock-in lever), then let one ISP try value pricing and see
 // the game-theoretic response, and finally ask whether anyone would invest
 // in QoS here.
+//
+// Each question is a core::ScenarioSpec evaluated by run_sweep(): the axis
+// is the thing being varied (addressing regime, competition, design) and
+// every run draws its randomness from its own ctx.rng() stream, so the
+// tables below are bit-identical no matter how many workers ran them.
 #include <iostream>
 
 #include "core/tussle.hpp"
 
 using namespace tussle;
 
+namespace {
+constexpr econ::AddressingMode kModes[] = {
+    econ::AddressingMode::kStaticProviderAssigned,
+    econ::AddressingMode::kDhcpDynamicDns,
+    econ::AddressingMode::kProviderIndependent,
+};
+}  // namespace
+
 int main() {
   std::cout << "ISP marketplace walkthrough\n===========================\n";
 
   // --- 1. Lock-in: how addressing policy shapes retail prices ------------
   std::cout << "\n[1] Same town, three addressing regimes (SV-A-1)\n\n";
-  econ::LockInModel lockin;
-  core::Table t1({"regime", "switching-pain", "mean-price", "who-wins"});
-  for (auto mode : {econ::AddressingMode::kStaticProviderAssigned,
-                    econ::AddressingMode::kDhcpDynamicDns,
-                    econ::AddressingMode::kProviderIndependent}) {
-    const double pain = lockin.switching_cost(mode, /*hosts=*/8);
+  core::ScenarioSpec lockin;
+  lockin.name = "lockin";
+  lockin.description = "retail prices under three addressing regimes";
+  lockin.grid.axis("mode", {0, 1, 2});
+  lockin.body = [](core::RunContext& ctx) {
+    econ::LockInModel model;
+    const auto mode = kModes[static_cast<std::size_t>(ctx.param("mode"))];
+    const double pain = model.switching_cost(mode, /*hosts=*/8);
     econ::MarketConfig cfg;
     cfg.switching_cost = pain;
     cfg.periods = 500;
     std::vector<econ::ProviderConfig> isps(3);
     for (std::size_t i = 0; i < isps.size(); ++i) isps[i].name = "isp" + std::to_string(i);
-    sim::Rng rng(1);
-    econ::Market market(cfg, isps, rng);
+    econ::Market market(cfg, isps, ctx.rng());
     auto r = market.run();
-    t1.add_row({to_string(mode), pain, r.mean_price,
-                std::string(r.mean_price > 6 ? "providers" : "consumers")});
+    ctx.put("switching_pain", pain);
+    ctx.put("mean_price", r.mean_price);
+  };
+  const auto r1 = core::run_sweep(lockin);
+  core::Table t1({"regime", "switching-pain", "mean-price", "who-wins"});
+  for (std::size_t p = 0; p < r1.points.size(); ++p) {
+    const double price = r1.mean(p, "mean_price");
+    t1.add_row({to_string(kModes[p]), r1.mean(p, "switching_pain"), price,
+                std::string(price > 6 ? "providers" : "consumers")});
   }
   t1.print(std::cout);
 
   // --- 2. Value pricing: one ISP tries a server surcharge ----------------
   std::cout << "\n[2] The value-pricing gambit (SV-A-2)\n\n";
-  auto game_low = game::value_pricing_game(1.0, /*competition=*/0.1);
-  auto game_high = game::value_pricing_game(1.0, /*competition=*/0.9);
-  sim::Rng grng(2);
-  auto eq_low = game::learn_equilibrium(game_low, 20000, grng);
-  auto eq_high = game::learn_equilibrium(game_high, 20000, grng);
+  core::ScenarioSpec pricing;
+  pricing.name = "value-pricing";
+  pricing.description = "server-surcharge equilibrium vs market contestability";
+  pricing.grid.axis("competition", {0.1, 0.9});
+  pricing.body = [](core::RunContext& ctx) {
+    auto g = game::value_pricing_game(1.0, ctx.param("competition"));
+    auto eq = game::learn_equilibrium(g, 20000, ctx.rng());
+    ctx.put("isp_plays_value_pricing", eq.col[1]);
+    ctx.put("users_tunnel", eq.row[1]);
+  };
+  const auto r2 = core::run_sweep(pricing);
   core::Table t2({"market", "isp-plays-value-pricing", "users-tunnel"});
-  t2.add_row({std::string("captive (low competition)"), eq_low.col[1], eq_low.row[1]});
-  t2.add_row({std::string("contestable (high competition)"), eq_high.col[1], eq_high.row[1]});
+  t2.add_row({std::string("captive (low competition)"),
+              r2.mean(0, "isp_plays_value_pricing"), r2.mean(0, "users_tunnel")});
+  t2.add_row({std::string("contestable (high competition)"),
+              r2.mean(1, "isp_plays_value_pricing"), r2.mean(1, "users_tunnel")});
   t2.print(std::cout);
 
   // --- 3. Would anyone build QoS here? -----------------------------------
   std::cout << "\n[3] The QoS investment question (SVII)\n\n";
-  core::Table t3({"design", "deployment", "open-to-new-apps"});
-  for (int variant = 0; variant < 2; ++variant) {
+  core::ScenarioSpec invest;
+  invest.name = "qos-investment";
+  invest.description = "deployment with and without value flow + user choice";
+  invest.grid.axis("variant", {0, 1});
+  invest.body = [](core::RunContext& ctx) {
     econ::InvestmentConfig cfg;
-    cfg.value_flow = (variant == 1);
-    cfg.user_choice = (variant == 1);
-    sim::Rng rng(3);
-    auto r = econ::run_investment(cfg, rng);
-    t3.add_row({std::string(variant ? "with value-flow + user choice"
-                                    : "as historically designed"),
-                r.final_deploy_fraction,
-                std::string(r.open_service_available ? "yes" : "no")});
+    cfg.value_flow = ctx.param("variant") == 1;
+    cfg.user_choice = ctx.param("variant") == 1;
+    auto r = econ::run_investment(cfg, ctx.rng());
+    ctx.put("deploy_fraction", r.final_deploy_fraction);
+    ctx.put("open_service", r.open_service_available ? 1.0 : 0.0);
+  };
+  const auto r3 = core::run_sweep(invest);
+  core::Table t3({"design", "deployment", "open-to-new-apps"});
+  for (std::size_t p = 0; p < r3.points.size(); ++p) {
+    t3.add_row({std::string(p == 1 ? "with value-flow + user choice"
+                                   : "as historically designed"),
+                r3.mean(p, "deploy_fraction"),
+                std::string(r3.mean(p, "open_service") != 0 ? "yes" : "no")});
   }
   t3.print(std::cout);
 

@@ -6,6 +6,11 @@
 //   3. Negotiation: the endpoint asks for a pinhole (MIDCOM-style).
 //   4. Who may grant it depends on who holds policy authority — the
 //      governance tussle, played three ways.
+//
+// The three ways are one core::ScenarioSpec with policy authority as the
+// axis. Each run plays the identical mechanism under a different authority
+// and records its story via ctx.note(); run_sweep() may evaluate the runs
+// concurrently, and the replay below is still in axis order.
 #include <iostream>
 
 #include "apps/diagnostics.hpp"
@@ -25,17 +30,25 @@ const char* outcome_name(apps::FaultProbe::Outcome o) {
   return "?";
 }
 
+constexpr trust::PolicyAuthority kAuthorities[] = {
+    trust::PolicyAuthority::kEndUser,
+    trust::PolicyAuthority::kNetworkAdmin,
+    trust::PolicyAuthority::kGovernment,
+};
+
 }  // namespace
 
 int main() {
   std::cout << "Negotiated-firewall walkthrough\n===============================\n\n";
 
-  for (auto authority : {trust::PolicyAuthority::kEndUser,
-                         trust::PolicyAuthority::kNetworkAdmin,
-                         trust::PolicyAuthority::kGovernment}) {
-    std::cout << "--- policy authority: " << to_string(authority) << " ---\n";
+  core::ScenarioSpec spec;
+  spec.name = "negotiated-firewall";
+  spec.description = "diagnose + negotiate a default-deny firewall per policy authority";
+  spec.grid.axis("authority", {0, 1, 2});
+  spec.body = [](core::RunContext& ctx) {
+    const auto authority = kAuthorities[static_cast<std::size_t>(ctx.param("authority"))];
 
-    sim::Simulator sim(7);
+    sim::Simulator sim(ctx.rng().next_u64());
     net::Network net(sim);
     net.enable_fault_reporting(true);
     auto ids = net::build_star(net, 2, 1, net::LinkSpec{});
@@ -64,24 +77,33 @@ int main() {
 
     // Step 1-2: the new app (an unproven protocol) fails; diagnose it.
     auto before = probe.probe(addrs[1], addrs[2], net::AppProto::kP2p);
-    std::cout << "  new app before negotiation: " << outcome_name(before.outcome);
+    std::string diag = "  new app before negotiation: ";
+    diag += outcome_name(before.outcome);
     if (before.outcome == apps::FaultProbe::Outcome::kFilteredReported) {
-      std::cout << " by node " << before.reporting_node << " (" << before.reason << ")";
+      diag += " by node " + std::to_string(before.reporting_node) + " (" + before.reason + ")";
     }
-    std::cout << "\n";
+    ctx.note(diag);
 
     // Step 3: ask for pinholes for the new app and for VoIP.
     for (auto proto : {net::AppProto::kP2p, net::AppProto::kVoip}) {
       auto grant = broker.request({"user1", addrs[1], proto, "let my app work"});
-      std::cout << "  pinhole for " << net::to_string(proto) << ": "
-                << (grant.granted ? "GRANTED" : "refused") << " — " << grant.reason << "\n";
+      ctx.note("  pinhole for " + std::string(net::to_string(proto)) + ": " +
+               (grant.granted ? "GRANTED" : "refused") + " — " + grant.reason);
+      ctx.put(std::string(net::to_string(proto)) + ".granted", grant.granted ? 1.0 : 0.0);
     }
 
     // Step 4: verify with fresh probes.
     auto p2p_after = probe.probe(addrs[1], addrs[2], net::AppProto::kP2p);
     auto voip_after = probe.probe(addrs[1], addrs[2], net::AppProto::kVoip);
-    std::cout << "  after negotiation: p2p=" << outcome_name(p2p_after.outcome)
-              << ", voip=" << outcome_name(voip_after.outcome) << "\n\n";
+    ctx.note("  after negotiation: p2p=" + std::string(outcome_name(p2p_after.outcome)) +
+             ", voip=" + std::string(outcome_name(voip_after.outcome)));
+  };
+
+  const auto res = core::run_sweep(spec);
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    std::cout << "--- policy authority: " << to_string(kAuthorities[p]) << " ---\n";
+    for (const auto& line : res.run(p, 0).notes) std::cout << line << "\n";
+    std::cout << "\n";
   }
 
   std::cout << "The mechanism is identical in all three runs; only the holder of\n"

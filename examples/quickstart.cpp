@@ -7,6 +7,12 @@
 //   1. substrate  — Simulator + Network + routing
 //   2. mechanism  — a policy-language filter installed at a provider node
 //   3. tussle     — the user's counter-move, and what the metrics show
+//
+// The experiment itself is declared as a core::ScenarioSpec — the same
+// declarative surface every bench uses — with "does alice encrypt?" as the
+// one parameter axis. run_sweep() evaluates both points (in parallel when
+// TUSSLE_JOBS allows, bit-identically either way) and the narrative below
+// replays each run's notes in run-index order.
 #include <iostream>
 
 #include "core/tussle.hpp"
@@ -16,65 +22,74 @@ using namespace tussle;
 int main() {
   std::cout << "tussle-net quickstart\n=====================\n\n";
 
-  // 1. Substrate: a deterministic simulator and a 3-node network
-  //    alice --- isp-router --- bob
-  sim::Simulator sim(/*seed=*/42);
-  net::Network net(sim);
-  const net::NodeId alice = net.add_node(/*as=*/1);
-  const net::NodeId isp = net.add_node(1);
-  const net::NodeId bob = net.add_node(1);
-  net.connect(alice, isp, 10e6, sim::Duration::millis(5));
-  net.connect(isp, bob, 10e6, sim::Duration::millis(5));
+  core::ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.description = "ISP p2p filter vs an encrypting user";
+  spec.grid.axis("encrypted", {0, 1});
+  spec.body = [](core::RunContext& ctx) {
+    // 1. Substrate: a deterministic simulator and a 3-node network
+    //    alice --- isp-router --- bob
+    sim::Simulator sim(ctx.rng().next_u64());
+    net::Network net(sim);
+    const net::NodeId alice = net.add_node(/*as=*/1);
+    const net::NodeId isp = net.add_node(1);
+    const net::NodeId bob = net.add_node(1);
+    net.connect(alice, isp, 10e6, sim::Duration::millis(5));
+    net.connect(isp, bob, 10e6, sim::Duration::millis(5));
 
-  const net::Address alice_addr{.provider = 1, .subscriber = 1, .host = 1};
-  const net::Address bob_addr{.provider = 1, .subscriber = 2, .host = 1};
-  net.node(alice).add_address(alice_addr);
-  net.node(bob).add_address(bob_addr);
+    const net::Address alice_addr{.provider = 1, .subscriber = 1, .host = 1};
+    const net::Address bob_addr{.provider = 1, .subscriber = 2, .host = 1};
+    net.node(alice).add_address(alice_addr);
+    net.node(bob).add_address(bob_addr);
 
-  // Let link-state routing fill every forwarding table.
-  routing::LinkState ls(net);
-  ls.install_routes({alice, isp, bob});
+    // Let link-state routing fill every forwarding table.
+    routing::LinkState ls(net);
+    ls.install_routes({alice, isp, bob});
 
-  // 2. Mechanism: the ISP installs a policy-language filter: no p2p.
-  policy::PolicySet rules(policy::standard_packet_ontology(), policy::Effect::kPermit);
-  rules.add("no-p2p", policy::Effect::kDeny, "proto == 'p2p'", "application");
-  net.node(isp).add_filter(policy::make_packet_filter("isp-dpi", /*disclosed=*/true, rules));
+    // 2. Mechanism: the ISP installs a policy-language filter: no p2p.
+    policy::PolicySet rules(policy::standard_packet_ontology(), policy::Effect::kPermit);
+    rules.add("no-p2p", policy::Effect::kDeny, "proto == 'p2p'", "application");
+    net.node(isp).add_filter(policy::make_packet_filter("isp-dpi", /*disclosed=*/true, rules));
 
-  // 3. Tussle: alice sends p2p plainly, then encrypted.
-  auto send = [&](bool encrypted) {
+    // 3. Tussle: alice sends p2p, plainly or encrypted depending on the axis.
+    const bool encrypted = ctx.param("encrypted") != 0;
     net::Packet p;
     p.src = alice_addr;
     p.dst = bob_addr;
     p.proto = net::AppProto::kP2p;
     p.encrypted = encrypted;
     p.payload_tag = encrypted ? "hidden" : "plain";
+    net.node(bob).set_local_handler([&](const net::Packet& got) {
+      ctx.note("  bob received: " + got.payload_tag + " (observable proto: " +
+               std::string(net::to_string(got.observable_proto())) + ")");
+    });
     net.node(alice).originate(std::move(p));
+    ctx.add_events(sim.run());
+
+    ctx.put("delivered", static_cast<double>(net.counters().delivered.value()));
+    ctx.put("filtered", static_cast<double>(net.counters().dropped_filter.value()));
+    for (const auto& name : net.node(isp).disclosed_filter_names()) {
+      ctx.note("  disclosed control point at the ISP: " + name);
+    }
   };
-  int bob_got = 0;
-  net.node(bob).set_local_handler([&](const net::Packet& p) {
-    std::cout << "  bob received: " << p.payload_tag
-              << " (observable proto: " << net::to_string(p.observable_proto()) << ")\n";
-    ++bob_got;
-  });
+
+  const auto res = core::run_sweep(spec);
 
   std::cout << "Round 1: plain p2p through the ISP filter...\n";
-  send(/*encrypted=*/false);
-  sim.run();
-  std::cout << "  delivered=" << net.counters().delivered.value()
-            << " filtered=" << net.counters().dropped_filter.value() << "\n\n";
+  for (const auto& line : res.run(0, 0).notes) std::cout << line << "\n";
+  std::cout << "  delivered=" << res.mean(0, "delivered")
+            << " filtered=" << res.mean(0, "filtered") << "\n\n";
 
   std::cout << "Round 2: alice encrypts (SVI-A: 'peeking is irresistible', so\n"
             << "the ultimate defense of the end-to-end mode is encryption)...\n";
-  send(/*encrypted=*/true);
-  sim.run();
-  std::cout << "  delivered=" << net.counters().delivered.value()
-            << " filtered=" << net.counters().dropped_filter.value() << "\n\n";
+  for (const auto& line : res.run(1, 0).notes) std::cout << line << "\n";
+  std::cout << "  delivered=" << res.mean(1, "delivered")
+            << " filtered=" << res.mean(1, "filtered") << "\n\n";
 
-  // The visibility principle: the filter disclosed itself, so alice could
-  // know why round 1 failed.
-  std::cout << "Disclosed control points at the ISP:";
-  for (const auto& name : net.node(isp).disclosed_filter_names()) std::cout << " " << name;
-  std::cout << "\n\nDone. Bob received " << bob_got << " of 2 packets — the tussle\n"
+  // The visibility principle: the filter disclosed itself (see the notes
+  // above), so alice could know why round 1 failed.
+  const double bob_got = res.mean(0, "delivered") + res.mean(1, "delivered");
+  std::cout << "Done. Bob received " << bob_got << " of 2 packets — the tussle\n"
             << "played out *inside* the design: no protocol was violated.\n";
   return 0;
 }

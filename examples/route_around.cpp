@@ -4,7 +4,13 @@
 // multihomed stub exactly one exit; user source routing surfaces both, but
 // the second one must be paid for; and when the direct path is filtered, an
 // overlay tunnels around the chokepoint on the real packet network.
+//
+// Declared as one core::ScenarioSpec whose axis is the data-plane
+// counter-move of part 3: send direct into the chokepoint, or relay via
+// the overlay. Parts 1 and 2 are the same in every run; the narration
+// replays their notes from the first run and reads part 3 per point.
 #include <iostream>
+#include <sstream>
 
 #include "core/tussle.hpp"
 
@@ -13,102 +19,131 @@ using namespace tussle;
 int main() {
   std::cout << "Route-around walkthrough\n========================\n";
 
-  // AS topology: stub 7 buys from 4 and 5; 4,5 buy from tier-1 peers 1,2.
-  routing::AsGraph g;
-  g.add_peering(1, 2);
-  g.add_customer_provider(4, 1);
-  g.add_customer_provider(5, 2);
-  g.add_customer_provider(7, 4);
-  g.add_customer_provider(7, 5);
-  g.add_customer_provider(6, 1);
-  // AS8 buys transit from nobody; it only peers with stub 7.
-  g.add_as(8);
-  g.add_peering(7, 8);
+  core::ScenarioSpec spec;
+  spec.name = "route-around";
+  spec.description = "provider vs user routing, then direct vs overlay data plane";
+  spec.grid.axis("use_overlay", {0, 1});
+  spec.body = [](core::RunContext& ctx) {
+    // AS topology: stub 7 buys from 4 and 5; 4,5 buy from tier-1 peers 1,2.
+    routing::AsGraph g;
+    g.add_peering(1, 2);
+    g.add_customer_provider(4, 1);
+    g.add_customer_provider(5, 2);
+    g.add_customer_provider(7, 4);
+    g.add_customer_provider(7, 5);
+    g.add_customer_provider(6, 1);
+    // AS8 buys transit from nobody; it only peers with stub 7.
+    g.add_as(8);
+    g.add_peering(7, 8);
 
-  // --- 1. What the providers decide for you -------------------------------
+    // --- 1. What the providers decide for you ----------------------------
+    routing::PathVector pv(g);
+    auto outcome = pv.compute(/*dest=*/6);
+    const auto& chosen = outcome.routes.at(7);
+    std::string line = "  AS7 -> AS6 via:";
+    for (auto as : chosen.as_path) line += " " + std::to_string(as);
+    ctx.note("[1]" + line + "  (converged in " + std::to_string(outcome.rounds) +
+             " rounds, one path, no say)");
+
+    // --- 2. What the user could express ----------------------------------
+    routing::SourceRouteBuilder builder(g);
+    econ::Ledger ledger;
+    econ::PaidTransit transit(g, ledger);
+    transit.set_transit_price(5, 2.0);
+    transit.set_transit_price(2, 1.5);
+    for (const auto& path : builder.k_shortest_paths(7, 6, 3)) {
+      auto quote = transit.quote(path);
+      std::string cand = "  candidate:";
+      for (auto as : path) cand += " " + std::to_string(as);
+      cand += quote.paid_ases.empty() ? "  — free (valley-free)" : "  — paid";
+      ctx.note("[2]" + cand);
+    }
+
+    // The peer-only AS8 has NO provider route to 6 at all (7 will not give
+    // a peer free transit)...
+    const bool pv8 = pv.compute(6).routes.count(8) != 0;
+    ctx.note("[2]  provider routing gives AS8 a route to AS6? " +
+             std::string(pv8 ? "yes" : "no"));
+    // ...but a *paid* source route through 7 works: value must flow.
+    transit.set_transit_price(7, 2.0);
+    if (auto quote = transit.best_quote(8, 6, 4)) {
+      std::string paid = "  paid source route for AS8:";
+      for (auto as : quote->path) paid += " " + std::to_string(as);
+      std::ostringstream price;
+      price << quote->total_price;
+      paid += "  (pays " + price.str() + " to";
+      for (auto as : quote->paid_ases) paid += " AS" + std::to_string(as);
+      paid += ")";
+      ctx.note("[2]" + paid);
+      transit.settle("user:8", *quote);
+    }
+    ctx.put("as8_balance", ledger.balance("user:8"));
+    ctx.put("as7_earned", ledger.balance("as:7"));
+
+    // --- 3. The packet-level counter-move --------------------------------
+    sim::Simulator sim(ctx.rng().next_u64());
+    net::Network net(sim);
+    auto ids = net::build_star(net, 3, 1, net::LinkSpec{});
+    std::vector<net::Address> addrs;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      net::Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
+      net.node(ids[i]).add_address(a);
+      addrs.push_back(a);
+    }
+    routing::LinkState ls(net);
+    ls.install_routes(ids);
+    // Hub blocks web between leaf 1 and leaf 3.
+    net.node(ids[0]).add_filter(net::PacketFilter{
+        .name = "chokepoint",
+        .disclosed = false,
+        .fn = [&](const net::Packet& p) {
+          if (p.observable_proto() == net::AppProto::kWeb && p.src == addrs[1] &&
+              p.dst == addrs[3]) {
+            return net::FilterDecision::drop("blocked");
+          }
+          return net::FilterDecision::accept();
+        }});
+
+    net::Packet pkt;
+    pkt.src = addrs[1];
+    pkt.dst = addrs[3];
+    pkt.proto = net::AppProto::kWeb;
+    if (ctx.param("use_overlay") == 0) {
+      net.node(ids[1]).originate(std::move(pkt));
+      ctx.add_events(sim.run());
+    } else {
+      routing::Overlay overlay(net,
+                               {{ids[1], addrs[1]}, {ids[2], addrs[2]}, {ids[3], addrs[3]}});
+      overlay.set_edge_cost(ids[1], ids[2], 1.0);
+      overlay.set_edge_cost(ids[2], ids[3], 1.0);
+      auto path = overlay.send(ids[1], ids[3], std::move(pkt));
+      ctx.add_events(sim.run());
+      ctx.put("relay_members", static_cast<double>(path.size() - 2));
+    }
+    ctx.put("delivered", static_cast<double>(net.counters().delivered.value()));
+    ctx.put("filtered", static_cast<double>(net.counters().dropped_filter.value()));
+  };
+
+  const auto res = core::run_sweep(spec);
+  const auto& notes = res.run(0, 0).notes;
+
   std::cout << "\n[1] Provider-controlled routing (BGP analogue):\n";
-  routing::PathVector pv(g);
-  auto outcome = pv.compute(/*dest=*/6);
-  const auto& chosen = outcome.routes.at(7);
-  std::cout << "  AS7 -> AS6 via:";
-  for (auto as : chosen.as_path) std::cout << " " << as;
-  std::cout << "  (converged in " << outcome.rounds << " rounds, one path, no say)\n";
+  for (const auto& n : notes) {
+    if (n.rfind("[1]", 0) == 0) std::cout << n.substr(3) << "\n";
+  }
 
-  // --- 2. What the user could express --------------------------------------
   std::cout << "\n[2] User-controlled source routing (NIRA-flavoured):\n";
-  routing::SourceRouteBuilder builder(g);
-  econ::Ledger ledger;
-  econ::PaidTransit transit(g, ledger);
-  transit.set_transit_price(5, 2.0);
-  transit.set_transit_price(2, 1.5);
-  for (const auto& path : builder.k_shortest_paths(7, 6, 3)) {
-    auto quote = transit.quote(path);
-    std::cout << "  candidate:";
-    for (auto as : path) std::cout << " " << as;
-    std::cout << (quote.paid_ases.empty() ? "  — free (valley-free)\n" : "  — paid\n");
+  for (const auto& n : notes) {
+    if (n.rfind("[2]", 0) == 0) std::cout << n.substr(3) << "\n";
   }
+  std::cout << "  AS8 balance after settlement: " << res.mean(0, "as8_balance")
+            << ", AS7 earned: " << res.mean(0, "as7_earned") << "\n";
 
-  // The peer-only AS8 has NO provider route to 6 at all (7 will not give a
-  // peer free transit)...
-  auto pv8 = pv.compute(6).routes.count(8);
-  std::cout << "  provider routing gives AS8 a route to AS6? " << (pv8 ? "yes" : "no") << "\n";
-  // ...but a *paid* source route through 7 works: value must flow.
-  transit.set_transit_price(7, 2.0);
-  if (auto quote = transit.best_quote(8, 6, 4)) {
-    std::cout << "  paid source route for AS8:";
-    for (auto as : quote->path) std::cout << " " << as;
-    std::cout << "  (pays " << quote->total_price << " to";
-    for (auto as : quote->paid_ases) std::cout << " AS" << as;
-    std::cout << ")\n";
-    transit.settle("user:8", *quote);
-  }
-  std::cout << "  AS8 balance after settlement: " << ledger.balance("user:8")
-            << ", AS7 earned: " << ledger.balance("as:7") << "\n";
-
-  // --- 3. The packet-level counter-move ------------------------------------
   std::cout << "\n[3] Overlay vs chokepoint on the data plane:\n";
-  sim::Simulator sim(5);
-  net::Network net(sim);
-  auto ids = net::build_star(net, 3, 1, net::LinkSpec{});
-  std::vector<net::Address> addrs;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    net::Address a{.provider = 1, .subscriber = static_cast<std::uint32_t>(i), .host = 1};
-    net.node(ids[i]).add_address(a);
-    addrs.push_back(a);
-  }
-  routing::LinkState ls(net);
-  ls.install_routes(ids);
-  // Hub blocks web between leaf 1 and leaf 3.
-  net.node(ids[0]).add_filter(net::PacketFilter{
-      .name = "chokepoint",
-      .disclosed = false,
-      .fn = [&](const net::Packet& p) {
-        if (p.observable_proto() == net::AppProto::kWeb && p.src == addrs[1] &&
-            p.dst == addrs[3]) {
-          return net::FilterDecision::drop("blocked");
-        }
-        return net::FilterDecision::accept();
-      }});
-  net::Packet direct;
-  direct.src = addrs[1];
-  direct.dst = addrs[3];
-  direct.proto = net::AppProto::kWeb;
-  net.node(ids[1]).originate(std::move(direct));
-  sim.run();
-  std::cout << "  direct: delivered=" << net.counters().delivered.value()
-            << " filtered=" << net.counters().dropped_filter.value() << "\n";
-
-  routing::Overlay overlay(net, {{ids[1], addrs[1]}, {ids[2], addrs[2]}, {ids[3], addrs[3]}});
-  overlay.set_edge_cost(ids[1], ids[2], 1.0);
-  overlay.set_edge_cost(ids[2], ids[3], 1.0);
-  net::Packet via;
-  via.src = addrs[1];
-  via.dst = addrs[3];
-  via.proto = net::AppProto::kWeb;
-  auto path = overlay.send(ids[1], ids[3], std::move(via));
-  sim.run();
-  std::cout << "  overlay relay via " << path.size() - 2
-            << " member(s): delivered=" << net.counters().delivered.value() << "\n";
+  std::cout << "  direct: delivered=" << res.mean(0, "delivered")
+            << " filtered=" << res.mean(0, "filtered") << "\n";
+  std::cout << "  overlay relay via " << res.mean(1, "relay_members")
+            << " member(s): delivered=" << res.mean(1, "delivered") << "\n";
 
   std::cout << "\nThe overlay is 'a tool in the tussle, certainly' — and the\n"
                "payment ledger is the piece whose absence the paper blames for\n"

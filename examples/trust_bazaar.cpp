@@ -5,6 +5,11 @@
 // a scammer. A credit-card-style mediator caps buyer losses; the
 // reputation system converts experience into access decisions at a
 // trust-aware firewall.
+//
+// The storyline is declared once as a core::ScenarioSpec whose single axis
+// is the governance question of act 3 — who holds firewall policy
+// authority. Each run rebuilds the bazaar from scratch and records its
+// observations as metrics and notes; the narration below replays them.
 #include <iostream>
 
 #include "core/tussle.hpp"
@@ -14,91 +19,116 @@ using namespace tussle;
 int main() {
   std::cout << "Trust bazaar walkthrough\n========================\n";
 
-  // Identity substrate: a CA, a registry, and the framework.
-  trust::CertificateAuthority ca("bazaar-ca");
-  trust::CaRegistry registry;
-  registry.trust(&ca);
-  registry.enroll(ca.issue("honest-shop"));
-  trust::IdentityFramework framework;
-  framework.set_verifier(trust::IdentityScheme::kCertified, registry.verifier());
+  constexpr trust::PolicyAuthority kAuthorities[] = {
+      trust::PolicyAuthority::kEndUser,
+      trust::PolicyAuthority::kNetworkAdmin,
+  };
 
-  trust::ReputationSystem reputation;
-  econ::Ledger ledger;
-  trust::EscrowMediator card("credit-card", ledger, reputation, /*liability_cap=*/0.5);
+  core::ScenarioSpec spec;
+  spec.name = "trust-bazaar";
+  spec.description = "mediated commerce + trust firewall under two policy authorities";
+  spec.grid.axis("authority", {0, 1});
+  spec.body = [&](core::RunContext& ctx) {
+    // Identity substrate: a CA, a registry, and the framework.
+    trust::CertificateAuthority ca("bazaar-ca");
+    trust::CaRegistry registry;
+    registry.trust(&ca);
+    registry.enroll(ca.issue("honest-shop"));
+    trust::IdentityFramework framework;
+    framework.set_verifier(trust::IdentityScheme::kCertified, registry.verifier());
+
+    trust::ReputationSystem reputation;
+    econ::Ledger ledger;
+    trust::EscrowMediator card("credit-card", ledger, reputation, /*liability_cap=*/0.5);
+
+    // Act 1: commerce, mediated vs. not — 10 purchases from each shop, the
+    // scam shop never ships.
+    double mediated_loss = 0, direct_loss = 0;
+    for (int i = 0; i < 10; ++i) {
+      auto m = card.transact("buyer-" + std::to_string(i), "scam-shop", 20.0, false);
+      mediated_loss += m.buyer_loss;
+      auto d = trust::EscrowMediator::transact_unmediated(
+          ledger, reputation, "buyer-" + std::to_string(i), "scam-shop-direct", 20.0, false);
+      direct_loss += d.buyer_loss;
+      card.transact("buyer-" + std::to_string(i), "honest-shop", 20.0, true);
+    }
+    ctx.put("mediated_loss", mediated_loss);
+    ctx.put("direct_loss", direct_loss);
+    ctx.put("scam_reputation", reputation.score("scam-shop"));
+    ctx.put("scam_direct_reputation", reputation.score("scam-shop-direct"));
+    ctx.put("honest_reputation", reputation.score("honest-shop"));
+
+    // Act 2: the firewall consults the bazaar's memory.
+    std::map<net::Address, trust::Identity> bindings;
+    const net::Address shop_addr{.provider = 1, .subscriber = 1, .host = 1};
+    const net::Address scam_addr{.provider = 1, .subscriber = 2, .host = 1};
+    const net::Address anon_addr{.provider = 1, .subscriber = 3, .host = 1};
+    bindings[shop_addr] = trust::Identity{trust::IdentityScheme::kCertified, "honest-shop",
+                                          "bazaar-ca"};
+    bindings[scam_addr] =
+        trust::Identity{trust::IdentityScheme::kPseudonymous, "scam-shop", ""};
+    bindings[anon_addr] = trust::Identity{};  // visibly anonymous
+    auto lookup = [&](const net::Address& a) -> std::optional<trust::Identity> {
+      auto it = bindings.find(a);
+      if (it == bindings.end()) return std::nullopt;
+      return it->second;
+    };
+
+    trust::TrustFirewallConfig cfg;
+    cfg.min_reputation = 0.3;
+    trust::TrustFirewall fw("bazaar-fw", cfg, framework, reputation, lookup);
+    auto probe = [&](const net::Address& src, const char* who) {
+      net::Packet p;
+      p.src = src;
+      auto d = fw.decide(p);
+      ctx.note("  " + std::string(who) + ": " +
+               (d.action == net::FilterAction::kAccept ? "ACCEPTED"
+                                                       : "refused (" + d.reason + ")"));
+    };
+    probe(shop_addr, "certified honest shop  ");
+    probe(scam_addr, "pseudonymous scam shop ");
+    probe(anon_addr, "anonymous lurker       ");
+
+    // Act 3: the governance knob. The user insists on talking to the scam
+    // shop; whether the whitelist sticks depends on who holds authority.
+    trust::TrustFirewallConfig c2;
+    c2.authority = kAuthorities[static_cast<std::size_t>(ctx.param("authority"))];
+    trust::TrustFirewall fw2("fw2", c2, framework, reputation, lookup);
+    fw2.user_whitelist("scam-shop");
+    net::Packet p;
+    p.src = scam_addr;
+    ctx.put("whitelist_honored",
+            fw2.decide(p).action == net::FilterAction::kAccept ? 1.0 : 0.0);
+    ctx.put("ledger_total", ledger.total());
+  };
+
+  const auto res = core::run_sweep(spec);
 
   // --- Act 1: commerce, mediated vs. not ---------------------------------
   std::cout << "\n[1] Third-party mediation (SV-B): 10 purchases from each shop,\n"
                "    the scam shop never ships.\n\n";
-  double mediated_loss = 0, direct_loss = 0;
-  for (int i = 0; i < 10; ++i) {
-    auto m = card.transact("buyer-" + std::to_string(i), "scam-shop", 20.0, false);
-    mediated_loss += m.buyer_loss;
-    auto d = trust::EscrowMediator::transact_unmediated(
-        ledger, reputation, "buyer-" + std::to_string(i), "scam-shop-direct", 20.0, false);
-    direct_loss += d.buyer_loss;
-    card.transact("buyer-" + std::to_string(i), "honest-shop", 20.0, true);
-  }
   core::Table t1({"channel", "total-buyer-loss", "scam-reputation-now"});
-  t1.add_row({std::string("through mediator (capped)"), mediated_loss,
-              reputation.score("scam-shop")});
-  t1.add_row({std::string("direct two-party"), direct_loss,
-              reputation.score("scam-shop-direct")});
+  t1.add_row({std::string("through mediator (capped)"), res.mean(0, "mediated_loss"),
+              res.mean(0, "scam_reputation")});
+  t1.add_row({std::string("direct two-party"), res.mean(0, "direct_loss"),
+              res.mean(0, "scam_direct_reputation")});
   t1.print(std::cout);
-  std::cout << "\n  honest shop reputation: " << reputation.score("honest-shop") << "\n";
+  std::cout << "\n  honest shop reputation: " << res.mean(0, "honest_reputation") << "\n";
 
   // --- Act 2: the firewall consults the bazaar's memory ------------------
   std::cout << "\n[2] Trust-aware firewall (SV-B): who still gets through?\n\n";
-  std::map<net::Address, trust::Identity> bindings;
-  const net::Address shop_addr{.provider = 1, .subscriber = 1, .host = 1};
-  const net::Address scam_addr{.provider = 1, .subscriber = 2, .host = 1};
-  const net::Address anon_addr{.provider = 1, .subscriber = 3, .host = 1};
-  bindings[shop_addr] = trust::Identity{trust::IdentityScheme::kCertified, "honest-shop",
-                                        "bazaar-ca"};
-  bindings[scam_addr] =
-      trust::Identity{trust::IdentityScheme::kPseudonymous, "scam-shop", ""};
-  bindings[anon_addr] = trust::Identity{};  // visibly anonymous
-
-  trust::TrustFirewallConfig cfg;
-  cfg.min_reputation = 0.3;
-  trust::TrustFirewall fw("bazaar-fw", cfg, framework, reputation,
-                          [&](const net::Address& a) -> std::optional<trust::Identity> {
-                            auto it = bindings.find(a);
-                            if (it == bindings.end()) return std::nullopt;
-                            return it->second;
-                          });
-  auto probe = [&](const net::Address& src, const char* who) {
-    net::Packet p;
-    p.src = src;
-    auto d = fw.decide(p);
-    std::cout << "  " << who << ": "
-              << (d.action == net::FilterAction::kAccept ? "ACCEPTED" : "refused (" + d.reason + ")")
-              << "\n";
-  };
-  probe(shop_addr, "certified honest shop  ");
-  probe(scam_addr, "pseudonymous scam shop ");
-  probe(anon_addr, "anonymous lurker       ");
+  for (const auto& line : res.run(0, 0).notes) std::cout << line << "\n";
 
   // --- Act 3: the governance question -------------------------------------
   std::cout << "\n[3] Who sets firewall policy? The paper refuses to decide;\n"
                "    the mechanism only offers the knob:\n\n";
-  for (auto authority : {trust::PolicyAuthority::kEndUser, trust::PolicyAuthority::kNetworkAdmin}) {
-    trust::TrustFirewallConfig c2;
-    c2.authority = authority;
-    trust::TrustFirewall fw2("fw2", c2, framework, reputation,
-                             [&](const net::Address& a) -> std::optional<trust::Identity> {
-                               auto it = bindings.find(a);
-                               if (it == bindings.end()) return std::nullopt;
-                               return it->second;
-                             });
-    fw2.user_whitelist("scam-shop");  // the user insists on talking to them
-    net::Packet p;
-    p.src = scam_addr;
-    const bool passed = fw2.decide(p).action == net::FilterAction::kAccept;
-    std::cout << "  authority=" << to_string(authority)
+  for (std::size_t p = 0; p < res.points.size(); ++p) {
+    const bool passed = res.mean(p, "whitelist_honored") != 0;
+    std::cout << "  authority=" << to_string(kAuthorities[p])
               << ", user whitelists the scam shop -> " << (passed ? "honored" : "overridden")
               << "\n";
   }
-  std::cout << "\nLedger conservation: " << ledger.total() << " (mediation moved money,\n"
-               "never created it).\n";
+  std::cout << "\nLedger conservation: " << res.mean(0, "ledger_total")
+            << " (mediation moved money,\nnever created it).\n";
   return 0;
 }

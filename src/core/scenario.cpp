@@ -1,42 +1,51 @@
 #include "core/scenario.hpp"
 
-#include <cmath>
-#include <map>
-
 namespace tussle::core {
 
+// Definition of the deprecated constructor; the attribute warns at use
+// sites, not here.
+Scenario::Scenario(std::string name, Body body) {
+  spec_.name = std::move(name);
+  spec_.replicas = 1;
+  spec_.body = [body = std::move(body)](RunContext& ctx) { body(ctx.rng(), ctx.metrics()); };
+}
+
 sim::MetricSet Scenario::run(std::uint64_t seed) const {
-  sim::Rng rng(seed);
-  sim::MetricSet metrics;
-  body_(rng, metrics);
-  return metrics;
+  SweepOptions opts;
+  opts.base_seed = seed;
+  opts.jobs = 1;
+  auto result = run_sweep(spec_, opts);
+  return std::move(result.runs.at(0).metrics);
 }
 
 sim::MetricSet Scenario::run_replicated(std::size_t replicas, std::uint64_t base_seed) const {
-  std::map<std::string, sim::Summary> agg;
-  std::vector<std::string> order;
-  for (std::size_t r = 0; r < replicas; ++r) {
-    auto m = run(base_seed + r);
-    for (const auto& [k, v] : m.items()) {
-      if (!agg.count(k)) order.push_back(k);
-      agg[k].observe(v);
-    }
-  }
-  sim::MetricSet out;
-  for (const auto& k : order) {
-    out.put(k + ".mean", agg[k].mean());
-    out.put(k + ".stddev", agg[k].stddev());
-  }
-  return out;
+  SweepOptions opts;
+  opts.base_seed = base_seed;
+  opts.replicas = replicas;
+  return run_sweep(spec_, opts).aggregate();
 }
 
 RegionalOutcome run_regional(const std::vector<double>& region_params,
                              const std::function<double(double, sim::Rng&)>& body,
                              std::uint64_t seed) {
+  if (region_params.empty()) return {};
+  ScenarioSpec spec;
+  spec.name = "regional";
+  std::vector<double> indices(region_params.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<double>(i);
+  spec.grid.axis("region", indices);
+  spec.body = [&region_params, &body](RunContext& ctx) {
+    ctx.put("outcome", body(region_params[ctx.point_index()], ctx.rng()));
+  };
+
+  SweepOptions opts;
+  opts.base_seed = seed;
+  auto result = run_sweep(spec, opts);
+
   RegionalOutcome out;
-  for (std::size_t i = 0; i < region_params.size(); ++i) {
-    sim::Rng rng(seed + i);
-    out.per_region.push_back(body(region_params[i], rng));
+  out.per_region.reserve(region_params.size());
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    out.per_region.push_back(result.run(i, 0).metrics.get("outcome"));
   }
   out.variation = outcome_variation(out.per_region);
   return out;

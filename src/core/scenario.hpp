@@ -1,9 +1,9 @@
 // Scenario harness: a named, seeded, repeatable experiment run.
 //
-// Examples and benches define scenarios; the harness standardizes seeding,
-// timing, metric collection, and regional variation (running the same
-// mechanism under different regional parameters and measuring how much the
-// outcome differs — the paper's "different in different places").
+// The declarative surface lives in core/sweep.hpp (ScenarioSpec +
+// run_sweep); this header keeps the original single-body Scenario class as
+// a thin shim over it during the transition, plus the regional-variation
+// helper ("different in different places").
 #pragma once
 
 #include <functional>
@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/choice.hpp"
+#include "core/sweep.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 
@@ -20,20 +21,25 @@ class Scenario {
  public:
   using Body = std::function<void(sim::Rng&, sim::MetricSet&)>;
 
-  Scenario(std::string name, Body body) : name_(std::move(name)), body_(std::move(body)) {}
+  /// Transitional shim: wraps the body in a single-point ScenarioSpec and
+  /// routes every run through the sweep engine. New code should declare a
+  /// ScenarioSpec and call run_sweep (or bench::Harness::scenario) instead.
+  [[deprecated("declare a core::ScenarioSpec and use core::run_sweep")]]
+  Scenario(std::string name, Body body);
 
-  const std::string& name() const noexcept { return name_; }
+  const std::string& name() const noexcept { return spec_.name; }
+  const ScenarioSpec& spec() const noexcept { return spec_; }
 
-  /// Runs once with the given seed.
+  /// Runs once, seeded with sim::Rng::stream(seed, 0).
   sim::MetricSet run(std::uint64_t seed = 1) const;
 
-  /// Runs `replicas` seeds and returns per-metric summaries (keys suffixed
-  /// ".mean"/".stddev").
+  /// Runs `replicas` independent streams of `base_seed` (in parallel when
+  /// the machine allows) and returns per-metric aggregates: keys suffixed
+  /// ".mean"/".stddev"/".min"/".max"/".p50".
   sim::MetricSet run_replicated(std::size_t replicas, std::uint64_t base_seed = 1) const;
 
  private:
-  std::string name_;
-  Body body_;
+  ScenarioSpec spec_;
 };
 
 /// Runs one parameterized scenario body across regions and reports the

@@ -1,0 +1,229 @@
+// The parallel deterministic sweep engine.
+//
+// Experiments here are embarrassingly parallel — a scenario body evaluated
+// over a parameter grid × replica count — but they must stay bit-exact:
+// the same spec and seed must produce the same numbers whether the sweep
+// runs on 1 thread or 64. The engine guarantees that by construction:
+//
+//   * every run's randomness comes from sim::Rng::stream(base_seed,
+//     run_index) — a pure function of the run's position in the sweep,
+//     never of which worker executes it;
+//   * every run writes into its own sim::MetricSet (and note list), so
+//     workers share nothing;
+//   * results are merged in run-index order after all workers join, so
+//     aggregation sees a schedule-independent sequence.
+//
+// Benches declare a ScenarioSpec once (name, grid, replicas, body taking a
+// RunContext) and the shared bench harness gives every experiment binary
+// --list/--case/--replicas/--seed/--jobs for free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/profiler.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace tussle::sim {
+class Simulator;
+}  // namespace tussle::sim
+
+namespace tussle::core {
+
+/// One assignment of values to the grid's axes: an ordered list of
+/// (axis-name, value) pairs. Axis order matches declaration order.
+class ParamPoint {
+ public:
+  void set(std::string name, double value);
+  double get(const std::string& name) const;  ///< throws std::out_of_range
+  double get(const std::string& name, double fallback) const noexcept;
+  bool has(const std::string& name) const noexcept;
+  bool empty() const noexcept { return values_.empty(); }
+  const std::vector<std::pair<std::string, double>>& items() const noexcept { return values_; }
+
+  /// "rate=0.25,mode=2" (axes in declaration order); "" for the empty point.
+  /// Values use the tooling's round-trip number format, so labels are
+  /// stable across platforms.
+  std::string label() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> values_;
+};
+
+/// A cartesian product of named axes. The first-declared axis varies
+/// slowest in points(); a grid with no axes yields exactly one empty point,
+/// so "no parameters" and "one parameter set" need no special casing.
+class ParamGrid {
+ public:
+  /// Declares an axis; returns *this so axes chain. Throws
+  /// std::invalid_argument on a duplicate name or an empty value list.
+  ParamGrid& axis(std::string name, std::vector<double> values);
+
+  std::size_t axis_count() const noexcept { return axes_.size(); }
+  std::size_t point_count() const noexcept;
+  std::vector<ParamPoint> points() const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<double>>> axes_;
+};
+
+struct ScenarioSpec;
+struct SweepOptions;
+struct SweepResult;
+SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
+
+/// Everything a scenario body may touch during one run. The engine owns
+/// the referenced objects; the body must not stash the references beyond
+/// its own invocation.
+class RunContext {
+ public:
+  RunContext(sim::Rng& rng, sim::MetricSet& metrics, const ParamPoint& params,
+             std::size_t point_index, std::size_t replica, std::size_t run_index) noexcept
+      : rng_(rng), metrics_(metrics), params_(params), point_index_(point_index),
+        replica_(replica), run_index_(run_index) {}
+
+  sim::Rng& rng() noexcept { return rng_; }
+  sim::MetricSet& metrics() noexcept { return metrics_; }
+  const ParamPoint& params() const noexcept { return params_; }
+  double param(const std::string& name) const { return params_.get(name); }
+  double param(const std::string& name, double fallback) const noexcept {
+    return params_.get(name, fallback);
+  }
+
+  std::size_t point_index() const noexcept { return point_index_; }
+  std::size_t replica() const noexcept { return replica_; }
+  std::size_t run_index() const noexcept { return run_index_; }
+
+  void put(const std::string& key, double value) { metrics_.put(key, value); }
+
+  /// Records a human-readable line attributed to this run. Notes are kept
+  /// per run and replayed in run-index order, so narrative output stays
+  /// deterministic under any --jobs.
+  void note(std::string line) { notes_.push_back(std::move(line)); }
+
+  /// Adds to this run's simulated-event total (e.g. the return value of
+  /// sim::Simulator::run()).
+  void add_events(std::size_t n) noexcept { events_ += n; }
+
+  /// Attaches this run's observability hooks (per-run profiler, heartbeat)
+  /// to a simulator the body built. A no-op unless the sweep asked for
+  /// profiling — each run profiles into its own LoopProfiler, so parallel
+  /// runs never contend.
+  void instrument(sim::Simulator& sim);
+
+ private:
+  friend SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
+
+  sim::Rng& rng_;
+  sim::MetricSet& metrics_;
+  const ParamPoint& params_;
+  std::size_t point_index_ = 0;
+  std::size_t replica_ = 0;
+  std::size_t run_index_ = 0;
+  std::vector<std::string> notes_;
+  std::size_t events_ = 0;
+  sim::LoopProfiler* profiler_ = nullptr;
+  double heartbeat_seconds_ = 0;
+};
+
+/// A declarative experiment case: what to run, over which parameter points,
+/// how many replicas of each. The body must be a pure function of its
+/// RunContext (draw randomness only from ctx.rng()) for the engine's
+/// determinism guarantee to hold.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  ParamGrid grid;
+  std::size_t replicas = 1;
+  std::function<void(RunContext&)> body;
+};
+
+struct SweepOptions {
+  std::uint64_t base_seed = 1;
+  /// Worker threads. 0 = auto: $TUSSLE_JOBS if set and positive, else
+  /// hardware_concurrency. Whatever the value, output is bit-identical.
+  std::size_t jobs = 0;
+  /// Overrides spec.replicas when nonzero.
+  std::size_t replicas = 0;
+  /// Give each run its own LoopProfiler (merged afterwards in run order).
+  bool profile = false;
+  /// Heartbeat period for instrument()ed simulators (0 = off). Only honored
+  /// when the sweep runs on one thread — progress lines from concurrent
+  /// workers would interleave.
+  double heartbeat_seconds = 0;
+};
+
+/// One completed run, in its final resting place inside a SweepResult.
+struct RunResult {
+  std::size_t run_index = 0;
+  std::size_t point_index = 0;
+  std::size_t replica = 0;
+  sim::MetricSet metrics;
+  std::vector<std::string> notes;
+  std::size_t events = 0;
+  /// Per-run profile; empty unless SweepOptions::profile was set and the
+  /// body called ctx.instrument(). unique_ptr keeps RunResult movable.
+  std::unique_ptr<sim::LoopProfiler> profiler;
+};
+
+struct SweepResult {
+  std::string name;
+  std::vector<ParamPoint> points;
+  std::size_t replicas = 0;  ///< replicas per point actually run
+  std::vector<RunResult> runs;  ///< run-index order: point-major, replica-minor
+
+  const RunResult& run(std::size_t point_index, std::size_t replica) const;
+  std::size_t total_events() const noexcept;
+
+  /// Mean of `key` across a point's replicas (the value itself when
+  /// replicas == 1). Keys absent from every replica yield `fallback`.
+  double mean(std::size_t point_index, const std::string& key, double fallback = 0.0) const;
+
+  /// Per-point aggregate. With one replica the keys pass through as-is;
+  /// with more, each key K expands to K.mean/.stddev/.min/.max/.p50
+  /// (moments via sim::Summary, the quantile via sim::Histogram). Key
+  /// order is first appearance across the point's runs.
+  sim::MetricSet aggregate(std::size_t point_index) const;
+
+  /// Aggregate over every run of the sweep, same expansion rules.
+  sim::MetricSet aggregate() const;
+};
+
+/// Executes the spec's grid × replicas on a fixed pool of workers and
+/// returns all runs merged in run-index order. The run with global index
+/// i = point_index * replicas + replica draws from
+/// sim::Rng::stream(opts.base_seed, i). Throws whatever the body throws
+/// (first failing run by scheduling order; the pool drains first).
+SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
+inline SweepResult run_sweep(const ScenarioSpec& spec) { return run_sweep(spec, SweepOptions{}); }
+
+/// Resolves a jobs request (0 = auto) against $TUSSLE_JOBS and
+/// hardware_concurrency; always at least 1.
+std::size_t resolve_jobs(std::size_t requested) noexcept;
+
+/// Named collection of scenario specs, so tools can enumerate and run
+/// cases declared by independent modules ("one declarative surface").
+class ScenarioRegistry {
+ public:
+  /// Throws std::invalid_argument on a duplicate or empty name.
+  void add(ScenarioSpec spec);
+
+  const ScenarioSpec* find(const std::string& name) const noexcept;
+  std::vector<std::string> names() const;  ///< registration order
+  std::size_t size() const noexcept { return specs_.size(); }
+  const std::vector<ScenarioSpec>& specs() const noexcept { return specs_; }
+
+  /// Process-wide registry for statically-registered cases.
+  static ScenarioRegistry& global();
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+}  // namespace tussle::core

@@ -87,6 +87,23 @@ std::string LoopProfiler::report(std::size_t k) const {
   return out;
 }
 
+void LoopProfiler::merge(const LoopProfiler& other) {
+  total_events_ += other.total_events_;
+  total_wall_ += other.total_wall_;
+  for (const Cell& oc : other.cells_) {
+    bool found = false;
+    for (Cell& c : cells_) {
+      if (c.component == oc.component && c.kind == oc.kind) {
+        c.events += oc.events;
+        c.wall += oc.wall;
+        found = true;
+        break;
+      }
+    }
+    if (!found) cells_.push_back(oc);
+  }
+}
+
 void LoopProfiler::reset() noexcept {
   cells_.clear();
   total_events_ = 0;

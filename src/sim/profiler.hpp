@@ -56,6 +56,11 @@ class LoopProfiler {
   /// Fixed-width human report, one line per hotspot.
   std::string report(std::size_t k = 10) const;
 
+  /// Folds another profiler's cells into this one (the sweep engine
+  /// profiles each run separately and merges in run-index order). Tags are
+  /// string literals, so cells match by pointer first, then by content.
+  void merge(const LoopProfiler& other);
+
   void reset() noexcept;
 
  private:

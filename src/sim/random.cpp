@@ -27,6 +27,17 @@ void Rng::reseed(std::uint64_t seed) noexcept {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) noexcept {
+  // Two splitmix64 rounds over the seed, with the counter folded in between
+  // through an odd multiplier so that stream(s, i) and stream(s, i + 1)
+  // share no arithmetic structure. The resulting word is then expanded into
+  // full xoshiro state by reseed()'s own splitmix64 pass.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ (index * 0xBF58476D1CE4E5B9ULL);
+  return Rng(splitmix64(x));
+}
+
 std::uint64_t Rng::next_u64() noexcept {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

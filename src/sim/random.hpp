@@ -26,6 +26,14 @@ class Rng {
   /// own RNG so adding an actor does not perturb the draws of others.
   Rng split() noexcept { return Rng(next_u64()); }
 
+  /// Counter-based stream derivation: the `index`-th independent stream of
+  /// `seed`, computed by splitmix64 mixing of (seed, index). Unlike
+  /// `Rng(seed + index)`, adjacent indices land in unrelated states, and
+  /// the result depends only on the two arguments — never on which thread
+  /// asks or in what order. This is the seeding contract the sweep engine
+  /// (core/sweep.hpp) builds its "bit-identical at any --jobs" guarantee on.
+  static Rng stream(std::uint64_t seed, std::uint64_t index) noexcept;
+
   std::uint64_t next_u64() noexcept;
 
   /// Uniform in [0, 1).

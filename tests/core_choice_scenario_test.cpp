@@ -65,6 +65,11 @@ TEST(OutcomeVariation, GrowsWithDispersion) {
   EXPECT_LE(high, 1.0);
 }
 
+// The two-arg Scenario ctor is a deprecated shim over ScenarioSpec; these
+// tests exercise the legacy path on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST(Scenario, RunsDeterministically) {
   Scenario s("demo", [](sim::Rng& rng, sim::MetricSet& m) {
     m.put("draw", rng.uniform());
@@ -80,7 +85,32 @@ TEST(Scenario, ReplicationAggregates) {
   auto m = s.run_replicated(50, 1);
   EXPECT_NEAR(m.get("x.mean"), 0.5, 0.15);
   EXPECT_GT(m.get("x.stddev"), 0.0);
+  EXPECT_GE(m.get("x.min"), 0.0);
+  EXPECT_LE(m.get("x.max"), 1.0);
+  EXPECT_LT(m.get("x.min"), m.get("x.max"));
+  EXPECT_GE(m.get("x.p50"), m.get("x.min"));
+  EXPECT_LE(m.get("x.p50"), m.get("x.max"));
 }
+
+TEST(Scenario, ShimMatchesSpecPath) {
+  // The deprecated ctor must forward to the same engine: Scenario::run(seed)
+  // and a one-run sweep at the same base seed see identical RNG streams.
+  Scenario legacy("legacy", [](sim::Rng& rng, sim::MetricSet& m) {
+    m.put("draw", rng.uniform());
+  });
+  ScenarioSpec spec;
+  spec.name = "spec";
+  spec.body = [](RunContext& ctx) { ctx.put("draw", ctx.rng().uniform()); };
+  SweepOptions opts;
+  opts.base_seed = 9;
+  opts.jobs = 1;
+  auto sweep = run_sweep(spec, opts);
+  EXPECT_DOUBLE_EQ(legacy.run(9).get("draw"), sweep.runs.at(0).metrics.get("draw"));
+  EXPECT_EQ(legacy.name(), "legacy");
+  EXPECT_EQ(legacy.spec().name, "legacy");
+}
+
+#pragma GCC diagnostic pop
 
 TEST(RunRegional, VariationAcrossRegions) {
   auto out = run_regional({0.0, 0.5, 1.0},
