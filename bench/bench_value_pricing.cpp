@@ -10,11 +10,33 @@
 
 #include "core/report.hpp"
 #include "econ/pricing.hpp"
+#include "econ/value_flow.hpp"
 #include "game/canonical.hpp"
 #include "game/solvers.hpp"
 #include "harness.hpp"
+#include "routing/inter_domain.hpp"
 
 using namespace tussle;
+
+namespace {
+
+/// The 8-AS reference topology used across the routing tests: tier-1 peers
+/// 1-2, their customers 3/4/5, leaves 6/7, and peer-only AS 8.
+routing::AsGraph canonical_graph() {
+  routing::AsGraph g;
+  g.add_peering(1, 2);
+  g.add_customer_provider(3, 1);
+  g.add_customer_provider(4, 1);
+  g.add_customer_provider(5, 2);
+  g.add_customer_provider(6, 3);
+  g.add_customer_provider(7, 4);
+  g.add_customer_provider(7, 5);
+  g.add_as(8);
+  g.add_peering(7, 8);
+  return g;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   return bench::run(
@@ -72,6 +94,95 @@ int main(int argc, char** argv) {
 
           std::cout << "\nInterpretation: as competition rises the ISP retreats from value\n"
                        "pricing (column 3 falls), and users stop needing tunnels.\n";
+        });
+
+        // Packet-level settlement, causally traced. Run with --chrome-trace
+        // or --explain 1/2/3 to see every ledger transfer hang off the
+        // decision that caused it: the DPI verdict (surcharge), or the
+        // delivery of a paid source-routed packet (transit settlement).
+        core::ScenarioSpec pkt;
+        pkt.name = "packet-settlement";
+        pkt.description = "DPI surcharge + paid source route on real packets, span-traced";
+        pkt.body = [](core::RunContext& ctx) {
+          sim::Simulator sim{67};
+          ctx.instrument(sim);
+          net::Network net{sim};
+          net.set_spans(ctx.spans());
+          auto g = canonical_graph();
+          auto topo = routing::build_inter_domain(net, g, net::LinkSpec{});
+          routing::PathVector pv(g);
+          pv.set_span_tracer(ctx.spans());
+          routing::install_path_vector_routes(net, topo, pv);
+
+          econ::Ledger ledger;
+          ledger.set_span_tracer(ctx.spans());
+
+          // AS 3 (AS 6's provider) value-prices: visibly-server traffic
+          // leaving its customer pays a per-packet surcharge. Tunnelled
+          // traffic shows kVpn on the wire and evades — the §V-A-2 arms
+          // race, at packet granularity.
+          const double surcharge = 0.25;
+          net.node(topo.router_of.at(3))
+              .add_filter({"isp3-value-pricing", /*disclosed=*/true,
+                           [&ledger, surcharge](const net::Packet& p) {
+                             if (p.src.provider == 6 &&
+                                 p.observable_proto() == net::AppProto::kWeb) {
+                               ledger.transfer("user:6", "isp:3", surcharge,
+                                               "value-surcharge");
+                             }
+                             return net::FilterDecision::accept();
+                           }});
+
+          // Paid loose source route (§V-A-4 + §IV-C): AS 8 has no policy
+          // route to 6, so it buys carriage along 8-7-4-1-3-6 and settles
+          // with every off-contract AS when the packet is delivered.
+          econ::PaidTransit transit(g, ledger);
+          const econ::PaidTransit::Quote quote = transit.quote({8, 7, 4, 1, 3, 6});
+          net.add_delivery_observer([&transit, &quote](const net::Packet& p, net::NodeId) {
+            if (p.flow == 3) transit.settle("user:8", quote);
+          });
+
+          auto send = [&](net::FlowId flow, routing::AsId from, routing::AsId to,
+                          bool tunneled, sim::Duration at) {
+            sim.schedule(at, sim::TaskTag{"bench", "inject"}, [&, flow, from, to, tunneled]() {
+              net::Packet p;
+              p.src = topo.address_of.at(from);
+              p.dst = topo.address_of.at(to);
+              p.proto = net::AppProto::kWeb;
+              p.flow = flow;
+              if (flow == 3) p.source_route = net::SourceRoute{{7, 4, 1, 3, 6}, 0};
+              if (tunneled) p = p.encapsulate(p.src, topo.address_of.at(to));
+              net.node(topo.router_of.at(from)).originate(std::move(p));
+            });
+          };
+          // Flow 1: visible web server at AS 6 — every packet surcharged.
+          send(1, 6, 5, false, sim::Duration::millis(1));
+          send(1, 6, 5, false, sim::Duration::millis(5));
+          // Flow 2: the same traffic tunnelled — DPI sees kVpn, no charge.
+          send(2, 6, 5, true, sim::Duration::millis(2));
+          send(2, 6, 5, true, sim::Duration::millis(6));
+          // Flow 3: paid source route from the policy-blackholed AS 8.
+          send(3, 8, 6, false, sim::Duration::millis(3));
+
+          ctx.add_events(sim.run());
+          ctx.put("delivered", static_cast<double>(net.counters().delivered.value()));
+          ctx.put("surcharge_revenue", ledger.balance("isp:3"));
+          ctx.put("tunneler_charged", -ledger.balance("user:6") - 2 * surcharge);
+          ctx.put("transit_paid", -ledger.balance("user:8"));
+          ctx.put("ledger_total", ledger.total());
+          ctx.put("transfers", static_cast<double>(ledger.log().size()));
+        };
+        h.scenario(pkt, [](const core::SweepResult& res) {
+          std::cout << "\nPacket-level mechanism: who paid, and why\n\n";
+          core::Table t({"metric", "value"});
+          t.add_row({std::string("packets delivered"), res.mean(0, "delivered")});
+          t.add_row({std::string("isp:3 surcharge revenue"), res.mean(0, "surcharge_revenue")});
+          t.add_row({std::string("extra paid by tunneler"), res.mean(0, "tunneler_charged")});
+          t.add_row({std::string("as8 transit settlement"), res.mean(0, "transit_paid")});
+          t.add_row({std::string("ledger conservation"), res.mean(0, "ledger_total")});
+          t.print(std::cout);
+          std::cout << "\nRe-run with --chrome-trace out.json (Perfetto) or --explain 1|2|3\n"
+                       "to see each transfer attached to the decision that caused it.\n";
         });
       });
 }

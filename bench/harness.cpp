@@ -17,6 +17,9 @@ namespace {
 struct Flags {
   std::string json_path;
   std::string trace_path;
+  std::string chrome_trace_path;
+  std::string span_tree_path;
+  std::optional<std::uint64_t> explain_flow;
   sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
   bool profile = false;
   double heartbeat_seconds = 0;
@@ -32,7 +35,8 @@ void usage(const char* argv0) {
                "usage: %s [--list] [--case <name>] [--replicas <n>] [--seed <s>]\n"
                "          [--jobs <n>] [--json <path>] [--trace <path>]\n"
                "          [--trace-level debug|info|warn|error] [--profile]\n"
-               "          [--heartbeat <seconds>]\n",
+               "          [--heartbeat <seconds>] [--chrome-trace <path>]\n"
+               "          [--span-tree <path>|-] [--explain <flow-id>]\n",
                argv0);
 }
 
@@ -63,6 +67,18 @@ std::optional<Flags> parse_flags(int argc, char** argv) {
       auto lvl = parse_level(v);
       if (!lvl) return std::nullopt;
       f.trace_level = *lvl;
+    } else if (arg == "--chrome-trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.chrome_trace_path = v;
+    } else if (arg == "--span-tree") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.span_tree_path = v;
+    } else if (arg == "--explain") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.explain_flow = std::strtoull(v, nullptr, 10);
     } else if (arg == "--profile") {
       f.profile = true;
     } else if (arg == "--heartbeat") {
@@ -137,6 +153,7 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
   opts.jobs = serial_required_ ? 1 : jobs_;
   opts.replicas = replicas_;
   opts.profile = profile_to_stderr_ || json_requested();
+  opts.spans = spans_requested_;
   opts.heartbeat_seconds = heartbeat_seconds_;
 
   core::SweepResult result = core::run_sweep(spec, opts);
@@ -144,6 +161,9 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
   sweep_events_ += result.total_events();
   for (const auto& r : result.runs) {
     if (r.profiler) profiler_.merge(*r.profiler);
+    // runs are in run-index order whatever --jobs was, so the merged span
+    // archive (and every export derived from it) is schedule-independent.
+    if (r.spans) spans_.merge(*r.spans);
   }
   for (std::size_t p = 0; p < result.points.size(); ++p) {
     std::string prefix = spec.name;
@@ -175,6 +195,8 @@ int run(int argc, char** argv, const Experiment& exp,
   h.seed_ = flags->seed;
   h.jobs_ = flags->jobs;
   h.replicas_ = flags->replicas;
+  h.spans_requested_ = !flags->chrome_trace_path.empty() || !flags->span_tree_path.empty() ||
+                       flags->explain_flow.has_value();
   // The global tracer and the heartbeat's stderr stream are shared sinks;
   // concurrent runs would interleave their writes.
   h.serial_required_ = !flags->trace_path.empty() || flags->heartbeat_seconds > 0;
@@ -224,6 +246,35 @@ int run(int argc, char** argv, const Experiment& exp,
   }
 
   const std::uint64_t total_events = h.sweep_events_ + h.extra_events_;
+
+  if (!flags->chrome_trace_path.empty()) {
+    std::ofstream os(flags->chrome_trace_path);
+    if (!os) {
+      std::fprintf(stderr, "harness: cannot write %s\n", flags->chrome_trace_path.c_str());
+      return 2;
+    }
+    os << sim::to_chrome_trace(h.spans_.spans()) << "\n";
+    std::printf("chrome trace: %zu spans -> %s\n", h.spans_.size(),
+                flags->chrome_trace_path.c_str());
+  }
+
+  if (!flags->span_tree_path.empty()) {
+    const std::string report = sim::span_tree_report(h.spans_.spans());
+    if (flags->span_tree_path == "-") {
+      std::fputs(report.c_str(), stdout);
+    } else {
+      std::ofstream os(flags->span_tree_path);
+      if (!os) {
+        std::fprintf(stderr, "harness: cannot write %s\n", flags->span_tree_path.c_str());
+        return 2;
+      }
+      os << report;
+    }
+  }
+
+  if (flags->explain_flow) {
+    std::fputs(sim::explain_flow(h.spans_.spans(), *flags->explain_flow).c_str(), stdout);
+  }
 
   if (flags->profile) {
     std::fprintf(stderr, "\nEvent-loop hotspots (%llu events, %.3f ms profiled)\n%s",

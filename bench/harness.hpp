@@ -16,13 +16,20 @@
 //   --trace-level <lvl> debug|info|warn|error (default info)
 //   --profile           print the top-k event-loop hotspot table to stderr
 //   --heartbeat <sec>   periodic progress line on instrumented simulators
+//   --chrome-trace <p>  write causal spans as Chrome trace-event JSON
+//                       (loadable in Perfetto / chrome://tracing)
+//   --span-tree <path>  write the causal span forest as an indented text
+//                       report ("-" = stdout)
+//   --explain <flow>    narrate one flow's causal tree to stdout: path
+//                       taken, decisions made, who was compensated
 //
 // Determinism contract: metric output is bit-identical for a given
 // (--seed, --replicas) at any --jobs, because each run draws from
 // sim::Rng::stream(seed, run_index) and results merge in run-index order
 // (see core/sweep.hpp). --trace and --heartbeat force --jobs 1: both write
-// to shared sinks mid-run. --profile does not — each run profiles into its
-// own LoopProfiler and the harness merges them in run order.
+// to shared sinks mid-run. --profile and the span flags do not — each run
+// profiles/records into its own LoopProfiler/SpanTracer and the harness
+// merges them in run order, so span exports too are --jobs-independent.
 #pragma once
 
 #include <functional>
@@ -63,6 +70,13 @@ class Harness {
   /// The merged event-loop profile across every profiled run.
   sim::LoopProfiler& profiler() noexcept { return profiler_; }
 
+  /// The merged causal-span archive (runs folded in run-index order);
+  /// empty unless a span flag was given. Scenario bodies opt in by wiring
+  /// ctx.spans() into the components they build.
+  sim::SpanTracer& spans() noexcept { return spans_; }
+  /// True when --chrome-trace/--span-tree/--explain asked for spans.
+  bool spans_requested() const noexcept { return spans_requested_; }
+
   /// Adds to the run's total simulated-event count for engines that run
   /// outside the sweep bodies (sweep runs report via ctx.add_events()).
   void add_events(std::size_t n) noexcept { extra_events_ += n; }
@@ -84,6 +98,8 @@ class Harness {
 
   sim::MetricRegistry metrics_;
   sim::LoopProfiler profiler_;
+  sim::SpanTracer spans_;
+  bool spans_requested_ = false;
   std::vector<Case> cases_;
   std::size_t extra_events_ = 0;
   std::size_t sweep_events_ = 0;

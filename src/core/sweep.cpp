@@ -221,6 +221,10 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts) {
           slot.profiler = std::make_unique<sim::LoopProfiler>();
           ctx.profiler_ = slot.profiler.get();
         }
+        if (opts.spans) {
+          slot.spans = std::make_unique<sim::SpanTracer>();
+          ctx.spans_ = slot.spans.get();
+        }
         if (serial) ctx.heartbeat_seconds_ = opts.heartbeat_seconds;
         spec.body(ctx);
         slot.notes = std::move(ctx.notes_);

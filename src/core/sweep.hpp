@@ -28,6 +28,7 @@
 
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
+#include "sim/span.hpp"
 #include "sim/stats.hpp"
 
 namespace tussle::sim {
@@ -117,6 +118,12 @@ class RunContext {
   /// runs never contend.
   void instrument(sim::Simulator& sim);
 
+  /// This run's span tracer, or nullptr unless SweepOptions::spans was set.
+  /// Bodies hand it to the components they build (Network::set_spans,
+  /// Ledger::set_span_tracer, ...); each run records into its own tracer,
+  /// so parallel runs never contend and merged output is deterministic.
+  sim::SpanTracer* spans() noexcept { return spans_; }
+
  private:
   friend SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
 
@@ -130,6 +137,7 @@ class RunContext {
   std::size_t events_ = 0;
   sim::LoopProfiler* profiler_ = nullptr;
   double heartbeat_seconds_ = 0;
+  sim::SpanTracer* spans_ = nullptr;
 };
 
 /// A declarative experiment case: what to run, over which parameter points,
@@ -153,6 +161,9 @@ struct SweepOptions {
   std::size_t replicas = 0;
   /// Give each run its own LoopProfiler (merged afterwards in run order).
   bool profile = false;
+  /// Give each run its own SpanTracer via RunContext::spans() (merged
+  /// afterwards in run-index order, so exports are --jobs-independent).
+  bool spans = false;
   /// Heartbeat period for instrument()ed simulators (0 = off). Only honored
   /// when the sweep runs on one thread — progress lines from concurrent
   /// workers would interleave.
@@ -170,6 +181,8 @@ struct RunResult {
   /// Per-run profile; empty unless SweepOptions::profile was set and the
   /// body called ctx.instrument(). unique_ptr keeps RunResult movable.
   std::unique_ptr<sim::LoopProfiler> profiler;
+  /// Per-run causal spans; null unless SweepOptions::spans was set.
+  std::unique_ptr<sim::SpanTracer> spans;
 };
 
 struct SweepResult {

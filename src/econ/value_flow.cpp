@@ -1,16 +1,42 @@
 #include "econ/value_flow.hpp"
 
+#include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace tussle::econ {
 
 void Ledger::transfer(const std::string& from, const std::string& to, double amount,
                       std::string memo) {
-  if (amount < 0) throw std::invalid_argument("negative transfer");
-  if (from == to) throw std::invalid_argument("self transfer");
+  if (!std::isfinite(amount)) {
+    throw std::invalid_argument("Ledger::transfer: non-finite amount (" + from + " -> " + to +
+                                "): NaN/Inf would corrupt every downstream balance");
+  }
+  if (amount < 0) {
+    throw std::invalid_argument("Ledger::transfer: negative amount (" + from + " -> " + to +
+                                "): reverse the parties instead");
+  }
+  if (from == to) {
+    throw std::invalid_argument("Ledger::transfer: self transfer ('" + from +
+                                "'): value must flow between distinct parties");
+  }
   balances_[from] -= amount;
   balances_[to] += amount;
-  log_.push_back(Entry{from, to, amount, std::move(memo)});
+  sim::SpanId cause = sim::kNoSpan;
+  if (spans_ != nullptr) {
+    cause = spans_->current();
+    // The transfer itself is a leaf span under the causing decision, so the
+    // chrome trace shows "who was compensated" inside "what was decided".
+    spans_->instant("econ.ledger", "transfer",
+                    {{"from", from}, {"to", to}, {"amount", amount}, {"memo", memo}});
+  }
+  log_.push_back(Entry{from, to, amount, std::move(memo), cause});
+#ifdef TUSSLE_SANITIZE
+  // Conservation of value: double-entry bookkeeping must sum to zero up to
+  // float error. Checked only under sanitizer builds — it is O(parties).
+  assert(std::abs(total()) < 1e-6 * (1.0 + static_cast<double>(log_.size())) &&
+         "Ledger::transfer: balances no longer sum to ~0");
+#endif
 }
 
 double Ledger::balance(const std::string& party) const {
@@ -37,6 +63,12 @@ PaidTransit::Quote PaidTransit::quote(const std::vector<routing::AsId>& path) co
   q.path = path;
   q.paid_ases = builder_.off_contract_ases(path);
   for (routing::AsId as : q.paid_ases) q.total_price += transit_price(as);
+  if (auto* sp = ledger_->span_tracer()) {
+    sp->instant("econ.transit", "quote",
+                {{"hops", static_cast<std::int64_t>(path.size())},
+                 {"paid_ases", static_cast<std::int64_t>(q.paid_ases.size())},
+                 {"price", q.total_price}});
+  }
   return q;
 }
 
@@ -55,6 +87,15 @@ std::optional<PaidTransit::Quote> PaidTransit::best_quote(routing::AsId from, ro
 }
 
 double PaidTransit::settle(const std::string& payer, const Quote& q) {
+  sim::SpanTracer* sp = ledger_->span_tracer();
+  std::optional<sim::ScopedSpan> span;
+  if (sp != nullptr) {
+    // One settle span groups the per-AS transfers; nested under whatever
+    // caused the settlement (typically a delivery observer's deliver span).
+    span.emplace(sp, sp->last_time(), "econ.transit", "settle",
+                 std::initializer_list<sim::TraceField>{
+                     {"payer", payer}, {"total", q.total_price}});
+  }
   double moved = 0;
   for (routing::AsId as : q.paid_ases) {
     const double price = transit_price(as);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "routing/source_route.hpp"
+#include "sim/span.hpp"
 
 namespace tussle::econ {
 
@@ -28,8 +29,15 @@ class Ledger {
     std::string to;
     double amount = 0;
     std::string memo;
+    /// Causal attribution: the span active when the transfer posted (the
+    /// forwarding/pricing/mediation decision that triggered it), or
+    /// sim::kNoSpan when no tracer was attached.
+    sim::SpanId span = sim::kNoSpan;
   };
 
+  /// Moves `amount` from `from` to `to`. Throws std::invalid_argument on a
+  /// negative, NaN, or infinite amount and on self-transfers — a settlement
+  /// substrate must refuse to corrupt balances rather than record garbage.
   void transfer(const std::string& from, const std::string& to, double amount,
                 std::string memo = {});
   double balance(const std::string& party) const;
@@ -37,9 +45,16 @@ class Ledger {
   /// Invariant: all balances sum to zero (conservation of value).
   double total() const;
 
+  /// Attaches a span tracer: each transfer then records the active span id
+  /// in its audit-log entry and emits a zero-length "transfer" span under
+  /// it, causally linking every settlement to the decision that caused it.
+  void set_span_tracer(sim::SpanTracer* spans) noexcept { spans_ = spans; }
+  sim::SpanTracer* span_tracer() const noexcept { return spans_; }
+
  private:
   std::map<std::string, double> balances_;
   std::vector<Entry> log_;
+  sim::SpanTracer* spans_ = nullptr;
 };
 
 /// Prices and settles paid source routes.

@@ -5,6 +5,23 @@
 
 namespace tussle::net {
 
+namespace {
+
+/// Records a link-level drop as a zero-length span under the packet's
+/// lifetime span (link code runs outside any hop context) and closes the
+/// packet span — a dropped packet's causal tree ends here.
+void span_link_drop(sim::SpanTracer* sp, sim::SimTime now, std::uint64_t uid,
+                    const char* reason, LinkId link, NodeId sender) {
+  if (sp == nullptr) return;
+  const sim::SpanId id =
+      sp->begin_under(sp->find_packet(uid), now, "net.link", "drop",
+                      {{"reason", reason}, {"link", link}, {"node", sender}});
+  sp->end(id, now);
+  sp->end_packet(uid, now);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- Link ----
 
 Link::Link(Network& net, LinkId id, NodeId a, NodeId b, double bits_per_second,
@@ -37,6 +54,7 @@ bool Link::transmit_from(NodeId sender, Packet p) {
     TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
                        "net.link", "drop", {"reason", "link-down"}, {"uid", p.uid},
                        {"flow", p.flow}, {"link", id_}, {"node", sender});
+    span_link_drop(net_->spans(), net_->simulator().now(), p.uid, "link-down", id_, sender);
     return false;
   }
   Direction& d = dir_for(sender);
@@ -47,6 +65,7 @@ bool Link::transmit_from(NodeId sender, Packet p) {
     TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
                        "net.link", "drop", {"reason", "queue-full"}, {"uid", uid},
                        {"flow", flow}, {"link", id_}, {"node", sender});
+    span_link_drop(net_->spans(), net_->simulator().now(), uid, "queue-full", id_, sender);
     return false;
   }
   TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kDebug,
@@ -75,6 +94,7 @@ void Link::start_transmission(Direction& d) {
                                [this, to, pkt = std::move(pkt)]() mutable {
       if (!up_) {
         net_->counters().dropped_link_down.add();
+        span_link_drop(net_->spans(), net_->simulator().now(), pkt.uid, "link-down", id_, to);
         return;
       }
       Node& dst = net_->node(to);
@@ -133,7 +153,24 @@ void Network::notify_delivered(const Packet& p, NodeId at) {
   TUSSLE_TRACE_EVENT(tracer(), sim_->now(), sim::TraceLevel::kInfo, "net.node", "deliver",
                      {"uid", p.uid}, {"flow", p.flow}, {"node", at},
                      {"latency_s", latency_s});
-  for (const auto& obs : observers_) obs(p, at);
+  if (spans_ != nullptr) {
+    // Delivery can happen inside a hop span (forwarded packet) or with no
+    // active context (origination straight to a local address); adopt the
+    // packet span in the latter case so the deliver span never floats free.
+    const bool adopt = spans_->current() == sim::kNoSpan;
+    if (adopt) spans_->push(spans_->find_packet(p.uid));
+    {
+      // Settlements posted by delivery observers (e.g. PaidTransit::settle)
+      // nest under this span: "who was compensated because it arrived".
+      sim::ScopedSpan deliver(spans_, sim_->now(), "net.node", "deliver",
+                              {{"node", at}, {"latency_s", latency_s}});
+      for (const auto& obs : observers_) obs(p, at);
+    }
+    if (adopt) spans_->pop();
+    spans_->end_packet(p.uid, sim_->now());
+  } else {
+    for (const auto& obs : observers_) obs(p, at);
+  }
 }
 
 std::vector<std::pair<NodeId, IfIndex>> Network::neighbors(NodeId n) const {

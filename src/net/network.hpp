@@ -11,6 +11,7 @@
 #include "net/packet.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
@@ -124,6 +125,14 @@ class Network {
   sim::Tracer& tracer() noexcept { return *tracer_; }
   void set_tracer(sim::Tracer& tracer) noexcept { tracer_ = &tracer; }
 
+  /// Causal span tracer, or nullptr (the default — the data plane then pays
+  /// exactly one branch per decision point). When attached, every packet
+  /// gets a lifetime span under its flow span, every node visit a hop span,
+  /// and every filter verdict a decision span, so downstream effects
+  /// (ledger transfers, drops) are causally attributed.
+  sim::SpanTracer* spans() noexcept { return spans_; }
+  void set_spans(sim::SpanTracer* spans) noexcept { spans_ = spans; }
+
   /// Observers invoked on every successful local delivery, after the node's
   /// own handler. Scenarios use them for global accounting; several can
   /// coexist (a FlowTracker plus a scenario counter, say).
@@ -157,6 +166,7 @@ class Network {
   PacketIdSource ids_;
   std::vector<DeliveryObserver> observers_;
   sim::Tracer* tracer_ = &sim::Tracer::global();
+  sim::SpanTracer* spans_ = nullptr;
   bool fault_reporting_ = false;
 };
 

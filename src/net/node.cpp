@@ -6,6 +6,53 @@
 
 namespace tussle::net {
 
+namespace {
+
+const char* filter_action_name(FilterAction a) noexcept {
+  switch (a) {
+    case FilterAction::kAccept: return "accept";
+    case FilterAction::kDrop: return "drop";
+    case FilterAction::kRedirect: return "redirect";
+    case FilterAction::kBypass: return "bypass";
+    case FilterAction::kMirror: return "mirror";
+  }
+  return "?";
+}
+
+/// Re-establishes a packet's lifetime span as the active context for one
+/// node visit. Each hop is a separately scheduled event, so the active
+/// stack is empty on entry and must be re-seeded from the uid registry.
+class PacketSpanScope {
+ public:
+  PacketSpanScope(sim::SpanTracer* sp, std::uint64_t uid) : sp_(sp) {
+    if (sp_ != nullptr) sp_->push(sp_->find_packet(uid));
+  }
+  ~PacketSpanScope() {
+    if (sp_ != nullptr) sp_->pop();
+  }
+  PacketSpanScope(const PacketSpanScope&) = delete;
+  PacketSpanScope& operator=(const PacketSpanScope&) = delete;
+
+ private:
+  sim::SpanTracer* sp_;
+};
+
+/// Terminal node-level drop: a zero-length span under the current context
+/// (the hop that decided) or, failing that, the packet span; then the
+/// packet's causal tree is closed.
+void span_node_drop(sim::SpanTracer* sp, sim::SimTime now, const Packet& p, NodeId node,
+                    std::string reason) {
+  if (sp == nullptr) return;
+  sim::SpanId parent = sp->current();
+  if (parent == sim::kNoSpan) parent = sp->find_packet(p.uid);
+  const sim::SpanId id = sp->begin_under(parent, now, "net.node", "drop",
+                                         {{"reason", std::move(reason)}, {"node", node}});
+  sp->end(id, now);
+  sp->end_packet(p.uid, now);
+}
+
+}  // namespace
+
 bool Node::owns(const Address& a) const {
   return std::find(addresses_.begin(), addresses_.end(), a) != addresses_.end();
 }
@@ -30,13 +77,30 @@ void Node::originate(Packet p) {
   p.uid = net_->packet_ids().next();
   p.sent_at_s = net_->simulator().now().as_seconds();
   net_->counters().originated.add();
+  if (auto* sp = net_->spans()) {
+    const sim::SpanId ps = sp->packet_span(net_->simulator().now(), p.uid, p.flow);
+    sp->annotate(ps, {"origin", id_});
+  }
   forward(std::move(p));
 }
 
 bool Node::run_filters(const Packet& p, FilterDecision& out, bool& disclosed,
-                       std::vector<Address>* taps) const {
+                       std::vector<Address>* taps, sim::SpanTracer* spans,
+                       sim::SimTime now) const {
   for (const auto& f : filters_) {
-    FilterDecision d = f.fn(p);
+    FilterDecision d;
+    if (spans != nullptr) {
+      // The decision span is the causal anchor for everything the filter
+      // does — a pricing filter's ledger transfer lands underneath it, so
+      // the settlement is attributed to this verdict on this packet.
+      sim::ScopedSpan decision(spans, now, "net.filter", "decision",
+                               {{"filter", f.name}, {"node", id_}, {"disclosed", f.disclosed}});
+      d = f.fn(p);
+      decision.annotate({"action", filter_action_name(d.action)});
+      if (!d.reason.empty()) decision.annotate({"reason", d.reason});
+    } else {
+      d = f.fn(p);
+    }
     if (d.action == FilterAction::kBypass) {
       // A negotiated permit pre-empts everything installed after it.
       return false;
@@ -56,13 +120,25 @@ bool Node::run_filters(const Packet& p, FilterDecision& out, bool& disclosed,
 }
 
 void Node::receive(Packet p, IfIndex /*iface*/) {
+  sim::SpanTracer* sp = net_->spans();
+  const sim::SimTime now = net_->simulator().now();
+  // Span context for this visit: packet span re-activated from the uid
+  // registry, then a hop span covering everything this node does to the
+  // packet (filters, delivery, forwarding). Declaration order matters —
+  // the hop span must close before the packet context pops.
+  PacketSpanScope pscope(sp, p.uid);
+  std::optional<sim::ScopedSpan> hop;
+  if (sp != nullptr) {
+    hop.emplace(sp, now, "net.node", "hop",
+                std::initializer_list<sim::TraceField>{{"node", id_}, {"as", as_}});
+  }
   // Tussle hooks run on everything that crosses the node, before the node
   // even decides whether the packet is for itself — exactly where real
   // middleboxes sit.
   FilterDecision decision;
   bool decided_by_disclosed = false;
   std::vector<Address> taps;
-  const bool blocked = run_filters(p, decision, decided_by_disclosed, &taps);
+  const bool blocked = run_filters(p, decision, decided_by_disclosed, &taps, sp, now);
   // Mirrored copies go out even for packets that are then dropped — the
   // tap sees what the censor saw.
   for (const Address& tap : taps) {
@@ -79,6 +155,7 @@ void Node::receive(Packet p, IfIndex /*iface*/) {
                          "net.node", "drop", {"reason", "filter:" + decision.reason},
                          {"uid", p.uid}, {"flow", p.flow}, {"node", id_},
                          {"disclosed", decided_by_disclosed});
+      span_node_drop(sp, now, p, id_, "filter:" + decision.reason);
       // §VI-A "design what happens then": a *disclosed* control point
       // reports the failure to the sender; an undisclosed one is silent
       // loss, which is exactly what makes covert controls hard to debug.
@@ -100,6 +177,7 @@ void Node::receive(Packet p, IfIndex /*iface*/) {
       TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
                          "net.node", "redirect", {"uid", p.uid}, {"flow", p.flow},
                          {"node", id_});
+      if (sp != nullptr) sp->instant(now, "net.node", "redirect", {{"node", id_}});
       p.dst = *decision.redirect_to;
     }
   }
@@ -122,6 +200,7 @@ void Node::receive(Packet p, IfIndex /*iface*/) {
     TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
                        "net.node", "drop", {"reason", "ttl"}, {"uid", p.uid},
                        {"flow", p.flow}, {"node", id_});
+    span_node_drop(sp, now, p, id_, "ttl");
     return;
   }
   p.ttl -= 1;
@@ -167,6 +246,7 @@ void Node::forward(Packet p) {
     TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
                        "net.node", "drop", {"reason", "no-route"}, {"uid", p.uid},
                        {"flow", p.flow}, {"node", id_});
+    span_node_drop(net_->spans(), net_->simulator().now(), p, id_, "no-route");
     return;
   }
   net_->link(link_of(*iface)).transmit_from(id_, std::move(p));

@@ -16,6 +16,7 @@
 
 #include "net/forwarding.hpp"
 #include "net/packet.hpp"
+#include "sim/span.hpp"
 
 namespace tussle::net {
 
@@ -106,7 +107,8 @@ class Node {
  private:
   void forward(Packet p);
   bool run_filters(const Packet& p, FilterDecision& out, bool& disclosed,
-                   std::vector<Address>* taps) const;
+                   std::vector<Address>* taps, sim::SpanTracer* spans,
+                   sim::SimTime now) const;
 
   Network* net_;
   NodeId id_ = 0;

@@ -45,6 +45,10 @@ std::optional<Packet> Packet::decapsulate() const {
   if (!inner) return std::nullopt;
   Packet p = *inner;
   p.sent_at_s = sent_at_s;  // latency is end-to-end across the tunnel
+  // The unwrapped packet continues the same journey: keep the wire uid so
+  // tracing (and the span registry keyed on it) follows one identity
+  // end-to-end. Inner packets encapsulated before origination have uid 0.
+  if (p.uid == 0) p.uid = uid;
   return p;
 }
 

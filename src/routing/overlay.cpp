@@ -66,10 +66,20 @@ std::vector<net::NodeId> Overlay::route(net::NodeId from, net::NodeId to) const 
 }
 
 std::vector<net::NodeId> Overlay::send(net::NodeId from, net::NodeId to, net::Packet inner) {
+  sim::SpanTracer* sp = net_->spans();
+  // Overlay decisions belong to the flow's causal tree, not to any single
+  // packet hop: the re-route chooses the path every tunneled packet takes.
+  auto flow_instant = [&](const char* name, std::initializer_list<sim::TraceField> attrs) {
+    const sim::SimTime now = net_->simulator().now();
+    const sim::SpanId parent =
+        inner.flow != 0 ? sp->flow_span(now, inner.flow) : sp->current();
+    sp->end(sp->begin_under(parent, now, "routing.overlay", name, attrs), now);
+  };
   const auto path = route(from, to);
   if (path.empty()) {
     TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kWarn,
                        "routing.overlay", "no-overlay-path", {"from", from}, {"to", to});
+    if (sp != nullptr) flow_instant("no-overlay-path", {{"from", from}, {"to", to}});
     return {};
   }
   if (path.size() > 2) {
@@ -78,6 +88,11 @@ std::vector<net::NodeId> Overlay::send(net::NodeId from, net::NodeId to, net::Pa
     TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
                        "routing.overlay", "reroute", {"from", from}, {"to", to},
                        {"relays", path.size() - 2}, {"first_relay", path[1]});
+    if (sp != nullptr) {
+      flow_instant("reroute", {{"from", from}, {"to", to},
+                               {"relays", static_cast<std::int64_t>(path.size() - 2)},
+                               {"first_relay", path[1]}});
+    }
   }
   // Wrap back-to-front: the outermost tunnel targets the first relay.
   // path = [from, r1, r2, ..., to]; the inner packet already addresses its

@@ -1,6 +1,7 @@
 #include "routing/path_vector.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "sim/trace.hpp"
@@ -55,6 +56,16 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
                                                      bool origin_validation,
                                                      AsId legitimate_origin,
                                                      int max_rounds) const {
+  std::optional<sim::ScopedSpan> decide;
+  if (spans_ != nullptr) {
+    // Control-plane work happens at setup time, outside the simulator
+    // clock; the tracer's last observed time keeps ordering consistent.
+    decide.emplace(spans_, spans_->last_time(), "routing.bgp", "decide",
+                   std::initializer_list<sim::TraceField>{
+                       {"origins", static_cast<std::int64_t>(claimed_origins.size())},
+                       {"legitimate_origin", legitimate_origin},
+                       {"origin_validation", origin_validation}});
+  }
   Outcome out;
   std::map<AsId, AsRoute> rib;
   auto is_origin = [&](AsId a) {
@@ -109,6 +120,11 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
                              sim::TraceLevel::kDebug, "routing.bgp", "origin-invalid",
                              {"as", self_as}, {"from", nbr},
                              {"claimed_origin", nbr_route.as_path.back()});
+          if (spans_ != nullptr) {
+            spans_->instant("routing.bgp", "origin-invalid",
+                            {{"as", self_as}, {"from", nbr},
+                             {"claimed_origin", nbr_route.as_path.back()}});
+          }
           continue;
         }
         std::vector<AsId> path;
@@ -140,12 +156,25 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
     }
   }
   out.routes = std::move(rib);
+  if (decide) {
+    decide->annotate({"converged", out.converged});
+    decide->annotate({"rounds", static_cast<std::int64_t>(out.rounds)});
+  }
   return out;
 }
 
 HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijacker,
-                              bool origin_validation, PathVector::Policy policy) {
+                              bool origin_validation, PathVector::Policy policy,
+                              sim::SpanTracer* spans) {
+  std::optional<sim::ScopedSpan> span;
+  if (spans != nullptr) {
+    span.emplace(spans, spans->last_time(), "routing.bgp", "hijack",
+                 std::initializer_list<sim::TraceField>{
+                     {"victim", true_origin}, {"hijacker", hijacker},
+                     {"origin_validation", origin_validation}});
+  }
   PathVector pv(graph, std::move(policy));
+  pv.set_span_tracer(spans);
   auto out = pv.compute_with_origins({true_origin, hijacker}, origin_validation, true_origin);
   HijackOutcome h;
   h.converged = out.converged;
@@ -163,6 +192,11 @@ HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijac
                          {"as", as}, {"hijacker", hijacker}, {"victim", true_origin},
                          {"path_len", it->second.as_path.size()},
                          {"origin_validation", origin_validation});
+      if (spans != nullptr) {
+        spans->instant("routing.bgp", "hijack-accepted",
+                       {{"as", as},
+                        {"path_len", static_cast<std::int64_t>(it->second.as_path.size())}});
+      }
       ++h.captured;
     } else {
       ++h.legitimate;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "routing/as_graph.hpp"
+#include "sim/span.hpp"
 
 namespace tussle::routing {
 
@@ -67,9 +68,16 @@ class PathVector {
                                bool origin_validation, AsId legitimate_origin,
                                int max_rounds = 200) const;
 
+  /// Attaches a causal span tracer: each compute wraps its rounds in a
+  /// "decide" span (annotated with convergence) and records every
+  /// origin-validation discard as a child span — the control plane's
+  /// contribution to "why did this flow take this path".
+  void set_span_tracer(sim::SpanTracer* spans) noexcept { spans_ = spans; }
+
  private:
   const AsGraph* graph_;
   Policy policy_;
+  sim::SpanTracer* spans_ = nullptr;
 };
 
 /// Convenience wrapper for the classic prefix-hijack experiment.
@@ -83,7 +91,8 @@ struct HijackOutcome {
 };
 HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijacker,
                               bool origin_validation,
-                              PathVector::Policy policy = PathVector::Policy::gao_rexford());
+                              PathVector::Policy policy = PathVector::Policy::gao_rexford(),
+                              sim::SpanTracer* spans = nullptr);
 
 /// Which routes would a *link-state* interdomain design reveal? For the
 /// visibility comparison (§IV-C): link-state exports every edge and cost to

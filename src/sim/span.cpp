@@ -1,0 +1,362 @@
+#include "sim/span.hpp"
+
+#include <algorithm>
+
+#include "sim/json.hpp"
+
+namespace tussle::sim {
+
+namespace {
+
+/// Renders a TraceField value the same way the JSONL trace sink does, so
+/// span reports and flat traces agree on formatting.
+std::string field_text(const TraceField::Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return json_number(*d);
+  return std::get<bool>(v) ? "true" : "false";
+}
+
+void field_json(JsonWriter& w, const TraceField& f) {
+  w.key(f.key);
+  if (const auto* s = std::get_if<std::string>(&f.value)) {
+    w.value(std::string_view(*s));
+  } else if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+    w.value(*i);
+  } else if (const auto* d = std::get_if<double>(&f.value)) {
+    w.value(*d);
+  } else {
+    w.value(std::get<bool>(f.value));
+  }
+}
+
+const TraceField* find_attr(const Span& s, std::string_view key) {
+  for (const TraceField& f : s.attrs) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+/// Children of each span, in id (creation) order. Index 0 holds the roots.
+std::vector<std::vector<SpanId>> child_index(const std::vector<Span>& spans) {
+  std::vector<std::vector<SpanId>> kids(spans.size() + 1);
+  for (const Span& s : spans) kids[s.parent].push_back(s.id);
+  return kids;
+}
+
+/// Open spans export as zero-length at their start (a crash or an
+/// un-delivered packet leaves its span open; clamping keeps output valid).
+SimTime clamped_end(const Span& s) { return s.closed && s.end >= s.start ? s.end : s.start; }
+
+}  // namespace
+
+// ---------------------------------------------------------------- tracer ---
+
+SpanId SpanTracer::begin(SimTime now, std::string_view component, std::string_view name,
+                         std::initializer_list<TraceField> attrs) {
+  return begin_under(current(), now, component, name, attrs);
+}
+
+SpanId SpanTracer::begin_under(SpanId parent, SimTime now, std::string_view component,
+                               std::string_view name,
+                               std::initializer_list<TraceField> attrs) {
+  last_time_ = now;
+  Span s;
+  s.id = next_id();
+  s.parent = parent;
+  s.start = now;
+  s.end = now;
+  s.component = std::string(component);
+  s.name = std::string(name);
+  s.attrs.assign(attrs.begin(), attrs.end());
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void SpanTracer::end(SpanId id, SimTime now) {
+  if (id == kNoSpan || id > spans_.size()) return;
+  last_time_ = now;
+  Span& s = span_of(id);
+  s.end = now;
+  s.closed = true;
+}
+
+SpanId SpanTracer::instant(SimTime now, std::string_view component, std::string_view name,
+                           std::initializer_list<TraceField> attrs) {
+  const SpanId id = begin(now, component, name, attrs);
+  end(id, now);
+  return id;
+}
+
+SpanId SpanTracer::instant(std::string_view component, std::string_view name,
+                           std::initializer_list<TraceField> attrs) {
+  return instant(last_time_, component, name, attrs);
+}
+
+void SpanTracer::annotate(SpanId id, TraceField field) {
+  if (id == kNoSpan || id > spans_.size()) return;
+  span_of(id).attrs.push_back(std::move(field));
+}
+
+SpanId SpanTracer::flow_span(SimTime now, std::uint64_t flow) {
+  auto it = flow_spans_.find(flow);
+  if (it != flow_spans_.end()) return it->second;
+  const SpanId id =
+      begin_under(kNoSpan, now, "net.flow", "flow", {{"flow", flow}});
+  flow_spans_.emplace(flow, id);
+  return id;
+}
+
+SpanId SpanTracer::packet_span(SimTime now, std::uint64_t uid, std::uint64_t flow) {
+  // Flow 0 is "no flow": such packets root their own causal tree.
+  const SpanId parent = flow != 0 ? flow_span(now, flow) : kNoSpan;
+  const SpanId id =
+      begin_under(parent, now, "net.packet", "packet", {{"uid", uid}, {"flow", flow}});
+  packet_spans_[uid] = id;
+  return id;
+}
+
+SpanId SpanTracer::find_packet(std::uint64_t uid) const noexcept {
+  auto it = packet_spans_.find(uid);
+  return it == packet_spans_.end() ? kNoSpan : it->second;
+}
+
+void SpanTracer::end_packet(std::uint64_t uid, SimTime now) {
+  auto it = packet_spans_.find(uid);
+  if (it == packet_spans_.end()) return;
+  const SpanId id = it->second;
+  packet_spans_.erase(it);
+  end(id, now);
+  // Stretch the flow span to cover its longest-lived packet; the flow span
+  // stays open (more packets may come) and is clamped on export if nothing
+  // closes it.
+  const SpanId flow = span_of(id).parent;
+  if (flow != kNoSpan) {
+    Span& fs = span_of(flow);
+    fs.end = std::max(fs.end, now);
+    fs.closed = true;
+  }
+}
+
+void SpanTracer::merge(const SpanTracer& other) {
+  const SpanId offset = static_cast<SpanId>(spans_.size());
+  spans_.reserve(spans_.size() + other.spans_.size());
+  for (const Span& s : other.spans_) {
+    Span copy = s;
+    copy.id += offset;
+    if (copy.parent != kNoSpan) copy.parent += offset;
+    spans_.push_back(std::move(copy));
+  }
+  last_time_ = std::max(last_time_, other.last_time_);
+  // The uid/flow registries are per-run working state, not merged: a merged
+  // tracer is an archive for export, never a live recording target.
+}
+
+void SpanTracer::clear() {
+  spans_.clear();
+  stack_.clear();
+  flow_spans_.clear();
+  packet_spans_.clear();
+  last_time_ = SimTime::zero();
+}
+
+// -------------------------------------------------------- chrome exporter --
+
+std::string to_chrome_trace(const std::vector<Span>& spans) {
+  const auto kids = child_index(spans);
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  // One track (pid 1, tid = root span id) per causal tree; a metadata event
+  // names it. Slices are emitted in preorder so Perfetto's containment
+  // nesting matches the parent links carried in args.
+  for (SpanId root : kids[kNoSpan]) {
+    const Span& rs = spans[root - 1];
+    std::string label = rs.name;
+    if (const TraceField* f = find_attr(rs, "flow"); f != nullptr && rs.name == "flow") {
+      label += " " + field_text(f->value);
+    } else {
+      label = rs.component + " " + rs.name + " #" + std::to_string(root);
+    }
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("pid").value(std::int64_t{1});
+    w.key("tid").value(static_cast<std::int64_t>(root));
+    w.key("name").value("thread_name");
+    w.key("args").begin_object();
+    w.key("name").value(label);
+    w.end_object();
+    w.end_object();
+
+    std::vector<SpanId> stack{root};
+    while (!stack.empty()) {
+      const SpanId id = stack.back();
+      stack.pop_back();
+      const Span& s = spans[id - 1];
+      w.begin_object();
+      w.key("ph").value("X");
+      w.key("pid").value(std::int64_t{1});
+      w.key("tid").value(static_cast<std::int64_t>(root));
+      w.key("ts").value(static_cast<double>(s.start.as_nanos()) / 1e3);
+      w.key("dur").value(static_cast<double>((clamped_end(s) - s.start).as_nanos()) / 1e3);
+      w.key("name").value(s.name);
+      w.key("cat").value(s.component);
+      w.key("args").begin_object();
+      w.key("span").value(static_cast<std::int64_t>(s.id));
+      w.key("parent").value(static_cast<std::int64_t>(s.parent));
+      for (const TraceField& f : s.attrs) field_json(w, f);
+      w.end_object();
+      w.end_object();
+      // Push children in reverse so they pop in creation order.
+      const auto& c = kids[id];
+      for (auto it = c.rbegin(); it != c.rend(); ++it) stack.push_back(*it);
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+// ------------------------------------------------------- span-tree report --
+
+namespace {
+
+void tree_line(std::string& out, const std::vector<Span>& spans,
+               const std::vector<std::vector<SpanId>>& kids, SpanId id, int depth) {
+  const Span& s = spans[id - 1];
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += "[" + s.component + "] " + s.name;
+  out += " @" + s.start.to_string();
+  const SimTime dur = clamped_end(s) - s.start;
+  if (dur > SimTime::zero()) out += " +" + dur.to_string();
+  for (const TraceField& f : s.attrs) {
+    out += " " + f.key + "=" + field_text(f.value);
+  }
+  out += "\n";
+  for (SpanId c : kids[id]) tree_line(out, spans, kids, c, depth + 1);
+}
+
+}  // namespace
+
+std::string span_tree_report(const std::vector<Span>& spans) {
+  const auto kids = child_index(spans);
+  std::string out;
+  for (SpanId root : kids[kNoSpan]) tree_line(out, spans, kids, root, 0);
+  return out;
+}
+
+// ----------------------------------------------------------- the explainer --
+
+namespace {
+
+struct TransferLine {
+  std::string from, to, memo;
+  double amount = 0;
+  std::string caused_by;  ///< "component name" of the nearest decision ancestor
+};
+
+void collect_explain(const std::vector<Span>& spans,
+                     const std::vector<std::vector<SpanId>>& kids, SpanId id, int depth,
+                     std::string& narrative, std::vector<TransferLine>& transfers) {
+  const Span& s = spans[id - 1];
+  const bool is_transfer = s.component == "econ.ledger" && s.name == "transfer";
+  if (is_transfer) {
+    TransferLine t;
+    if (const auto* f = find_attr(s, "from")) t.from = field_text(f->value);
+    if (const auto* f = find_attr(s, "to")) t.to = field_text(f->value);
+    if (const auto* f = find_attr(s, "memo")) t.memo = field_text(f->value);
+    if (const auto* f = find_attr(s, "amount")) {
+      if (const auto* d = std::get_if<double>(&f->value)) t.amount = *d;
+    }
+    if (s.parent != kNoSpan) {
+      const Span& p = spans[s.parent - 1];
+      t.caused_by = p.component + " " + p.name;
+    }
+    transfers.push_back(std::move(t));
+  }
+  narrative.append(static_cast<std::size_t>(depth) * 2, ' ');
+  narrative += s.name;
+  if (s.name != s.component) narrative += " (" + s.component + ")";
+  narrative += " @" + s.start.to_string();
+  for (const TraceField& f : s.attrs) {
+    if (f.key == "flow") continue;  // the header already names the flow
+    narrative += " " + f.key + "=" + field_text(f.value);
+  }
+  narrative += "\n";
+  for (SpanId c : kids[id]) {
+    collect_explain(spans, kids, c, depth + 1, narrative, transfers);
+  }
+}
+
+}  // namespace
+
+std::string explain_flow(const std::vector<Span>& spans, std::uint64_t flow) {
+  const auto kids = child_index(spans);
+  std::vector<SpanId> flow_roots;
+  for (const Span& s : spans) {
+    if (s.name != "flow" || s.component != "net.flow") continue;
+    const TraceField* f = find_attr(s, "flow");
+    if (f == nullptr) continue;
+    const auto* v = std::get_if<std::int64_t>(&f->value);
+    if (v != nullptr && static_cast<std::uint64_t>(*v) == flow) flow_roots.push_back(s.id);
+  }
+  if (flow_roots.empty()) {
+    return "no spans recorded for flow " + std::to_string(flow) + "\n";
+  }
+
+  std::string out = "why flow " + std::to_string(flow) + ":\n";
+  std::vector<TransferLine> transfers;
+  for (SpanId root : flow_roots) {
+    // Count outcomes: packets, and whether each one's subtree ever reached
+    // a deliver span (delivery nests under the final hop).
+    std::size_t packets = 0, delivered = 0, dropped = 0;
+    for (SpanId pid : kids[root]) {
+      const Span& p = spans[pid - 1];
+      if (p.name != "packet") continue;
+      ++packets;
+      std::vector<SpanId> stack{pid};
+      bool got_there = false;
+      while (!stack.empty() && !got_there) {
+        const SpanId id = stack.back();
+        stack.pop_back();
+        if (spans[id - 1].name == "deliver") got_there = true;
+        for (SpanId c : kids[id]) stack.push_back(c);
+      }
+      if (got_there) ++delivered;
+    }
+    // A packet with no deliver span anywhere below it was dropped (or is
+    // still in flight at run end, which for an explainer is the same news).
+    dropped = packets - std::min(packets, delivered);
+    out += "  " + std::to_string(packets) + " packet(s): " + std::to_string(delivered) +
+           " delivered, " + std::to_string(dropped) + " dropped or unterminated\n\n";
+
+    std::string narrative;
+    collect_explain(spans, kids, root, 1, narrative, transfers);
+    out += narrative;
+  }
+
+  out += "\nvalue flow caused by this flow:\n";
+  if (transfers.empty()) {
+    out += "  (none — nobody was compensated)\n";
+  } else {
+    std::map<std::string, double> by_recipient;
+    for (const TransferLine& t : transfers) {
+      out += "  " + t.from + " -> " + t.to + "  " + json_number(t.amount);
+      if (!t.memo.empty()) out += "  (" + t.memo + ")";
+      if (!t.caused_by.empty()) out += "  caused by: " + t.caused_by;
+      out += "\n";
+      by_recipient[t.to] += t.amount;
+    }
+    out += "  net compensation by recipient:\n";
+    for (const auto& [to, amount] : by_recipient) {
+      out += "    " + to + "  " + json_number(amount) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tussle::sim

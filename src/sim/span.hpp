@@ -1,0 +1,183 @@
+// Causal span tracing: the "why" layer of the observability stack.
+//
+// PR 2's flat trace events say *that* a packet was dropped or a transfer
+// posted; spans say *which decision chain caused it*. A span is a named
+// interval of simulated time with a parent link, so a run produces a forest
+// of causal trees — flow lifetime → per-hop forwarding → policy / firewall /
+// pricing / trust decisions → ledger settlements — in the style of X-Trace's
+// cross-layer propagation and Shadow's causal instrumentation.
+//
+// Determinism contract (the same one the sweep engine enforces):
+//  - span ids are dense sequence numbers in creation order, so a run's span
+//    set is a pure function of its event sequence — never of wall time,
+//    scheduling, or which worker executed the run (detlint's
+//    span-wall-clock check statically bans wall clocks in this module);
+//  - each sweep run records into its own SpanTracer and the results merge
+//    in run-index order with deterministic id remapping, so exported output
+//    is bit-identical at any --jobs count;
+//  - an unattached tracer costs the instrumented hot paths one null-pointer
+//    branch per decision point (the pointer, not this class, is the guard).
+//
+// Cross-event causality uses two mechanisms:
+//  - an explicit *active-span stack* (push/pop, or the ScopedSpan RAII
+//    helper) for synchronous call chains — a ledger transfer performed
+//    inside a firewall decision lands under that decision's span;
+//  - a uid-keyed registry for packets, whose lifetime crosses scheduled
+//    events (enqueue → serialize → propagate → receive): each forwarding
+//    hop looks the packet's span up by uid and re-establishes context.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace tussle::sim {
+
+/// Dense 1-based span identifier; 0 means "no span" (root).
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// One node of the causal tree. Start/end are simulated time; synchronous
+/// decisions are zero-length, which is fine — causality, not duration, is
+/// the payload.
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  SimTime start;
+  SimTime end;
+  bool closed = false;            ///< end() was called (exports clamp open spans)
+  std::string component;          ///< subsystem, e.g. "net.flow", "econ.ledger"
+  std::string name;               ///< short stable identifier, e.g. "hop", "transfer"
+  std::vector<TraceField> attrs;  ///< typed attributes, emission order preserved
+};
+
+class SpanTracer {
+ public:
+  /// Opens a span as a child of the current active span (or a root when the
+  /// stack is empty). Does NOT push it onto the active stack.
+  SpanId begin(SimTime now, std::string_view component, std::string_view name,
+               std::initializer_list<TraceField> attrs = {});
+
+  /// Opens a span under an explicit parent (kNoSpan = root).
+  SpanId begin_under(SpanId parent, SimTime now, std::string_view component,
+                     std::string_view name, std::initializer_list<TraceField> attrs = {});
+
+  /// Closes a span. Safe to call once per id; later annotate() still works.
+  void end(SpanId id, SimTime now);
+
+  /// Zero-length child of the current active span — the span analogue of a
+  /// typed trace event (ledger transfers, hijack acceptances, re-routes).
+  SpanId instant(SimTime now, std::string_view component, std::string_view name,
+                 std::initializer_list<TraceField> attrs = {});
+  /// Variant for call sites outside the simulator (ledger, BGP at setup
+  /// time): stamps the tracer's last observed sim time.
+  SpanId instant(std::string_view component, std::string_view name,
+                 std::initializer_list<TraceField> attrs = {});
+
+  void annotate(SpanId id, TraceField field);
+
+  // --- active-span stack (synchronous causality) -------------------------
+  SpanId current() const noexcept { return stack_.empty() ? kNoSpan : stack_.back(); }
+  void push(SpanId id) { stack_.push_back(id); }
+  void pop() noexcept {
+    if (!stack_.empty()) stack_.pop_back();
+  }
+
+  // --- packet/flow registry (cross-event causality) ----------------------
+  /// The flow-lifetime span for `flow`, created on first use as a root.
+  SpanId flow_span(SimTime now, std::uint64_t flow);
+  /// Registers `uid`'s packet span as a child of its flow span.
+  SpanId packet_span(SimTime now, std::uint64_t uid, std::uint64_t flow);
+  /// Looks up a live packet span; kNoSpan when the uid was never registered.
+  SpanId find_packet(std::uint64_t uid) const noexcept;
+  /// Closes a packet span (delivery or terminal drop) and stretches the
+  /// owning flow span to cover it.
+  void end_packet(std::uint64_t uid, SimTime now);
+
+  /// Last sim time passed to any begin/end/instant — the "current time" for
+  /// components that cannot see the simulator clock.
+  SimTime last_time() const noexcept { return last_time_; }
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  bool empty() const noexcept { return spans_.empty(); }
+  std::size_t size() const noexcept { return spans_.size(); }
+
+  /// Folds `other`'s spans into this tracer, remapping ids by a fixed
+  /// offset (ids are dense, so offset + id stays dense). The sweep engine
+  /// merges per-run tracers in run-index order; the result is therefore
+  /// schedule-independent.
+  void merge(const SpanTracer& other);
+
+  void clear();
+
+ private:
+  SpanId next_id() noexcept { return static_cast<SpanId>(spans_.size()) + 1; }
+  Span& span_of(SpanId id) { return spans_[id - 1]; }
+
+  std::vector<Span> spans_;       // index i holds id i+1
+  std::vector<SpanId> stack_;
+  std::map<std::uint64_t, SpanId> flow_spans_;
+  std::map<std::uint64_t, SpanId> packet_spans_;  // live (unclosed) packets only
+  SimTime last_time_;
+};
+
+/// RAII guard for synchronous decision spans: begins a span, pushes it as
+/// the active span, and ends/pops on destruction at the same sim time the
+/// enclosing code last stamped (synchronous code cannot advance the clock).
+/// Null-tracer-safe so call sites stay one branch when tracing is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, SimTime now, std::string_view component,
+             std::string_view name, std::initializer_list<TraceField> attrs = {})
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->begin(now, component, name, attrs);
+      tracer_->push(id_);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->pop();
+      tracer_->end(id_, tracer_->last_time());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  SpanId id() const noexcept { return id_; }
+  void annotate(TraceField field) {
+    if (tracer_ != nullptr) tracer_->annotate(id_, std::move(field));
+  }
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  SpanId id_ = kNoSpan;
+};
+
+// --- exporters ------------------------------------------------------------
+
+/// Renders spans as one Chrome trace-event JSON object (loadable in
+/// Perfetto / chrome://tracing): {"traceEvents": [...], ...}. Every span
+/// becomes a complete ("X") event whose ts/dur are sim-time microseconds;
+/// each causal tree is its own named track, so parent/child nesting shows
+/// as slice containment. args carry the span/parent ids and attributes.
+std::string to_chrome_trace(const std::vector<Span>& spans);
+
+/// Indented text rendering of the causal forest — one line per span with
+/// sim-time bounds and attributes; a flamegraph you can read in a terminal.
+std::string span_tree_report(const std::vector<Span>& spans);
+
+/// Walks one flow's causal tree and narrates it: the path taken hop by hop,
+/// every decision for or against the flow (filters, re-routes, pricing),
+/// and who was compensated as a consequence (ledger transfers found in the
+/// subtree, summed by recipient). Returns a human-readable report;
+/// "no spans recorded for flow N" when the flow is unknown.
+std::string explain_flow(const std::vector<Span>& spans, std::uint64_t flow);
+
+}  // namespace tussle::sim

@@ -1,11 +1,24 @@
 #include "trust/mediator.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "sim/span.hpp"
 
 namespace tussle::trust {
 
 TransactionOutcome EscrowMediator::transact(const std::string& buyer, const std::string& seller,
                                             double price, bool seller_honest) {
+  sim::SpanTracer* sp = ledger_->span_tracer();
+  std::optional<sim::ScopedSpan> span;
+  if (sp != nullptr) {
+    // The mediation span groups the escrow / release / chargeback transfers
+    // so the trace shows the whole §V-C "trust mediation" as one decision.
+    span.emplace(sp, sp->last_time(), "trust.mediator", "mediate",
+                 std::initializer_list<sim::TraceField>{
+                     {"buyer", buyer}, {"seller", seller}, {"price", price},
+                     {"seller_honest", seller_honest}});
+  }
   TransactionOutcome out;
   // Buyer pays into escrow first.
   ledger_->transfer(buyer, name_, price, "escrow");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace tussle::econ {
 namespace {
 
@@ -38,6 +40,44 @@ TEST(Ledger, RejectsBadTransfers) {
   Ledger l;
   EXPECT_THROW(l.transfer("a", "b", -1), std::invalid_argument);
   EXPECT_THROW(l.transfer("a", "a", 1), std::invalid_argument);
+}
+
+TEST(Ledger, RejectsNonFiniteAmounts) {
+  Ledger l;
+  EXPECT_THROW(l.transfer("a", "b", std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(l.transfer("a", "b", std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(l.transfer("a", "b", -std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // A rejected transfer must leave no trace: no log entry, no balance drift.
+  EXPECT_TRUE(l.log().empty());
+  EXPECT_DOUBLE_EQ(l.balance("a"), 0.0);
+  EXPECT_DOUBLE_EQ(l.total(), 0.0);
+}
+
+TEST(Ledger, TransferRecordsActiveSpan) {
+  sim::SpanTracer spans;
+  Ledger l;
+  l.set_span_tracer(&spans);
+  const sim::SpanId decision = spans.begin(sim::SimTime::millis(1), "net.filter", "decision");
+  spans.push(decision);
+  l.transfer("user:1", "isp:3", 0.25, "value-surcharge");
+  spans.pop();
+
+  ASSERT_EQ(l.log().size(), 1u);
+  EXPECT_EQ(l.log()[0].span, decision);  // attributed to the causing decision
+  // ... and a zero-length transfer span was emitted under it.
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans.spans()[1].component, "econ.ledger");
+  EXPECT_EQ(spans.spans()[1].name, "transfer");
+  EXPECT_EQ(spans.spans()[1].parent, decision);
+}
+
+TEST(Ledger, TransferWithoutTracerLeavesNoSpan) {
+  Ledger l;
+  l.transfer("a", "b", 1.0);
+  EXPECT_EQ(l.log()[0].span, sim::kNoSpan);
 }
 
 TEST(PaidTransit, ValleyFreePathIsFree) {

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare bench harness --json reports against a committed baseline.
+
+Each report is one JSON object written by bench::run --json (see
+bench/harness.hpp): {"experiment": {"id": ...}, "wall_seconds": ...,
+"total_events": ..., "events_per_sec": ..., "metrics": {...}}. The baseline
+file maps experiment id -> the same summary fields.
+
+The gate is wall time: a report regresses when its wall_seconds exceeds the
+baseline's by more than --max-regression (default 10%). Runs faster than
+--min-seconds (default 0.05 s) on either side are skipped — below that the
+timer resolution and scheduler noise dominate and a ratio is meaningless.
+Total-event drift is reported but never fails the gate: event counts change
+legitimately whenever a scenario is added or re-parameterised, and the
+determinism suite (not this tool) owns that invariant.
+
+Usage:
+  bench_compare.py --baseline BENCH_baseline.json report.json...
+  bench_compare.py --baseline BENCH_baseline.json --update report.json...
+
+--update rewrites the baseline from the given reports (run it on the
+reference machine after an intentional perf change and commit the result).
+Exit status: 0 = no regression, 1 = regression, 2 = usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_report(path: str) -> dict:
+    with open(path) as f:
+        d = json.load(f)
+    for key in ("experiment", "wall_seconds", "total_events"):
+        if key not in d:
+            raise ValueError(f"{path}: not a harness report (missing {key!r})")
+    if not d["experiment"].get("id"):
+        raise ValueError(f"{path}: empty experiment id")
+    return d
+
+
+def summarize(report: dict) -> dict:
+    return {
+        "wall_seconds": report["wall_seconds"],
+        "total_events": report["total_events"],
+        "events_per_sec": report.get("events_per_sec", 0.0),
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="BENCH_baseline.json",
+                    help="baseline file (default: %(default)s)")
+    ap.add_argument("--max-regression", type=float, default=0.10, metavar="FRAC",
+                    help="allowed fractional wall-time growth (default: %(default)s)")
+    ap.add_argument("--min-seconds", type=float, default=0.05, metavar="SEC",
+                    help="skip comparisons when both sides run faster than "
+                         "this (default: %(default)s)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the given reports")
+    ap.add_argument("reports", nargs="+", help="harness --json output files")
+    args = ap.parse_args()
+
+    try:
+        reports = {r["experiment"]["id"]: r
+                   for r in (load_report(p) for p in args.reports)}
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline = {bench_id: summarize(r) for bench_id, r in sorted(reports.items())}
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_compare: wrote {args.baseline} ({len(baseline)} benches)")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for bench_id, report in sorted(reports.items()):
+        base = baseline.get(bench_id)
+        if base is None:
+            print(f"{bench_id}: not in baseline — run with --update to adopt it")
+            continue
+        cur_s, base_s = report["wall_seconds"], base["wall_seconds"]
+        if max(cur_s, base_s) < args.min_seconds:
+            print(f"{bench_id}: {cur_s:.4f}s vs {base_s:.4f}s — below "
+                  f"--min-seconds {args.min_seconds}, skipped")
+            continue
+        growth = (cur_s - base_s) / base_s if base_s > 0 else float("inf")
+        verdict = "REGRESSION" if growth > args.max_regression else "ok"
+        print(f"{bench_id}: {cur_s:.4f}s vs baseline {base_s:.4f}s "
+              f"({growth:+.1%}) {verdict}")
+        if report["total_events"] != base["total_events"]:
+            print(f"{bench_id}:   note: total_events {base['total_events']} -> "
+                  f"{report['total_events']} (scenario change, not gated)")
+        if verdict == "REGRESSION":
+            failed = True
+
+    if failed:
+        print(f"bench_compare: wall time grew more than "
+              f"{args.max_regression:.0%} over {args.baseline}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,10 @@
 //   uninit-member      scalar struct/class members without a default
 //                      initializer — reads of indeterminate values are both
 //                      UB and a classic source of run-to-run divergence.
+//   span-wall-clock    any wall-clock source (wall_now_seconds, <chrono>
+//                      clocks) inside the causal-span module (sim/span*):
+//                      span records carry simulated time only, or exported
+//                      traces stop being byte-identical across runs.
 //
 // Usage: detlint [--allowlist FILE] DIR...
 // Exit:  0 clean, 1 unallowlisted violations, 2 usage/IO error.
@@ -186,6 +190,18 @@ bool in_randomness_module(const std::string& path) {
   return path.find("sim/random") != std::string::npos;
 }
 
+/// Wall-clock sources that must never appear in the span-tracing module.
+/// banned-random already catches the stdlib clocks; this list adds the
+/// project's own (audited) wall-clock helper and the <chrono> umbrella, so
+/// a span timestamp cannot be smuggled in through either route.
+constexpr std::string_view kSpanWallClockTokens[] = {
+    "wall_now_seconds", "chrono", "clock",
+};
+
+bool in_span_module(const std::string& path) {
+  return path.find("sim/span") != std::string::npos;
+}
+
 bool in_hot_path(const std::string& path) {
   for (const char* dir : {"/sim/", "/net/", "/routing/", "/econ/"}) {
     if (path.find(dir) != std::string::npos) return true;
@@ -216,6 +232,17 @@ void check_line_tokens(const std::string& path, std::size_t lineno,
                          "wall-clock time() call outside sim/random", trim(raw)});
         }
         break;
+      }
+    }
+  }
+  if (in_span_module(path)) {
+    for (std::string_view tok : kSpanWallClockTokens) {
+      if (contains_token(stripped, tok)) {
+        out.push_back({path, lineno, "span-wall-clock",
+                       "wall-clock source '" + std::string(tok) +
+                           "' in the span module: span records carry simulated "
+                           "time only, or traces diverge run to run",
+                       trim(raw)});
       }
     }
   }
