@@ -100,6 +100,17 @@ void run_stage(int stage, core::RunContext& ctx) {
     send(3, 4, net::AppProto::kWeb, false, "web", false);
     send(3, 4, net::AppProto::kMail, false, "biz-vpn", true);  // telework tunnel
   }
+
+  // Telemetry: cumulative deliveries per traffic class. The last of the
+  // 250 sends goes out at 250ms; 300ms covers the tail in flight.
+  if (auto* rec = ctx.timeseries()) {
+    rec->probe("p2p_plain", [&] { return p2p_plain; });
+    rec->probe("p2p_encrypted", [&] { return p2p_encrypted; });
+    rec->probe("p2p_stego", [&] { return p2p_stego; });
+    rec->probe("business_vpn", [&] { return business_vpn; });
+    rec->probe("web", [&] { return web; });
+    rec->attach(sim, sim::SimTime::millis(300));
+  }
   ctx.add_events(sim.run());
   ctx.put("p2p_plain", p2p_plain);
   ctx.put("p2p_encrypted", p2p_encrypted);
@@ -108,6 +119,100 @@ void run_stage(int stage, core::RunContext& ctx) {
   ctx.put("web", web);
   ctx.put("policy_visible",
           net.node(ids[0]).disclosed_filter_names().empty() ? 0.0 : 1.0);
+}
+
+/// The escalation ladder as coupled adaptive dynamics instead of four fixed
+/// stages: users re-weight their strategies (plain / encrypted / stego) by
+/// replicator dynamics on realized payoff each round, while the ISP reviews
+/// its enforcement stage every kReview rounds — escalating while too much
+/// P2P still gets through, de-escalating once enforcement + collateral cost
+/// more than blocking earns. Neither side's optimum stays put while the
+/// other moves, so the coupled system settles into a limit cycle: "the
+/// tussle is not resolved, it is ongoing" made literal. One round is one
+/// simulated millisecond; the dynamics are fully deterministic.
+void run_arms_race(core::RunContext& ctx) {
+  constexpr std::size_t kRounds = 2000;
+  constexpr std::size_t kReview = 25;  // ISP policy latency, in rounds
+  constexpr double kEta = 1.2;         // user adaptation rate
+  constexpr double kFloor = 1e-3;      // strategies never quite die out
+  // Indexed by ISP stage: block probability per strategy, enforcement
+  // cost, collateral damage to innocent traffic (fn.17's false positives).
+  constexpr double kBlock[4][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {1, 1, 0.7}};
+  constexpr double kStageCost[4] = {0, 0.15, 0.30, 0.45};
+  constexpr double kCollateral[4] = {0, 0, 0.25, 0.35};
+  constexpr double kStratCost[3] = {0, 0.10, 0.25};  // plain, encrypted, stego
+
+  double share[3] = {0.90, 0.09, 0.01};
+  int stage = 0;
+  int stage_changes = 0;
+  double blocked_frac = 0, user_welfare = 0, isp_utility = 0;
+  double tunnel = share[1] + share[2];
+
+  auto* rec = ctx.timeseries();
+  if (rec != nullptr) {
+    rec->probe("tunnel_adoption", [&] { return tunnel; });
+    rec->probe("block_rate", [&] { return blocked_frac; });
+    rec->probe("isp_stage", [&] { return static_cast<double>(stage); });
+    rec->probe("user_welfare", [&] { return user_welfare; });
+    rec->probe("isp_utility", [&] { return isp_utility; });
+    rec->probe("collateral", [&] { return kCollateral[stage]; });
+    rec->maybe_sample(sim::SimTime::zero());
+  }
+
+  sim::Summary stage_hist;
+  for (std::size_t t = 0; t < kRounds; ++t) {
+    double payoff[3];
+    blocked_frac = 0;
+    user_welfare = 0;
+    for (int i = 0; i < 3; ++i) {
+      payoff[i] = (1.0 - kBlock[stage][i]) - kStratCost[i];
+      blocked_frac += share[i] * kBlock[stage][i];
+      user_welfare += share[i] * payoff[i];
+    }
+    isp_utility = blocked_frac - kStageCost[stage] - 1.5 * kCollateral[stage];
+
+    if ((t + 1) % kReview == 0) {
+      // Escalation is forward-looking: the ISP moves up when too much P2P
+      // still gets through AND the next tier would pay for itself against
+      // the user mix it can currently see. Failing that, a tier that costs
+      // more than it blocks is abandoned. The forward-looking caution is
+      // what gives users room to drift back to plain at low stages, which
+      // re-arms the escalation: a full multi-tier cycle.
+      double next_blocked = 0;
+      if (stage < 3) {
+        for (int i = 0; i < 3; ++i) next_blocked += share[i] * kBlock[stage + 1][i];
+      }
+      if (stage < 3 && 1.0 - blocked_frac > 0.5 &&
+          next_blocked > kStageCost[stage + 1] + kCollateral[stage + 1] + 0.25) {
+        ++stage;
+        ++stage_changes;
+      } else if (stage > 0 && blocked_frac < kStageCost[stage] + kCollateral[stage]) {
+        --stage;
+        ++stage_changes;
+      }
+    }
+
+    double total = 0;
+    for (int i = 0; i < 3; ++i) {
+      share[i] *= std::exp(kEta * payoff[i]);
+      total += share[i];
+    }
+    for (double& s : share) s = std::max(s / total, kFloor);
+    total = share[0] + share[1] + share[2];
+    for (double& s : share) s /= total;
+
+    tunnel = share[1] + share[2];
+    stage_hist.observe(stage);
+    if (rec != nullptr) {
+      rec->maybe_sample(sim::SimTime::millis(static_cast<std::int64_t>(t) + 1));
+    }
+  }
+  if (rec != nullptr) rec->finish(sim::SimTime::millis(kRounds));
+
+  ctx.put("stage_changes", stage_changes);
+  ctx.put("mean_stage", stage_hist.mean());
+  ctx.put("final_tunnel_adoption", tunnel);
+  ctx.put("final_block_rate", blocked_frac);
 }
 
 }  // namespace
@@ -149,6 +254,23 @@ int main(int argc, char** argv) {
                        "the statistical hunt catches most of it but now drops innocent\n"
                        "web too (false positives) — escalation never ends, it only\n"
                        "relocates the collateral damage.\n";
+        });
+
+        core::ScenarioSpec race;
+        race.name = "arms-race";
+        race.description = "adaptive users vs adaptive ISP: the escalation limit cycle";
+        race.body = run_arms_race;
+        h.scenario(race, [](const core::SweepResult& res) {
+          std::cout << "\nAdaptive arms race (2000 rounds, ISP reviews every 25)\n\n";
+          core::Table t({"stage-changes", "mean-stage", "final-tunnel-share",
+                         "final-block-rate"});
+          t.add_row({static_cast<long long>(res.mean(0, "stage_changes")),
+                     res.mean(0, "mean_stage"), res.mean(0, "final_tunnel_adoption"),
+                     res.mean(0, "final_block_rate")});
+          t.print(std::cout);
+          std::cout << "\n(Neither side converges: each enforcement tier is abandoned as\n"
+                       "users adapt around it, then rebuilt when they drift back. Run with\n"
+                       "--dashboard to watch the cycle.)\n";
         });
       });
 }

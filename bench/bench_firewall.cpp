@@ -86,11 +86,17 @@ void run_variant(int variant, core::RunContext& ctx) {
   });
 
   int seq = 0;
+  int attack_sent = 0, novel_sent = 0, web_sent = 0;
   auto send = [&](int leaf, net::AppProto proto, const char* tag) {
     // Paced so the access queues never congest: this experiment is about
     // filtering policy, not queueing.
-    sim.schedule(sim::Duration::millis(2) * static_cast<double>(++seq), [&net, &addrs, &ids,
-                                                                         leaf, proto, tag]() {
+    sim.schedule(sim::Duration::millis(2) * static_cast<double>(++seq),
+                 [&net, &addrs, &ids, &attack_sent, &novel_sent, &web_sent, leaf, proto,
+                  tag]() {
+      const std::string_view t(tag);
+      if (t == "attack") ++attack_sent;
+      else if (t == "novel") ++novel_sent;
+      else ++web_sent;
       net::Packet p;
       p.src = addrs[static_cast<std::size_t>(leaf)];
       p.dst = addrs[1];
@@ -105,6 +111,23 @@ void run_variant(int variant, core::RunContext& ctx) {
     for (int k = 0; k < 10; ++k) send(u, net::AppProto::kUnknown, "novel");
   }
   for (int k = 0; k < 60; ++k) send(5, net::AppProto::kUnknown, "attack");
+
+  // Telemetry: the filtering tussle as it unfolds — cumulative deliveries
+  // and the block rate each traffic class experiences. The last send goes
+  // out at 540ms; 600ms covers delivery of everything in flight.
+  if (auto* rec = ctx.timeseries()) {
+    auto block_rate = [](const int& sent, const int& delivered) {
+      return sent == 0 ? 0.0 : 1.0 - static_cast<double>(delivered) / sent;
+    };
+    rec->probe("attack_delivered", [&] { return attack_delivered; });
+    rec->probe("novel_app_delivered", [&] { return novel_app_delivered; });
+    rec->probe("known_app_delivered", [&] { return known_app_delivered; });
+    rec->probe("attack_block_rate",
+               [&, block_rate] { return block_rate(attack_sent, attack_delivered); });
+    rec->probe("novel_block_rate",
+               [&, block_rate] { return block_rate(novel_sent, novel_app_delivered); });
+    rec->attach(sim, sim::SimTime::millis(600));
+  }
   ctx.add_events(sim.run());
   ctx.put("attack_delivered", attack_delivered);
   ctx.put("known_app_delivered", known_app_delivered);

@@ -112,17 +112,57 @@ int main(int argc, char** argv) {
         learn.description = "repeated congestion game, 20k rounds per learner pair";
         learn.grid.axis("row_learner", {0, 1});  // 0 = regret-matching, 1 = eps-greedy(0.3)
         learn.body = [](core::RunContext& ctx) {
+          constexpr std::size_t kRounds = 20000;
           auto pd = game::congestion_compliance_game();
           game::RegretMatching col(game::col_payoff_matrix(pd));
+
+          // Telemetry: one round = one simulated millisecond. Cumulative
+          // per-actor welfare and defect rates become time series, sampled
+          // on the recorder's aligned tick grid.
+          auto* rec = ctx.timeseries();
+          std::size_t played = 0, row_defects = 0, col_defects = 0;
+          double row_welfare = 0, col_welfare = 0;
+          game::RoundObserver observer;
+          if (rec != nullptr) {
+            auto rate = [&played](std::size_t& n) {
+              return played == 0 ? 0.0
+                                 : static_cast<double>(n) / static_cast<double>(played);
+            };
+            rec->probe("row_defect_rate", [&, rate] { return rate(row_defects); });
+            rec->probe("col_defect_rate", [&, rate] { return rate(col_defects); });
+            rec->probe("row_mean_payoff", [&] {
+              return played == 0 ? 0.0 : row_welfare / static_cast<double>(played);
+            });
+            rec->probe("col_mean_payoff", [&] {
+              return played == 0 ? 0.0 : col_welfare / static_cast<double>(played);
+            });
+            observer = [&](std::size_t t, std::size_t a, std::size_t b, double pr,
+                           double pc) {
+              ++played;
+              row_defects += a == 1 ? 1 : 0;
+              col_defects += b == 1 ? 1 : 0;
+              row_welfare += pr;
+              col_welfare += pc;
+              rec->maybe_sample(sim::SimTime::millis(static_cast<std::int64_t>(t) + 1));
+            };
+          }
+
           if (ctx.param("row_learner") == 0) {
             game::RegretMatching row(game::row_payoff_matrix(pd));
-            auto out = game::play_repeated(pd, row, col, 20000, ctx.rng());
+            if (rec != nullptr) {
+              rec->probe("row_avg_regret", [&row] { return row.average_regret(); });
+              rec->maybe_sample(sim::SimTime::zero());
+            }
+            auto out = game::play_repeated(pd, row, col, kRounds, ctx.rng(), observer);
+            if (rec != nullptr) rec->finish(sim::SimTime::millis(kRounds));
             ctx.put("row_defect_rate", out.row_empirical[1]);
             ctx.put("col_defect_rate", out.col_empirical[1]);
             ctx.put("row_avg_regret", row.average_regret());
           } else {
             game::EpsilonGreedy row(2, 0.3);
-            auto out = game::play_repeated(pd, row, col, 20000, ctx.rng());
+            if (rec != nullptr) rec->maybe_sample(sim::SimTime::zero());
+            auto out = game::play_repeated(pd, row, col, kRounds, ctx.rng(), observer);
+            if (rec != nullptr) rec->finish(sim::SimTime::millis(kRounds));
             ctx.put("row_defect_rate", out.row_empirical[1]);
             ctx.put("col_defect_rate", out.col_empirical[1]);
             ctx.put("row_avg_regret", -1.0);

@@ -53,7 +53,25 @@ int main(int argc, char** argv) {
           cfg.value_flow = c.value_flow;
           cfg.user_choice = c.choice;
           cfg.closed_mode = c.closed;
-          auto r = econ::run_investment(cfg, ctx.rng());
+
+          // Telemetry: the adoption curve itself, one period = one sim-ms.
+          auto* rec = ctx.timeseries();
+          econ::PeriodObserver observer;
+          double deploy_now = 0, profit_now = 0;
+          if (rec != nullptr) {
+            rec->probe("deploy_fraction", [&deploy_now] { return deploy_now; });
+            rec->probe("mean_isp_profit", [&profit_now] { return profit_now; });
+            rec->maybe_sample(sim::SimTime::zero());
+            observer = [&](std::size_t t, double f, double pr) {
+              deploy_now = f;
+              profit_now = pr;
+              rec->maybe_sample(sim::SimTime::millis(static_cast<std::int64_t>(t) + 1));
+            };
+          }
+          auto r = econ::run_investment(cfg, ctx.rng(), observer);
+          if (rec != nullptr) {
+            rec->finish(sim::SimTime::millis(static_cast<std::int64_t>(cfg.periods)));
+          }
           ctx.put("deploy_fraction", r.final_deploy_fraction);
           ctx.put("open_service", r.open_service_available ? 1.0 : 0.0);
           ctx.put("app_price", r.app_price);

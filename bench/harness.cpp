@@ -9,6 +9,7 @@
 
 #include "core/report.hpp"
 #include "sim/json.hpp"
+#include "sim/timeseries.hpp"
 
 namespace tussle::bench {
 
@@ -23,6 +24,10 @@ struct Flags {
   sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
   bool profile = false;
   double heartbeat_seconds = 0;
+  double timeseries_seconds = 0;
+  std::string ts_csv_path;
+  std::string ts_json_path;
+  std::string dashboard_path;
   bool list = false;
   std::string case_filter;
   std::uint64_t seed = 1;
@@ -36,7 +41,9 @@ void usage(const char* argv0) {
                "          [--jobs <n>] [--json <path>] [--trace <path>]\n"
                "          [--trace-level debug|info|warn|error] [--profile]\n"
                "          [--heartbeat <seconds>] [--chrome-trace <path>]\n"
-               "          [--span-tree <path>|-] [--explain <flow-id>]\n",
+               "          [--span-tree <path>|-] [--explain <flow-id>]\n"
+               "          [--timeseries <seconds>] [--ts-csv <path>]\n"
+               "          [--ts-json <path>] [--dashboard <path>]\n",
                argv0);
 }
 
@@ -79,6 +86,23 @@ std::optional<Flags> parse_flags(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       f.explain_flow = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--timeseries") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.timeseries_seconds = std::atof(v);
+      if (f.timeseries_seconds <= 0) return std::nullopt;
+    } else if (arg == "--ts-csv") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.ts_csv_path = v;
+    } else if (arg == "--ts-json") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.ts_json_path = v;
+    } else if (arg == "--dashboard") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.dashboard_path = v;
     } else if (arg == "--profile") {
       f.profile = true;
     } else if (arg == "--heartbeat") {
@@ -155,6 +179,7 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
   opts.profile = profile_to_stderr_ || json_requested();
   opts.spans = spans_requested_;
   opts.heartbeat_seconds = heartbeat_seconds_;
+  opts.timeseries_seconds = timeseries_seconds_;
 
   core::SweepResult result = core::run_sweep(spec, opts);
 
@@ -164,6 +189,13 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
     // runs are in run-index order whatever --jobs was, so the merged span
     // archive (and every export derived from it) is schedule-independent.
     if (r.spans) spans_.merge(*r.spans);
+    if (r.timeseries && !r.timeseries->store().empty()) {
+      std::string prefix = spec.name;
+      const std::string label = result.points[r.point_index].label();
+      if (!label.empty()) prefix += "." + label;
+      if (result.replicas > 1) prefix += ".r" + std::to_string(r.replica);
+      timeseries_.merge_prefixed(prefix + ".", r.timeseries->store());
+    }
   }
   for (std::size_t p = 0; p < result.points.size(); ++p) {
     std::string prefix = spec.name;
@@ -197,6 +229,13 @@ int run(int argc, char** argv, const Experiment& exp,
   h.replicas_ = flags->replicas;
   h.spans_requested_ = !flags->chrome_trace_path.empty() || !flags->span_tree_path.empty() ||
                        flags->explain_flow.has_value();
+  // An export flag without an explicit interval still needs samples.
+  h.timeseries_seconds_ = flags->timeseries_seconds;
+  if (h.timeseries_seconds_ <= 0 &&
+      (!flags->ts_csv_path.empty() || !flags->ts_json_path.empty() ||
+       !flags->dashboard_path.empty())) {
+    h.timeseries_seconds_ = 0.02;
+  }
   // The global tracer and the heartbeat's stderr stream are shared sinks;
   // concurrent runs would interleave their writes.
   h.serial_required_ = !flags->trace_path.empty() || flags->heartbeat_seconds > 0;
@@ -274,6 +313,35 @@ int run(int argc, char** argv, const Experiment& exp,
 
   if (flags->explain_flow) {
     std::fputs(sim::explain_flow(h.spans_.spans(), *flags->explain_flow).c_str(), stdout);
+  }
+
+  if (h.timeseries_requested()) {
+    std::size_t samples = 0;
+    for (const auto& [name, ts] : h.timeseries_.items()) samples += ts.size();
+    auto write_file = [](const std::string& path, const std::string& content) {
+      std::ofstream os(path);
+      if (!os) {
+        std::fprintf(stderr, "harness: cannot write %s\n", path.c_str());
+        return false;
+      }
+      os << content;
+      return true;
+    };
+    if (!flags->ts_csv_path.empty() &&
+        !write_file(flags->ts_csv_path, h.timeseries_.to_csv())) {
+      return 2;
+    }
+    if (!flags->ts_json_path.empty() &&
+        !write_file(flags->ts_json_path, h.timeseries_.to_json() + "\n")) {
+      return 2;
+    }
+    if (!flags->dashboard_path.empty() &&
+        !write_file(flags->dashboard_path,
+                    sim::timeseries_dashboard(h.timeseries_, exp.id + " \xc2\xb7 " +
+                                                                 exp.section))) {
+      return 2;
+    }
+    std::printf("time series: %zu series, %zu samples\n", h.timeseries_.size(), samples);
   }
 
   if (flags->profile) {

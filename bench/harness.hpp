@@ -22,14 +22,23 @@
 //                       report ("-" = stdout)
 //   --explain <flow>    narrate one flow's causal tree to stdout: path
 //                       taken, decisions made, who was compensated
+//   --timeseries <sec>  sample instrumented time series every <sec> of
+//                       simulated time (default 0.02 when an export flag
+//                       below is given without --timeseries)
+//   --ts-csv <path>     write the merged time series as long-format CSV
+//   --ts-json <path>    write the merged time series + per-series
+//                       convergence/oscillation analysis as JSON
+//   --dashboard <path>  write a self-contained HTML dashboard (inline SVG,
+//                       no external assets or scripts)
 //
 // Determinism contract: metric output is bit-identical for a given
 // (--seed, --replicas) at any --jobs, because each run draws from
 // sim::Rng::stream(seed, run_index) and results merge in run-index order
 // (see core/sweep.hpp). --trace and --heartbeat force --jobs 1: both write
-// to shared sinks mid-run. --profile and the span flags do not — each run
-// profiles/records into its own LoopProfiler/SpanTracer and the harness
-// merges them in run order, so span exports too are --jobs-independent.
+// to shared sinks mid-run. --profile, the span flags, and the time-series
+// flags do not — each run profiles/records into its own
+// LoopProfiler/SpanTracer/TimeSeriesRecorder and the harness merges them
+// in run order, so those exports too are --jobs-independent.
 #pragma once
 
 #include <functional>
@@ -77,6 +86,14 @@ class Harness {
   /// True when --chrome-trace/--span-tree/--explain asked for spans.
   bool spans_requested() const noexcept { return spans_requested_; }
 
+  /// The merged time-series store: every run's recorder folded in
+  /// run-index order under "<case>[.<params>][.r<replica>]." prefixes;
+  /// empty unless a time-series flag was given. Scenario bodies opt in via
+  /// ctx.timeseries().
+  sim::TimeSeriesStore& timeseries() noexcept { return timeseries_; }
+  /// True when --timeseries/--ts-csv/--ts-json/--dashboard was given.
+  bool timeseries_requested() const noexcept { return timeseries_seconds_ > 0; }
+
   /// Adds to the run's total simulated-event count for engines that run
   /// outside the sweep bodies (sweep runs report via ctx.add_events()).
   void add_events(std::size_t n) noexcept { extra_events_ += n; }
@@ -99,6 +116,8 @@ class Harness {
   sim::MetricRegistry metrics_;
   sim::LoopProfiler profiler_;
   sim::SpanTracer spans_;
+  sim::TimeSeriesStore timeseries_;
+  double timeseries_seconds_ = 0;  ///< 0 = no recorders
   bool spans_requested_ = false;
   std::vector<Case> cases_;
   std::size_t extra_events_ = 0;

@@ -225,6 +225,11 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts) {
           slot.spans = std::make_unique<sim::SpanTracer>();
           ctx.spans_ = slot.spans.get();
         }
+        if (opts.timeseries_seconds > 0) {
+          slot.timeseries = std::make_unique<sim::TimeSeriesRecorder>(
+              sim::Duration::seconds(opts.timeseries_seconds));
+          ctx.timeseries_ = slot.timeseries.get();
+        }
         if (serial) ctx.heartbeat_seconds_ = opts.heartbeat_seconds;
         spec.body(ctx);
         slot.notes = std::move(ctx.notes_);

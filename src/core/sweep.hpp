@@ -30,6 +30,7 @@
 #include "sim/random.hpp"
 #include "sim/span.hpp"
 #include "sim/stats.hpp"
+#include "sim/timeseries.hpp"
 
 namespace tussle::sim {
 class Simulator;
@@ -124,6 +125,12 @@ class RunContext {
   /// so parallel runs never contend and merged output is deterministic.
   sim::SpanTracer* spans() noexcept { return spans_; }
 
+  /// This run's time-series recorder, or nullptr unless
+  /// SweepOptions::timeseries_seconds was set. Bodies register probes and
+  /// attach() it / call maybe_sample() on the round loop; each run records
+  /// into its own store, so merged exports are --jobs-independent.
+  sim::TimeSeriesRecorder* timeseries() noexcept { return timeseries_; }
+
  private:
   friend SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
 
@@ -138,6 +145,7 @@ class RunContext {
   sim::LoopProfiler* profiler_ = nullptr;
   double heartbeat_seconds_ = 0;
   sim::SpanTracer* spans_ = nullptr;
+  sim::TimeSeriesRecorder* timeseries_ = nullptr;
 };
 
 /// A declarative experiment case: what to run, over which parameter points,
@@ -168,6 +176,9 @@ struct SweepOptions {
   /// when the sweep runs on one thread — progress lines from concurrent
   /// workers would interleave.
   double heartbeat_seconds = 0;
+  /// Sampling interval (simulated seconds) for each run's
+  /// TimeSeriesRecorder via RunContext::timeseries(); 0 = no recorder.
+  double timeseries_seconds = 0;
 };
 
 /// One completed run, in its final resting place inside a SweepResult.
@@ -183,6 +194,8 @@ struct RunResult {
   std::unique_ptr<sim::LoopProfiler> profiler;
   /// Per-run causal spans; null unless SweepOptions::spans was set.
   std::unique_ptr<sim::SpanTracer> spans;
+  /// Per-run time series; null unless SweepOptions::timeseries_seconds > 0.
+  std::unique_ptr<sim::TimeSeriesRecorder> timeseries;
 };
 
 struct SweepResult {

@@ -38,6 +38,11 @@ double profit(const InvestmentConfig& cfg, bool deployed, std::size_t rivals_dep
 }  // namespace
 
 InvestmentResult run_investment(const InvestmentConfig& cfg, sim::Rng& rng) {
+  return run_investment(cfg, rng, PeriodObserver{});
+}
+
+InvestmentResult run_investment(const InvestmentConfig& cfg, sim::Rng& rng,
+                                const PeriodObserver& observer) {
   std::vector<bool> deployed(cfg.isps, false);
   double profit_sum = 0;
   double deploy_sum = 0;
@@ -56,7 +61,7 @@ InvestmentResult run_investment(const InvestmentConfig& cfg, sim::Rng& rng) {
     const double if_skip = profit(cfg, false, others);
     deployed[reviser] = if_deploy > if_skip;
 
-    if (t >= cfg.periods / 2) {
+    if (observer || t >= cfg.periods / 2) {
       double f = 0, pr = 0;
       for (std::size_t i = 0; i < cfg.isps; ++i) {
         std::size_t rivals = 0;
@@ -66,9 +71,14 @@ InvestmentResult run_investment(const InvestmentConfig& cfg, sim::Rng& rng) {
         f += deployed[i] ? 1.0 : 0.0;
         pr += profit(cfg, deployed[i], rivals);
       }
-      deploy_sum += f / static_cast<double>(cfg.isps);
-      profit_sum += pr / static_cast<double>(cfg.isps);
-      ++tail;
+      if (t >= cfg.periods / 2) {
+        deploy_sum += f / static_cast<double>(cfg.isps);
+        profit_sum += pr / static_cast<double>(cfg.isps);
+        ++tail;
+      }
+      if (observer) {
+        observer(t, f / static_cast<double>(cfg.isps), pr / static_cast<double>(cfg.isps));
+      }
     }
   }
 

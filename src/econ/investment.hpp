@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,8 +48,19 @@ struct InvestmentResult {
   double app_price = 0;
 };
 
+/// Per-period visitor: (period index, deploy fraction, mean ISP profit)
+/// after that period's revision. Telemetry hook — the per-period stats are
+/// only computed when the observer is non-empty, and the dynamics are
+/// identical with or without it.
+using PeriodObserver =
+    std::function<void(std::size_t period, double deploy_fraction, double mean_profit)>;
+
 /// Myopic-best-response deployment dynamics with inertia.
 InvestmentResult run_investment(const InvestmentConfig& cfg, sim::Rng& rng);
+
+/// Same, with a per-period observer.
+InvestmentResult run_investment(const InvestmentConfig& cfg, sim::Rng& rng,
+                                const PeriodObserver& observer);
 
 std::string to_string(QosMode m);
 

@@ -157,6 +157,12 @@ std::size_t FixedStrategy::choose(sim::Rng& rng) { return rng.weighted_pick(stra
 
 RepeatedOutcome play_repeated(const MatrixGame& game, Learner& row, Learner& col,
                               std::size_t rounds, sim::Rng& rng) {
+  return play_repeated(game, row, col, rounds, rng, RoundObserver{});
+}
+
+RepeatedOutcome play_repeated(const MatrixGame& game, Learner& row, Learner& col,
+                              std::size_t rounds, sim::Rng& rng,
+                              const RoundObserver& observer) {
   RepeatedOutcome out;
   out.row_empirical.assign(game.rows(), 0.0);
   out.col_empirical.assign(game.cols(), 0.0);
@@ -172,6 +178,7 @@ RepeatedOutcome play_repeated(const MatrixGame& game, Learner& row, Learner& col
     cp += pc;
     row.observe(b, pr);
     col.observe(a, pc);
+    if (observer) observer(t, a, b, pr, pc);
   }
   if (rounds > 0) {
     for (double& x : out.row_empirical) x /= static_cast<double>(rounds);

@@ -8,6 +8,7 @@
 // satisficer) and myopic best response.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -145,9 +146,22 @@ struct RepeatedOutcome {
   std::size_t rounds = 0;
 };
 
+/// Per-round visitor for play_repeated, invoked after both learners have
+/// observed the round: (round index, row action, col action, row payoff,
+/// col payoff). Telemetry hook — an empty function costs one branch per
+/// round and the play is identical with or without it.
+using RoundObserver = std::function<void(std::size_t round, std::size_t row_action,
+                                         std::size_t col_action, double row_payoff,
+                                         double col_payoff)>;
+
 /// Plays `rounds` of `game` between two learners.
 RepeatedOutcome play_repeated(const MatrixGame& game, Learner& row, Learner& col,
                               std::size_t rounds, sim::Rng& rng);
+
+/// Same, with a per-round observer.
+RepeatedOutcome play_repeated(const MatrixGame& game, Learner& row, Learner& col,
+                              std::size_t rounds, sim::Rng& rng,
+                              const RoundObserver& observer);
 
 /// Convenience: payoff matrix of the row / column player as needed by the
 /// learner constructors (column player's matrix is transposed so that

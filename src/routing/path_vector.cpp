@@ -56,6 +56,15 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
                                                      bool origin_validation,
                                                      AsId legitimate_origin,
                                                      int max_rounds) const {
+  return compute_with_origins(claimed_origins,
+                              origin_validation ? graph_->ases() : std::vector<AsId>{},
+                              legitimate_origin, max_rounds);
+}
+
+PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& claimed_origins,
+                                                     const std::vector<AsId>& validators,
+                                                     AsId legitimate_origin,
+                                                     int max_rounds) const {
   std::optional<sim::ScopedSpan> decide;
   if (spans_ != nullptr) {
     // Control-plane work happens at setup time, outside the simulator
@@ -64,7 +73,7 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
                    std::initializer_list<sim::TraceField>{
                        {"origins", static_cast<std::int64_t>(claimed_origins.size())},
                        {"legitimate_origin", legitimate_origin},
-                       {"origin_validation", origin_validation}});
+                       {"validators", static_cast<std::int64_t>(validators.size())}});
   }
   Outcome out;
   std::map<AsId, AsRoute> rib;
@@ -90,6 +99,8 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
     std::map<AsId, AsRoute> next = rib;
     for (AsId self_as : all) {
       if (is_origin(self_as)) continue;
+      const bool validates =
+          std::binary_search(validators.begin(), validators.end(), self_as);
       AsRoute best;  // invalid
       bool have = false;
       for (const auto& [nbr, rel] : graph_->neighbors(self_as)) {
@@ -113,9 +124,9 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
             nbr_route.as_path.end()) {
           continue;
         }
-        // Origin validation (RPKI analogue): discard routes that terminate
-        // at an AS not authorized to originate the prefix.
-        if (origin_validation && nbr_route.as_path.back() != legitimate_origin) {
+        // Origin validation (RPKI analogue): ASes that deployed it discard
+        // routes terminating at an AS not authorized for the prefix.
+        if (validates && nbr_route.as_path.back() != legitimate_origin) {
           TUSSLE_TRACE_EVENT(sim::Tracer::global(), sim::SimTime::zero(),
                              sim::TraceLevel::kDebug, "routing.bgp", "origin-invalid",
                              {"as", self_as}, {"from", nbr},
@@ -163,19 +174,13 @@ PathVector::Outcome PathVector::compute_with_origins(const std::vector<AsId>& cl
   return out;
 }
 
-HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijacker,
-                              bool origin_validation, PathVector::Policy policy,
-                              sim::SpanTracer* spans) {
-  std::optional<sim::ScopedSpan> span;
-  if (spans != nullptr) {
-    span.emplace(spans, spans->last_time(), "routing.bgp", "hijack",
-                 std::initializer_list<sim::TraceField>{
-                     {"victim", true_origin}, {"hijacker", hijacker},
-                     {"origin_validation", origin_validation}});
-  }
-  PathVector pv(graph, std::move(policy));
-  pv.set_span_tracer(spans);
-  auto out = pv.compute_with_origins({true_origin, hijacker}, origin_validation, true_origin);
+namespace {
+
+/// Classifies every AS's route after a hijack computation: captured by the
+/// hijacker, still reaching the true origin, or without a route at all.
+HijackOutcome tally_hijack(const AsGraph& graph, const PathVector::Outcome& out,
+                           AsId true_origin, AsId hijacker, bool origin_validation,
+                           sim::SpanTracer* spans) {
   HijackOutcome h;
   h.converged = out.converged;
   for (AsId as : graph.ases()) {
@@ -205,6 +210,40 @@ HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijac
   h.capture_fraction =
       h.total_ases ? static_cast<double>(h.captured) / static_cast<double>(h.total_ases) : 0;
   return h;
+}
+
+}  // namespace
+
+HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijacker,
+                              bool origin_validation, PathVector::Policy policy,
+                              sim::SpanTracer* spans) {
+  std::optional<sim::ScopedSpan> span;
+  if (spans != nullptr) {
+    span.emplace(spans, spans->last_time(), "routing.bgp", "hijack",
+                 std::initializer_list<sim::TraceField>{
+                     {"victim", true_origin}, {"hijacker", hijacker},
+                     {"origin_validation", origin_validation}});
+  }
+  PathVector pv(graph, std::move(policy));
+  pv.set_span_tracer(spans);
+  auto out = pv.compute_with_origins({true_origin, hijacker}, origin_validation, true_origin);
+  return tally_hijack(graph, out, true_origin, hijacker, origin_validation, spans);
+}
+
+HijackOutcome simulate_hijack_partial(const AsGraph& graph, AsId true_origin, AsId hijacker,
+                                      const std::vector<AsId>& validators,
+                                      PathVector::Policy policy, sim::SpanTracer* spans) {
+  std::optional<sim::ScopedSpan> span;
+  if (spans != nullptr) {
+    span.emplace(spans, spans->last_time(), "routing.bgp", "hijack",
+                 std::initializer_list<sim::TraceField>{
+                     {"victim", true_origin}, {"hijacker", hijacker},
+                     {"validators", static_cast<std::int64_t>(validators.size())}});
+  }
+  PathVector pv(graph, std::move(policy));
+  pv.set_span_tracer(spans);
+  auto out = pv.compute_with_origins({true_origin, hijacker}, validators, true_origin);
+  return tally_hijack(graph, out, true_origin, hijacker, !validators.empty(), spans);
 }
 
 std::map<AsId, PathVector::Outcome> PathVector::compute_all(int max_rounds) const {

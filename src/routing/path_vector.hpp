@@ -68,6 +68,14 @@ class PathVector {
                                bool origin_validation, AsId legitimate_origin,
                                int max_rounds = 200) const;
 
+  /// Partial-deployment variant: only the ASes in `validators` (sorted
+  /// ascending) drop invalid-origin routes; everyone else believes whatever
+  /// they hear. This is the realistic RPKI rollout — protection is a
+  /// property of who deployed, not of the protocol.
+  Outcome compute_with_origins(const std::vector<AsId>& claimed_origins,
+                               const std::vector<AsId>& validators,
+                               AsId legitimate_origin, int max_rounds = 200) const;
+
   /// Attaches a causal span tracer: each compute wraps its rounds in a
   /// "decide" span (annotated with convergence) and records every
   /// origin-validation discard as a child span — the control plane's
@@ -93,6 +101,15 @@ HijackOutcome simulate_hijack(const AsGraph& graph, AsId true_origin, AsId hijac
                               bool origin_validation,
                               PathVector::Policy policy = PathVector::Policy::gao_rexford(),
                               sim::SpanTracer* spans = nullptr);
+
+/// Hijack under partial origin-validation deployment: only `validators`
+/// (sorted ascending) check origins. `simulate_hijack(..., true, ...)` is
+/// the special case validators == all ASes.
+HijackOutcome simulate_hijack_partial(
+    const AsGraph& graph, AsId true_origin, AsId hijacker,
+    const std::vector<AsId>& validators,
+    PathVector::Policy policy = PathVector::Policy::gao_rexford(),
+    sim::SpanTracer* spans = nullptr);
 
 /// Which routes would a *link-state* interdomain design reveal? For the
 /// visibility comparison (§IV-C): link-state exports every edge and cost to

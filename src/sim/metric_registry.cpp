@@ -173,6 +173,18 @@ const char* MetricRegistry::kind_of(const Instrument& ins) noexcept {
   }
 }
 
+const char* MetricRegistry::kind(const std::string& name) const noexcept {
+  auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : kind_of(*it->second);
+}
+
+double MetricRegistry::gauge_value(const std::string& name, double fallback) const noexcept {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) return fallback;
+  const auto* v = std::get_if<double>(it->second.get());
+  return v == nullptr ? fallback : *v;
+}
+
 Counter& MetricRegistry::counter(const std::string& name) {
   return get_or_create<Counter>(name, "counter");
 }

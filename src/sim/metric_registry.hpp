@@ -72,6 +72,14 @@ class MetricRegistry {
   bool contains(const std::string& name) const { return instruments_.count(name) != 0; }
   std::size_t size() const noexcept { return instruments_.size(); }
 
+  /// "counter", "summary", "histogram", "time_weighted" or "gauge";
+  /// nullptr if `name` is not registered. Lets samplers dispatch on the
+  /// instrument kind without triggering get-or-create.
+  const char* kind(const std::string& name) const noexcept;
+
+  /// Current value of a gauge; `fallback` if absent or not a gauge.
+  double gauge_value(const std::string& name, double fallback = 0.0) const noexcept;
+
   /// `now` closes out TimeWeighted averages; pass the simulator's clock.
   MetricSnapshot snapshot(SimTime now = SimTime::zero()) const;
 

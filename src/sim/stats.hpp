@@ -76,6 +76,13 @@ class TimeWeighted {
   double average(SimTime now) const noexcept;
   double current() const noexcept { return value_; }
 
+  /// Non-destructive mid-window read: the running average as of `now`,
+  /// with `now` clamped to the last set() so a sampler replaying a tick
+  /// that landed just before an update never sees a negative tail weight.
+  double value_at(SimTime now) const noexcept {
+    return average(now < last_ ? last_ : now);
+  }
+
  private:
   SimTime first_{};
   SimTime last_{};

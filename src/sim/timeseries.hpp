@@ -1,0 +1,190 @@
+// Time-series telemetry: the "when" layer of the observability stack.
+//
+// End-of-run tables show tussle *outcomes*; the paper's point is that tussle
+// is an ongoing *process* — arms races oscillate, learners converge,
+// deployments follow adoption curves. This module records selected signals
+// at a fixed sim-time interval so those trajectories become first-class,
+// exportable data: a columnar store keyed by (series, tick), a windowed
+// convergence/oscillation analysis per series, and CSV / JSON / single-file
+// HTML-dashboard exporters.
+//
+// Determinism contract (the same one spans obey — see sim/span.hpp):
+//  - every sample is stamped with *simulated* time; nothing in this module
+//    may touch a wall clock (detlint's timeseries-wall-clock check enforces
+//    this statically);
+//  - sample ticks are aligned to multiples of the interval, so the tick
+//    grid is a pure function of (interval, horizon), never of call timing;
+//  - each sweep run records into its own TimeSeriesRecorder and the results
+//    merge in run-index order under per-run name prefixes, so exported
+//    output is byte-identical at any --jobs count;
+//  - an unattached recorder costs instrumented scenarios one null-pointer
+//    branch (the RunContext pointer, not this class, is the guard).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace tussle::sim {
+
+class MetricRegistry;
+class Simulator;
+
+/// One sampled signal: parallel tick/value columns, ticks strictly
+/// increasing. Appends out of order are a programming error and throw.
+class TimeSeries {
+ public:
+  void append(SimTime tick, double value);
+
+  const std::vector<SimTime>& ticks() const noexcept { return ticks_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::size_t size() const noexcept { return ticks_.size(); }
+  bool empty() const noexcept { return ticks_.empty(); }
+
+ private:
+  std::vector<SimTime> ticks_;
+  std::vector<double> values_;
+};
+
+/// Tuning for the trailing-window stationarity and oscillation detectors.
+/// The defaults suit the bench trajectories (tens to thousands of samples).
+struct ConvergenceConfig {
+  /// Minimum stable-suffix length (in samples) to call a series converged.
+  std::size_t window = 8;
+  /// Half-width of the stationarity band, as a fraction of the series'
+  /// value range (an absolute floor of 1e-12 guards constant series).
+  double tolerance = 0.05;
+  /// Autocorrelation a candidate period must reach to call oscillation.
+  double min_autocorrelation = 0.5;
+};
+
+/// What the detectors found in one series. `converged` and `oscillating`
+/// are mutually exclusive by construction: a series that settles is not
+/// reported as an oscillator, however it got there.
+struct SeriesAnalysis {
+  std::size_t samples = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double final_value = 0;
+  bool converged = false;
+  SimTime converged_at;       ///< first tick of the stable suffix
+  double converged_value = 0; ///< mean over the stable suffix
+  bool oscillating = false;
+  SimTime dominant_period;    ///< autocorrelation-peak lag × sample spacing
+  double oscillation_strength = 0;  ///< autocorrelation at the peak lag
+};
+
+/// Trailing-window stationarity + dominant-period estimate; pure function
+/// of the series contents.
+SeriesAnalysis analyze_series(const TimeSeries& s, const ConvergenceConfig& cfg = {});
+
+/// The columnar store: named series in first-registration order (a pure
+/// function of the recording schedule, so exports need no re-sorting to be
+/// deterministic).
+class TimeSeriesStore {
+ public:
+  /// Get-or-create by name.
+  TimeSeries& series(const std::string& name);
+  const TimeSeries* find(const std::string& name) const noexcept;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const noexcept { return series_.size(); }
+  bool empty() const noexcept { return series_.empty(); }
+  const std::vector<std::pair<std::string, TimeSeries>>& items() const noexcept {
+    return series_;
+  }
+
+  /// Folds `other`'s series into this store, each under `prefix + name`.
+  /// The sweep harness merges per-run stores in run-index order with
+  /// per-run prefixes, so the merged store is schedule-independent.
+  void merge_prefixed(const std::string& prefix, const TimeSeriesStore& other);
+
+  /// Long-format CSV: "series,tick_ns,value" — one row per sample, series
+  /// in store order, ticks ascending within a series.
+  std::string to_csv() const;
+
+  /// One JSON object: {"series":[{"name":...,"ticks_ns":[...],
+  /// "values":[...],"analysis":{...}}]}. Analysis uses `cfg`.
+  std::string to_json(const ConvergenceConfig& cfg = {}) const;
+
+ private:
+  std::vector<std::pair<std::string, TimeSeries>> series_;
+  std::map<std::string, std::size_t> index_;
+};
+
+/// Self-contained single-file HTML dashboard: inline SVG line chart + stat
+/// tiles + convergence/oscillation verdict per series, no external assets
+/// and no scripts, styled for light and dark mode. Byte-identical for a
+/// given store (everything is rendered from sampled sim-time data).
+std::string timeseries_dashboard(const TimeSeriesStore& store, const std::string& title,
+                                 const ConvergenceConfig& cfg = {});
+
+/// The periodic sampler. Register sources first, then either attach() it to
+/// a Simulator (event-driven scenarios) or call maybe_sample() from a
+/// round-based loop; both produce the same aligned tick grid
+/// {0, interval, 2·interval, ...}.
+class TimeSeriesRecorder {
+ public:
+  explicit TimeSeriesRecorder(Duration interval);
+
+  Duration interval() const noexcept { return interval_; }
+
+  // --- sources (register before the first sample) -------------------------
+  /// Arbitrary gauge probe, recorded as a level. Welfare/utility probes —
+  /// a learner's running payoff, a ledger balance — enter through here.
+  void probe(std::string name, std::function<double()> fn);
+  /// Counter, recorded as the delta since the previous sample (the first
+  /// sample diffs against the value at registration time).
+  void track_counter(std::string name, const Counter& counter);
+  /// TimeWeighted signal: records "<name>.current" (the level) and
+  /// "<name>.avg" (the running time-weighted average via value_at()).
+  void track_time_weighted(std::string name, const TimeWeighted& tw);
+  /// Snapshots a MetricRegistry instrument by name: counters as deltas,
+  /// gauges and Summary means as levels, TimeWeighted as current + avg.
+  /// Throws std::logic_error for unregistered names and Histograms.
+  void watch(MetricRegistry& registry, const std::string& name);
+
+  // --- sampling -----------------------------------------------------------
+  /// Records one row for every registered source at exactly `tick`.
+  void sample(SimTime tick);
+  /// Records a row at the next due aligned tick(s) ≤ `now`, then advances
+  /// the grid past `now`. Round-based models call this once per round with
+  /// now = round × some per-round duration; rounds between ticks cost one
+  /// comparison.
+  void maybe_sample(SimTime now);
+  /// Schedules aligned sampling on `sim` from its current time to
+  /// `horizon` inclusive (bounded — never keeps the event queue alive past
+  /// the horizon), and takes the t=now baseline sample immediately.
+  void attach(Simulator& sim, SimTime horizon);
+  /// Final partial-window sample at `now` if the grid has not reached it
+  /// (interval not dividing the horizon leaves a tail); no-op otherwise.
+  void finish(SimTime now);
+
+  TimeSeriesStore& store() noexcept { return store_; }
+  const TimeSeriesStore& store() const noexcept { return store_; }
+
+ private:
+  struct Source {
+    enum class Kind { kProbe, kCounterDelta, kTimeWeighted } kind = Kind::kProbe;
+    std::string name;
+    std::function<double()> fn;          // kProbe
+    const Counter* counter = nullptr;    // kCounterDelta
+    std::int64_t last_count = 0;         // kCounterDelta
+    const TimeWeighted* tw = nullptr;    // kTimeWeighted
+  };
+
+  Duration interval_;
+  SimTime next_due_;  // next aligned tick maybe_sample() will record
+  std::vector<Source> sources_;
+  TimeSeriesStore store_;
+  SimTime last_sampled_;
+  bool sampled_any_ = false;
+};
+
+}  // namespace tussle::sim

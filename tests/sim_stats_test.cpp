@@ -108,6 +108,19 @@ TEST(TimeWeighted, StepSignal) {
   EXPECT_DOUBLE_EQ(tw.current(), 10.0);
 }
 
+// value_at is the time-series recorder's non-destructive read: the running
+// average up to `now` without adding an observation, clamped so a sampler
+// asking about a time before the last set() never sees a negative span.
+TEST(TimeWeighted, ValueAtReadsMidRunWithoutMutating) {
+  TimeWeighted tw;
+  tw.set(SimTime::zero(), 0.0);
+  tw.set(SimTime::seconds(5), 10.0);
+  EXPECT_DOUBLE_EQ(tw.value_at(SimTime::seconds(10)), 5.0);
+  EXPECT_DOUBLE_EQ(tw.value_at(SimTime::seconds(10)), 5.0);  // repeatable
+  EXPECT_DOUBLE_EQ(tw.value_at(SimTime::seconds(2)), 0.0);   // clamped to last set()
+  EXPECT_DOUBLE_EQ(tw.average(SimTime::seconds(10)), 5.0);   // state untouched
+}
+
 // Regression: a signal first observed mid-run must be averaged over its own
 // lifetime, not since t=0 — the old code diluted the average with an
 // imaginary [0, first-set) span of value 0.

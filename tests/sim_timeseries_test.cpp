@@ -1,0 +1,323 @@
+// The time-series recorder's contract: aligned tick grids regardless of
+// when samples are requested, counter-delta vs gauge-level semantics, the
+// convergence/oscillation detectors, golden exports, and byte-identical
+// sweep output at any --jobs count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/sweep.hpp"
+#include "sim/metric_registry.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeseries.hpp"
+
+namespace tussle::sim {
+namespace {
+
+TEST(TimeSeries, AppendRequiresStrictlyIncreasingTicks) {
+  TimeSeries s;
+  s.append(SimTime::millis(1), 1.0);
+  s.append(SimTime::millis(2), 2.0);
+  EXPECT_THROW(s.append(SimTime::millis(2), 3.0), std::logic_error);
+  EXPECT_THROW(s.append(SimTime::millis(1), 3.0), std::logic_error);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+// ------------------------------------------------------------ tick grid --
+
+TEST(TimeSeriesRecorder, MaybeSampleLandsOnAlignedTicksOnly) {
+  TimeSeriesRecorder rec(Duration::millis(10));
+  double v = 0;
+  rec.probe("v", [&v] { return v; });
+
+  rec.maybe_sample(SimTime::zero());        // tick 0
+  v = 1;
+  rec.maybe_sample(SimTime::millis(7));     // between ticks: no sample
+  v = 2;
+  rec.maybe_sample(SimTime::millis(23));    // passes ticks 10 and 20
+
+  const TimeSeries* s = rec.store().find("v");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 3u);
+  EXPECT_EQ(s->ticks()[0], SimTime::zero());
+  EXPECT_EQ(s->ticks()[1], SimTime::millis(10));
+  EXPECT_EQ(s->ticks()[2], SimTime::millis(20));
+  // Both catch-up ticks see the state at the time of the call: the grid is
+  // a pure function of the interval, the values are whatever is current.
+  EXPECT_DOUBLE_EQ(s->values()[0], 0.0);
+  EXPECT_DOUBLE_EQ(s->values()[1], 2.0);
+  EXPECT_DOUBLE_EQ(s->values()[2], 2.0);
+}
+
+TEST(TimeSeriesRecorder, FinishAddsPartialTailOnlyWhenGridFellShort) {
+  TimeSeriesRecorder rec(Duration::millis(10));
+  rec.probe("v", [] { return 1.0; });
+  rec.maybe_sample(SimTime::millis(20));  // ticks 0, 10, 20
+  rec.finish(SimTime::millis(20));        // grid reached 20: no-op
+  EXPECT_EQ(rec.store().find("v")->size(), 3u);
+
+  rec.finish(SimTime::millis(23));        // interval does not divide 23
+  const TimeSeries* s = rec.store().find("v");
+  ASSERT_EQ(s->size(), 4u);
+  EXPECT_EQ(s->ticks().back(), SimTime::millis(23));
+}
+
+TEST(TimeSeriesRecorder, AttachSamplesFromNowToHorizonInclusive) {
+  Simulator sim(1);
+  TimeSeriesRecorder rec(Duration::millis(10));
+  double level = 0;
+  rec.probe("level", [&level] { return level; });
+  sim.schedule(Duration::millis(5), [&level] { level = 1; });
+  sim.schedule(Duration::millis(25), [&level] { level = 2; });
+  rec.attach(sim, SimTime::millis(30));
+  sim.run();
+
+  const TimeSeries* s = rec.store().find("level");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 4u);  // 0, 10, 20, 30 — bounded by the horizon
+  EXPECT_EQ(s->ticks().back(), SimTime::millis(30));
+  EXPECT_DOUBLE_EQ(s->values()[0], 0.0);
+  EXPECT_DOUBLE_EQ(s->values()[1], 1.0);
+  EXPECT_DOUBLE_EQ(s->values()[2], 1.0);
+  EXPECT_DOUBLE_EQ(s->values()[3], 2.0);
+}
+
+// ----------------------------------------------- source semantics --------
+
+TEST(TimeSeriesRecorder, CountersRecordDeltasGaugesRecordLevels) {
+  TimeSeriesRecorder rec(Duration::millis(10));
+  Counter c;
+  c.add(100);  // pre-registration counts never appear in the series
+  double g = 5;
+  rec.track_counter("c", c);
+  rec.probe("g", [&g] { return g; });
+
+  rec.maybe_sample(SimTime::zero());
+  c.add(3);
+  g = 7;
+  rec.maybe_sample(SimTime::millis(10));
+  c.add(4);
+  rec.maybe_sample(SimTime::millis(20));
+
+  const TimeSeries* cs = rec.store().find("c");
+  ASSERT_NE(cs, nullptr);
+  EXPECT_DOUBLE_EQ(cs->values()[0], 0.0);  // delta since registration
+  EXPECT_DOUBLE_EQ(cs->values()[1], 3.0);
+  EXPECT_DOUBLE_EQ(cs->values()[2], 4.0);
+  const TimeSeries* gs = rec.store().find("g");
+  EXPECT_DOUBLE_EQ(gs->values()[0], 5.0);  // levels, not deltas
+  EXPECT_DOUBLE_EQ(gs->values()[1], 7.0);
+  EXPECT_DOUBLE_EQ(gs->values()[2], 7.0);
+}
+
+TEST(TimeSeriesRecorder, TimeWeightedRecordsCurrentAndRunningAverage) {
+  TimeSeriesRecorder rec(Duration::millis(10));
+  TimeWeighted tw;
+  tw.set(SimTime::zero(), 0.0);
+  rec.track_time_weighted("q", tw);
+
+  rec.maybe_sample(SimTime::zero());
+  tw.set(SimTime::millis(10), 10.0);
+  rec.maybe_sample(SimTime::millis(20));
+
+  const TimeSeries* cur = rec.store().find("q.current");
+  const TimeSeries* avg = rec.store().find("q.avg");
+  ASSERT_NE(cur, nullptr);
+  ASSERT_NE(avg, nullptr);
+  EXPECT_DOUBLE_EQ(cur->values().back(), 10.0);
+  // 0 for 10ms then 10 for 10ms = 5 averaged over [0, 20ms].
+  EXPECT_DOUBLE_EQ(avg->values().back(), 5.0);
+}
+
+TEST(TimeSeriesRecorder, WatchDispatchesOnRegistryKind) {
+  MetricRegistry reg;
+  reg.counter("hits").add(2);
+  reg.gauge("depth", 9.0);
+  reg.histogram("lat").observe(1.0);
+
+  TimeSeriesRecorder rec(Duration::millis(10));
+  rec.watch(reg, "hits");
+  rec.watch(reg, "depth");
+  EXPECT_THROW(rec.watch(reg, "lat"), std::logic_error);      // no scalar view
+  EXPECT_THROW(rec.watch(reg, "absent"), std::logic_error);   // unregistered
+
+  reg.counter("hits").add(5);
+  rec.maybe_sample(SimTime::zero());
+  EXPECT_DOUBLE_EQ(rec.store().find("hits")->values()[0], 5.0);
+  EXPECT_DOUBLE_EQ(rec.store().find("depth")->values()[0], 9.0);
+}
+
+// ------------------------------------------------------------ detectors --
+
+TimeSeries make_series(const std::vector<double>& values) {
+  TimeSeries s;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    s.append(SimTime::millis(static_cast<std::int64_t>(10 * i)), values[i]);
+  }
+  return s;
+}
+
+TEST(AnalyzeSeries, DecayingSeriesConvergesAtPlateauStart) {
+  std::vector<double> v;
+  for (int i = 12; i >= 1; --i) v.push_back(static_cast<double>(i));  // 12..1
+  for (int i = 0; i < 12; ++i) v.push_back(1.0);                      // plateau
+  auto a = analyze_series(make_series(v));
+  EXPECT_TRUE(a.converged);
+  EXPECT_FALSE(a.oscillating);
+  EXPECT_NEAR(a.converged_value, 1.0, 0.15);
+  // The stable suffix reaches back to the value 2.0 at index 10: its span
+  // (2 - 1 = 1) still fits the band of 2 × 5% of the full range (11), but
+  // adding the 3.0 before it would not.
+  EXPECT_EQ(a.converged_at, SimTime::millis(100));
+  EXPECT_DOUBLE_EQ(a.final_value, 1.0);
+}
+
+TEST(AnalyzeSeries, ConstantSeriesConvergesAtFirstTick) {
+  auto a = analyze_series(make_series(std::vector<double>(16, 3.5)));
+  EXPECT_TRUE(a.converged);
+  EXPECT_EQ(a.converged_at, SimTime::zero());
+  EXPECT_DOUBLE_EQ(a.converged_value, 3.5);
+}
+
+TEST(AnalyzeSeries, SineWaveOscillatesAtItsTruePeriod) {
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) {
+    v.push_back(std::sin(2.0 * 3.14159265358979 * static_cast<double>(i) / 8.0));
+  }
+  auto a = analyze_series(make_series(v));
+  EXPECT_FALSE(a.converged);
+  ASSERT_TRUE(a.oscillating);
+  EXPECT_GE(a.oscillation_strength, 0.8);
+  // Period 8 samples × 10ms spacing.
+  EXPECT_EQ(a.dominant_period, SimTime::millis(80));
+}
+
+TEST(AnalyzeSeries, WhiteNoiseIsNeitherConvergedNorOscillating) {
+  // Deterministic "noise": a fixed LCG, full-range jumps every sample.
+  std::uint64_t x = 88172645463325252ull;
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    v.push_back(static_cast<double>(x >> 11) / 9007199254740992.0);
+  }
+  auto a = analyze_series(make_series(v));
+  EXPECT_FALSE(a.converged);
+  EXPECT_FALSE(a.oscillating);
+}
+
+TEST(AnalyzeSeries, TooFewSamplesNeverConverges) {
+  auto a = analyze_series(make_series({1.0, 1.0, 1.0}));  // < window
+  EXPECT_FALSE(a.converged);
+  EXPECT_FALSE(a.oscillating);
+}
+
+// -------------------------------------------------------------- exports --
+
+TEST(TimeSeriesStore, GoldenCsvAndJson) {
+  TimeSeriesStore store;
+  store.series("a").append(SimTime::zero(), 0.5);
+  store.series("a").append(SimTime::millis(10), 1.0);
+  store.series("b").append(SimTime::zero(), -2.25);
+
+  EXPECT_EQ(store.to_csv(),
+            "series,tick_ns,value\n"
+            "a,0,0.5\n"
+            "a,10000000,1\n"
+            "b,0,-2.25\n");
+  EXPECT_EQ(
+      store.to_json(),
+      R"({"series":[{"name":"a","ticks_ns":[0,10000000],"values":[0.5,1],)"
+      R"("analysis":{"samples":2,"mean":0.75,"min":0.5,"max":1,"final":1,)"
+      R"("converged":false,"oscillating":false}},{"name":"b","ticks_ns":[0],)"
+      R"("values":[-2.25],"analysis":{"samples":1,"mean":-2.25,"min":-2.25,)"
+      R"("max":-2.25,"final":-2.25,"converged":false,"oscillating":false}}]})");
+}
+
+TEST(TimeSeriesStore, MergePrefixedKeepsInsertionOrder) {
+  TimeSeriesStore a, b;
+  b.series("x").append(SimTime::zero(), 1.0);
+  b.series("y").append(SimTime::zero(), 2.0);
+  a.series("own").append(SimTime::zero(), 0.0);
+  a.merge_prefixed("run0.", b);
+  auto names = a.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "own");
+  EXPECT_EQ(names[1], "run0.x");
+  EXPECT_EQ(names[2], "run0.y");
+  EXPECT_DOUBLE_EQ(a.find("run0.y")->values()[0], 2.0);
+}
+
+TEST(TimeSeriesDashboard, SelfContainedHtmlWithInlineSvg) {
+  TimeSeriesStore store;
+  for (int i = 0; i < 20; ++i) {
+    store.series("adoption").append(SimTime::millis(10 * i),
+                                    1.0 - 1.0 / (1.0 + static_cast<double>(i)));
+  }
+  const std::string html = timeseries_dashboard(store, "test & title");
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("test &amp; title"), std::string::npos);  // escaped
+  EXPECT_EQ(html.find("<script"), std::string::npos);           // no JS, ever
+  EXPECT_EQ(html.find("http://"), std::string::npos);           // no external assets
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  // Deterministic: same store, same bytes.
+  EXPECT_EQ(html, timeseries_dashboard(store, "test & title"));
+}
+
+// ------------------------------------------------------- sweep identity --
+
+TEST(SweepTimeseries, MergedExportsAreByteIdenticalAcrossJobCounts) {
+  core::ScenarioSpec spec;
+  spec.name = "ts-identity";
+  spec.grid.axis("x", {1, 2, 3});
+  spec.replicas = 2;
+  spec.body = [](core::RunContext& ctx) {
+    auto* rec = ctx.timeseries();
+    ASSERT_NE(rec, nullptr);
+    double acc = 0;
+    rec->probe("acc", [&acc] { return acc; });
+    for (int t = 0; t < 50; ++t) {
+      acc += ctx.rng().uniform(0, ctx.param("x"));
+      rec->maybe_sample(SimTime::millis(t + 1));
+    }
+    rec->finish(SimTime::millis(50));
+  };
+
+  auto merged_csv = [](const core::SweepResult& res) {
+    TimeSeriesStore all;
+    for (const auto& r : res.runs) {
+      if (!r.timeseries) continue;
+      const std::string prefix = res.points[r.point_index].label() + ".r" +
+                                 std::to_string(r.replica) + ".";
+      all.merge_prefixed(prefix, r.timeseries->store());
+    }
+    return all.to_csv();
+  };
+
+  core::SweepOptions serial;
+  serial.base_seed = 5;
+  serial.jobs = 1;
+  serial.timeseries_seconds = 0.01;
+  core::SweepOptions wide = serial;
+  wide.jobs = 8;
+
+  const std::string csv1 = merged_csv(core::run_sweep(spec, serial));
+  const std::string csv8 = merged_csv(core::run_sweep(spec, wide));
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_GT(csv1.size(), std::string("series,tick_ns,value\n").size());
+  EXPECT_EQ(csv1, csv8);
+}
+
+TEST(SweepTimeseries, RecorderAbsentWhenNotRequested) {
+  core::ScenarioSpec spec;
+  spec.name = "ts-off";
+  spec.body = [](core::RunContext& ctx) { EXPECT_EQ(ctx.timeseries(), nullptr); };
+  auto res = core::run_sweep(spec);
+  ASSERT_EQ(res.runs.size(), 1u);
+  EXPECT_EQ(res.runs[0].timeseries, nullptr);
+}
+
+}  // namespace
+}  // namespace tussle::sim

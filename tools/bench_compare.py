@@ -14,6 +14,19 @@ Total-event drift is reported but never fails the gate: event counts change
 legitimately whenever a scenario is added or re-parameterised, and the
 determinism suite (not this tool) owns that invariant.
 
+Selected *scalar metrics* are gated too, opt-in per bench via METRIC_GATES
+below. Those metrics are simulation outcomes, not timings, so for a fixed
+invocation they are exactly reproducible on any machine; a drift means the
+model's behaviour changed, not that the runner was slow. The gate is exact
+by default; --metric-tolerance allows an absolute slack for metrics that
+are legitimately sensitive (none today). Benches or metrics absent from
+the baseline's "metrics" object are reported and skipped, so an old-format
+baseline keeps working until the next --update.
+
+--trajectory FILE appends one JSON line per report — experiment id plus
+the gated metrics — forming a longitudinal record of how each headline
+number moves across commits (CI stores it as an artifact).
+
 Usage:
   bench_compare.py --baseline BENCH_baseline.json report.json...
   bench_compare.py --baseline BENCH_baseline.json --update report.json...
@@ -29,6 +42,27 @@ import argparse
 import json
 import sys
 
+# Per-experiment allowlist of scalar metrics that must match the baseline.
+# Opt-in and deliberately short: every name here must be a deterministic
+# function of (code, seed, invocation) — means over replicas qualify, wall
+# times never do.
+METRIC_GATES: dict[str, list[str]] = {
+    # E5 (bench_qos_deployment): the paper's greed/fear grid headline.
+    # The ".mean" names exist when the bench runs with --replicas > 1, as
+    # the CI gate invocation does; single runs simply have nothing to gate.
+    "E5": [
+        "deployment-regimes.regime=0.deploy_fraction.mean",
+        "deployment-regimes.regime=3.deploy_fraction.mean",
+        "deployment-regimes.regime=4.app_price.mean",
+    ],
+    # E6 (bench_firewall): the protocol-vs-trust firewall contrast.
+    "E6": [
+        "firewall-variants.variant=1.attack_delivered.mean",
+        "firewall-variants.variant=1.novel_app_delivered.mean",
+        "firewall-variants.variant=2.novel_app_delivered.mean",
+    ],
+}
+
 
 def load_report(path: str) -> dict:
     with open(path) as f:
@@ -41,11 +75,20 @@ def load_report(path: str) -> dict:
     return d
 
 
+def gated_metrics(bench_id: str, report: dict) -> dict:
+    """The subset of this report's metrics that METRIC_GATES tracks."""
+    metrics = report.get("metrics", {})
+    return {name: metrics[name]
+            for name in METRIC_GATES.get(bench_id, []) if name in metrics}
+
+
 def summarize(report: dict) -> dict:
+    bench_id = report["experiment"]["id"]
     return {
         "wall_seconds": report["wall_seconds"],
         "total_events": report["total_events"],
         "events_per_sec": report.get("events_per_sec", 0.0),
+        "metrics": gated_metrics(bench_id, report),
     }
 
 
@@ -58,6 +101,12 @@ def main() -> int:
     ap.add_argument("--min-seconds", type=float, default=0.05, metavar="SEC",
                     help="skip comparisons when both sides run faster than "
                          "this (default: %(default)s)")
+    ap.add_argument("--metric-tolerance", type=float, default=0.0, metavar="ABS",
+                    help="allowed absolute drift for gated metrics "
+                         "(default: %(default)s — exact)")
+    ap.add_argument("--trajectory", metavar="FILE",
+                    help="append one JSON line per report (id + gated "
+                         "metrics) to this file")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the given reports")
     ap.add_argument("reports", nargs="+", help="harness --json output files")
@@ -69,6 +118,17 @@ def main() -> int:
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
+
+    if args.trajectory:
+        with open(args.trajectory, "a") as f:
+            for bench_id, report in sorted(reports.items()):
+                f.write(json.dumps({
+                    "experiment": bench_id,
+                    "total_events": report["total_events"],
+                    "metrics": gated_metrics(bench_id, report),
+                }, sort_keys=True) + "\n")
+        print(f"bench_compare: appended {len(reports)} trajectory "
+              f"entries to {args.trajectory}")
 
     if args.update:
         baseline = {bench_id: summarize(r) for bench_id, r in sorted(reports.items())}
@@ -106,9 +166,28 @@ def main() -> int:
         if verdict == "REGRESSION":
             failed = True
 
+        base_metrics = base.get("metrics")
+        if base_metrics is None and METRIC_GATES.get(bench_id):
+            print(f"{bench_id}:   metrics not in baseline — run with "
+                  f"--update to adopt them")
+            continue
+        for name, value in sorted(gated_metrics(bench_id, report).items()):
+            if name not in (base_metrics or {}):
+                print(f"{bench_id}:   {name}: not in baseline, skipped")
+                continue
+            expected = base_metrics[name]
+            drift = abs(value - expected)
+            if drift > args.metric_tolerance:
+                print(f"{bench_id}:   {name}: {value!r} vs baseline "
+                      f"{expected!r} METRIC DRIFT")
+                failed = True
+            else:
+                print(f"{bench_id}:   {name}: {value!r} ok")
+
     if failed:
         print(f"bench_compare: wall time grew more than "
-              f"{args.max_regression:.0%} over {args.baseline}", file=sys.stderr)
+              f"{args.max_regression:.0%} or a gated metric drifted from "
+              f"{args.baseline}", file=sys.stderr)
         return 1
     return 0
 

@@ -24,6 +24,11 @@
 //                      clocks) inside the causal-span module (sim/span*):
 //                      span records carry simulated time only, or exported
 //                      traces stop being byte-identical across runs.
+//   timeseries-wall-clock
+//                      the same wall-clock token list inside the time-series
+//                      recorder (sim/timeseries*): sample ticks come from the
+//                      simulated clock only, so CSV/JSON/dashboard exports
+//                      stay byte-identical at any --jobs setting.
 //
 // Usage: detlint [--allowlist FILE] DIR...
 // Exit:  0 clean, 1 unallowlisted violations, 2 usage/IO error.
@@ -202,6 +207,13 @@ bool in_span_module(const std::string& path) {
   return path.find("sim/span") != std::string::npos;
 }
 
+/// The time-series recorder has the same contract as the span tracer: ticks
+/// are simulated time only, so exports are byte-identical across runs and
+/// --jobs settings. Same token list, its own check name.
+bool in_timeseries_module(const std::string& path) {
+  return path.find("sim/timeseries") != std::string::npos;
+}
+
 bool in_hot_path(const std::string& path) {
   for (const char* dir : {"/sim/", "/net/", "/routing/", "/econ/"}) {
     if (path.find(dir) != std::string::npos) return true;
@@ -242,6 +254,17 @@ void check_line_tokens(const std::string& path, std::size_t lineno,
                        "wall-clock source '" + std::string(tok) +
                            "' in the span module: span records carry simulated "
                            "time only, or traces diverge run to run",
+                       trim(raw)});
+      }
+    }
+  }
+  if (in_timeseries_module(path)) {
+    for (std::string_view tok : kSpanWallClockTokens) {
+      if (contains_token(stripped, tok)) {
+        out.push_back({path, lineno, "timeseries-wall-clock",
+                       "wall-clock source '" + std::string(tok) +
+                           "' in the time-series recorder: sample ticks carry "
+                           "simulated time only, or exports diverge run to run",
                        trim(raw)});
       }
     }
