@@ -116,6 +116,10 @@ int main(int argc, char** argv) {
 
           econ::Ledger ledger;
           ledger.set_span_tracer(ctx.spans());
+          // The ledger is declared shared: value must flow between shards
+          // by design, so under --audit its transfers are tallied per
+          // accessing shard instead of checked.
+          ledger.set_auditor(ctx.audit());
 
           // AS 3 (AS 6's provider) value-prices: visibly-server traffic
           // leaving its customer pays a per-packet surcharge. Tunnelled

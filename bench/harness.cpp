@@ -28,6 +28,8 @@ struct Flags {
   std::string ts_csv_path;
   std::string ts_json_path;
   std::string dashboard_path;
+  bool audit = false;
+  std::string audit_json_path;
   bool list = false;
   std::string case_filter;
   std::uint64_t seed = 1;
@@ -43,7 +45,8 @@ void usage(const char* argv0) {
                "          [--heartbeat <seconds>] [--chrome-trace <path>]\n"
                "          [--span-tree <path>|-] [--explain <flow-id>]\n"
                "          [--timeseries <seconds>] [--ts-csv <path>]\n"
-               "          [--ts-json <path>] [--dashboard <path>]\n",
+               "          [--ts-json <path>] [--dashboard <path>]\n"
+               "          [--audit] [--audit-json <path>]\n",
                argv0);
 }
 
@@ -103,6 +106,13 @@ std::optional<Flags> parse_flags(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       f.dashboard_path = v;
+    } else if (arg == "--audit") {
+      f.audit = true;
+    } else if (arg == "--audit-json") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.audit_json_path = v;
+      f.audit = true;
     } else if (arg == "--profile") {
       f.profile = true;
     } else if (arg == "--heartbeat") {
@@ -180,6 +190,7 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
   opts.spans = spans_requested_;
   opts.heartbeat_seconds = heartbeat_seconds_;
   opts.timeseries_seconds = timeseries_seconds_;
+  opts.audit = audit_requested_;
 
   core::SweepResult result = core::run_sweep(spec, opts);
 
@@ -189,6 +200,7 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
     // runs are in run-index order whatever --jobs was, so the merged span
     // archive (and every export derived from it) is schedule-independent.
     if (r.spans) spans_.merge(*r.spans);
+    if (r.audit) audit_.merge(*r.audit);
     if (r.timeseries && !r.timeseries->store().empty()) {
       std::string prefix = spec.name;
       const std::string label = result.points[r.point_index].label();
@@ -227,6 +239,10 @@ int run(int argc, char** argv, const Experiment& exp,
   h.seed_ = flags->seed;
   h.jobs_ = flags->jobs;
   h.replicas_ = flags->replicas;
+  h.audit_requested_ = flags->audit;
+  if (const char* env = std::getenv("TUSSLE_AUDIT")) {
+    if (*env != '\0' && std::string(env) != "0") h.audit_requested_ = true;
+  }
   h.spans_requested_ = !flags->chrome_trace_path.empty() || !flags->span_tree_path.empty() ||
                        flags->explain_flow.has_value();
   // An export flag without an explicit interval still needs samples.
@@ -268,7 +284,22 @@ int run(int argc, char** argv, const Experiment& exp,
   core::print_experiment_header(std::cout, exp.id, exp.section, exp.claim);
 
   const double wall_start = sim::wall_now_seconds();
-  body(h);
+  try {
+    body(h);
+  } catch (const sim::ShardViolation& v) {
+    // Fail fast with the causal report: which component, owned by which
+    // shard, was mutated from which shard, inside which event. The audit
+    // report is still written so CI can collect it; tallies from sweep
+    // slots that had not merged when the violation fired are absent, but
+    // the violation itself is guaranteed present.
+    std::fprintf(stderr, "%s\n", v.what());
+    if (!flags->audit_json_path.empty()) {
+      h.audit_.record_violation(v.access());
+      std::ofstream os(flags->audit_json_path);
+      if (os) os << h.audit_.report_json() << "\n";
+    }
+    return 1;
+  }
   const double wall_seconds = sim::wall_now_seconds() - wall_start;
 
   if (!flags->trace_path.empty()) {
@@ -342,6 +373,26 @@ int run(int argc, char** argv, const Experiment& exp,
       return 2;
     }
     std::printf("time series: %zu series, %zu samples\n", h.timeseries_.size(), samples);
+  }
+
+  if (h.audit_requested_) {
+    std::printf("shard audit: %zu events, %zu mutations checked, %zu components, "
+                "%zu shards, %zu violations\n",
+                h.audit_.events_audited(), h.audit_.mutations_checked(),
+                h.audit_.component_count(), h.audit_.shard_count(),
+                h.audit_.violations().size());
+    if (!flags->audit_json_path.empty()) {
+      std::ofstream os(flags->audit_json_path);
+      if (!os) {
+        std::fprintf(stderr, "harness: cannot write %s\n", flags->audit_json_path.c_str());
+        return 2;
+      }
+      os << h.audit_.report_json() << "\n";
+    }
+    if (!h.audit_.violations().empty()) {
+      std::fprintf(stderr, "%s\n", h.audit_.describe(h.audit_.violations().front()).c_str());
+      return 1;
+    }
   }
 
   if (flags->profile) {

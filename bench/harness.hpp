@@ -30,6 +30,12 @@
 //                       convergence/oscillation analysis as JSON
 //   --dashboard <path>  write a self-contained HTML dashboard (inline SVG,
 //                       no external assets or scripts)
+//   --audit             run every simulator under the cross-shard access
+//                       auditor (sim/shard_audit.hpp); a handler mutating
+//                       another shard's state fails the bench with a
+//                       causal report. TUSSLE_AUDIT=1 does the same.
+//   --audit-json <p>    also write the merged shard-audit report as JSON
+//                       (implies --audit)
 //
 // Determinism contract: metric output is bit-identical for a given
 // (--seed, --replicas) at any --jobs, because each run draws from
@@ -49,6 +55,7 @@
 #include "core/sweep.hpp"
 #include "sim/metric_registry.hpp"
 #include "sim/profiler.hpp"
+#include "sim/shard_audit.hpp"
 #include "sim/trace.hpp"
 
 namespace tussle::bench {
@@ -94,6 +101,14 @@ class Harness {
   /// True when --timeseries/--ts-csv/--ts-json/--dashboard was given.
   bool timeseries_requested() const noexcept { return timeseries_seconds_ > 0; }
 
+  /// The merged shard-audit across every audited run (run-index order);
+  /// empty unless --audit / TUSSLE_AUDIT was given. Scenario bodies opt in
+  /// by calling ctx.instrument(sim) — the same call that wires the
+  /// profiler — and by handing ctx.audit() to shared components.
+  sim::ShardAuditor& audit() noexcept { return audit_; }
+  /// True when --audit/--audit-json or TUSSLE_AUDIT=1 asked for auditing.
+  bool audit_requested() const noexcept { return audit_requested_; }
+
   /// Adds to the run's total simulated-event count for engines that run
   /// outside the sweep bodies (sweep runs report via ctx.add_events()).
   void add_events(std::size_t n) noexcept { extra_events_ += n; }
@@ -117,8 +132,10 @@ class Harness {
   sim::LoopProfiler profiler_;
   sim::SpanTracer spans_;
   sim::TimeSeriesStore timeseries_;
+  sim::ShardAuditor audit_;
   double timeseries_seconds_ = 0;  ///< 0 = no recorders
   bool spans_requested_ = false;
+  bool audit_requested_ = false;
   std::vector<Case> cases_;
   std::size_t extra_events_ = 0;
   std::size_t sweep_events_ = 0;

@@ -9,6 +9,7 @@
 
 #include "sim/json.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 
 namespace tussle::core {
 
@@ -100,6 +101,20 @@ std::vector<ParamPoint> ParamGrid::points() const {
 
 void RunContext::instrument(sim::Simulator& sim) {
   if (profiler_ != nullptr) sim.set_profiler(profiler_);
+  if (audit_ != nullptr) {
+    audit_->set_span_tracer(spans_);  // violation reports carry the span, if any
+    sim.set_auditor(audit_);
+  }
+  // --trace installs its JSONL sink on the process-global tracer, but
+  // components built on this simulator log to its own per-run tracer;
+  // mirror the global configuration so their records land in the same
+  // file. Trace mode forces one worker, so the shared sink is safe.
+  auto& global = sim::Tracer::global();
+  if (global.enabled() && global.sink()) {
+    sim.tracer().enable(true);
+    sim.tracer().set_level(global.level());
+    sim.tracer().set_sink(global.sink());
+  }
   if (heartbeat_seconds_ > 0) sim.set_heartbeat(sim::Duration::seconds(heartbeat_seconds_));
 }
 
@@ -230,6 +245,10 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts) {
               sim::Duration::seconds(opts.timeseries_seconds));
           ctx.timeseries_ = slot.timeseries.get();
         }
+        if (opts.audit) {
+          slot.audit = std::make_unique<sim::ShardAuditor>();
+          ctx.audit_ = slot.audit.get();
+        }
         if (serial) ctx.heartbeat_seconds_ = opts.heartbeat_seconds;
         spec.body(ctx);
         slot.notes = std::move(ctx.notes_);
@@ -277,11 +296,6 @@ std::vector<std::string> ScenarioRegistry::names() const {
   out.reserve(specs_.size());
   for (const auto& s : specs_) out.push_back(s.name);
   return out;
-}
-
-ScenarioRegistry& ScenarioRegistry::global() {
-  static ScenarioRegistry registry;
-  return registry;
 }
 
 }  // namespace tussle::core

@@ -28,6 +28,7 @@
 
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
+#include "sim/shard_audit.hpp"
 #include "sim/span.hpp"
 #include "sim/stats.hpp"
 #include "sim/timeseries.hpp"
@@ -131,6 +132,13 @@ class RunContext {
   /// into its own store, so merged exports are --jobs-independent.
   sim::TimeSeriesRecorder* timeseries() noexcept { return timeseries_; }
 
+  /// This run's cross-shard access auditor, or nullptr unless
+  /// SweepOptions::audit was set. instrument() attaches it to the
+  /// simulator; bodies hand it to shared components they build
+  /// (Ledger::set_auditor) and may declare control events on it. Each run
+  /// audits into its own instance, merged in run-index order.
+  sim::ShardAuditor* audit() noexcept { return audit_; }
+
  private:
   friend SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
 
@@ -146,6 +154,7 @@ class RunContext {
   double heartbeat_seconds_ = 0;
   sim::SpanTracer* spans_ = nullptr;
   sim::TimeSeriesRecorder* timeseries_ = nullptr;
+  sim::ShardAuditor* audit_ = nullptr;
 };
 
 /// A declarative experiment case: what to run, over which parameter points,
@@ -179,6 +188,10 @@ struct SweepOptions {
   /// Sampling interval (simulated seconds) for each run's
   /// TimeSeriesRecorder via RunContext::timeseries(); 0 = no recorder.
   double timeseries_seconds = 0;
+  /// Give each run its own ShardAuditor via RunContext::audit() (merged
+  /// afterwards in run-index order). Fail-fast: a cross-shard mutation
+  /// throws out of the offending run with a causal report.
+  bool audit = false;
 };
 
 /// One completed run, in its final resting place inside a SweepResult.
@@ -196,6 +209,8 @@ struct RunResult {
   std::unique_ptr<sim::SpanTracer> spans;
   /// Per-run time series; null unless SweepOptions::timeseries_seconds > 0.
   std::unique_ptr<sim::TimeSeriesRecorder> timeseries;
+  /// Per-run shard audit; null unless SweepOptions::audit was set.
+  std::unique_ptr<sim::ShardAuditor> audit;
 };
 
 struct SweepResult {
@@ -244,9 +259,6 @@ class ScenarioRegistry {
   std::vector<std::string> names() const;  ///< registration order
   std::size_t size() const noexcept { return specs_.size(); }
   const std::vector<ScenarioSpec>& specs() const noexcept { return specs_; }
-
-  /// Process-wide registry for statically-registered cases.
-  static ScenarioRegistry& global();
 
  private:
   std::vector<ScenarioSpec> specs_;

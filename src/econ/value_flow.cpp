@@ -20,6 +20,7 @@ void Ledger::transfer(const std::string& from, const std::string& to, double amo
     throw std::invalid_argument("Ledger::transfer: self transfer ('" + from +
                                 "'): value must flow between distinct parties");
   }
+  if (auditor_ != nullptr) auditor_->record_shared_access("econ.ledger", "transfer");
   balances_[from] -= amount;
   balances_[to] += amount;
   sim::SpanId cause = sim::kNoSpan;

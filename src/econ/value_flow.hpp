@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "routing/source_route.hpp"
+#include "sim/shard_audit.hpp"
 #include "sim/span.hpp"
 
 namespace tussle::econ {
@@ -51,10 +52,18 @@ class Ledger {
   void set_span_tracer(sim::SpanTracer* spans) noexcept { spans_ = spans; }
   sim::SpanTracer* span_tracer() const noexcept { return spans_; }
 
+  /// Attaches a shard auditor: the ledger is declared *shared* state (value
+  /// must flow between shards by design), so transfers are tallied per
+  /// accessing shard rather than checked — the report then maps which
+  /// shards settle, the input for making settlement a merge step in PDES.
+  void set_auditor(sim::ShardAuditor* auditor) noexcept { auditor_ = auditor; }
+  sim::ShardAuditor* auditor() const noexcept { return auditor_; }
+
  private:
   std::map<std::string, double> balances_;
   std::vector<Entry> log_;
   sim::SpanTracer* spans_ = nullptr;
+  sim::ShardAuditor* auditor_ = nullptr;
 };
 
 /// Prices and settles paid source routes.

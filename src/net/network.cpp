@@ -3,9 +3,20 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/shard_audit.hpp"
+
 namespace tussle::net {
 
 namespace {
+
+/// Provisional shard owner of a link: same-AS links belong to that AS,
+/// cross-AS links are the boundary channels the PDES design shards across,
+/// so both sides may touch them (tallied, never a violation).
+sim::ShardId link_shard(const Network& net, NodeId a, NodeId b) {
+  const AsId as_a = net.node(a).as();
+  const AsId as_b = net.node(b).as();
+  return as_a == as_b ? static_cast<sim::ShardId>(as_a) : sim::kSharedShard;
+}
 
 /// Records a link-level drop as a zero-length span under the packet's
 /// lifetime span (link code runs outside any hop context) and closes the
@@ -49,6 +60,12 @@ std::size_t Link::dir_index_for(NodeId from) const {
 }
 
 bool Link::transmit_from(NodeId sender, Packet p) {
+  // The egress queue being mutated lives with the sender: transmitting is
+  // an action of the sender's shard, whichever shard the link registered
+  // under.
+  if (auto* au = net_->auditor()) {
+    au->check_mutation("net.link", id_, net_->node(sender).as(), "transmit");
+  }
   if (!up_) {
     net_->counters().dropped_link_down.add();
     TUSSLE_TRACE_EVENT(net_->tracer(), net_->simulator().now(), sim::TraceLevel::kInfo,
@@ -86,6 +103,8 @@ void Link::start_transmission(Direction& d) {
   // transmitter moves on to the next queued packet.
   sim.schedule(serialization, sim::TaskTag{"net.link", "serialize"},
                [this, &d, pkt = std::move(*p)]() mutable {
+    // Serialization completion is the transmitting shard's own event.
+    if (auto* au = net_->auditor()) au->claim("net.link", id_, net_->node(d.from).as());
     d.transmitting = false;
     d.tx_packets += 1;
     d.tx_bytes += pkt.size_bytes;
@@ -111,6 +130,14 @@ void Link::start_transmission(Direction& d) {
   });
 }
 
+void Link::set_up(bool up) {
+  if (auto* au = net_->auditor()) {
+    au->check_mutation("net.link", id_, link_shard(*net_, dirs_[0].from, dirs_[1].from),
+                       "set_up");
+  }
+  up_ = up;
+}
+
 // ---------------------------------------------------------- NetCounters --
 
 void NetCounters::reset() {
@@ -132,6 +159,7 @@ void NetCounters::reset() {
 NodeId Network::add_node(AsId as) {
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(*this, id, as));
+  if (auto* au = auditor()) au->register_component("net.node", id, as);
   return id;
 }
 
@@ -143,10 +171,15 @@ Link& Network::connect(NodeId a, NodeId b, double bits_per_second, sim::Duration
                                           queue_capacity));
   node(a).attach_interface(id);
   node(b).attach_interface(id);
+  if (auto* au = auditor()) au->register_component("net.link", id, link_shard(*this, a, b));
   return *links_.back();
 }
 
 void Network::notify_delivered(const Packet& p, NodeId at) {
+  // Network-wide counters are deliberately shared across shards today; the
+  // tally marks them as a merge point the PDES refactor must make
+  // shard-local-then-merge.
+  if (auto* au = auditor()) au->record_shared_access("net.counters", "deliver");
   counters_.delivered.add();
   const double latency_s = sim_->now().as_seconds() - p.sent_at_s;
   counters_.delivery_latency_s.observe(latency_s);

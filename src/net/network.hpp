@@ -36,8 +36,10 @@ class Link {
   /// Returns false if the packet was dropped (queue full or link down).
   bool transmit_from(NodeId sender, Packet p);
 
-  /// Failure injection: a down link silently discards traffic.
-  void set_up(bool up) noexcept { up_ = up; }
+  /// Failure injection: a down link silently discards traffic. Audited:
+  /// same-AS links belong to that AS's shard, cross-AS links are shared
+  /// boundary channels, so either shard may fail them.
+  void set_up(bool up);
   bool up() const noexcept { return up_; }
 
   double bandwidth_bps() const noexcept { return bps_; }
@@ -97,7 +99,7 @@ struct NetCounters {
 
 class Network {
  public:
-  explicit Network(sim::Simulator& sim) : sim_(&sim) {}
+  explicit Network(sim::Simulator& sim) : sim_(&sim), tracer_(&sim.tracer()) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -119,9 +121,10 @@ class Network {
   PacketIdSource& packet_ids() noexcept { return ids_; }
 
   /// Tracer receiving this network's flow-provenance events (enqueue,
-  /// forward, drop-with-reason, deliver). Defaults to the process-global
-  /// tracer, which is disabled unless someone turns it on — the data plane
-  /// pays one branch per decision point either way.
+  /// forward, drop-with-reason, deliver). Defaults to the owning
+  /// simulator's tracer, so two concurrent runs never share trace state;
+  /// it is disabled unless someone turns it on — the data plane pays one
+  /// branch per decision point either way.
   sim::Tracer& tracer() noexcept { return *tracer_; }
   void set_tracer(sim::Tracer& tracer) noexcept { tracer_ = &tracer; }
 
@@ -132,6 +135,12 @@ class Network {
   /// (ledger transfers, drops) are causally attributed.
   sim::SpanTracer* spans() noexcept { return spans_; }
   void set_spans(sim::SpanTracer* spans) noexcept { spans_ = spans; }
+
+  /// Cross-shard access auditor, read through the owning simulator so a
+  /// single Simulator::set_auditor call covers the whole topology. Null
+  /// (the default) costs one pointer load + branch per instrumented
+  /// mutation — the same contract as spans().
+  sim::ShardAuditor* auditor() const noexcept { return sim_->auditor(); }
 
   /// Observers invoked on every successful local delivery, after the node's
   /// own handler. Scenarios use them for global accounting; several can
@@ -165,7 +174,7 @@ class Network {
   NetCounters counters_;
   PacketIdSource ids_;
   std::vector<DeliveryObserver> observers_;
-  sim::Tracer* tracer_ = &sim::Tracer::global();
+  sim::Tracer* tracer_ = nullptr;
   sim::SpanTracer* spans_ = nullptr;
   bool fault_reporting_ = false;
 };

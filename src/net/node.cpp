@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/network.hpp"
+#include "sim/shard_audit.hpp"
 
 namespace tussle::net {
 
@@ -57,7 +58,37 @@ bool Node::owns(const Address& a) const {
   return std::find(addresses_.begin(), addresses_.end(), a) != addresses_.end();
 }
 
+void Node::audit_mutation(const char* what) const {
+  if (auto* au = net_->auditor()) au->check_mutation("net.node", id_, as_, what);
+}
+
+void Node::add_address(const Address& a) {
+  audit_mutation("add_address");
+  addresses_.push_back(a);
+}
+
+void Node::renumber(std::vector<Address> addrs) {
+  audit_mutation("renumber");
+  addresses_ = std::move(addrs);
+}
+
+ForwardingTable& Node::forwarding() {
+  audit_mutation("forwarding");
+  return fib_;
+}
+
+void Node::add_filter(PacketFilter f) {
+  audit_mutation("add_filter");
+  filters_.push_back(std::move(f));
+}
+
+void Node::set_local_handler(LocalHandler h) {
+  audit_mutation("set_local_handler");
+  local_handler_ = std::move(h);
+}
+
 bool Node::remove_filter(const std::string& name) {
+  audit_mutation("remove_filter");
   auto it = std::find_if(filters_.begin(), filters_.end(),
                          [&](const PacketFilter& f) { return f.name == name; });
   if (it == filters_.end()) return false;
@@ -74,6 +105,13 @@ std::vector<std::string> Node::disclosed_filter_names() const {
 }
 
 void Node::originate(Packet p) {
+  if (auto* au = net_->auditor()) {
+    // Originating is the node acting: claim its shard. The uid source is
+    // process-shared state the PDES refactor must split into per-shard
+    // ranges — tally it so the report says who draws from it.
+    au->claim("net.node", id_, as_);
+    au->record_shared_access("net.packet_ids", "next");
+  }
   p.uid = net_->packet_ids().next();
   p.sent_at_s = net_->simulator().now().as_seconds();
   net_->counters().originated.add();
@@ -120,6 +158,8 @@ bool Node::run_filters(const Packet& p, FilterDecision& out, bool& disclosed,
 }
 
 void Node::receive(Packet p, IfIndex /*iface*/) {
+  // A packet arriving is this node's shard running: claim the event.
+  if (auto* au = net_->auditor()) au->claim("net.node", id_, as_);
   sim::SpanTracer* sp = net_->spans();
   const sim::SimTime now = net_->simulator().now();
   // Span context for this visit: packet span re-activated from the uid

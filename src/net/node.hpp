@@ -68,17 +68,20 @@ class Node {
   NodeId id() const noexcept { return id_; }
   AsId as() const noexcept { return as_; }
 
-  void add_address(const Address& a) { addresses_.push_back(a); }
+  void add_address(const Address& a);
   const std::vector<Address>& addresses() const noexcept { return addresses_; }
   bool owns(const Address& a) const;
   /// Replaces all addresses (renumbering when switching providers, E1).
-  void renumber(std::vector<Address> addrs) { addresses_ = std::move(addrs); }
+  void renumber(std::vector<Address> addrs);
 
-  ForwardingTable& forwarding() noexcept { return fib_; }
+  /// Mutable FIB access is a state mutation of this node — route
+  /// installation from another shard's handler is exactly the hazard the
+  /// shard auditor exists to catch.
+  ForwardingTable& forwarding();
   const ForwardingTable& forwarding() const noexcept { return fib_; }
 
   // --- tussle hooks -------------------------------------------------------
-  void add_filter(PacketFilter f) { filters_.push_back(std::move(f)); }
+  void add_filter(PacketFilter f);
   bool remove_filter(const std::string& name);
   const std::vector<PacketFilter>& filters() const noexcept { return filters_; }
   /// The disclosure rule (§V-B): which filters admit their existence to an
@@ -87,7 +90,7 @@ class Node {
 
   /// Handler invoked when a packet addressed to this node arrives.
   using LocalHandler = std::function<void(const Packet&)>;
-  void set_local_handler(LocalHandler h) { local_handler_ = std::move(h); }
+  void set_local_handler(LocalHandler h);
 
   // --- data path ----------------------------------------------------------
   /// Originates a packet from this node (stamps uid/send time, then routes).
@@ -105,6 +108,9 @@ class Node {
   std::size_t interface_count() const noexcept { return iface_links_.size(); }
 
  private:
+  /// Audits one mutation of this node's state (one null-pointer branch
+  /// when no auditor is attached to the owning simulator).
+  void audit_mutation(const char* what) const;
   void forward(Packet p);
   bool run_filters(const Packet& p, FilterDecision& out, bool& disclosed,
                    std::vector<Address>* taps, sim::SpanTracer* spans,

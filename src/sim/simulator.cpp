@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "sim/shard_audit.hpp"
+
 namespace tussle::sim {
 
 EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
@@ -96,11 +98,13 @@ std::size_t Simulator::run(SimTime horizon) {
     if (queue_.next_time() > horizon) break;
     auto ev = queue_.pop();
     now_ = ev.time;
+    if (auditor_ != nullptr) auditor_->begin_event(now_, ev.tag);
     if (instrumented_) {
       dispatch_instrumented(ev);
     } else {
       ev.action();
     }
+    if (auditor_ != nullptr) auditor_->end_event();
     ++n;
     ++executed_;
   }
@@ -114,11 +118,13 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   auto ev = queue_.pop();
   now_ = ev.time;
+  if (auditor_ != nullptr) auditor_->begin_event(now_, ev.tag);
   if (instrumented_) {
     dispatch_instrumented(ev);
   } else {
     ev.action();
   }
+  if (auditor_ != nullptr) auditor_->end_event();
   ++executed_;
   return true;
 }

@@ -21,8 +21,11 @@
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace tussle::sim {
+
+class ShardAuditor;
 
 class Simulator {
  public:
@@ -35,6 +38,11 @@ class Simulator {
 
   SimTime now() const noexcept { return now_; }
   Rng& rng() noexcept { return rng_; }
+
+  /// This simulator's own trace log. Components built on the simulator
+  /// (Network and friends) default to it, so two concurrent runs never
+  /// share a tracer — the per-run analogue of what Tracer::global() was.
+  Tracer& tracer() noexcept { return tracer_; }
 
   /// Schedules `action` to run `delay` after the current time.
   EventId schedule(Duration delay, EventQueue::Action action) {
@@ -75,10 +83,21 @@ class Simulator {
   /// owned; must outlive the simulator or be detached first.
   void set_profiler(LoopProfiler* profiler) noexcept {
     profiler_ = profiler;
-    queue_.record_tags(profiler_ != nullptr);
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr);
     instrumented_ = profiler_ != nullptr || heartbeat_;
   }
   LoopProfiler* profiler() const noexcept { return profiler_; }
+
+  /// Attaches (or detaches, with nullptr) the cross-shard access auditor.
+  /// Dispatch then opens every event with ShardAuditor::begin_event, so
+  /// instrumented mutation points can attribute accesses to the claiming
+  /// shard (see sim/shard_audit.hpp). Not owned. Uninstrumented runs pay
+  /// one null-pointer branch per event.
+  void set_auditor(ShardAuditor* auditor) noexcept {
+    auditor_ = auditor;
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr);
+  }
+  ShardAuditor* auditor() const noexcept { return auditor_; }
 
   /// One progress report, emitted every heartbeat period of *simulated*
   /// time while the dispatch loop runs.
@@ -110,6 +129,8 @@ class Simulator {
   // --- observability (never consulted by simulation logic) ---
   bool instrumented_ = false;  ///< profiler_ or heartbeat active
   LoopProfiler* profiler_ = nullptr;
+  ShardAuditor* auditor_ = nullptr;
+  Tracer tracer_;
   Duration heartbeat_period_{};
   HeartbeatFn heartbeat_;
   SimTime next_heartbeat_{};

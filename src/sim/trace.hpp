@@ -69,6 +69,7 @@ class Tracer {
   bool enabled_for(TraceLevel level) const noexcept { return enabled_ && level >= level_; }
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
+  const Sink& sink() const noexcept { return sink_; }
 
   /// Keeps records in memory (for tests); cleared by drain().
   void keep_records(bool on) noexcept { keep_ = on; }

@@ -23,6 +23,16 @@ are legitimately sensitive (none today). Benches or metrics absent from
 the baseline's "metrics" object are reported and skipped, so an old-format
 baseline keeps working until the next --update.
 
+Google-benchmark JSON (bench_micro --benchmark_format=json, recognised by
+its "benchmarks" array) is gated too, under the reserved baseline id
+"MICRO". The gated quantity is items_per_second — the substrate-throughput
+headline the micro benches exist to publish — and the gate direction is
+inverted relative to wall time: a *drop* beyond --max-regression fails.
+This is the guard that keeps always-compiled instrumentation hooks (span
+tracer, shard auditor) honest about their disabled-path cost: the hot
+loops bench_micro times run with every such pointer null, so a throughput
+drop means the "one null-pointer branch per hook site" contract broke.
+
 --trajectory FILE appends one JSON line per report — experiment id plus
 the gated metrics — forming a longitudinal record of how each headline
 number moves across commits (CI stores it as an artifact).
@@ -31,8 +41,9 @@ Usage:
   bench_compare.py --baseline BENCH_baseline.json report.json...
   bench_compare.py --baseline BENCH_baseline.json --update report.json...
 
---update rewrites the baseline from the given reports (run it on the
-reference machine after an intentional perf change and commit the result).
+--update rewrites the given reports' entries in the baseline, preserving
+entries for benches not among the reports (run it on the reference machine
+after an intentional perf change and commit the result).
 Exit status: 0 = no regression, 1 = regression, 2 = usage/schema error.
 """
 
@@ -64,15 +75,41 @@ METRIC_GATES: dict[str, list[str]] = {
 }
 
 
+# Reserved baseline id for the Google-benchmark micro report. bench_micro
+# has no harness "experiment" — all its benchmarks live under this one key.
+MICRO_ID = "MICRO"
+
+
 def load_report(path: str) -> dict:
     with open(path) as f:
         d = json.load(f)
+    if "benchmarks" in d:  # Google-benchmark --benchmark_format=json
+        if not isinstance(d["benchmarks"], list) or not d["benchmarks"]:
+            raise ValueError(f"{path}: empty Google-benchmark report")
+        d["experiment"] = {"id": MICRO_ID}
+        return d
     for key in ("experiment", "wall_seconds", "total_events"):
         if key not in d:
             raise ValueError(f"{path}: not a harness report (missing {key!r})")
     if not d["experiment"].get("id"):
         raise ValueError(f"{path}: empty experiment id")
     return d
+
+
+def micro_throughputs(report: dict) -> dict:
+    """benchmark name -> items_per_second, for benchmarks that publish it.
+
+    Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
+    skipped so a repetition run gates on the same names as a plain run.
+    """
+    out = {}
+    for b in report["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is not None:
+            out[b["name"]] = ips
+    return out
 
 
 def gated_metrics(bench_id: str, report: dict) -> dict:
@@ -84,12 +121,33 @@ def gated_metrics(bench_id: str, report: dict) -> dict:
 
 def summarize(report: dict) -> dict:
     bench_id = report["experiment"]["id"]
+    if bench_id == MICRO_ID:
+        return {"items_per_second": micro_throughputs(report)}
     return {
         "wall_seconds": report["wall_seconds"],
         "total_events": report["total_events"],
         "events_per_sec": report.get("events_per_sec", 0.0),
         "metrics": gated_metrics(bench_id, report),
     }
+
+
+def compare_micro(report: dict, base: dict, max_regression: float) -> bool:
+    """Gates micro throughput; returns True when something regressed."""
+    failed = False
+    base_ips = base.get("items_per_second", {})
+    for name, cur in sorted(micro_throughputs(report).items()):
+        ref = base_ips.get(name)
+        if ref is None:
+            print(f"{MICRO_ID}: {name}: not in baseline — run with --update "
+                  f"to adopt it")
+            continue
+        drop = (ref - cur) / ref if ref > 0 else 0.0
+        verdict = "REGRESSION" if drop > max_regression else "ok"
+        print(f"{MICRO_ID}: {name}: {cur:,.0f} items/s vs baseline "
+              f"{ref:,.0f} ({-drop:+.1%}) {verdict}")
+        if verdict == "REGRESSION":
+            failed = True
+    return failed
 
 
 def main() -> int:
@@ -122,16 +180,27 @@ def main() -> int:
     if args.trajectory:
         with open(args.trajectory, "a") as f:
             for bench_id, report in sorted(reports.items()):
-                f.write(json.dumps({
-                    "experiment": bench_id,
-                    "total_events": report["total_events"],
-                    "metrics": gated_metrics(bench_id, report),
-                }, sort_keys=True) + "\n")
+                if bench_id == MICRO_ID:
+                    entry = {"experiment": bench_id,
+                             "items_per_second": micro_throughputs(report)}
+                else:
+                    entry = {"experiment": bench_id,
+                             "total_events": report["total_events"],
+                             "metrics": gated_metrics(bench_id, report)}
+                f.write(json.dumps(entry, sort_keys=True) + "\n")
         print(f"bench_compare: appended {len(reports)} trajectory "
               f"entries to {args.trajectory}")
 
     if args.update:
-        baseline = {bench_id: summarize(r) for bench_id, r in sorted(reports.items())}
+        # Merge, don't rewrite: refreshing the micro baseline must not drop
+        # the harness entries, and vice versa.
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            baseline = {}
+        for bench_id, r in sorted(reports.items()):
+            baseline[bench_id] = summarize(r)
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -150,6 +219,9 @@ def main() -> int:
         base = baseline.get(bench_id)
         if base is None:
             print(f"{bench_id}: not in baseline — run with --update to adopt it")
+            continue
+        if bench_id == MICRO_ID:
+            failed |= compare_micro(report, base, args.max_regression)
             continue
         cur_s, base_s = report["wall_seconds"], base["wall_seconds"]
         if max(cur_s, base_s) < args.min_seconds:
@@ -185,9 +257,9 @@ def main() -> int:
                 print(f"{bench_id}:   {name}: {value!r} ok")
 
     if failed:
-        print(f"bench_compare: wall time grew more than "
-              f"{args.max_regression:.0%} or a gated metric drifted from "
-              f"{args.baseline}", file=sys.stderr)
+        print(f"bench_compare: wall time grew (or micro throughput fell) "
+              f"more than {args.max_regression:.0%}, or a gated metric "
+              f"drifted from {args.baseline}", file=sys.stderr)
         return 1
     return 0
 

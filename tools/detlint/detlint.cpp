@@ -29,6 +29,15 @@
 //                      recorder (sim/timeseries*): sample ticks come from the
 //                      simulated clock only, so CSV/JSON/dashboard exports
 //                      stay byte-identical at any --jobs setting.
+//   static-local       mutable function-local `static` in a hot-path
+//                      subsystem: a hidden global whose lazy init races
+//                      under the planned sharded event loop and whose state
+//                      leaks between runs in one process (see also
+//                      tools/sharedlint, which flags these repo-wide).
+//   unordered-merge    range-for iteration over a variable declared as an
+//                      unordered container: hash-order iteration feeding
+//                      merged or exported output makes results depend on
+//                      the stdlib's hash, not the seed.
 //
 // Usage: detlint [--allowlist FILE] DIR...
 // Exit:  0 clean, 1 unallowlisted violations, 2 usage/IO error.
@@ -442,6 +451,149 @@ void check_uninit_members(const std::string& path, const std::string& stripped,
   }
 }
 
+/// Structural scan for mutable function-local statics in hot-path
+/// subsystems. Same scope walk as check_uninit_members, but classifying
+/// namespaces and enums too, so only genuine function-body scopes are
+/// inspected (a namespace-scope `static` is internal linkage, not a local).
+void check_static_locals(const std::string& path, const std::string& stripped,
+                         const std::vector<std::string>& raw_lines,
+                         std::vector<Violation>& out) {
+  if (!in_hot_path(path) || in_randomness_module(path)) return;
+  enum class Scope { kNamespace, kRecord, kEnum, kBody };
+  std::vector<Scope> scopes;
+  std::string stmt;
+  std::size_t stmt_line = 1;
+  std::size_t lineno = 1;
+  bool stmt_started = false;
+
+  auto flush = [&](const std::string& statement, std::size_t at_line) {
+    if (scopes.empty() || scopes.back() != Scope::kBody) return;
+    std::istringstream is(statement);
+    std::string first;
+    if (!(is >> first)) return;
+    if (first != "static" && first != "thread_local") return;
+    if (contains_token(statement, "const") || contains_token(statement, "constexpr") ||
+        contains_token(statement, "constinit")) {
+      return;
+    }
+    std::string raw = at_line - 1 < raw_lines.size() ? trim(raw_lines[at_line - 1]) : "";
+    out.push_back({path, at_line, "static-local",
+                   "mutable function-local static in a hot-path subsystem: hidden "
+                   "global state that outlives the run and races under a sharded "
+                   "event loop",
+                   raw});
+  };
+
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++lineno;
+      stmt.push_back(' ');
+      continue;
+    }
+    if (c == '{') {
+      Scope s = Scope::kBody;
+      if (contains_token(stmt, "namespace")) {
+        s = Scope::kNamespace;
+      } else if (contains_token(stmt, "enum")) {
+        s = Scope::kEnum;
+      } else if ((contains_token(stmt, "struct") || contains_token(stmt, "class") ||
+                  contains_token(stmt, "union")) &&
+                 stmt.find('(') == std::string::npos && stmt.find('=') == std::string::npos) {
+        s = Scope::kRecord;
+      }
+      scopes.push_back(s);
+      stmt.clear();
+      stmt_started = false;
+      continue;
+    }
+    if (c == '}') {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt.clear();
+      stmt_started = false;
+      continue;
+    }
+    if (c == ';') {
+      flush(stmt, stmt_line);
+      stmt.clear();
+      stmt_started = false;
+      continue;
+    }
+    if (c == ':') {
+      const std::string t = trim(stmt);
+      if (t == "public" || t == "private" || t == "protected") {
+        stmt.clear();
+        stmt_started = false;
+        continue;
+      }
+    }
+    if (!stmt_started && std::isspace(static_cast<unsigned char>(c)) == 0) {
+      stmt_started = true;
+      stmt_line = lineno;
+    }
+    stmt.push_back(c);
+  }
+}
+
+/// Pass 1 of unordered-merge: declarator names of unordered containers.
+void collect_unordered_names(const std::string& stripped_line,
+                             std::vector<std::string>& names) {
+  static const std::string_view kContainers[] = {"unordered_map", "unordered_set",
+                                                 "unordered_multimap", "unordered_multiset"};
+  for (std::string_view cont : kContainers) {
+    std::size_t pos = stripped_line.find(cont);
+    if (pos == std::string::npos) continue;
+    std::size_t i = stripped_line.find('<', pos);
+    if (i == std::string::npos) return;
+    int depth = 0;
+    for (; i < stripped_line.size(); ++i) {
+      if (stripped_line[i] == '<') ++depth;
+      if (stripped_line[i] == '>' && --depth == 0) {
+        ++i;
+        break;
+      }
+    }
+    while (i < stripped_line.size() &&
+           std::isspace(static_cast<unsigned char>(stripped_line[i])) != 0) {
+      ++i;
+    }
+    std::string name;
+    while (i < stripped_line.size() && is_ident_char(stripped_line[i])) {
+      name.push_back(stripped_line[i++]);
+    }
+    if (!name.empty()) names.push_back(std::move(name));
+    return;
+  }
+}
+
+/// Pass 2 of unordered-merge: a range-for whose range is one of the
+/// collected names iterates in hash order.
+void check_unordered_merge(const std::string& path, std::size_t lineno,
+                           const std::string& stripped, const std::string& raw,
+                           const std::vector<std::string>& unordered_names,
+                           std::vector<Violation>& out) {
+  if (!contains_token(stripped, "for")) return;
+  const std::size_t colon = stripped.find(':');
+  if (colon == std::string::npos) return;
+  for (const std::string& name : unordered_names) {
+    std::size_t pos = stripped.find(name, colon);
+    while (pos != std::string::npos) {
+      const bool left_ok = pos == 0 || !is_ident_char(stripped[pos - 1]);
+      const std::size_t end = pos + name.size();
+      const bool right_ok = end >= stripped.size() || !is_ident_char(stripped[end]);
+      if (left_ok && right_ok) {
+        out.push_back({path, lineno, "unordered-merge",
+                       "range-for over unordered container '" + name +
+                           "': hash-order iteration feeding merged or exported "
+                           "output is not reproducible across stdlib versions",
+                       trim(raw)});
+        return;
+      }
+      pos = stripped.find(name, pos + 1);
+    }
+  }
+}
+
 // -------------------------------------------------------------- driver ---
 
 std::optional<std::vector<AllowEntry>> load_allowlist(const std::string& file) {
@@ -550,11 +702,19 @@ int main(int argc, char** argv) {
       const std::vector<std::string> raw_lines = split_lines(raw);
       const std::vector<std::string> stripped_lines = split_lines(stripped);
       const std::string path = p.generic_string();
+      std::vector<std::string> unordered_names;
+      for (const std::string& line : stripped_lines) {
+        collect_unordered_names(line, unordered_names);
+      }
       for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
         check_line_tokens(path, i + 1, stripped_lines[i],
                           i < raw_lines.size() ? raw_lines[i] : "", violations);
+        check_unordered_merge(path, i + 1, stripped_lines[i],
+                              i < raw_lines.size() ? raw_lines[i] : "", unordered_names,
+                              violations);
       }
       check_uninit_members(path, stripped, raw_lines, violations);
+      check_static_locals(path, stripped, raw_lines, violations);
       ++files_scanned;
     }
   }
