@@ -8,9 +8,11 @@
 // RPKI-style origin-validation deployment is the technical bound.
 #include <algorithm>
 #include <iostream>
+#include <map>
 
 #include "core/report.hpp"
 #include "harness.hpp"
+#include "net/network.hpp"
 #include "routing/path_vector.hpp"
 
 using namespace tussle;
@@ -170,6 +172,113 @@ int main(int argc, char** argv) {
           std::cout << "\nReading: the 'one right answer' design school works — when the\n"
                        "right answer (the legitimate origin) can be authenticated. The\n"
                        "tussle moves to who runs the trust anchor.\n";
+        });
+
+        // Data-plane realization of the same tussle: install the converged
+        // (possibly hijacked) forwarding state on a real Network — one node
+        // per AS, one link per graph edge — and let probe packets vote with
+        // their feet. This is the case the scale profiler measures: each AS
+        // is a provisional PDES shard, the inter-AS links carry its
+        // lookahead, and probe fan-in is its cross-shard traffic.
+        core::ScenarioSpec capture;
+        capture.name = "data-plane-capture";
+        capture.description = "probe packets routed under hijacked vs validated FIBs";
+        capture.body = [](core::RunContext& ctx) {
+          auto h = routing::make_hierarchy(ctx.rng(), 3, 8, 24);
+          const AsId victim = h.stubs[0];
+          const AsId attacker = h.stubs.back();
+          const net::Address victim_addr{victim, 1, 1, false};
+          for (bool validation : {false, true}) {
+            sim::Simulator sim(ctx.rng().next_u64());
+            ctx.instrument(sim);
+            net::Network net(sim);
+
+            std::map<AsId, net::NodeId> node_of;
+            auto add_all = [&](const std::vector<AsId>& ases) {
+              for (const AsId as : ases) node_of[as] = net.add_node(as);
+            };
+            add_all(h.tier1), add_all(h.tier2), add_all(h.stubs);
+            // Peering links are longer than customer hauls, so the PDES
+            // lookahead distribution has two modes.
+            for (const auto& [as, nid] : node_of) {
+              for (const auto& [nbr, rel] : h.graph.neighbors(as)) {
+                if (as < nbr) {
+                  net.connect(nid, node_of.at(nbr), 1e9,
+                              sim::Duration::millis(rel == routing::Rel::kPeer ? 3 : 1));
+                }
+              }
+            }
+            std::map<AsId, std::map<AsId, net::IfIndex>> iface;
+            for (const auto& [as, nid] : node_of) {
+              for (const auto& [peer, ifx] : net.neighbors(nid)) {
+                iface[as][net.node(peer).as()] = ifx;
+              }
+            }
+
+            routing::PathVector pv(h.graph);
+            const auto out = pv.compute_with_origins({victim, attacker}, validation, victim);
+            for (const auto& [as, route] : out.routes) {
+              if (!route.valid() || as == victim || as == attacker) continue;
+              net.node(node_of.at(as))
+                  .forwarding()
+                  .set_prefix_route(net::prefix_of(victim_addr),
+                                    iface.at(as).at(route.next_hop));
+            }
+
+            // The hijacker answers for the stolen prefix exactly like the
+            // victim does — capture is indistinguishable at the endpoint.
+            std::size_t to_victim = 0, to_attacker = 0;
+            net.node(node_of.at(victim)).add_address(victim_addr);
+            net.node(node_of.at(attacker)).add_address(victim_addr);
+            net.node(node_of.at(victim))
+                .set_local_handler([&to_victim](const net::Packet&) { ++to_victim; });
+            net.node(node_of.at(attacker))
+                .set_local_handler([&to_attacker](const net::Packet&) { ++to_attacker; });
+
+            std::size_t sent = 0;
+            int stagger = 0;
+            for (const AsId s : h.stubs) {
+              if (s == victim || s == attacker) continue;
+              const net::NodeId nid = node_of.at(s);
+              for (int k = 0; k < 4; ++k) {
+                sim.schedule(sim::Duration::millis(1 + stagger % 7 + 5 * k),
+                             sim::TaskTag{"bench.hijack", "probe"},
+                             [&net, nid, victim_addr, s] {
+                               net::Packet p;
+                               p.src = net::Address{s, 1, 1, false};
+                               p.dst = victim_addr;
+                               p.proto = net::AppProto::kWeb;
+                               net.node(nid).originate(p);
+                             });
+                ++sent;
+              }
+              ++stagger;
+            }
+            ctx.add_events(sim.run());
+
+            const std::string k = validation ? "on." : "off.";
+            ctx.put(k + "probes", static_cast<double>(sent));
+            ctx.put(k + "to_attacker", static_cast<double>(to_attacker));
+            ctx.put(k + "to_victim", static_cast<double>(to_victim));
+            ctx.put(k + "capture_fraction",
+                    sent > 0 ? static_cast<double>(to_attacker) / static_cast<double>(sent)
+                             : 0.0);
+          }
+        };
+        bh.scenario(capture, [](const core::SweepResult& res) {
+          std::cout << "\nData-plane capture: probes from every stub toward the victim "
+                       "prefix\n\n";
+          core::Table t({"validation", "probes", "to-victim", "to-attacker",
+                         "capture-fraction"});
+          for (const char* k : {"off", "on"}) {
+            const std::string pre = std::string(k) + ".";
+            t.add_row({std::string(k),
+                       static_cast<long long>(res.mean(0, pre + "probes")),
+                       static_cast<long long>(res.mean(0, pre + "to_victim")),
+                       static_cast<long long>(res.mean(0, pre + "to_attacker")),
+                       res.mean(0, pre + "capture_fraction")});
+          }
+          t.print(std::cout);
         });
       });
 }

@@ -30,6 +30,9 @@ struct Flags {
   std::string dashboard_path;
   bool audit = false;
   std::string audit_json_path;
+  bool scale = false;
+  std::string scale_json_path;
+  std::string scale_dashboard_path;
   bool list = false;
   std::string case_filter;
   std::uint64_t seed = 1;
@@ -46,7 +49,8 @@ void usage(const char* argv0) {
                "          [--span-tree <path>|-] [--explain <flow-id>]\n"
                "          [--timeseries <seconds>] [--ts-csv <path>]\n"
                "          [--ts-json <path>] [--dashboard <path>]\n"
-               "          [--audit] [--audit-json <path>]\n",
+               "          [--audit] [--audit-json <path>] [--scale-profile]\n"
+               "          [--scale-json <path>] [--scale-dashboard <path>]\n",
                argv0);
 }
 
@@ -113,6 +117,18 @@ std::optional<Flags> parse_flags(int argc, char** argv) {
       if (!v) return std::nullopt;
       f.audit_json_path = v;
       f.audit = true;
+    } else if (arg == "--scale-profile") {
+      f.scale = true;
+    } else if (arg == "--scale-json") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.scale_json_path = v;
+      f.scale = true;
+    } else if (arg == "--scale-dashboard") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.scale_dashboard_path = v;
+      f.scale = true;
     } else if (arg == "--profile") {
       f.profile = true;
     } else if (arg == "--heartbeat") {
@@ -160,8 +176,17 @@ void write_json_report(const std::string& path, const Experiment& exp,
   w.end_object();
   w.key("wall_seconds").value(wall_seconds);
   w.key("total_events").value(total_events);
-  w.key("events_per_sec")
-      .value(wall_seconds > 0 ? static_cast<double>(total_events) / wall_seconds : 0.0);
+  // Sim-less model benches legitimately dispatch zero events; null marks
+  // them explicitly so tooling never mistakes "no simulator" for "zero
+  // throughput" (bench_compare skips throughput gating on null).
+  if (total_events > 0) {
+    w.key("sim_events").value(total_events);
+    w.key("events_per_sec")
+        .value(wall_seconds > 0 ? static_cast<double>(total_events) / wall_seconds : 0.0);
+  } else {
+    w.key("sim_events").null();
+    w.key("events_per_sec").null();
+  }
   w.key("metrics").raw(snap.to_json());
   w.key("hotspots").raw(hotspots_json);
   w.end_object();
@@ -191,6 +216,7 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
   opts.heartbeat_seconds = heartbeat_seconds_;
   opts.timeseries_seconds = timeseries_seconds_;
   opts.audit = audit_requested_;
+  opts.scale = scale_requested_;
 
   core::SweepResult result = core::run_sweep(spec, opts);
 
@@ -201,6 +227,7 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
     // archive (and every export derived from it) is schedule-independent.
     if (r.spans) spans_.merge(*r.spans);
     if (r.audit) audit_.merge(*r.audit);
+    if (r.scale) scale_.merge(*r.scale);
     if (r.timeseries && !r.timeseries->store().empty()) {
       std::string prefix = spec.name;
       const std::string label = result.points[r.point_index].label();
@@ -243,6 +270,7 @@ int run(int argc, char** argv, const Experiment& exp,
   if (const char* env = std::getenv("TUSSLE_AUDIT")) {
     if (*env != '\0' && std::string(env) != "0") h.audit_requested_ = true;
   }
+  h.scale_requested_ = flags->scale;
   h.spans_requested_ = !flags->chrome_trace_path.empty() || !flags->span_tree_path.empty() ||
                        flags->explain_flow.has_value();
   // An export flag without an explicit interval still needs samples.
@@ -392,6 +420,48 @@ int run(int argc, char** argv, const Experiment& exp,
     if (!h.audit_.violations().empty()) {
       std::fprintf(stderr, "%s\n", h.audit_.describe(h.audit_.violations().front()).c_str());
       return 1;
+    }
+  }
+
+  if (h.scale_requested_) {
+    std::size_t real_shards = 0;
+    for (const auto& [shard, n] : h.scale_.shard_events()) {
+      (void)n;
+      if (shard != sim::kNoShard && shard != sim::kSharedShard) ++real_shards;
+    }
+    std::printf("scale profile: %llu events over %llu runs, critical path %llu "
+                "(work/span %.1f), %zu shards, imbalance %.2f, cross-shard %llu, "
+                "speedup(k=8) %.2f\n",
+                static_cast<unsigned long long>(h.scale_.work()),
+                static_cast<unsigned long long>(h.scale_.runs()),
+                static_cast<unsigned long long>(h.scale_.critical_path_length()),
+                h.scale_.work_span_ratio(), real_shards, h.scale_.imbalance_ratio(),
+                static_cast<unsigned long long>(h.scale_.cross_shard_events()),
+                h.scale_.speedup_at(8));
+    if (!flags->scale_json_path.empty()) {
+      sim::JsonWriter w;
+      w.begin_object();
+      w.key("experiment").begin_object();
+      w.key("id").value(exp.id);
+      w.key("section").value(exp.section);
+      w.end_object();
+      w.key("scale").raw(h.scale_.report_json());
+      w.end_object();
+      std::ofstream os(flags->scale_json_path);
+      if (!os) {
+        std::fprintf(stderr, "harness: cannot write %s\n", flags->scale_json_path.c_str());
+        return 2;
+      }
+      os << w.str() << "\n";
+    }
+    if (!flags->scale_dashboard_path.empty()) {
+      std::ofstream os(flags->scale_dashboard_path);
+      if (!os) {
+        std::fprintf(stderr, "harness: cannot write %s\n",
+                     flags->scale_dashboard_path.c_str());
+        return 2;
+      }
+      os << sim::scale_dashboard(h.scale_, exp.id + " \xc2\xb7 " + exp.section);
     }
   }
 

@@ -36,6 +36,16 @@
 //                       causal report. TUSSLE_AUDIT=1 does the same.
 //   --audit-json <p>    also write the merged shard-audit report as JSON
 //                       (implies --audit)
+//   --scale-profile     run every simulator under the PDES-readiness scale
+//                       profiler (sim/scale_profile.hpp): per-shard load,
+//                       cross-shard traffic, critical path, queue/memory
+//                       churn, predicted barrier-round speedup. Attaches a
+//                       fail-soft auditor for shard attribution when
+//                       --audit was not also given.
+//   --scale-json <p>    write the merged scale report as JSON (implies
+//                       --scale-profile); byte-identical at any --jobs
+//   --scale-dashboard <p>  write the scale report as a self-contained HTML
+//                       dashboard (implies --scale-profile)
 //
 // Determinism contract: metric output is bit-identical for a given
 // (--seed, --replicas) at any --jobs, because each run draws from
@@ -109,6 +119,13 @@ class Harness {
   /// True when --audit/--audit-json or TUSSLE_AUDIT=1 asked for auditing.
   bool audit_requested() const noexcept { return audit_requested_; }
 
+  /// The merged scale profile across every profiled run (run-index order);
+  /// empty unless a --scale flag was given. Like the auditor, scenario
+  /// bodies opt in via ctx.instrument(sim).
+  sim::ScaleProfiler& scale() noexcept { return scale_; }
+  /// True when --scale-profile/--scale-json/--scale-dashboard was given.
+  bool scale_requested() const noexcept { return scale_requested_; }
+
   /// Adds to the run's total simulated-event count for engines that run
   /// outside the sweep bodies (sweep runs report via ctx.add_events()).
   void add_events(std::size_t n) noexcept { extra_events_ += n; }
@@ -133,9 +150,11 @@ class Harness {
   sim::SpanTracer spans_;
   sim::TimeSeriesStore timeseries_;
   sim::ShardAuditor audit_;
+  sim::ScaleProfiler scale_;
   double timeseries_seconds_ = 0;  ///< 0 = no recorders
   bool spans_requested_ = false;
   bool audit_requested_ = false;
+  bool scale_requested_ = false;
   std::vector<Case> cases_;
   std::size_t extra_events_ = 0;
   std::size_t sweep_events_ = 0;

@@ -105,6 +105,7 @@ void RunContext::instrument(sim::Simulator& sim) {
     audit_->set_span_tracer(spans_);  // violation reports carry the span, if any
     sim.set_auditor(audit_);
   }
+  if (scale_ != nullptr) sim.set_scale_profiler(scale_);
   // --trace installs its JSONL sink on the process-global tracer, but
   // components built on this simulator log to its own per-run tracer;
   // mirror the global configuration so their records land in the same
@@ -248,6 +249,17 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts) {
         if (opts.audit) {
           slot.audit = std::make_unique<sim::ShardAuditor>();
           ctx.audit_ = slot.audit.get();
+        }
+        if (opts.scale) {
+          slot.scale = std::make_unique<sim::ScaleProfiler>();
+          ctx.scale_ = slot.scale.get();
+          if (!slot.audit) {
+            // Shard attribution rides the auditor's component registry;
+            // fail-soft so profiling never turns into policing.
+            slot.audit = std::make_unique<sim::ShardAuditor>();
+            slot.audit->set_fail_fast(false);
+            ctx.audit_ = slot.audit.get();
+          }
         }
         if (serial) ctx.heartbeat_seconds_ = opts.heartbeat_seconds;
         spec.body(ctx);

@@ -28,6 +28,7 @@
 
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
+#include "sim/scale_profile.hpp"
 #include "sim/shard_audit.hpp"
 #include "sim/span.hpp"
 #include "sim/stats.hpp"
@@ -139,6 +140,13 @@ class RunContext {
   /// audits into its own instance, merged in run-index order.
   sim::ShardAuditor* audit() noexcept { return audit_; }
 
+  /// This run's scale profiler, or nullptr unless SweepOptions::scale was
+  /// set. instrument() attaches it to the simulator (together with an
+  /// auto-created, fail-soft auditor when --audit was not also requested,
+  /// so shard attribution always works). Each run profiles into its own
+  /// instance, merged in run-index order.
+  sim::ScaleProfiler* scale() noexcept { return scale_; }
+
  private:
   friend SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
 
@@ -155,6 +163,7 @@ class RunContext {
   sim::SpanTracer* spans_ = nullptr;
   sim::TimeSeriesRecorder* timeseries_ = nullptr;
   sim::ShardAuditor* audit_ = nullptr;
+  sim::ScaleProfiler* scale_ = nullptr;
 };
 
 /// A declarative experiment case: what to run, over which parameter points,
@@ -192,6 +201,10 @@ struct SweepOptions {
   /// afterwards in run-index order). Fail-fast: a cross-shard mutation
   /// throws out of the offending run with a causal report.
   bool audit = false;
+  /// Give each run its own ScaleProfiler via RunContext::scale() (merged
+  /// afterwards in run-index order). Implies a fail-soft ShardAuditor when
+  /// audit is off, since shard attribution rides the auditor's registry.
+  bool scale = false;
 };
 
 /// One completed run, in its final resting place inside a SweepResult.
@@ -209,8 +222,11 @@ struct RunResult {
   std::unique_ptr<sim::SpanTracer> spans;
   /// Per-run time series; null unless SweepOptions::timeseries_seconds > 0.
   std::unique_ptr<sim::TimeSeriesRecorder> timeseries;
-  /// Per-run shard audit; null unless SweepOptions::audit was set.
+  /// Per-run shard audit; null unless SweepOptions::audit or ::scale was
+  /// set (scale auto-creates a fail-soft one for shard attribution).
   std::unique_ptr<sim::ShardAuditor> audit;
+  /// Per-run scale profile; null unless SweepOptions::scale was set.
+  std::unique_ptr<sim::ScaleProfiler> scale;
 };
 
 struct SweepResult {

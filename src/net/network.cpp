@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/scale_profile.hpp"
 #include "sim/shard_audit.hpp"
 
 namespace tussle::net {
@@ -160,6 +161,7 @@ NodeId Network::add_node(AsId as) {
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(*this, id, as));
   if (auto* au = auditor()) au->register_component("net.node", id, as);
+  if (auto* sp = scale_profiler()) sp->register_actor("net.node", sizeof(Node));
   return id;
 }
 
@@ -172,6 +174,12 @@ Link& Network::connect(NodeId a, NodeId b, double bits_per_second, sim::Duration
   node(a).attach_interface(id);
   node(b).attach_interface(id);
   if (auto* au = auditor()) au->register_component("net.link", id, link_shard(*this, a, b));
+  if (auto* sp = scale_profiler()) {
+    sp->register_actor("net.link", sizeof(Link));
+    // Cross-AS propagation delays are the PDES lookahead; same-AS pairs are
+    // ignored by register_link.
+    sp->register_link(node(a).as(), node(b).as(), propagation);
+  }
   return *links_.back();
 }
 

@@ -142,6 +142,12 @@ class Network {
   /// mutation — the same contract as spans().
   sim::ShardAuditor* auditor() const noexcept { return sim_->auditor(); }
 
+  /// Scale profiler, read through the owning simulator like the auditor.
+  /// add_node/connect register actors and lookahead links with it, and
+  /// Node::originate counts packet churn. Null (the default) costs one
+  /// pointer load + branch per registration point.
+  sim::ScaleProfiler* scale_profiler() const noexcept { return sim_->scale_profiler(); }
+
   /// Observers invoked on every successful local delivery, after the node's
   /// own handler. Scenarios use them for global accounting; several can
   /// coexist (a FlowTracker plus a scenario counter, say).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/network.hpp"
+#include "sim/scale_profile.hpp"
 #include "sim/shard_audit.hpp"
 
 namespace tussle::net {
@@ -115,6 +116,9 @@ void Node::originate(Packet p) {
   p.uid = net_->packet_ids().next();
   p.sent_at_s = net_->simulator().now().as_seconds();
   net_->counters().originated.add();
+  if (auto* sp = net_->scale_profiler()) {
+    sp->count_alloc("net.packet", sizeof(Packet) + p.size_bytes);
+  }
   if (auto* sp = net_->spans()) {
     const sim::SpanId ps = sp->packet_span(net_->simulator().now(), p.uid, p.flow);
     sp->annotate(ps, {"origin", id_});

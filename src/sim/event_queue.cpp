@@ -71,7 +71,7 @@ EventQueue::Popped EventQueue::pop() {
       tags_.erase(it);
     }
   }
-  return Popped{e.time, std::move(e.action), tag};
+  return Popped{e.time, std::move(e.action), tag, e.id};
 }
 
 }  // namespace tussle::sim

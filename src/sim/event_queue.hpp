@@ -58,12 +58,13 @@ class EventQueue {
   /// Earliest pending event time. Precondition: !empty().
   SimTime next_time() const;
 
-  /// Removes and returns the earliest event's action, time, and tag.
+  /// Removes and returns the earliest event's action, time, tag, and id.
   /// Precondition: !empty().
   struct Popped {
     SimTime time;
     Action action;
     TaskTag tag;
+    EventId id;
   };
   Popped pop();
 

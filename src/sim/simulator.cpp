@@ -4,18 +4,44 @@
 #include <memory>
 #include <stdexcept>
 
+#include "sim/scale_profile.hpp"
 #include "sim/shard_audit.hpp"
 
 namespace tussle::sim {
 
 EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
   if (at < now_) throw std::invalid_argument("schedule_at: time is in the past");
-  return queue_.push(at, std::move(action));
+  const EventId id = queue_.push(at, std::move(action));
+  if (scale_ != nullptr) note_schedule(id, at, TaskTag{});
+  return id;
 }
 
 EventId Simulator::schedule_at(SimTime at, TaskTag tag, EventQueue::Action action) {
   if (at < now_) throw std::invalid_argument("schedule_at: time is in the past");
-  return queue_.push(at, std::move(action), tag);
+  const EventId id = queue_.push(at, std::move(action), tag);
+  if (scale_ != nullptr) note_schedule(id, at, tag);
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  const bool cancelled = queue_.cancel(id);
+  if (cancelled && scale_ != nullptr) scale_->on_cancel(id.value);
+  return cancelled;
+}
+
+void Simulator::note_schedule(EventId id, SimTime at, const TaskTag& tag) {
+  // The scheduling event's claimed shard is the traffic-matrix origin;
+  // during setup (or with no auditor) there is none.
+  const ShardId origin = auditor_ != nullptr ? auditor_->current() : kNoShard;
+  scale_->on_schedule(id.value, now_, at, tag, origin);
+}
+
+void Simulator::scale_begin(const EventQueue::Popped& ev) {
+  scale_->begin_event(ev.id.value, now_, queue_.size(), ev.tag);
+}
+
+void Simulator::scale_end() {
+  scale_->end_event(auditor_ != nullptr ? auditor_->current() : kNoShard);
 }
 
 void Simulator::schedule_every(Duration period, std::function<bool()> action) {
@@ -99,11 +125,14 @@ std::size_t Simulator::run(SimTime horizon) {
     auto ev = queue_.pop();
     now_ = ev.time;
     if (auditor_ != nullptr) auditor_->begin_event(now_, ev.tag);
+    if (scale_ != nullptr) scale_begin(ev);
     if (instrumented_) {
       dispatch_instrumented(ev);
     } else {
       ev.action();
     }
+    // The scale profiler reads the auditor's claim before end_event resets it.
+    if (scale_ != nullptr) scale_end();
     if (auditor_ != nullptr) auditor_->end_event();
     ++n;
     ++executed_;
@@ -119,11 +148,13 @@ bool Simulator::step() {
   auto ev = queue_.pop();
   now_ = ev.time;
   if (auditor_ != nullptr) auditor_->begin_event(now_, ev.tag);
+  if (scale_ != nullptr) scale_begin(ev);
   if (instrumented_) {
     dispatch_instrumented(ev);
   } else {
     ev.action();
   }
+  if (scale_ != nullptr) scale_end();
   if (auditor_ != nullptr) auditor_->end_event();
   ++executed_;
   return true;

@@ -26,6 +26,7 @@
 namespace tussle::sim {
 
 class ShardAuditor;
+class ScaleProfiler;
 
 class Simulator {
  public:
@@ -46,12 +47,16 @@ class Simulator {
 
   /// Schedules `action` to run `delay` after the current time.
   EventId schedule(Duration delay, EventQueue::Action action) {
-    return queue_.push(now_ + delay, std::move(action));
+    const EventId id = queue_.push(now_ + delay, std::move(action));
+    if (scale_ != nullptr) note_schedule(id, now_ + delay, TaskTag{});
+    return id;
   }
 
   /// Tagged variant: the tag labels the event for the loop profiler.
   EventId schedule(Duration delay, TaskTag tag, EventQueue::Action action) {
-    return queue_.push(now_ + delay, std::move(action), tag);
+    const EventId id = queue_.push(now_ + delay, std::move(action), tag);
+    if (scale_ != nullptr) note_schedule(id, now_ + delay, tag);
+    return id;
   }
 
   /// Schedules at an absolute time, which must not be in the past.
@@ -63,7 +68,7 @@ class Simulator {
   void schedule_every(Duration period, std::function<bool()> action);
   void schedule_every(Duration period, TaskTag tag, std::function<bool()> action);
 
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id);
 
   /// Runs until the event queue drains or `horizon` is reached, whichever
   /// comes first. Events at exactly `horizon` still fire. Returns the
@@ -83,7 +88,7 @@ class Simulator {
   /// owned; must outlive the simulator or be detached first.
   void set_profiler(LoopProfiler* profiler) noexcept {
     profiler_ = profiler;
-    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr);
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
     instrumented_ = profiler_ != nullptr || heartbeat_;
   }
   LoopProfiler* profiler() const noexcept { return profiler_; }
@@ -95,9 +100,22 @@ class Simulator {
   /// one null-pointer branch per event.
   void set_auditor(ShardAuditor* auditor) noexcept {
     auditor_ = auditor;
-    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr);
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
   }
   ShardAuditor* auditor() const noexcept { return auditor_; }
+
+  /// Attaches (or detaches, with nullptr) the scale profiler. Dispatch then
+  /// reports schedule/cancel/dispatch transitions so it can reconstruct the
+  /// event DAG, per-shard loads, and queue-depth profile (see
+  /// sim/scale_profile.hpp). Works best with an auditor attached too —
+  /// shard attribution comes from the auditor's claim registry, and without
+  /// one every event lands on kNoShard. Not owned. Uninstrumented runs pay
+  /// one null-pointer branch per schedule and per event.
+  void set_scale_profiler(ScaleProfiler* scale) noexcept {
+    scale_ = scale;
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
+  }
+  ScaleProfiler* scale_profiler() const noexcept { return scale_; }
 
   /// One progress report, emitted every heartbeat period of *simulated*
   /// time while the dispatch loop runs.
@@ -119,6 +137,11 @@ class Simulator {
                      const std::shared_ptr<std::function<bool()>>& action);
   void dispatch_instrumented(EventQueue::Popped& ev);
   void maybe_heartbeat();
+  /// Out-of-line scale-profiler notifications (ScaleProfiler is an
+  /// incomplete type here).
+  void note_schedule(EventId id, SimTime at, const TaskTag& tag);
+  void scale_begin(const EventQueue::Popped& ev);
+  void scale_end();
 
   EventQueue queue_;
   SimTime now_{};
@@ -130,6 +153,7 @@ class Simulator {
   bool instrumented_ = false;  ///< profiler_ or heartbeat active
   LoopProfiler* profiler_ = nullptr;
   ShardAuditor* auditor_ = nullptr;
+  ScaleProfiler* scale_ = nullptr;
   Tracer tracer_;
   Duration heartbeat_period_{};
   HeartbeatFn heartbeat_;

@@ -33,6 +33,19 @@ tracer, shard auditor) honest about their disabled-path cost: the hot
 loops bench_micro times run with every such pointer null, so a throughput
 drop means the "one null-pointer branch per hook site" contract broke.
 
+Scale reports (bench harness --scale-json, recognised by their "scale"
+key) are compared in SCALE mode, normally against the committed
+SCALE_PROFILE.json (pass it as --baseline). All SCALE_TRACKED fields are
+compared exactly and drift is reported; critical_path_length and
+imbalance_ratio additionally gate — growth beyond --max-regression fails,
+since those two bound the predicted PDES speedup from the causality and
+load-balance side respectively.
+
+Harness reports carry "sim_events": null when no simulator ran (sim-less
+model benches). Those entries are flagged as ungated rather than silently
+passing; a null where the baseline has a real count fails the gate, since
+it means event counting broke.
+
 --trajectory FILE appends one JSON line per report — experiment id plus
 the gated metrics — forming a longitudinal record of how each headline
 number moves across commits (CI stores it as an artifact).
@@ -79,6 +92,18 @@ METRIC_GATES: dict[str, list[str]] = {
 # has no harness "experiment" — all its benchmarks live under this one key.
 MICRO_ID = "MICRO"
 
+# Scale-report fields compared exactly (they are deterministic functions of
+# (code, seed, invocation), like gated metrics). critical_path_length and
+# imbalance_ratio additionally *gate*: growth beyond --max-regression fails,
+# because each one bounds the PDES speedup from a different side (span
+# causality vs load balance) and silent growth would erode the parallel
+# headroom the committed profile promises.
+SCALE_GATED = ("critical_path_length", "imbalance_ratio")
+SCALE_TRACKED = SCALE_GATED + (
+    "work", "work_span_ratio", "shards", "cross_shard_events",
+    "speedup_k8", "speedup_bound",
+)
+
 
 def load_report(path: str) -> dict:
     with open(path) as f:
@@ -88,12 +113,62 @@ def load_report(path: str) -> dict:
             raise ValueError(f"{path}: empty Google-benchmark report")
         d["experiment"] = {"id": MICRO_ID}
         return d
+    if "scale" in d:  # harness --scale-json report
+        if not d.get("experiment", {}).get("id"):
+            raise ValueError(f"{path}: scale report with no experiment id")
+        return d
     for key in ("experiment", "wall_seconds", "total_events"):
         if key not in d:
             raise ValueError(f"{path}: not a harness report (missing {key!r})")
     if not d["experiment"].get("id"):
         raise ValueError(f"{path}: empty experiment id")
     return d
+
+
+def scale_summary(report: dict) -> dict:
+    """The SCALE_TRACKED subset of a --scale-json report."""
+    s = report["scale"]
+    shards = sum(1 for e in s.get("shards", [])
+                 if e.get("shard") not in ("none", "shared"))
+    k8 = next((pt["speedup"] for pt in s["speedup"]["curve"] if pt["k"] == 8),
+              None)
+    return {
+        "work": s["work"],
+        "critical_path_length": s["critical_path"]["length"],
+        "work_span_ratio": s["critical_path"]["work_span_ratio"],
+        "imbalance_ratio": s["imbalance"]["ratio"],
+        "shards": shards,
+        "cross_shard_events": s["cross_shard_events"],
+        "speedup_k8": k8,
+        "speedup_bound": s["speedup"]["bound"],
+    }
+
+
+def compare_scale(bench_id: str, report: dict, base: dict,
+                  max_regression: float) -> bool:
+    """SCALE mode: exact-compare the tracked fields, gate the gated ones."""
+    failed = False
+    cur = scale_summary(report)
+    for name in SCALE_TRACKED:
+        value, expected = cur.get(name), base.get(name)
+        if expected is None:
+            print(f"{bench_id}: scale.{name}: not in baseline — run with "
+                  f"--update to adopt it")
+            continue
+        if name in SCALE_GATED:
+            growth = ((value - expected) / expected if expected else
+                      (0.0 if not value else float("inf")))
+            verdict = "REGRESSION" if growth > max_regression else "ok"
+            print(f"{bench_id}: scale.{name}: {value!r} vs baseline "
+                  f"{expected!r} ({growth:+.1%}) {verdict}")
+            if verdict == "REGRESSION":
+                failed = True
+        elif value != expected:
+            print(f"{bench_id}: scale.{name}: {value!r} vs baseline "
+                  f"{expected!r} — drifted (scenario change, not gated)")
+        else:
+            print(f"{bench_id}: scale.{name}: {value!r} ok")
+    return failed
 
 
 def micro_throughputs(report: dict) -> dict:
@@ -123,10 +198,16 @@ def summarize(report: dict) -> dict:
     bench_id = report["experiment"]["id"]
     if bench_id == MICRO_ID:
         return {"items_per_second": micro_throughputs(report)}
+    if "scale" in report:
+        return scale_summary(report)
     return {
         "wall_seconds": report["wall_seconds"],
         "total_events": report["total_events"],
-        "events_per_sec": report.get("events_per_sec", 0.0),
+        # None (JSON null) marks a sim-less model bench: no simulator ran,
+        # so there is no event throughput to gate — distinct from a broken
+        # zero.
+        "sim_events": report.get("sim_events"),
+        "events_per_sec": report.get("events_per_sec"),
         "metrics": gated_metrics(bench_id, report),
     }
 
@@ -223,6 +304,9 @@ def main() -> int:
         if bench_id == MICRO_ID:
             failed |= compare_micro(report, base, args.max_regression)
             continue
+        if "scale" in report:
+            failed |= compare_scale(bench_id, report, base, args.max_regression)
+            continue
         cur_s, base_s = report["wall_seconds"], base["wall_seconds"]
         if max(cur_s, base_s) < args.min_seconds:
             print(f"{bench_id}: {cur_s:.4f}s vs {base_s:.4f}s — below "
@@ -237,6 +321,20 @@ def main() -> int:
                   f"{report['total_events']} (scenario change, not gated)")
         if verdict == "REGRESSION":
             failed = True
+        # Flag (never silently pass) entries with no event throughput. A
+        # sim-less bench is expected to be null on both sides; a zero where
+        # the baseline has events means instrumentation broke.
+        if report.get("sim_events") is None:
+            if base.get("sim_events") is None and "sim_events" in base:
+                print(f"{bench_id}:   sim-less bench — throughput ungated")
+            elif base.get("sim_events"):
+                print(f"{bench_id}:   sim_events null but baseline has "
+                      f"{base['sim_events']} — event counting broke "
+                      f"REGRESSION")
+                failed = True
+            else:
+                print(f"{bench_id}:   sim_events absent from baseline — run "
+                      f"with --update to adopt the null marker")
 
         base_metrics = base.get("metrics")
         if base_metrics is None and METRIC_GATES.get(bench_id):

@@ -29,6 +29,16 @@
 //                      recorder (sim/timeseries*): sample ticks come from the
 //                      simulated clock only, so CSV/JSON/dashboard exports
 //                      stay byte-identical at any --jobs setting.
+//   scale-wall-clock   the same wall-clock token list inside the scale
+//                      profiler (sim/scale_profile*): shard-load cells,
+//                      lookahead windows, and speedup predictions are
+//                      functions of simulated time only, so SCALE_PROFILE
+//                      reports stay byte-identical at any --jobs setting.
+//   scale-merge-order  hash containers inside the scale profiler: its
+//                      accumulation structures are iterated at merge and
+//                      export points, so every one must be an ordered
+//                      container — hash order would make the merged report
+//                      depend on the stdlib, not the seed.
 //   static-local       mutable function-local `static` in a hot-path
 //                      subsystem: a hidden global whose lazy init races
 //                      under the planned sharded event loop and whose state
@@ -223,6 +233,13 @@ bool in_timeseries_module(const std::string& path) {
   return path.find("sim/timeseries") != std::string::npos;
 }
 
+/// The scale profiler extends that contract to its speedup model: every
+/// quantity in a SCALE_PROFILE report (shard-load cells, lookahead windows,
+/// barrier costs) derives from simulated time and event counts only.
+bool in_scale_module(const std::string& path) {
+  return path.find("sim/scale_profile") != std::string::npos;
+}
+
 bool in_hot_path(const std::string& path) {
   for (const char* dir : {"/sim/", "/net/", "/routing/", "/econ/"}) {
     if (path.find(dir) != std::string::npos) return true;
@@ -275,6 +292,32 @@ void check_line_tokens(const std::string& path, std::size_t lineno,
                            "' in the time-series recorder: sample ticks carry "
                            "simulated time only, or exports diverge run to run",
                        trim(raw)});
+      }
+    }
+  }
+  if (in_scale_module(path)) {
+    for (std::string_view tok : kSpanWallClockTokens) {
+      if (contains_token(stripped, tok)) {
+        out.push_back({path, lineno, "scale-wall-clock",
+                       "wall-clock source '" + std::string(tok) +
+                           "' in the scale profiler: shard loads, lookahead "
+                           "windows, and speedup predictions derive from "
+                           "simulated time only, or SCALE_PROFILE reports "
+                           "diverge across runs and --jobs settings",
+                       trim(raw)});
+      }
+    }
+    for (const char* tok : {"unordered_map", "unordered_set", "unordered_multimap",
+                            "unordered_multiset", "flat_hash_map", "flat_hash_set"}) {
+      if (contains_token(stripped, tok)) {
+        out.push_back({path, lineno, "scale-merge-order",
+                       std::string(tok) +
+                           " in the scale profiler: accumulation structures are "
+                           "iterated at merge/export points, so they must be "
+                           "ordered containers or the merged report depends on "
+                           "the stdlib's hash, not the seed",
+                       trim(raw)});
+        break;
       }
     }
   }
