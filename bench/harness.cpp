@@ -35,15 +35,18 @@ struct Flags {
   std::string scale_dashboard_path;
   bool list = false;
   std::string case_filter;
-  std::uint64_t seed = 1;
-  std::size_t jobs = 0;
-  std::size_t replicas = 0;
+  // Parallelism/reproducibility knobs stay unset here; ParallelOptions
+  // applies the flag > environment > default ladder in one place.
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> jobs;
+  std::optional<std::size_t> replicas;
+  std::optional<std::size_t> shards;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--case <name>] [--replicas <n>] [--seed <s>]\n"
-               "          [--jobs <n>] [--json <path>] [--trace <path>]\n"
+               "          [--jobs <n>] [--shards <k>] [--json <path>] [--trace <path>]\n"
                "          [--trace-level debug|info|warn|error] [--profile]\n"
                "          [--heartbeat <seconds>] [--chrome-trace <path>]\n"
                "          [--span-tree <path>|-] [--explain <flow-id>]\n"
@@ -158,6 +161,12 @@ std::optional<Flags> parse_flags(int argc, char** argv) {
       const long n = std::atol(v);
       if (n < 0) return std::nullopt;
       f.replicas = static_cast<std::size_t>(n);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const long n = std::atol(v);
+      if (n < 0) return std::nullopt;
+      f.shards = static_cast<std::size_t>(n);
     } else {
       return std::nullopt;
     }
@@ -208,15 +217,18 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
   case_matched_ = true;
 
   core::SweepOptions opts;
-  opts.base_seed = seed_;
-  opts.jobs = serial_required_ ? 1 : jobs_;
-  opts.replicas = replicas_;
+  opts.base_seed = parallel_.seed;
+  opts.jobs = parallel_.sweep_jobs(serial_required_);
+  opts.replicas = parallel_.replicas;
   opts.profile = profile_to_stderr_ || json_requested();
   opts.spans = spans_requested_;
   opts.heartbeat_seconds = heartbeat_seconds_;
   opts.timeseries_seconds = timeseries_seconds_;
   opts.audit = audit_requested_;
   opts.scale = scale_requested_;
+  // Trace/heartbeat/span collection all assume the serial backend's single
+  // dispatch thread; any of them forces the sharded backend off.
+  opts.shards = parallel_.run_shards(serial_required_ || spans_requested_);
 
   core::SweepResult result = core::run_sweep(spec, opts);
 
@@ -263,9 +275,8 @@ int run(int argc, char** argv, const Experiment& exp,
   h.heartbeat_seconds_ = flags->heartbeat_seconds;
   h.list_ = flags->list;
   h.case_filter_ = flags->case_filter;
-  h.seed_ = flags->seed;
-  h.jobs_ = flags->jobs;
-  h.replicas_ = flags->replicas;
+  h.parallel_ =
+      ParallelOptions::resolve(flags->seed, flags->jobs, flags->replicas, flags->shards);
   h.audit_requested_ = flags->audit;
   if (const char* env = std::getenv("TUSSLE_AUDIT")) {
     if (*env != '\0' && std::string(env) != "0") h.audit_requested_ = true;
@@ -283,6 +294,11 @@ int run(int argc, char** argv, const Experiment& exp,
   // The global tracer and the heartbeat's stderr stream are shared sinks;
   // concurrent runs would interleave their writes.
   h.serial_required_ = !flags->trace_path.empty() || flags->heartbeat_seconds > 0;
+  if (h.parallel_.shards > 0 && (h.serial_required_ || h.spans_requested_)) {
+    std::fprintf(stderr,
+                 "harness: --shards ignored: --trace/--heartbeat/span flags need the "
+                 "serial backend\n");
+  }
 
   if (h.list_) {
     // Declaration pass only: scenario() records names without running.

@@ -10,6 +10,13 @@
 //   --seed <s>          base seed for the run-index RNG streams (default 1)
 //   --jobs <n>          worker threads for the sweep engine
 //                       (default: $TUSSLE_JOBS, else hardware_concurrency)
+//   --shards <k>        in-run parallel execution: run each simulator on a
+//                       k-worker sharded PDES backend (sim/
+//                       sharded_backend.hpp; default $TUSSLE_SHARDS, else 0
+//                       = serial). Auto --jobs drops to 1 under --shards so
+//                       the two parallelism axes do not multiply; --trace,
+//                       --heartbeat, and the span flags force the serial
+//                       backend.
 //   --json <path>       write metrics + wall time + event totals + hotspots
 //                       as one JSON object (the BENCH_*.json trajectory)
 //   --trace <path>      stream flow/decision trace events as JSONL
@@ -50,7 +57,11 @@
 // Determinism contract: metric output is bit-identical for a given
 // (--seed, --replicas) at any --jobs, because each run draws from
 // sim::Rng::stream(seed, run_index) and results merge in run-index order
-// (see core/sweep.hpp). --trace and --heartbeat force --jobs 1: both write
+// (see core/sweep.hpp). Likewise at any --shards k >= 1: all per-owner
+// state (queues, RNG streams, counter lanes) is keyed by owner and merged
+// in owner order, never by worker. Sharded (k >= 1) and serial (k = 0)
+// runs use different event interleavings and id namespaces, so their
+// outputs are each internally stable but not comparable to each other. --trace and --heartbeat force --jobs 1: both write
 // to shared sinks mid-run. --profile, the span flags, and the time-series
 // flags do not — each run profiles/records into its own
 // LoopProfiler/SpanTracer/TimeSeriesRecorder and the harness merges them
@@ -63,6 +74,7 @@
 #include <vector>
 
 #include "core/sweep.hpp"
+#include "parallel_options.hpp"
 #include "sim/metric_registry.hpp"
 #include "sim/profiler.hpp"
 #include "sim/shard_audit.hpp"
@@ -133,8 +145,11 @@ class Harness {
   bool json_requested() const noexcept { return !json_path_.empty(); }
   bool list_requested() const noexcept { return list_; }
 
-  std::uint64_t seed() const noexcept { return seed_; }
-  std::size_t jobs() const noexcept { return jobs_; }
+  std::uint64_t seed() const noexcept { return parallel_.seed; }
+  std::size_t jobs() const noexcept { return parallel_.jobs; }
+  /// Requested in-run shard count (0 = serial backend). Serial-only sinks
+  /// (--trace/--heartbeat/span flags) override it per scenario.
+  std::size_t shards() const noexcept { return parallel_.shards; }
 
  private:
   friend int run(int argc, char** argv, const Experiment& exp,
@@ -165,9 +180,9 @@ class Harness {
   bool list_ = false;
   std::string case_filter_;
   bool case_matched_ = false;
-  std::uint64_t seed_ = 1;
-  std::size_t jobs_ = 0;      ///< 0 = auto (TUSSLE_JOBS, hardware_concurrency)
-  std::size_t replicas_ = 0;  ///< 0 = keep each spec's own count
+  /// Resolved seed/jobs/replicas/shards (flag > env > default); see
+  /// bench/parallel_options.hpp for the ladder and the jobs-x-shards rule.
+  ParallelOptions parallel_;
 };
 
 /// Parses flags, prints the banner, runs `body` (which declares cases via

@@ -2,29 +2,6 @@
 
 namespace tussle::core {
 
-// Definition of the deprecated constructor; the attribute warns at use
-// sites, not here.
-Scenario::Scenario(std::string name, Body body) {
-  spec_.name = std::move(name);
-  spec_.replicas = 1;
-  spec_.body = [body = std::move(body)](RunContext& ctx) { body(ctx.rng(), ctx.metrics()); };
-}
-
-sim::MetricSet Scenario::run(std::uint64_t seed) const {
-  SweepOptions opts;
-  opts.base_seed = seed;
-  opts.jobs = 1;
-  auto result = run_sweep(spec_, opts);
-  return std::move(result.runs.at(0).metrics);
-}
-
-sim::MetricSet Scenario::run_replicated(std::size_t replicas, std::uint64_t base_seed) const {
-  SweepOptions opts;
-  opts.base_seed = base_seed;
-  opts.replicas = replicas;
-  return run_sweep(spec_, opts).aggregate();
-}
-
 RegionalOutcome run_regional(const std::vector<double>& region_params,
                              const std::function<double(double, sim::Rng&)>& body,
                              std::uint64_t seed) {

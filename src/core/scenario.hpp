@@ -1,13 +1,12 @@
-// Scenario harness: a named, seeded, repeatable experiment run.
+// Regional scenario helper: "different in different places".
 //
-// The declarative surface lives in core/sweep.hpp (ScenarioSpec +
-// run_sweep); this header keeps the original single-body Scenario class as
-// a thin shim over it during the transition, plus the regional-variation
-// helper ("different in different places").
+// The declarative experiment surface lives in core/sweep.hpp (ScenarioSpec
+// + run_sweep, or bench::Harness::scenario). The transitional single-body
+// Scenario shim that used to live here is gone; this header keeps only the
+// regional-variation helper built on the sweep engine.
 #pragma once
 
 #include <functional>
-#include <string>
 #include <vector>
 
 #include "core/choice.hpp"
@@ -16,31 +15,6 @@
 #include "sim/stats.hpp"
 
 namespace tussle::core {
-
-class Scenario {
- public:
-  using Body = std::function<void(sim::Rng&, sim::MetricSet&)>;
-
-  /// Transitional shim: wraps the body in a single-point ScenarioSpec and
-  /// routes every run through the sweep engine. New code should declare a
-  /// ScenarioSpec and call run_sweep (or bench::Harness::scenario) instead.
-  [[deprecated("declare a core::ScenarioSpec and use core::run_sweep")]]
-  Scenario(std::string name, Body body);
-
-  const std::string& name() const noexcept { return spec_.name; }
-  const ScenarioSpec& spec() const noexcept { return spec_; }
-
-  /// Runs once, seeded with sim::Rng::stream(seed, 0).
-  sim::MetricSet run(std::uint64_t seed = 1) const;
-
-  /// Runs `replicas` independent streams of `base_seed` (in parallel when
-  /// the machine allows) and returns per-metric aggregates: keys suffixed
-  /// ".mean"/".stddev"/".min"/".max"/".p50".
-  sim::MetricSet run_replicated(std::size_t replicas, std::uint64_t base_seed = 1) const;
-
- private:
-  ScenarioSpec spec_;
-};
 
 /// Runs one parameterized scenario body across regions and reports the
 /// outcome variation of a chosen metric. Each region supplies a parameter

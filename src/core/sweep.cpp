@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "sim/json.hpp"
+#include "sim/sharded_backend.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -100,6 +101,11 @@ std::vector<ParamPoint> ParamGrid::points() const {
 // ---------------------------------------------------------------- RunContext
 
 void RunContext::instrument(sim::Simulator& sim) {
+  // The backend must go in before the scenario schedules anything; hooks
+  // attach afterwards so set_* can propagate them to the new backend.
+  if (shards_ > 0) {
+    sim.set_backend(std::make_unique<sim::ShardedBackend>(sim, shards_));
+  }
   if (profiler_ != nullptr) sim.set_profiler(profiler_);
   if (audit_ != nullptr) {
     audit_->set_span_tracer(spans_);  // violation reports carry the span, if any
@@ -262,6 +268,7 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts) {
           }
         }
         if (serial) ctx.heartbeat_seconds_ = opts.heartbeat_seconds;
+        ctx.shards_ = opts.shards;
         spec.body(ctx);
         slot.notes = std::move(ctx.notes_);
         slot.events = ctx.events_;

@@ -116,8 +116,10 @@ class RunContext {
   void add_events(std::size_t n) noexcept { events_ += n; }
 
   /// Attaches this run's observability hooks (per-run profiler, heartbeat)
-  /// to a simulator the body built. A no-op unless the sweep asked for
-  /// profiling — each run profiles into its own LoopProfiler, so parallel
+  /// to a simulator the body built, and — when the sweep asked for
+  /// --shards — installs a sim::ShardedBackend before any of them, so call
+  /// this before scheduling any event. A no-op unless the sweep asked for
+  /// instrumentation; each run profiles into its own sinks, so parallel
   /// runs never contend.
   void instrument(sim::Simulator& sim);
 
@@ -160,6 +162,7 @@ class RunContext {
   std::size_t events_ = 0;
   sim::LoopProfiler* profiler_ = nullptr;
   double heartbeat_seconds_ = 0;
+  std::size_t shards_ = 0;
   sim::SpanTracer* spans_ = nullptr;
   sim::TimeSeriesRecorder* timeseries_ = nullptr;
   sim::ShardAuditor* audit_ = nullptr;
@@ -205,6 +208,13 @@ struct SweepOptions {
   /// afterwards in run-index order). Implies a fail-soft ShardAuditor when
   /// audit is off, since shard attribution rides the auditor's registry.
   bool scale = false;
+  /// In-run parallelism: when > 0, RunContext::instrument() installs a
+  /// sim::ShardedBackend with this many worker threads on the run's
+  /// simulator (1 exercises the full barrier machinery on one worker —
+  /// sharded output is byte-identical at any shard count). 0 keeps the
+  /// serial backend. Orthogonal to `jobs` (across-run parallelism); the
+  /// harness resolves the two together (bench::ParallelOptions).
+  std::size_t shards = 0;
 };
 
 /// One completed run, in its final resting place inside a SweepResult.

@@ -3,8 +3,44 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/exec_backend.hpp"
 #include "sim/scale_profile.hpp"
 #include "sim/shard_audit.hpp"
+
+namespace tussle::sim {
+
+/// Per-owner packet-id lanes draw from disjoint namespaces — (owner+1)<<40,
+/// the event-id scheme — so uids are unique and per-owner deterministic
+/// without any cross-thread coordination. Nothing merges back: the base
+/// source keeps namespace 0 for serial/setup draws.
+template <>
+struct LaneTraits<net::PacketIdSource> {
+  static net::PacketIdSource* make(const net::PacketIdSource& base, ShardId owner) {
+    (void)base;
+    auto* lane = new net::PacketIdSource();
+    lane->set_namespace((static_cast<std::uint64_t>(owner) + 1) << 40);
+    return lane;
+  }
+  static void fold(net::PacketIdSource& base, net::PacketIdSource& lane) {
+    (void)base;
+    (void)lane;  // namespaced counters never collide; there is nothing to fold
+  }
+};
+
+template <>
+struct LaneTraits<net::NetCounters> {
+  static net::NetCounters* make(const net::NetCounters& base, ShardId owner) {
+    (void)base;
+    (void)owner;
+    return new net::NetCounters();
+  }
+  static void fold(net::NetCounters& base, net::NetCounters& lane) {
+    base.merge(lane);
+    lane.reset();
+  }
+};
+
+}  // namespace tussle::sim
 
 namespace tussle::net {
 
@@ -110,8 +146,13 @@ void Link::start_transmission(Direction& d) {
     d.tx_packets += 1;
     d.tx_bytes += pkt.size_bytes;
     const NodeId to = d.to;
-    net_->simulator().schedule(prop_, sim::TaskTag{"net.link", "propagate"},
-                               [this, to, pkt = std::move(pkt)]() mutable {
+    // Propagation hands the packet to the receiving node's owner: on the
+    // sharded backend a cross-AS hop rides the barrier inbox (propagation
+    // delay >= the registered lookahead makes that legal), while a same-AS
+    // hop stays on the owner's own queue. Serial execution is unaffected.
+    net_->simulator().schedule_for(static_cast<sim::ShardId>(net_->node(to).as()), prop_,
+                                   sim::TaskTag{"net.link", "propagate"},
+                                   [this, to, pkt = std::move(pkt)]() mutable {
       if (!up_) {
         net_->counters().dropped_link_down.add();
         span_link_drop(net_->spans(), net_->simulator().now(), pkt.uid, "link-down", id_, to);
@@ -155,11 +196,38 @@ void NetCounters::reset() {
   delivery_latency_s.reset();
 }
 
+void NetCounters::merge(const NetCounters& other) {
+  originated.add(other.originated.value());
+  delivered.add(other.delivered.value());
+  dropped_filter.add(other.dropped_filter.value());
+  dropped_ttl.add(other.dropped_ttl.value());
+  dropped_no_route.add(other.dropped_no_route.value());
+  dropped_queue.add(other.dropped_queue.value());
+  dropped_link_down.add(other.dropped_link_down.value());
+  redirected.add(other.redirected.value());
+  mirrored.add(other.mirrored.value());
+  forwarded.add(other.forwarded.value());
+  delivery_latency_s.merge(other.delivery_latency_s);
+}
+
 // -------------------------------------------------------------- Network --
+
+NetCounters& Network::counters() noexcept {
+  if (auto* lane = sim::shard_lane(*sim_, counters_)) return *lane;
+  return counters_;
+}
+
+PacketIdSource& Network::packet_ids() noexcept {
+  if (auto* lane = sim::shard_lane(*sim_, ids_)) return *lane;
+  return ids_;
+}
 
 NodeId Network::add_node(AsId as) {
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(*this, id, as));
+  // Each AS is an execution owner: the sharded backend pre-creates its
+  // logical process (a no-op on the serial backend).
+  sim_->register_owner(static_cast<sim::ShardId>(as));
   if (auto* au = auditor()) au->register_component("net.node", id, as);
   if (auto* sp = scale_profiler()) sp->register_actor("net.node", sizeof(Node));
   return id;
@@ -173,6 +241,11 @@ Link& Network::connect(NodeId a, NodeId b, double bits_per_second, sim::Duration
                                           queue_capacity));
   node(a).attach_interface(id);
   node(b).attach_interface(id);
+  // Cross-AS propagation delays bound how early one owner can affect
+  // another: the minimum becomes the sharded backend's barrier lookahead
+  // (a no-op for same-AS pairs and on the serial backend).
+  sim_->register_lookahead(static_cast<sim::ShardId>(node(a).as()),
+                           static_cast<sim::ShardId>(node(b).as()), propagation);
   if (auto* au = auditor()) au->register_component("net.link", id, link_shard(*this, a, b));
   if (auto* sp = scale_profiler()) {
     sp->register_actor("net.link", sizeof(Link));
@@ -188,9 +261,10 @@ void Network::notify_delivered(const Packet& p, NodeId at) {
   // tally marks them as a merge point the PDES refactor must make
   // shard-local-then-merge.
   if (auto* au = auditor()) au->record_shared_access("net.counters", "deliver");
-  counters_.delivered.add();
+  NetCounters& ctr = counters();  // owner lane under sharded execution
+  ctr.delivered.add();
   const double latency_s = sim_->now().as_seconds() - p.sent_at_s;
-  counters_.delivery_latency_s.observe(latency_s);
+  ctr.delivery_latency_s.observe(latency_s);
   TUSSLE_TRACE_EVENT(tracer(), sim_->now(), sim::TraceLevel::kInfo, "net.node", "deliver",
                      {"uid", p.uid}, {"flow", p.flow}, {"node", at},
                      {"latency_s", latency_s});

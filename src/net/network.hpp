@@ -95,6 +95,10 @@ struct NetCounters {
   sim::Summary delivery_latency_s;  ///< end-to-end, seconds
 
   void reset();
+  /// Folds another counter set into this one (sharded per-owner lanes merge
+  /// through here; Summary merging pools moments, so merged stats equal the
+  /// single-stream result).
+  void merge(const NetCounters& other);
 };
 
 class Network {
@@ -116,9 +120,18 @@ class Network {
   std::size_t link_count() const noexcept { return links_.size(); }
 
   sim::Simulator& simulator() noexcept { return *sim_; }
-  NetCounters& counters() noexcept { return counters_; }
+
+  /// Data-plane counter sink. Inside a sharded worker event this resolves
+  /// to the owner's private lane (folded into the base in owner order at
+  /// barriers), so hot-path counting never crosses threads; everywhere else
+  /// it is the base object. Read merged results through the const overload
+  /// after run() (or from a control event, which runs post-fold).
+  NetCounters& counters() noexcept;
   const NetCounters& counters() const noexcept { return counters_; }
-  PacketIdSource& packet_ids() noexcept { return ids_; }
+
+  /// Packet-id source, lane-routed like counters(); sharded lanes draw from
+  /// per-owner namespaces so uids stay globally unique.
+  PacketIdSource& packet_ids() noexcept;
 
   /// Tracer receiving this network's flow-provenance events (enqueue,
   /// forward, drop-with-reason, deliver). Defaults to the owning

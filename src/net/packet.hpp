@@ -113,12 +113,22 @@ struct Packet {
   std::optional<Packet> decapsulate() const;
 };
 
-/// Source of unique packet ids (monotone per simulation).
+/// Source of unique packet ids (monotone per simulation). Under sharded
+/// execution each owner draws from its own namespaced lane (see
+/// set_namespace), so ids stay unique and per-owner deterministic at any
+/// shard count.
 class PacketIdSource {
  public:
-  std::uint64_t next() noexcept { return ++last_; }
+  std::uint64_t next() noexcept { return ns_ | ++last_; }
+
+  /// Partitions the id space: ids become `ns | counter`. The sharded
+  /// backend's per-owner lanes use (owner + 1) << 40, matching the event-id
+  /// scheme; the base source keeps namespace 0, so serial runs are
+  /// unchanged.
+  void set_namespace(std::uint64_t ns) noexcept { ns_ = ns; }
 
  private:
+  std::uint64_t ns_ = 0;
   std::uint64_t last_ = 0;
 };
 

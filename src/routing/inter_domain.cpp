@@ -28,6 +28,14 @@ InterDomainNet build_inter_domain(net::Network& net, const AsGraph& graph,
 
 std::size_t install_path_vector_routes(net::Network& net, const InterDomainNet& topo,
                                        const PathVector& pv) {
+  // Installing a converged RIB touches every router's FIB at once. Declare
+  // the touch as barrier-phase control work: a no-op during setup, and the
+  // contract that lets a mid-run reconvergence run as a control event on
+  // the sharded backend's coordinator (with all shards quiescent) instead
+  // of tripping the cross-shard mutation check.
+  if (sim::ShardAuditor* au = net.auditor()) {
+    au->declare_control_event("routing.install-path-vector");
+  }
   std::size_t installed = 0;
   // Precompute, per router, the interface toward each neighbor AS.
   std::map<net::NodeId, std::map<AsId, net::IfIndex>> iface_to;

@@ -47,6 +47,12 @@ LinkState::Spf LinkState::spf(net::NodeId src, const std::vector<net::NodeId>& m
 }
 
 std::size_t LinkState::install_routes(const std::vector<net::NodeId>& members) {
+  // Whole-area SPF installation is barrier-phase control work (see
+  // install_path_vector_routes): declared so a mid-run reconvergence may
+  // run as a sharded-backend control event with every shard quiescent.
+  if (sim::ShardAuditor* au = net_->auditor()) {
+    au->declare_control_event("routing.install-link-state");
+  }
   std::size_t installed = 0;
   for (net::NodeId src : members) {
     const Spf tree = spf(src, members);

@@ -6,7 +6,7 @@
 namespace tussle::sim {
 
 EventId EventQueue::push(SimTime at, Action action, TaskTag tag) {
-  const EventId id{next_seq_ + 1};  // ids start at 1 so {} is "no event"
+  const EventId id{id_base_ + next_seq_ + 1};  // ids start at 1 so {} is "no event"
   heap_.push_back(Entry{at, next_seq_, id, std::move(action)});
   if (record_tags_ && (tag.component != nullptr || tag.kind != nullptr)) {
     tags_.emplace(next_seq_, tag);
@@ -22,7 +22,7 @@ void EventQueue::record_tags(bool on) noexcept {
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id.value == 0 || id.value > next_seq_) return false;
+  if (id.value <= id_base_ || id.value - id_base_ > next_seq_) return false;
   // A cancelled id may correspond to an already-fired event; the fired set
   // is implicit (ids below the heap minimum that are absent). We detect it
   // by scanning lazily: insertion succeeds, but the tombstone is only

@@ -42,6 +42,14 @@ class EventQueue {
   /// nothing per event.
   EventId push(SimTime at, Action action, TaskTag tag = {});
 
+  /// Offsets every EventId this queue hands out by `base` (ids become
+  /// base + seq + 1). The sharded execution backend runs one queue per
+  /// owner and needs ids from different queues to stay distinguishable so
+  /// cancel() can be routed; the default base of 0 keeps serial ids
+  /// exactly as before. Must be set before the first push.
+  void set_id_base(std::uint64_t base) noexcept { id_base_ = base; }
+  std::uint64_t id_base() const noexcept { return id_base_; }
+
   /// Turns tag retention on or off (off by default). The Simulator enables
   /// it while a profiler is attached; keeping tags out of the heap entries
   /// keeps sift moves cheap for uninstrumented runs.
@@ -95,6 +103,7 @@ class EventQueue {
   mutable std::map<std::uint64_t, TaskTag> tags_;
   bool record_tags_ = false;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t id_base_ = 0;
 };
 
 }  // namespace tussle::sim

@@ -1,0 +1,556 @@
+#include "sim/sharded_backend.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace tussle::sim {
+
+namespace {
+
+/// Installs/uninstalls the thread's ExecCtx with unwind safety: a throwing
+/// event handler must not leave a stale context behind.
+class CtxGuard {
+ public:
+  explicit CtxGuard(ExecCtx* ctx) noexcept { detail::set_exec_ctx(ctx); }
+  ~CtxGuard() { detail::set_exec_ctx(nullptr); }
+  CtxGuard(const CtxGuard&) = delete;
+  CtxGuard& operator=(const CtxGuard&) = delete;
+};
+
+}  // namespace
+
+ShardedBackend::Lp::~Lp() {
+  for (auto& [base, entry] : lanes) {
+    if (entry.destroy != nullptr) entry.destroy(entry.obj);
+  }
+}
+
+ShardedBackend::ShardedBackend(Simulator& sim, std::size_t shards)
+    : ExecutionBackend(sim), shards_(shards == 0 ? 1 : shards) {}
+
+ShardedBackend::~ShardedBackend() = default;
+
+// --------------------------------------------------------------- registry --
+
+void ShardedBackend::register_owner(ShardId owner) {
+  if (owner == kNoShard || owner == kSharedShard) return;  // sentinels own nothing
+  if (index_.count(owner) != 0) return;
+  if (running_) {
+    throw std::logic_error(
+        "ShardedBackend: owner " + std::to_string(owner) +
+        " registered mid-run; the owner set must be fixed before run()");
+  }
+  auto lp = std::make_unique<Lp>();
+  lp->owner = owner;
+  // Namespace the owner's event ids so cancel() can route by id. Bits 40+
+  // hold owner+1 (0 stays the control queue); bit 63 flags inbox-routed ids.
+  lp->queue.set_id_base((static_cast<std::uint64_t>(owner) + 1) << 40);
+  lp->queue.record_tags(hooks_record_tags());
+  lp->rng = Rng::stream(sim_seed(), owner);
+  const auto pos = std::lower_bound(
+      lps_.begin(), lps_.end(), owner,
+      [](const std::unique_ptr<Lp>& a, ShardId o) { return a->owner < o; });
+  lps_.insert(pos, std::move(lp));
+  index_.clear();
+  for (std::size_t i = 0; i < lps_.size(); ++i) index_.emplace(lps_[i]->owner, i);
+}
+
+void ShardedBackend::register_lookahead(ShardId a, ShardId b, Duration latency) {
+  if (a == b) return;  // intra-owner links do not bound the window
+  const std::int64_t ns = latency.as_nanos() < 0 ? 0 : latency.as_nanos();
+  if (lookahead_ns_ < 0 || ns < lookahead_ns_) lookahead_ns_ = ns;
+}
+
+Duration ShardedBackend::lookahead() const noexcept {
+  if (lookahead_ns_ < 0) return SimTime::max();
+  return SimTime::nanos(lookahead_ns_ < 1 ? 1 : lookahead_ns_);
+}
+
+ShardedBackend::Lp& ShardedBackend::lp_for(ShardId owner) {
+  const auto it = index_.find(owner);
+  if (it != index_.end()) return *lps_[it->second];
+  register_owner(owner);  // throws mid-run
+  const auto it2 = index_.find(owner);
+  if (it2 == index_.end()) {
+    throw std::logic_error("ShardedBackend: cannot schedule for sentinel owner " +
+                           std::to_string(owner));
+  }
+  return *lps_[it2->second];
+}
+
+// ------------------------------------------------------------- scheduling --
+
+EventId ShardedBackend::push_control(SimTime at, TaskTag tag, EventQueue::Action action) {
+  const EventId id = control_.push(at, std::move(action), tag);
+  if (ScaleProfiler* sc = scale_hook()) {
+    ShardAuditor* au = auditor_hook();
+    sc->on_schedule(id.value, base_now(), at, tag, au != nullptr ? au->current() : kNoShard);
+  }
+  return id;
+}
+
+EventId ShardedBackend::push_direct(Lp& lp, SimTime at, TaskTag tag,
+                                    EventQueue::Action action) {
+  const EventId id = lp.queue.push(at, std::move(action), tag);
+  if (ScaleProfiler* sc = scale_hook()) {
+    ShardAuditor* au = auditor_hook();
+    sc->on_schedule(id.value, base_now(), at, tag, au != nullptr ? au->current() : kNoShard);
+  }
+  return id;
+}
+
+EventId ShardedBackend::schedule(SimTime at, TaskTag tag, EventQueue::Action action) {
+  ExecCtx* c = current_exec_ctx();
+  if (c != nullptr && c->sim == &sim() && c->lp != nullptr) {
+    // A worker event scheduling for its own owner: plain per-owner push.
+    Lp& lp = *static_cast<Lp*>(c->lp);
+    const EventId id = lp.queue.push(at, std::move(action), tag);
+    if (scale_hook() != nullptr) {
+      lp.scale.on_schedule(id.value, c->now, at, tag,
+                           auditor_hook() != nullptr ? lp.audit.current() : kNoShard);
+    }
+    return id;
+  }
+  // Setup code or a control event: global work runs on the control queue at
+  // a barrier, with every shard quiescent.
+  return push_control(at, std::move(tag), std::move(action));
+}
+
+EventId ShardedBackend::schedule_for(ShardId owner, SimTime at, TaskTag tag,
+                                     EventQueue::Action action) {
+  ExecCtx* c = current_exec_ctx();
+  const bool worker = c != nullptr && c->sim == &sim() && c->lp != nullptr;
+  if (!worker) {
+    // Setup or control context: the world is quiescent, push directly into
+    // the owner's queue (deterministic — single-threaded by construction).
+    if (owner == kNoShard || owner == kSharedShard) {
+      return push_control(at, std::move(tag), std::move(action));
+    }
+    return push_direct(lp_for(owner), at, std::move(tag), std::move(action));
+  }
+
+  Lp& src = *static_cast<Lp*>(c->lp);
+  if (owner == src.owner) {
+    const EventId id = src.queue.push(at, std::move(action), tag);
+    if (scale_hook() != nullptr) {
+      src.scale.on_schedule(id.value, c->now, at, tag,
+                            auditor_hook() != nullptr ? src.audit.current() : kNoShard);
+    }
+    return id;
+  }
+
+  // Cross-owner (or owner-less control) message from a worker event: park it
+  // in the per-destination outbox; the destination drains, sorts by
+  // (time, source owner, source sequence), and enqueues at the next barrier.
+  // This path is taken even when both owners share a worker — the event
+  // order a destination sees must be a function of the simulation, not of
+  // the owner-to-worker assignment.
+  std::size_t slot;
+  if (owner == kNoShard || owner == kSharedShard) {
+    slot = lps_.size();  // the control-queue inbox
+  } else {
+    const auto it = index_.find(owner);
+    if (it == index_.end()) {
+      throw std::logic_error(
+          "ShardedBackend::schedule_for: unknown owner " + std::to_string(owner) +
+          "; owners must be registered (Network::add_node) before run()");
+    }
+    slot = it->second;
+  }
+  const std::uint64_t seq = src.out_seq++;
+  Msg m;
+  m.at = at;
+  m.src = src.owner;
+  m.seq = seq;
+  m.tag = tag;
+  m.action = std::move(action);
+  m.origin = auditor_hook() != nullptr ? src.audit.current() : kNoShard;
+  m.sent = c->now;
+  src.outbox[slot].push_back(std::move(m));
+  // A synthetic, non-cancellable id: the destination assigns the real one
+  // when it drains the inbox.
+  return EventId{kRemoteId | (((static_cast<std::uint64_t>(src.owner) + 1) << 40) + seq + 1)};
+}
+
+bool ShardedBackend::cancel(EventId id) {
+  if (id.value == 0 || (id.value & kRemoteId) != 0) return false;  // inbox-routed
+  const std::uint64_t owner_p1 = id.value >> 40;
+  ExecCtx* c = current_exec_ctx();
+  const bool worker = c != nullptr && c->sim == &sim() && c->lp != nullptr;
+  if (owner_p1 == 0) {
+    if (worker) return false;  // the control queue belongs to the coordinator
+    const bool ok = control_.cancel(id);
+    if (ok && scale_hook() != nullptr) scale_hook()->on_cancel(id.value);
+    return ok;
+  }
+  const auto it = index_.find(static_cast<ShardId>(owner_p1 - 1));
+  if (it == index_.end()) return false;
+  Lp& lp = *lps_[it->second];
+  if (worker && c->lp != &lp) return false;  // cross-owner cancel would race
+  const bool ok = lp.queue.cancel(id);
+  if (ok && scale_hook() != nullptr) {
+    if (worker) {
+      lp.scale.on_cancel(id.value);
+    } else {
+      scale_hook()->on_cancel(id.value);
+    }
+  }
+  return ok;
+}
+
+std::size_t ShardedBackend::pending() const {
+  std::size_t n = control_.size();
+  for (const auto& lp : lps_) n += lp->queue.size();
+  return n;
+}
+
+void ShardedBackend::on_hooks_changed() {
+  const bool on = hooks_record_tags();
+  control_.record_tags(on);
+  for (auto& lp : lps_) lp->queue.record_tags(on);
+}
+
+bool ShardedBackend::step() {
+  throw std::logic_error(
+      "Simulator::step() is not supported by the sharded backend: there is no "
+      "single global next event; use run() or the serial backend");
+}
+
+// ---------------------------------------------------------------- dispatch --
+
+void ShardedBackend::process_lp(Lp& lp, SimTime window_end) {
+  const bool audit = auditor_hook() != nullptr;
+  const bool scale = scale_hook() != nullptr;
+  const bool prof = profiler_hook() != nullptr;
+  ExecCtx ctx;
+  ctx.sim = &sim();
+  ctx.lp = &lp;
+  ctx.rng = &lp.rng;
+  ctx.auditor = audit ? &lp.audit : nullptr;
+  ctx.scale = scale ? &lp.scale : nullptr;
+  ctx.owner = lp.owner;
+  CtxGuard guard(&ctx);
+  while (!lp.queue.empty()) {
+    if (lp.queue.next_time() >= window_end) break;
+    auto ev = lp.queue.pop();
+    lp.lp_now = ev.time;
+    ctx.now = ev.time;
+    if (audit) lp.audit.begin_event(ev.time, ev.tag);
+    if (scale) lp.scale.begin_event(ev.id.value, ev.time, lp.queue.size(), ev.tag);
+    if (prof) {
+      const double t0 = wall_now_seconds();
+      ev.action();
+      lp.prof.record(ev.tag, wall_now_seconds() - t0);
+    } else {
+      ev.action();
+    }
+    if (scale) lp.scale.end_event(audit ? lp.audit.current() : kNoShard);
+    if (audit) lp.audit.end_event();
+    ++lp.executed;
+    if (stop_requested()) break;  // finish no more events; the window still barriers
+  }
+}
+
+void ShardedBackend::drain_lp(std::size_t index, Lp& dst) {
+  // Gather this destination's inbox: slot `index` of every source outbox.
+  // Each slot has exactly one reader (this worker) after the barrier, so
+  // the gather is race-free without locks.
+  std::vector<Msg> msgs;
+  for (auto& src : lps_) {
+    auto& slot = src->outbox[index];
+    if (slot.empty()) continue;
+    msgs.insert(msgs.end(), std::make_move_iterator(slot.begin()),
+                std::make_move_iterator(slot.end()));
+    slot.clear();
+  }
+  if (msgs.empty()) return;
+  // Canonical arrival order: (time, source owner, source sequence) — a pure
+  // function of the simulation, independent of worker interleaving.
+  std::sort(msgs.begin(), msgs.end(), [](const Msg& a, const Msg& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  const bool scale = scale_hook() != nullptr;
+  for (auto& m : msgs) {
+    if (m.at < dst.lp_now) {
+      throw std::logic_error(
+          "ShardedBackend: cross-shard lookahead violated — owner " +
+          std::to_string(m.src) + " sent an event for owner " +
+          std::to_string(dst.owner) + " at t=" + std::to_string(m.at.as_nanos()) +
+          "ns, which already executed up to t=" +
+          std::to_string(dst.lp_now.as_nanos()) +
+          "ns; register the true minimum cross-owner latency "
+          "(Simulator::register_lookahead) or schedule no earlier than one "
+          "lookahead ahead");
+    }
+    const EventId id = dst.queue.push(m.at, std::move(m.action), m.tag);
+    if (scale) dst.scale.on_schedule(id.value, m.sent, m.at, m.tag, m.origin);
+  }
+}
+
+void ShardedBackend::drain_control_inbox() {
+  std::vector<Msg> msgs;
+  const std::size_t slot_index = lps_.size();
+  for (auto& src : lps_) {
+    auto& slot = src->outbox[slot_index];
+    if (slot.empty()) continue;
+    msgs.insert(msgs.end(), std::make_move_iterator(slot.begin()),
+                std::make_move_iterator(slot.end()));
+    slot.clear();
+  }
+  if (msgs.empty()) return;
+  std::sort(msgs.begin(), msgs.end(), [](const Msg& a, const Msg& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  const bool scale = scale_hook() != nullptr;
+  for (auto& m : msgs) {
+    const EventId id = control_.push(m.at, std::move(m.action), m.tag);
+    if (scale) scale_hook()->on_schedule(id.value, m.sent, m.at, m.tag, m.origin);
+  }
+}
+
+std::size_t ShardedBackend::run_control_at(SimTime tc) {
+  // Control events see the merged world: fold every state lane first, in
+  // ascending owner order, so e.g. a time-series sample reads the same
+  // counter values at any shard count.
+  fold_state_lanes();
+  std::size_t n = 0;
+  ShardAuditor* au = auditor_hook();
+  ScaleProfiler* sc = scale_hook();
+  LoopProfiler* pr = profiler_hook();
+  ExecCtx ctx;
+  ctx.sim = &sim();
+  ctx.control = true;
+  ctx.rng = &base_rng();
+  ctx.auditor = au;
+  ctx.scale = sc;
+  CtxGuard guard(&ctx);
+  while (!control_.empty() && control_.next_time() == tc && !stop_requested()) {
+    auto ev = control_.pop();
+    set_base_now(ev.time);
+    ctx.now = ev.time;
+    if (au != nullptr) {
+      au->begin_event(ev.time, ev.tag);
+      au->declare_control_event(ev.tag.kind != nullptr ? ev.tag.kind : "control");
+    }
+    if (sc != nullptr) sc->begin_event(ev.id.value, ev.time, control_.size(), ev.tag);
+    if (pr != nullptr) {
+      const double t0 = wall_now_seconds();
+      ev.action();
+      pr->record(ev.tag, wall_now_seconds() - t0);
+    } else {
+      ev.action();
+    }
+    if (sc != nullptr) sc->end_event(au != nullptr ? au->current() : kNoShard);
+    if (au != nullptr) au->end_event();
+    ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------------ lanes --
+
+void* ShardedBackend::lane(void* base, LaneMakeFn make, LaneFoldFn fold,
+                           LaneDestroyFn destroy) {
+  ExecCtx* c = current_exec_ctx();
+  Lp& lp = *static_cast<Lp*>(c->lp);
+  auto it = lp.lanes.find(base);
+  if (it == lp.lanes.end()) {
+    LaneEntry e;
+    e.obj = make(base, lp.owner);
+    e.base = base;
+    e.fold = fold;
+    e.destroy = destroy;
+    it = lp.lanes.emplace(base, e).first;
+  }
+  return it->second.obj;
+}
+
+void* shard_lane_raw(Simulator& sim, void* base, LaneMakeFn make, LaneFoldFn fold,
+                     LaneDestroyFn destroy) {
+  ExecCtx* c = current_exec_ctx();
+  if (c == nullptr || c->sim != &sim || c->lp == nullptr) return nullptr;
+  auto* backend = dynamic_cast<ShardedBackend*>(&sim.backend());
+  if (backend == nullptr) return nullptr;
+  return backend->lane(base, make, fold, destroy);
+}
+
+void ShardedBackend::fold_state_lanes() {
+  // Ascending owner order (lps_ is sorted), so merged results never depend
+  // on the shard count. Folds reset the lane, so they are incremental.
+  for (auto& lp : lps_) {
+    for (auto& [base, entry] : lp->lanes) entry.fold(entry.base, entry.obj);
+  }
+}
+
+void ShardedBackend::merge_observability() {
+  // Unlike state lanes, the profiling sinks merge once per run (their merge
+  // semantics treat each source as a completed run), so this happens at the
+  // end of run() only, again in ascending owner order.
+  ShardAuditor* au = auditor_hook();
+  ScaleProfiler* sc = scale_hook();
+  LoopProfiler* pr = profiler_hook();
+  for (auto& lp : lps_) {
+    if (au != nullptr) {
+      au->merge(lp->audit);
+      lp->audit = ShardAuditor{};
+      lp->audit.set_fail_fast(au->fail_fast());
+    }
+    if (sc != nullptr) {
+      sc->merge(lp->scale);
+      lp->scale = ScaleProfiler{};
+    }
+    if (pr != nullptr) {
+      pr->merge(lp->prof);
+      lp->prof.reset();
+    }
+  }
+}
+
+// -------------------------------------------------------------------- run --
+
+std::size_t ShardedBackend::run(SimTime horizon) {
+  clear_stop();
+  running_ = true;
+  const bool audit = auditor_hook() != nullptr;
+  if (audit) {
+    audit_fail_fast_ = auditor_hook()->fail_fast();
+    for (auto& lp : lps_) lp->audit.set_fail_fast(audit_fail_fast_);
+  }
+  const std::size_t control_slot = lps_.size();
+  for (auto& lp : lps_) {
+    if (lp->outbox.size() != control_slot + 1) lp->outbox.resize(control_slot + 1);
+    lp->error = nullptr;
+  }
+
+  const std::int64_t max_ns = SimTime::max().as_nanos();
+  const std::int64_t la_ns =
+      lookahead_ns_ < 0 ? max_ns : (lookahead_ns_ < 1 ? 1 : lookahead_ns_);
+
+  std::size_t start_executed = 0;
+  for (const auto& lp : lps_) start_executed += lp->executed;
+  std::size_t control_n = 0;
+
+  const std::size_t nw = std::min(shards_, lps_.size());
+  std::atomic<bool> failed{false};
+  std::barrier sync(static_cast<std::ptrdiff_t>(nw) + 1);
+  done_ = false;
+
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(nw);
+    for (std::size_t w = 0; w < nw; ++w) {
+      workers.emplace_back([this, w, nw, &sync, &failed] {
+        while (true) {
+          sync.arrive_and_wait();  // A: window published
+          if (done_) return;
+          for (std::size_t i = w; i < lps_.size(); i += nw) {
+            try {
+              process_lp(*lps_[i], window_end_);
+            } catch (...) {
+              lps_[i]->error = std::current_exception();
+              failed.store(true, std::memory_order_relaxed);
+            }
+          }
+          sync.arrive_and_wait();  // B: all outboxes final for this window
+          for (std::size_t i = w; i < lps_.size(); i += nw) {
+            try {
+              drain_lp(i, *lps_[i]);
+            } catch (...) {
+              lps_[i]->error = std::current_exception();
+              failed.store(true, std::memory_order_relaxed);
+            }
+          }
+          sync.arrive_and_wait();  // C: all queues consistent again
+        }
+      });
+    }
+
+    std::exception_ptr coordinator_error;
+    while (true) {
+      if (stop_requested() || failed.load(std::memory_order_relaxed)) break;
+      // Next control time and next shard-event time decide the round kind.
+      const bool have_c = !control_.empty();
+      const SimTime tc = have_c ? control_.next_time() : SimTime::max();
+      bool have_q = false;
+      SimTime tq = SimTime::max();
+      for (const auto& lp : lps_) {
+        if (lp->queue.empty()) continue;
+        have_q = true;
+        tq = std::min(tq, lp->queue.next_time());
+      }
+      if (!have_c && !have_q) break;
+      const SimTime tmin = std::min(tc, tq);
+      if (tmin > horizon) break;
+
+      if (have_c && tc <= tq) {
+        // Control events run before shard events at the same instant, with
+        // every shard quiescent and all state lanes folded.
+        try {
+          control_n += run_control_at(tc);
+        } catch (...) {
+          coordinator_error = std::current_exception();
+          break;
+        }
+        continue;
+      }
+
+      // One barrier window [tq, window_end_).
+      const std::int64_t start_ns = tq.as_nanos();
+      std::int64_t end_ns = (max_ns - start_ns > la_ns) ? start_ns + la_ns : max_ns;
+      if (have_c) end_ns = std::min(end_ns, tc.as_nanos());
+      if (horizon != SimTime::max()) end_ns = std::min(end_ns, horizon.as_nanos() + 1);
+      window_end_ = SimTime::nanos(end_ns);
+      sync.arrive_and_wait();  // A
+      sync.arrive_and_wait();  // B
+      sync.arrive_and_wait();  // C
+      drain_control_inbox();
+      ++windows_;
+    }
+
+    done_ = true;
+    sync.arrive_and_wait();  // release the workers; jthreads join on scope exit
+    if (coordinator_error != nullptr) {
+      running_ = false;
+      fold_state_lanes();
+      merge_observability();
+      std::rethrow_exception(coordinator_error);
+    }
+  }
+
+  fold_state_lanes();
+  merge_observability();
+  running_ = false;
+
+  // Advance the global clock: the furthest any owner actually executed,
+  // then the horizon if we drained before reaching it (serial semantics).
+  SimTime end_now = base_now();
+  for (const auto& lp : lps_) end_now = std::max(end_now, lp->lp_now);
+  set_base_now(end_now);
+  if (failed.load(std::memory_order_relaxed)) {
+    for (const auto& lp : lps_) {
+      if (lp->error != nullptr) std::rethrow_exception(lp->error);
+    }
+  }
+  if (!stop_requested() && base_now() < horizon && horizon != SimTime::max()) {
+    set_base_now(horizon);
+  }
+
+  std::size_t executed_now = 0;
+  for (const auto& lp : lps_) executed_now += lp->executed;
+  const std::size_t n = control_n + (executed_now - start_executed);
+  add_executed(n);
+  return n;
+}
+
+}  // namespace tussle::sim

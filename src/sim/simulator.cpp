@@ -9,21 +9,79 @@
 
 namespace tussle::sim {
 
+// ------------------------------------------------------- backend plumbing --
+
+namespace detail {
+thread_local ExecCtx* t_exec_ctx = nullptr;
+void set_exec_ctx(ExecCtx* ctx) noexcept { t_exec_ctx = ctx; }
+}  // namespace detail
+
+EventQueue& ExecutionBackend::base_queue() noexcept { return sim_->queue_; }
+SimTime ExecutionBackend::base_now() const noexcept { return sim_->now_; }
+void ExecutionBackend::set_base_now(SimTime t) noexcept { sim_->now_ = t; }
+std::uint64_t ExecutionBackend::sim_seed() const noexcept { return sim_->seed_; }
+Rng& ExecutionBackend::base_rng() noexcept { return sim_->rng_; }
+bool ExecutionBackend::stop_requested() const noexcept {
+  return sim_->stopping_.load(std::memory_order_relaxed);
+}
+void ExecutionBackend::clear_stop() noexcept {
+  sim_->stopping_.store(false, std::memory_order_relaxed);
+}
+void ExecutionBackend::add_executed(std::size_t n) noexcept { sim_->executed_ += n; }
+bool ExecutionBackend::hooks_record_tags() const noexcept {
+  return sim_->profiler_ != nullptr || sim_->auditor_ != nullptr || sim_->scale_ != nullptr;
+}
+LoopProfiler* ExecutionBackend::profiler_hook() const noexcept { return sim_->profiler_; }
+ShardAuditor* ExecutionBackend::auditor_hook() const noexcept { return sim_->auditor_; }
+ScaleProfiler* ExecutionBackend::scale_hook() const noexcept { return sim_->scale_; }
+
+EventId SerialBackend::schedule(SimTime at, TaskTag tag, EventQueue::Action action) {
+  return sim().serial_schedule(at, tag, std::move(action));
+}
+
+EventId SerialBackend::schedule_for(ShardId owner, SimTime at, TaskTag tag,
+                                    EventQueue::Action action) {
+  (void)owner;  // one global order: owner routing is a sharded-backend concern
+  return sim().serial_schedule(at, tag, std::move(action));
+}
+
+bool SerialBackend::cancel(EventId id) { return sim().serial_cancel(id); }
+std::size_t SerialBackend::pending() const { return sim().queue_.size(); }
+std::size_t SerialBackend::run(SimTime horizon) { return sim().serial_run(horizon); }
+bool SerialBackend::step() { return sim().serial_step(); }
+
+void Simulator::set_backend(std::unique_ptr<ExecutionBackend> backend) {
+  if (backend == nullptr) {
+    throw std::invalid_argument("Simulator::set_backend: null backend");
+  }
+  if (backend_->pending() != 0) {
+    throw std::logic_error(
+        "Simulator::set_backend: events already scheduled; install the backend "
+        "before building the scenario");
+  }
+  backend_ = std::move(backend);
+  backend_->on_hooks_changed();
+}
+
+// ------------------------------------------------------ scheduling surface --
+
 EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
-  if (at < now_) throw std::invalid_argument("schedule_at: time is in the past");
-  const EventId id = queue_.push(at, std::move(action));
-  if (scale_ != nullptr) note_schedule(id, at, TaskTag{});
-  return id;
+  if (at < now()) throw std::invalid_argument("schedule_at: time is in the past");
+  return backend_->schedule(at, TaskTag{}, std::move(action));
 }
 
 EventId Simulator::schedule_at(SimTime at, TaskTag tag, EventQueue::Action action) {
-  if (at < now_) throw std::invalid_argument("schedule_at: time is in the past");
+  if (at < now()) throw std::invalid_argument("schedule_at: time is in the past");
+  return backend_->schedule(at, tag, std::move(action));
+}
+
+EventId Simulator::serial_schedule(SimTime at, TaskTag tag, EventQueue::Action action) {
   const EventId id = queue_.push(at, std::move(action), tag);
   if (scale_ != nullptr) note_schedule(id, at, tag);
   return id;
 }
 
-bool Simulator::cancel(EventId id) {
+bool Simulator::serial_cancel(EventId id) {
   const bool cancelled = queue_.cancel(id);
   if (cancelled && scale_ != nullptr) scale_->on_cancel(id.value);
   return cancelled;
@@ -111,8 +169,8 @@ void Simulator::maybe_heartbeat() {
   while (next_heartbeat_ <= now_) next_heartbeat_ += heartbeat_period_;
 }
 
-std::size_t Simulator::run(SimTime horizon) {
-  stopping_ = false;
+std::size_t Simulator::serial_run(SimTime horizon) {
+  stopping_.store(false, std::memory_order_relaxed);
   if (instrumented_) {
     run_wall_start_ = wall_now_seconds();
     last_beat_wall_ = run_wall_start_;
@@ -120,7 +178,7 @@ std::size_t Simulator::run(SimTime horizon) {
     if (heartbeat_) next_heartbeat_ = now_ + heartbeat_period_;
   }
   std::size_t n = 0;
-  while (!queue_.empty() && !stopping_) {
+  while (!queue_.empty() && !stopping_.load(std::memory_order_relaxed)) {
     if (queue_.next_time() > horizon) break;
     auto ev = queue_.pop();
     now_ = ev.time;
@@ -137,13 +195,14 @@ std::size_t Simulator::run(SimTime horizon) {
     ++n;
     ++executed_;
   }
-  if (!stopping_ && now_ < horizon && horizon != SimTime::max()) {
+  if (!stopping_.load(std::memory_order_relaxed) && now_ < horizon &&
+      horizon != SimTime::max()) {
     now_ = horizon;  // simulated until the requested horizon
   }
   return n;
 }
 
-bool Simulator::step() {
+bool Simulator::serial_step() {
   if (queue_.empty()) return false;
   auto ev = queue_.pop();
   now_ = ev.time;

@@ -1,23 +1,36 @@
-// The discrete-event simulation engine.
+// The discrete-event simulation engine's scheduling surface.
 //
-// Single-threaded by design: tussle experiments need bit-exact replay far
-// more than they need parallel speedup, and a single run of the largest
-// scenario completes in seconds.
+// The Simulator owns simulated time, the run's RNG, and the observability
+// hooks; *execution* is delegated to a pluggable ExecutionBackend
+// (sim/exec_backend.hpp):
+//
+//  - SerialBackend (the default): the classic single-threaded dispatch
+//    loop — bit-exact replay, one global (time, sequence) event order.
+//  - ShardedBackend (sim/sharded_backend.hpp): conservative
+//    barrier-synchronized parallel execution, one logical process per
+//    owner (AS), byte-identical output at any shard count.
+//
+// Component code stays backend-agnostic: now()/rng()/auditor()/
+// scale_profiler() resolve through the per-thread ExecCtx when a sharded
+// worker is dispatching, and fall back to the simulator's own state
+// otherwise (one thread-local load per call on the serial path).
 //
 // Observability hooks (all off by default, one branch per event when off):
 //  - set_profiler() attributes each dispatched event's wall-clock cost to
 //    its TaskTag; see sim/profiler.hpp.
 //  - set_heartbeat() prints a periodic progress line (sim-time, events/sec,
 //    queue depth) from inside the dispatch loop — it schedules nothing, so
-//    enabling it cannot change the event sequence.
+//    enabling it cannot change the event sequence. Serial backend only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 
 #include "sim/event_queue.hpp"
+#include "sim/exec_backend.hpp"
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -31,32 +44,80 @@ class ScaleProfiler;
 class Simulator {
  public:
   /// `seed` drives every random decision in the run; identical seeds yield
-  /// identical event sequences.
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  /// identical event sequences. The sharded backend derives each owner's
+  /// stream from the same seed, so per-owner draws are shard-count-
+  /// independent too.
+  explicit Simulator(std::uint64_t seed = 1)
+      : rng_(seed), seed_(seed), backend_(std::make_unique<SerialBackend>(*this)) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime now() const noexcept { return now_; }
-  Rng& rng() noexcept { return rng_; }
+  /// Current simulated time: the dispatching worker's event time inside a
+  /// sharded worker event, the global clock otherwise.
+  SimTime now() const noexcept {
+    const ExecCtx* c = current_exec_ctx();
+    if (c != nullptr && c->sim == this) return c->now;
+    return now_;
+  }
+
+  /// The run's RNG. Inside a sharded worker event this is the owner's own
+  /// stream (Rng::stream(seed, owner)), so draws stay per-owner
+  /// deterministic at any shard count.
+  Rng& rng() noexcept {
+    ExecCtx* c = current_exec_ctx();
+    if (c != nullptr && c->sim == this && c->rng != nullptr) return *c->rng;
+    return rng_;
+  }
 
   /// This simulator's own trace log. Components built on the simulator
   /// (Network and friends) default to it, so two concurrent runs never
   /// share a tracer — the per-run analogue of what Tracer::global() was.
   Tracer& tracer() noexcept { return tracer_; }
 
+  // --- execution backend ----------------------------------------------------
+
+  /// Replaces the execution backend. Must be called before any event is
+  /// scheduled (throws std::logic_error otherwise); typically right after
+  /// construction, e.g. core::RunContext::instrument() installs a
+  /// ShardedBackend when the sweep asked for --shards.
+  void set_backend(std::unique_ptr<ExecutionBackend> backend);
+  ExecutionBackend& backend() noexcept { return *backend_; }
+  const ExecutionBackend& backend() const noexcept { return *backend_; }
+
+  /// Declares that owner (provisional shard / AS id) exists; forwarded to
+  /// the backend so the sharded one can pre-create its logical process.
+  void register_owner(ShardId owner) { backend_->register_owner(owner); }
+
+  /// Declares a static latency bound between two owners (Network::connect
+  /// registers every cross-AS link); the minimum is the sharded backend's
+  /// barrier-window lookahead.
+  void register_lookahead(ShardId a, ShardId b, Duration latency) {
+    backend_->register_lookahead(a, b, latency);
+  }
+
+  // --- scheduling -----------------------------------------------------------
+
   /// Schedules `action` to run `delay` after the current time.
   EventId schedule(Duration delay, EventQueue::Action action) {
-    const EventId id = queue_.push(now_ + delay, std::move(action));
-    if (scale_ != nullptr) note_schedule(id, now_ + delay, TaskTag{});
-    return id;
+    return backend_->schedule(now() + delay, TaskTag{}, std::move(action));
   }
 
   /// Tagged variant: the tag labels the event for the loop profiler.
   EventId schedule(Duration delay, TaskTag tag, EventQueue::Action action) {
-    const EventId id = queue_.push(now_ + delay, std::move(action), tag);
-    if (scale_ != nullptr) note_schedule(id, now_ + delay, tag);
-    return id;
+    return backend_->schedule(now() + delay, tag, std::move(action));
+  }
+
+  /// Schedules into `owner`'s ordering domain (see
+  /// ExecutionBackend::schedule_for). Equivalent to schedule() on the
+  /// serial backend; required for cross-owner work (packet delivery to
+  /// another AS, probe injection at a specific AS) under the sharded one.
+  EventId schedule_for(ShardId owner, Duration delay, TaskTag tag,
+                       EventQueue::Action action) {
+    return backend_->schedule_for(owner, now() + delay, tag, std::move(action));
+  }
+  EventId schedule_for(ShardId owner, Duration delay, EventQueue::Action action) {
+    return backend_->schedule_for(owner, now() + delay, TaskTag{}, std::move(action));
   }
 
   /// Schedules at an absolute time, which must not be in the past.
@@ -68,28 +129,33 @@ class Simulator {
   void schedule_every(Duration period, std::function<bool()> action);
   void schedule_every(Duration period, TaskTag tag, std::function<bool()> action);
 
-  bool cancel(EventId id);
+  bool cancel(EventId id) { return backend_->cancel(id); }
 
   /// Runs until the event queue drains or `horizon` is reached, whichever
   /// comes first. Events at exactly `horizon` still fire. Returns the
   /// number of events executed.
-  std::size_t run(SimTime horizon = SimTime::max());
+  std::size_t run(SimTime horizon = SimTime::max()) { return backend_->run(horizon); }
 
-  /// Executes pending events one at a time; useful in tests.
-  bool step();
+  /// Executes pending events one at a time; useful in tests. Serial
+  /// backend only (the sharded backend throws std::logic_error).
+  bool step() { return backend_->step(); }
 
-  /// Requests that run() return after the current event completes.
-  void stop() noexcept { stopping_ = true; }
+  /// Requests that run() return after the current event completes — or,
+  /// under the sharded backend, after the current barrier window
+  /// completes on every shard, so the stopping point is shard-count-
+  /// independent.
+  void stop() noexcept { stopping_.store(true, std::memory_order_relaxed); }
 
   std::size_t events_executed() const noexcept { return executed_; }
-  std::size_t events_pending() const { return queue_.size(); }
+  std::size_t events_pending() const { return backend_->pending(); }
 
   /// Attaches (or detaches, with nullptr) an event-loop profiler. Not
   /// owned; must outlive the simulator or be detached first.
   void set_profiler(LoopProfiler* profiler) noexcept {
     profiler_ = profiler;
     queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
-    instrumented_ = profiler_ != nullptr || heartbeat_;
+    instrumented_ = profiler_ != nullptr || static_cast<bool>(heartbeat_);
+    backend_->on_hooks_changed();
   }
   LoopProfiler* profiler() const noexcept { return profiler_; }
 
@@ -97,12 +163,18 @@ class Simulator {
   /// Dispatch then opens every event with ShardAuditor::begin_event, so
   /// instrumented mutation points can attribute accesses to the claiming
   /// shard (see sim/shard_audit.hpp). Not owned. Uninstrumented runs pay
-  /// one null-pointer branch per event.
+  /// one null-pointer branch per event. Inside a sharded worker event the
+  /// accessor returns the worker's per-owner lane.
   void set_auditor(ShardAuditor* auditor) noexcept {
     auditor_ = auditor;
     queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
+    backend_->on_hooks_changed();
   }
-  ShardAuditor* auditor() const noexcept { return auditor_; }
+  ShardAuditor* auditor() const noexcept {
+    const ExecCtx* c = current_exec_ctx();
+    if (c != nullptr && c->sim == this) return c->auditor;
+    return auditor_;
+  }
 
   /// Attaches (or detaches, with nullptr) the scale profiler. Dispatch then
   /// reports schedule/cancel/dispatch transitions so it can reconstruct the
@@ -110,12 +182,18 @@ class Simulator {
   /// sim/scale_profile.hpp). Works best with an auditor attached too —
   /// shard attribution comes from the auditor's claim registry, and without
   /// one every event lands on kNoShard. Not owned. Uninstrumented runs pay
-  /// one null-pointer branch per schedule and per event.
+  /// one null-pointer branch per schedule and per event. Inside a sharded
+  /// worker event the accessor returns the worker's per-owner lane.
   void set_scale_profiler(ScaleProfiler* scale) noexcept {
     scale_ = scale;
     queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
+    backend_->on_hooks_changed();
   }
-  ScaleProfiler* scale_profiler() const noexcept { return scale_; }
+  ScaleProfiler* scale_profiler() const noexcept {
+    const ExecCtx* c = current_exec_ctx();
+    if (c != nullptr && c->sim == this) return c->scale;
+    return scale_;
+  }
 
   /// One progress report, emitted every heartbeat period of *simulated*
   /// time while the dispatch loop runs.
@@ -129,10 +207,14 @@ class Simulator {
   using HeartbeatFn = std::function<void(const Heartbeat&)>;
 
   /// Enables a heartbeat every `period` of sim-time; `fn` defaults to a
-  /// stderr progress line. A zero period disables.
+  /// stderr progress line. A zero period disables. Honored by the serial
+  /// backend only (the bench harness forces it serial).
   void set_heartbeat(Duration period, HeartbeatFn fn = nullptr);
 
  private:
+  friend class ExecutionBackend;
+  friend class SerialBackend;
+
   void run_repeating(Duration period, TaskTag tag,
                      const std::shared_ptr<std::function<bool()>>& action);
   void dispatch_instrumented(EventQueue::Popped& ev);
@@ -143,11 +225,19 @@ class Simulator {
   void scale_begin(const EventQueue::Popped& ev);
   void scale_end();
 
+  // The pre-split dispatch loop, verbatim; SerialBackend forwards here.
+  EventId serial_schedule(SimTime at, TaskTag tag, EventQueue::Action action);
+  bool serial_cancel(EventId id);
+  std::size_t serial_run(SimTime horizon);
+  bool serial_step();
+
   EventQueue queue_;
   SimTime now_{};
   Rng rng_;
-  bool stopping_ = false;
+  std::uint64_t seed_ = 1;
+  std::atomic<bool> stopping_{false};
   std::size_t executed_ = 0;
+  std::unique_ptr<ExecutionBackend> backend_;
 
   // --- observability (never consulted by simulation logic) ---
   bool instrumented_ = false;  ///< profiler_ or heartbeat active

@@ -65,24 +65,35 @@ TEST(OutcomeVariation, GrowsWithDispersion) {
   EXPECT_LE(high, 1.0);
 }
 
-// The two-arg Scenario ctor is a deprecated shim over ScenarioSpec; these
-// tests exercise the legacy path on purpose.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(Scenario, RunsDeterministically) {
-  Scenario s("demo", [](sim::Rng& rng, sim::MetricSet& m) {
-    m.put("draw", rng.uniform());
-  });
-  EXPECT_DOUBLE_EQ(s.run(3).get("draw"), s.run(3).get("draw"));
-  EXPECT_NE(s.run(3).get("draw"), s.run(4).get("draw"));
+namespace {
+// The single-body experiment shape the old Scenario shim wrapped: a
+// one-point spec whose body draws from the run's RNG stream.
+ScenarioSpec draw_spec(const char* key) {
+  ScenarioSpec spec;
+  spec.name = "demo";
+  spec.replicas = 1;
+  spec.body = [key](RunContext& ctx) { ctx.put(key, ctx.rng().uniform()); };
+  return spec;
 }
 
-TEST(Scenario, ReplicationAggregates) {
-  Scenario s("demo", [](sim::Rng& rng, sim::MetricSet& m) {
-    m.put("x", rng.uniform());
-  });
-  auto m = s.run_replicated(50, 1);
+double one_draw(std::uint64_t seed) {
+  SweepOptions opts;
+  opts.base_seed = seed;
+  opts.jobs = 1;
+  return run_sweep(draw_spec("draw"), opts).runs.at(0).metrics.get("draw");
+}
+}  // namespace
+
+TEST(ScenarioSpec, RunsDeterministically) {
+  EXPECT_DOUBLE_EQ(one_draw(3), one_draw(3));
+  EXPECT_NE(one_draw(3), one_draw(4));
+}
+
+TEST(ScenarioSpec, ReplicationAggregates) {
+  SweepOptions opts;
+  opts.base_seed = 1;
+  opts.replicas = 50;
+  auto m = run_sweep(draw_spec("x"), opts).aggregate();
   EXPECT_NEAR(m.get("x.mean"), 0.5, 0.15);
   EXPECT_GT(m.get("x.stddev"), 0.0);
   EXPECT_GE(m.get("x.min"), 0.0);
@@ -92,25 +103,20 @@ TEST(Scenario, ReplicationAggregates) {
   EXPECT_LE(m.get("x.p50"), m.get("x.max"));
 }
 
-TEST(Scenario, ShimMatchesSpecPath) {
-  // The deprecated ctor must forward to the same engine: Scenario::run(seed)
-  // and a one-run sweep at the same base seed see identical RNG streams.
-  Scenario legacy("legacy", [](sim::Rng& rng, sim::MetricSet& m) {
-    m.put("draw", rng.uniform());
-  });
-  ScenarioSpec spec;
-  spec.name = "spec";
-  spec.body = [](RunContext& ctx) { ctx.put("draw", ctx.rng().uniform()); };
-  SweepOptions opts;
-  opts.base_seed = 9;
-  opts.jobs = 1;
-  auto sweep = run_sweep(spec, opts);
-  EXPECT_DOUBLE_EQ(legacy.run(9).get("draw"), sweep.runs.at(0).metrics.get("draw"));
-  EXPECT_EQ(legacy.name(), "legacy");
-  EXPECT_EQ(legacy.spec().name, "legacy");
+TEST(ScenarioSpec, SingleRunMatchesSweepStream) {
+  // A one-run sweep and a replicated sweep at the same base seed see the
+  // same run-index-0 RNG stream: run 0's draw is invariant to replica count.
+  SweepOptions one;
+  one.base_seed = 9;
+  one.jobs = 1;
+  SweepOptions many;
+  many.base_seed = 9;
+  many.replicas = 8;
+  const auto single = run_sweep(draw_spec("draw"), one);
+  const auto sweep = run_sweep(draw_spec("draw"), many);
+  EXPECT_DOUBLE_EQ(single.runs.at(0).metrics.get("draw"),
+                   sweep.runs.at(0).metrics.get("draw"));
 }
-
-#pragma GCC diagnostic pop
 
 TEST(RunRegional, VariationAcrossRegions) {
   auto out = run_regional({0.0, 0.5, 1.0},

@@ -50,9 +50,18 @@ it means event counting broke.
 the gated metrics — forming a longitudinal record of how each headline
 number moves across commits (CI stores it as an artifact).
 
+--speedup compares exactly two reports of the *same* experiment — a
+reference run and a parallel run (e.g. --shards 1 vs --shards 8) — and
+prints the wall-clock speedup. With --min-speedup N the pair gates: a
+speedup below N fails. CI uses --min-speedup 0 to publish the measured
+number as an artifact without gating (shared runners have 2-4 cores, so a
+hard parallel-speedup gate would only measure the runner); verify the
+real ratio on a many-core machine.
+
 Usage:
   bench_compare.py --baseline BENCH_baseline.json report.json...
   bench_compare.py --baseline BENCH_baseline.json --update report.json...
+  bench_compare.py --speedup serial.json sharded.json [--min-speedup N]
 
 --update rewrites the given reports' entries in the baseline, preserving
 entries for benches not among the reports (run it on the reference machine
@@ -248,8 +257,39 @@ def main() -> int:
                          "metrics) to this file")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the given reports")
+    ap.add_argument("--speedup", action="store_true",
+                    help="compare exactly two reports of the same experiment "
+                         "(reference first, parallel second) and print the "
+                         "wall-clock speedup")
+    ap.add_argument("--min-speedup", type=float, default=0.0, metavar="RATIO",
+                    help="with --speedup: fail when reference/parallel wall "
+                         "time falls below this ratio (default: %(default)s "
+                         "— report only)")
     ap.add_argument("reports", nargs="+", help="harness --json output files")
     args = ap.parse_args()
+
+    if args.speedup:
+        if len(args.reports) != 2:
+            print("bench_compare: --speedup needs exactly two reports "
+                  "(reference, parallel)", file=sys.stderr)
+            return 2
+        try:
+            ref, par = (load_report(p) for p in args.reports)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_compare: {e}", file=sys.stderr)
+            return 2
+        ids = (ref["experiment"]["id"], par["experiment"]["id"])
+        if ids[0] != ids[1]:
+            print(f"bench_compare: --speedup reports disagree on the "
+                  f"experiment: {ids[0]!r} vs {ids[1]!r}", file=sys.stderr)
+            return 2
+        ref_s, par_s = ref["wall_seconds"], par["wall_seconds"]
+        speedup = ref_s / par_s if par_s > 0 else float("inf")
+        verdict = "ok" if speedup >= args.min_speedup else "BELOW TARGET"
+        print(f"{ids[0]}: speedup {speedup:.2f}x ({ref_s:.4f}s reference / "
+              f"{par_s:.4f}s parallel, target >= {args.min_speedup:g}x) "
+              f"{verdict}")
+        return 0 if speedup >= args.min_speedup else 1
 
     try:
         reports = {r["experiment"]["id"]: r
