@@ -33,6 +33,10 @@ struct Flags {
   bool scale = false;
   std::string scale_json_path;
   std::string scale_dashboard_path;
+  bool exec = false;
+  std::string exec_json_path;
+  std::string exec_trace_path;
+  std::string exec_dashboard_path;
   bool list = false;
   std::string case_filter;
   // Parallelism/reproducibility knobs stay unset here; ParallelOptions
@@ -53,7 +57,9 @@ void usage(const char* argv0) {
                "          [--timeseries <seconds>] [--ts-csv <path>]\n"
                "          [--ts-json <path>] [--dashboard <path>]\n"
                "          [--audit] [--audit-json <path>] [--scale-profile]\n"
-               "          [--scale-json <path>] [--scale-dashboard <path>]\n",
+               "          [--scale-json <path>] [--scale-dashboard <path>]\n"
+               "          [--exec-profile] [--exec-json <path>]\n"
+               "          [--exec-trace <path>] [--exec-dashboard <path>]\n",
                argv0);
 }
 
@@ -132,6 +138,23 @@ std::optional<Flags> parse_flags(int argc, char** argv) {
       if (!v) return std::nullopt;
       f.scale_dashboard_path = v;
       f.scale = true;
+    } else if (arg == "--exec-profile") {
+      f.exec = true;
+    } else if (arg == "--exec-json") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.exec_json_path = v;
+      f.exec = true;
+    } else if (arg == "--exec-trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.exec_trace_path = v;
+      f.exec = true;
+    } else if (arg == "--exec-dashboard") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      f.exec_dashboard_path = v;
+      f.exec = true;
     } else if (arg == "--profile") {
       f.profile = true;
     } else if (arg == "--heartbeat") {
@@ -226,9 +249,11 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
   opts.timeseries_seconds = timeseries_seconds_;
   opts.audit = audit_requested_;
   opts.scale = scale_requested_;
-  // Trace/heartbeat/span collection all assume the serial backend's single
-  // dispatch thread; any of them forces the sharded backend off.
-  opts.shards = parallel_.run_shards(serial_required_ || spans_requested_);
+  opts.exec = exec_requested_;
+  // Trace/span collection assumes the serial backend's single dispatch
+  // thread and forces the sharded backend off; --heartbeat does not (the
+  // sharded coordinator ticks it between barrier windows).
+  opts.shards = parallel_.run_shards(shards_blocked_);
 
   core::SweepResult result = core::run_sweep(spec, opts);
 
@@ -240,6 +265,7 @@ core::SweepResult Harness::scenario(const core::ScenarioSpec& spec, const Render
     if (r.spans) spans_.merge(*r.spans);
     if (r.audit) audit_.merge(*r.audit);
     if (r.scale) scale_.merge(*r.scale);
+    if (r.exec) exec_.merge(*r.exec);
     if (r.timeseries && !r.timeseries->store().empty()) {
       std::string prefix = spec.name;
       const std::string label = result.points[r.point_index].label();
@@ -282,6 +308,7 @@ int run(int argc, char** argv, const Experiment& exp,
     if (*env != '\0' && std::string(env) != "0") h.audit_requested_ = true;
   }
   h.scale_requested_ = flags->scale;
+  h.exec_requested_ = flags->exec;
   h.spans_requested_ = !flags->chrome_trace_path.empty() || !flags->span_tree_path.empty() ||
                        flags->explain_flow.has_value();
   // An export flag without an explicit interval still needs samples.
@@ -292,12 +319,15 @@ int run(int argc, char** argv, const Experiment& exp,
     h.timeseries_seconds_ = 0.02;
   }
   // The global tracer and the heartbeat's stderr stream are shared sinks;
-  // concurrent runs would interleave their writes.
+  // concurrent runs would interleave their writes, so either forces
+  // --jobs 1. Only trace/span collection additionally forces the serial
+  // *backend* — the sharded coordinator ticks the heartbeat itself.
   h.serial_required_ = !flags->trace_path.empty() || flags->heartbeat_seconds > 0;
-  if (h.parallel_.shards > 0 && (h.serial_required_ || h.spans_requested_)) {
+  h.shards_blocked_ = !flags->trace_path.empty() || h.spans_requested_;
+  if (h.parallel_.shards > 0 && h.shards_blocked_) {
     std::fprintf(stderr,
-                 "harness: --shards ignored: --trace/--heartbeat/span flags need the "
-                 "serial backend\n");
+                 "harness: --shards ignored: --trace/span flags need the serial "
+                 "backend\n");
   }
 
   if (h.list_) {
@@ -478,6 +508,54 @@ int run(int argc, char** argv, const Experiment& exp,
         return 2;
       }
       os << sim::scale_dashboard(h.scale_, exp.id + " \xc2\xb7 " + exp.section);
+    }
+  }
+
+  if (h.exec_requested_) {
+    // Wall-clock observability: these numbers (and the files below) are
+    // expected to differ run to run — they are exempt from the
+    // byte-identity contract and never fold into the .metrics object.
+    const sim::ExecProfiler::Validation val = h.exec_.validate();
+    std::printf("exec profile: %zu runs, %zu windows, %zu workers, wall %.3fs, "
+                "speedup %.2f measured / %.2f predicted, barrier overhead %.1f%%, "
+                "dominant loss %s\n",
+                h.exec_.runs(), h.exec_.windows(), val.workers,
+                h.exec_.elapsed_seconds(), val.measured_speedup, val.predicted_speedup,
+                val.barrier_overhead_fraction * 100, val.dominant_loss);
+    if (!flags->exec_json_path.empty()) {
+      sim::JsonWriter w;
+      w.begin_object();
+      w.key("experiment").begin_object();
+      w.key("id").value(exp.id);
+      w.key("section").value(exp.section);
+      w.end_object();
+      w.key("exec").raw(h.exec_.report_json());
+      w.end_object();
+      std::ofstream os(flags->exec_json_path);
+      if (!os) {
+        std::fprintf(stderr, "harness: cannot write %s\n", flags->exec_json_path.c_str());
+        return 2;
+      }
+      os << w.str() << "\n";
+    }
+    if (!flags->exec_trace_path.empty()) {
+      std::ofstream os(flags->exec_trace_path);
+      if (!os) {
+        std::fprintf(stderr, "harness: cannot write %s\n", flags->exec_trace_path.c_str());
+        return 2;
+      }
+      os << sim::exec_chrome_trace(h.exec_) << "\n";
+      std::printf("exec trace: %zu runs -> %s\n", h.exec_.runs(),
+                  flags->exec_trace_path.c_str());
+    }
+    if (!flags->exec_dashboard_path.empty()) {
+      std::ofstream os(flags->exec_dashboard_path);
+      if (!os) {
+        std::fprintf(stderr, "harness: cannot write %s\n",
+                     flags->exec_dashboard_path.c_str());
+        return 2;
+      }
+      os << sim::exec_dashboard(h.exec_, exp.id + " \xc2\xb7 " + exp.section);
     }
   }
 

@@ -14,9 +14,10 @@
 //                       k-worker sharded PDES backend (sim/
 //                       sharded_backend.hpp; default $TUSSLE_SHARDS, else 0
 //                       = serial). Auto --jobs drops to 1 under --shards so
-//                       the two parallelism axes do not multiply; --trace,
-//                       --heartbeat, and the span flags force the serial
-//                       backend.
+//                       the two parallelism axes do not multiply; --trace
+//                       and the span flags force the serial backend.
+//                       --heartbeat works under --shards: the coordinator
+//                       reports per-window progress between barriers.
 //   --json <path>       write metrics + wall time + event totals + hotspots
 //                       as one JSON object (the BENCH_*.json trajectory)
 //   --trace <path>      stream flow/decision trace events as JSONL
@@ -53,6 +54,17 @@
 //                       --scale-profile); byte-identical at any --jobs
 //   --scale-dashboard <p>  write the scale report as a self-contained HTML
 //                       dashboard (implies --scale-profile)
+//   --exec-profile      run every simulator under the execution profiler
+//                       (sim/exec_profile.hpp): wall-clock barrier-window
+//                       and per-worker dispatch/drain/barrier timings,
+//                       outbox volumes, measured-vs-predicted speedup.
+//                       Wall-clock data — NOT byte-identical across runs.
+//   --exec-json <p>     write the exec report (with its validation block)
+//                       as JSON (implies --exec-profile)
+//   --exec-trace <p>    write worker wall-time tracks as Chrome trace-event
+//                       JSON, loadable in Perfetto (implies --exec-profile)
+//   --exec-dashboard <p>  write the exec report as a self-contained HTML
+//                       dashboard (implies --exec-profile)
 //
 // Determinism contract: metric output is bit-identical for a given
 // (--seed, --replicas) at any --jobs, because each run draws from
@@ -138,6 +150,16 @@ class Harness {
   /// True when --scale-profile/--scale-json/--scale-dashboard was given.
   bool scale_requested() const noexcept { return scale_requested_; }
 
+  /// The merged execution (wall-clock) profile across every profiled run
+  /// (run-index order); empty unless an --exec flag was given. Scenario
+  /// bodies opt in via ctx.instrument(sim). Exec reports are exempt from
+  /// the byte-identity contract — the harness writes them to their own
+  /// files, never into the .metrics object.
+  sim::ExecProfiler& exec() noexcept { return exec_; }
+  /// True when --exec-profile/--exec-json/--exec-trace/--exec-dashboard
+  /// was given.
+  bool exec_requested() const noexcept { return exec_requested_; }
+
   /// Adds to the run's total simulated-event count for engines that run
   /// outside the sweep bodies (sweep runs report via ctx.add_events()).
   void add_events(std::size_t n) noexcept { extra_events_ += n; }
@@ -148,7 +170,7 @@ class Harness {
   std::uint64_t seed() const noexcept { return parallel_.seed; }
   std::size_t jobs() const noexcept { return parallel_.jobs; }
   /// Requested in-run shard count (0 = serial backend). Serial-only sinks
-  /// (--trace/--heartbeat/span flags) override it per scenario.
+  /// (--trace/span flags) override it per scenario; --heartbeat does not.
   std::size_t shards() const noexcept { return parallel_.shards; }
 
  private:
@@ -166,15 +188,18 @@ class Harness {
   sim::TimeSeriesStore timeseries_;
   sim::ShardAuditor audit_;
   sim::ScaleProfiler scale_;
+  sim::ExecProfiler exec_;
   double timeseries_seconds_ = 0;  ///< 0 = no recorders
   bool spans_requested_ = false;
   bool audit_requested_ = false;
   bool scale_requested_ = false;
+  bool exec_requested_ = false;
   std::vector<Case> cases_;
   std::size_t extra_events_ = 0;
   std::size_t sweep_events_ = 0;
   bool profile_to_stderr_ = false;
-  bool serial_required_ = false;  ///< --trace/--heartbeat share global sinks
+  bool serial_required_ = false;  ///< --trace/--heartbeat share global sinks (forces --jobs 1)
+  bool shards_blocked_ = false;   ///< --trace/span flags need the serial backend
   double heartbeat_seconds_ = 0;
   std::string json_path_;
   bool list_ = false;

@@ -112,6 +112,7 @@ void RunContext::instrument(sim::Simulator& sim) {
     sim.set_auditor(audit_);
   }
   if (scale_ != nullptr) sim.set_scale_profiler(scale_);
+  if (exec_ != nullptr) sim.set_exec_profiler(exec_);
   // --trace installs its JSONL sink on the process-global tracer, but
   // components built on this simulator log to its own per-run tracer;
   // mirror the global configuration so their records land in the same
@@ -266,6 +267,10 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts) {
             slot.audit->set_fail_fast(false);
             ctx.audit_ = slot.audit.get();
           }
+        }
+        if (opts.exec) {
+          slot.exec = std::make_unique<sim::ExecProfiler>();
+          ctx.exec_ = slot.exec.get();
         }
         if (serial) ctx.heartbeat_seconds_ = opts.heartbeat_seconds;
         ctx.shards_ = opts.shards;

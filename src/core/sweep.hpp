@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/exec_profile.hpp"
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/scale_profile.hpp"
@@ -149,6 +150,14 @@ class RunContext {
   /// instance, merged in run-index order.
   sim::ScaleProfiler* scale() noexcept { return scale_; }
 
+  /// This run's execution profiler, or nullptr unless SweepOptions::exec
+  /// was set. instrument() attaches it to the simulator; the backends then
+  /// record wall-clock barrier/worker timings into it. Wall-clock data:
+  /// merged run records are NOT byte-identical across invocations (see
+  /// sim/exec_profile.hpp), which is why exec reports live in their own
+  /// files rather than in .metrics.
+  sim::ExecProfiler* exec() noexcept { return exec_; }
+
  private:
   friend SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
 
@@ -167,6 +176,7 @@ class RunContext {
   sim::TimeSeriesRecorder* timeseries_ = nullptr;
   sim::ShardAuditor* audit_ = nullptr;
   sim::ScaleProfiler* scale_ = nullptr;
+  sim::ExecProfiler* exec_ = nullptr;
 };
 
 /// A declarative experiment case: what to run, over which parameter points,
@@ -208,6 +218,10 @@ struct SweepOptions {
   /// afterwards in run-index order). Implies a fail-soft ShardAuditor when
   /// audit is off, since shard attribution rides the auditor's registry.
   bool scale = false;
+  /// Give each run its own ExecProfiler via RunContext::exec() (merged
+  /// afterwards in run-index order). Wall-clock runtime observability —
+  /// the merged aggregates are exempt from the byte-identity contract.
+  bool exec = false;
   /// In-run parallelism: when > 0, RunContext::instrument() installs a
   /// sim::ShardedBackend with this many worker threads on the run's
   /// simulator (1 exercises the full barrier machinery on one worker —
@@ -237,6 +251,9 @@ struct RunResult {
   std::unique_ptr<sim::ShardAuditor> audit;
   /// Per-run scale profile; null unless SweepOptions::scale was set.
   std::unique_ptr<sim::ScaleProfiler> scale;
+  /// Per-run execution (wall-clock) profile; null unless
+  /// SweepOptions::exec was set.
+  std::unique_ptr<sim::ExecProfiler> exec;
 };
 
 struct SweepResult {

@@ -43,6 +43,7 @@ namespace tussle::sim {
 class Simulator;
 class LoopProfiler;
 class ScaleProfiler;
+class ExecProfiler;
 class Rng;
 
 /// Per-thread execution context installed by a backend while it dispatches
@@ -143,6 +144,15 @@ class ExecutionBackend {
   LoopProfiler* profiler_hook() const noexcept;
   ShardAuditor* auditor_hook() const noexcept;
   ScaleProfiler* scale_hook() const noexcept;
+  ExecProfiler* exec_hook() const noexcept;
+  /// Heartbeat support for non-serial backends: true when a heartbeat is
+  /// configured, reset at run() start, and a tick the coordinator calls
+  /// between barrier windows (emits at most one line per heartbeat period
+  /// of sim-time; schedules nothing, so it cannot change the event order).
+  bool heartbeat_active() const noexcept;
+  void heartbeat_begin_run() noexcept;
+  void heartbeat_tick(SimTime sim_now, std::size_t executed_total,
+                      std::size_t queue_depth);
 
  private:
   Simulator* sim_;

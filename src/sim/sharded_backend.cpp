@@ -225,7 +225,8 @@ bool ShardedBackend::step() {
 
 // ---------------------------------------------------------------- dispatch --
 
-void ShardedBackend::process_lp(Lp& lp, SimTime window_end) {
+std::size_t ShardedBackend::process_lp(Lp& lp, SimTime window_end,
+                                       ExecProfiler::WorkerLane* xl) {
   const bool audit = auditor_hook() != nullptr;
   const bool scale = scale_hook() != nullptr;
   const bool prof = profiler_hook() != nullptr;
@@ -237,6 +238,7 @@ void ShardedBackend::process_lp(Lp& lp, SimTime window_end) {
   ctx.scale = scale ? &lp.scale : nullptr;
   ctx.owner = lp.owner;
   CtxGuard guard(&ctx);
+  std::size_t n = 0;
   while (!lp.queue.empty()) {
     if (lp.queue.next_time() >= window_end) break;
     auto ev = lp.queue.pop();
@@ -254,11 +256,14 @@ void ShardedBackend::process_lp(Lp& lp, SimTime window_end) {
     if (scale) lp.scale.end_event(audit ? lp.audit.current() : kNoShard);
     if (audit) lp.audit.end_event();
     ++lp.executed;
+    ++n;
     if (stop_requested()) break;  // finish no more events; the window still barriers
   }
+  if (xl != nullptr && n > 0) xl->owner_events(lp.owner, n);
+  return n;
 }
 
-void ShardedBackend::drain_lp(std::size_t index, Lp& dst) {
+void ShardedBackend::drain_lp(std::size_t index, Lp& dst, ExecProfiler::WorkerLane* xl) {
   // Gather this destination's inbox: slot `index` of every source outbox.
   // Each slot has exactly one reader (this worker) after the barrier, so
   // the gather is race-free without locks.
@@ -266,6 +271,7 @@ void ShardedBackend::drain_lp(std::size_t index, Lp& dst) {
   for (auto& src : lps_) {
     auto& slot = src->outbox[index];
     if (slot.empty()) continue;
+    if (xl != nullptr) xl->drained(src->owner, dst.owner, slot.size());
     msgs.insert(msgs.end(), std::make_move_iterator(slot.begin()),
                 std::make_move_iterator(slot.end()));
     slot.clear();
@@ -298,10 +304,12 @@ void ShardedBackend::drain_lp(std::size_t index, Lp& dst) {
 
 void ShardedBackend::drain_control_inbox() {
   std::vector<Msg> msgs;
+  ExecProfiler* const ex = exec_hook();
   const std::size_t slot_index = lps_.size();
   for (auto& src : lps_) {
     auto& slot = src->outbox[slot_index];
     if (slot.empty()) continue;
+    if (ex != nullptr) ex->record_drained(src->owner, kNoShard, slot.size());
     msgs.insert(msgs.end(), std::make_move_iterator(slot.begin()),
                 std::make_move_iterator(slot.end()));
     slot.clear();
@@ -323,7 +331,10 @@ std::size_t ShardedBackend::run_control_at(SimTime tc) {
   // Control events see the merged world: fold every state lane first, in
   // ascending owner order, so e.g. a time-series sample reads the same
   // counter values at any shard count.
+  ExecProfiler* const ex = exec_hook();
+  const double xt0 = ex != nullptr ? wall_now_seconds() : 0;
   fold_state_lanes();
+  const double xt1 = ex != nullptr ? wall_now_seconds() : 0;
   std::size_t n = 0;
   ShardAuditor* au = auditor_hook();
   ScaleProfiler* sc = scale_hook();
@@ -355,6 +366,7 @@ std::size_t ShardedBackend::run_control_at(SimTime tc) {
     if (au != nullptr) au->end_event();
     ++n;
   }
+  if (ex != nullptr) ex->record_control(xt0, xt1 - xt0, wall_now_seconds() - xt1, n);
   return n;
 }
 
@@ -446,30 +458,51 @@ std::size_t ShardedBackend::run(SimTime horizon) {
   std::barrier sync(static_cast<std::ptrdiff_t>(nw) + 1);
   done_ = false;
 
+  // Execution profiler: workers time their slice of each window through a
+  // private lane; the coordinator brackets windows/control. Detached runs
+  // pay one null-pointer branch per window, never per event.
+  ExecProfiler* const ex = exec_hook();
+  const double run_wall = ex != nullptr ? ex->begin_run("sharded", nw, la_ns) : 0;
+  const bool hb = heartbeat_active();
+  if (hb) heartbeat_begin_run();
+
   {
     std::vector<std::jthread> workers;
     workers.reserve(nw);
     for (std::size_t w = 0; w < nw; ++w) {
-      workers.emplace_back([this, w, nw, &sync, &failed] {
+      ExecProfiler::WorkerLane* const xl = ex != nullptr ? &ex->lane(w) : nullptr;
+      workers.emplace_back([this, w, nw, &sync, &failed, xl, run_wall] {
         while (true) {
+          // tA..t4 bracket this worker's window: barrier wait (includes the
+          // coordinator's inter-window work), dispatch, B-wait, drain.
+          const double tA = xl != nullptr ? wall_now_seconds() : 0;
           sync.arrive_and_wait();  // A: window published
           if (done_) return;
+          const double t1 = xl != nullptr ? wall_now_seconds() : 0;
+          std::uint64_t events = 0;
           for (std::size_t i = w; i < lps_.size(); i += nw) {
             try {
-              process_lp(*lps_[i], window_end_);
+              events += process_lp(*lps_[i], window_end_, xl);
             } catch (...) {
               lps_[i]->error = std::current_exception();
               failed.store(true, std::memory_order_relaxed);
             }
           }
+          const double t2 = xl != nullptr ? wall_now_seconds() : 0;
           sync.arrive_and_wait();  // B: all outboxes final for this window
+          const double t3 = xl != nullptr ? wall_now_seconds() : 0;
           for (std::size_t i = w; i < lps_.size(); i += nw) {
             try {
-              drain_lp(i, *lps_[i]);
+              drain_lp(i, *lps_[i], xl);
             } catch (...) {
               lps_[i]->error = std::current_exception();
               failed.store(true, std::memory_order_relaxed);
             }
+          }
+          if (xl != nullptr) {
+            const double t4 = wall_now_seconds();
+            xl->window((t1 - tA) + (t3 - t2), t2 - t1, t4 - t3, t1 - run_wall,
+                       t3 - run_wall, events);
           }
           sync.arrive_and_wait();  // C: all queues consistent again
         }
@@ -511,11 +544,24 @@ std::size_t ShardedBackend::run(SimTime horizon) {
       if (have_c) end_ns = std::min(end_ns, tc.as_nanos());
       if (horizon != SimTime::max()) end_ns = std::min(end_ns, horizon.as_nanos() + 1);
       window_end_ = SimTime::nanos(end_ns);
+      if (ex != nullptr) ex->begin_window(start_ns, end_ns);
       sync.arrive_and_wait();  // A
       sync.arrive_and_wait();  // B
       sync.arrive_and_wait();  // C
+      if (ex != nullptr) ex->end_window();
       drain_control_inbox();
       ++windows_;
+      if (hb) {
+        // Workers are parked at barrier A; barrier C ordered their writes,
+        // so reading per-owner progress here is race-free. Every owner has
+        // simulated through window_end_; the beat reports lifetime events
+        // including this run's so far.
+        std::size_t exec_now = 0;
+        for (const auto& lp : lps_) exec_now += lp->executed;
+        heartbeat_tick(window_end_,
+                       sim().events_executed() + control_n + (exec_now - start_executed),
+                       pending());
+      }
     }
 
     done_ = true;
@@ -528,9 +574,16 @@ std::size_t ShardedBackend::run(SimTime horizon) {
     }
   }
 
+  const double fold_wall = ex != nullptr ? wall_now_seconds() : 0;
   fold_state_lanes();
   merge_observability();
   running_ = false;
+  if (ex != nullptr) {
+    ex->record_fold(wall_now_seconds() - fold_wall);
+    // Error paths skip end_run: a failed run's partial record is discarded
+    // by the next begin_run rather than reported as a complete run.
+    if (!failed.load(std::memory_order_relaxed)) ex->end_run();
+  }
 
   // Advance the global clock: the furthest any owner actually executed,
   // then the horizon if we drained before reaching it (serial semantics).

@@ -52,6 +52,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/exec_backend.hpp"
+#include "sim/exec_profile.hpp"
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/scale_profile.hpp"
@@ -145,8 +146,10 @@ class ShardedBackend final : public ExecutionBackend {
   Lp& lp_for(ShardId owner);  ///< creates pre-run; throws for unknown owners mid-run
   EventId push_control(SimTime at, TaskTag tag, EventQueue::Action action);
   EventId push_direct(Lp& lp, SimTime at, TaskTag tag, EventQueue::Action action);
-  void process_lp(Lp& lp, SimTime window_end);
-  void drain_lp(std::size_t index, Lp& dst);
+  /// Dispatches lp's events inside the window; returns how many ran. `xl`
+  /// is the calling worker's exec-profiler lane (nullptr when detached).
+  std::size_t process_lp(Lp& lp, SimTime window_end, ExecProfiler::WorkerLane* xl);
+  void drain_lp(std::size_t index, Lp& dst, ExecProfiler::WorkerLane* xl);
   void drain_control_inbox();
   std::size_t run_control_at(SimTime tc);
   void fold_state_lanes();

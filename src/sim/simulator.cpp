@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "sim/exec_profile.hpp"
 #include "sim/scale_profile.hpp"
 #include "sim/shard_audit.hpp"
 
@@ -34,6 +35,24 @@ bool ExecutionBackend::hooks_record_tags() const noexcept {
 LoopProfiler* ExecutionBackend::profiler_hook() const noexcept { return sim_->profiler_; }
 ShardAuditor* ExecutionBackend::auditor_hook() const noexcept { return sim_->auditor_; }
 ScaleProfiler* ExecutionBackend::scale_hook() const noexcept { return sim_->scale_; }
+ExecProfiler* ExecutionBackend::exec_hook() const noexcept { return sim_->exec_; }
+
+bool ExecutionBackend::heartbeat_active() const noexcept {
+  return static_cast<bool>(sim_->heartbeat_);
+}
+
+void ExecutionBackend::heartbeat_begin_run() noexcept {
+  sim_->run_wall_start_ = wall_now_seconds();
+  sim_->last_beat_wall_ = sim_->run_wall_start_;
+  sim_->last_beat_events_ = sim_->executed_;
+  sim_->next_heartbeat_ = sim_->now_ + sim_->heartbeat_period_;
+}
+
+void ExecutionBackend::heartbeat_tick(SimTime sim_now, std::size_t executed_total,
+                                      std::size_t queue_depth) {
+  if (!sim_->heartbeat_ || sim_now < sim_->next_heartbeat_) return;
+  sim_->emit_heartbeat(sim_now, executed_total, queue_depth);
+}
 
 EventId SerialBackend::schedule(SimTime at, TaskTag tag, EventQueue::Action action) {
   return sim().serial_schedule(at, tag, std::move(action));
@@ -152,25 +171,32 @@ void Simulator::dispatch_instrumented(EventQueue::Popped& ev) {
 }
 
 void Simulator::maybe_heartbeat() {
+  emit_heartbeat(now_, executed_ + 1 /* the event being dispatched */, queue_.size());
+}
+
+void Simulator::emit_heartbeat(SimTime sim_now, std::size_t executed_total,
+                               std::size_t queue_depth) {
   const double wall = wall_now_seconds();
   Heartbeat hb;
-  hb.sim_now = now_;
-  hb.events_executed = executed_ + 1;  // the event being dispatched
-  hb.queue_depth = queue_.size();
+  hb.sim_now = sim_now;
+  hb.events_executed = executed_total;
+  hb.queue_depth = queue_depth;
   hb.wall_seconds = wall - run_wall_start_;
   const double dt = wall - last_beat_wall_;
   hb.events_per_sec =
-      dt > 0 ? static_cast<double>(hb.events_executed - last_beat_events_) / dt : 0;
+      dt > 0 ? static_cast<double>(executed_total - last_beat_events_) / dt : 0;
   heartbeat_(hb);
   last_beat_wall_ = wall;
-  last_beat_events_ = hb.events_executed;
+  last_beat_events_ = executed_total;
   // Catch up past idle stretches so a long event gap emits one beat, not a
   // burst of back-dated ones.
-  while (next_heartbeat_ <= now_) next_heartbeat_ += heartbeat_period_;
+  while (next_heartbeat_ <= sim_now) next_heartbeat_ += heartbeat_period_;
 }
 
 std::size_t Simulator::serial_run(SimTime horizon) {
   stopping_.store(false, std::memory_order_relaxed);
+  const std::int64_t exec_start_ns = now_.as_nanos();
+  const double exec_wall = exec_ != nullptr ? wall_now_seconds() : 0;
   if (instrumented_) {
     run_wall_start_ = wall_now_seconds();
     last_beat_wall_ = run_wall_start_;
@@ -198,6 +224,10 @@ std::size_t Simulator::serial_run(SimTime horizon) {
   if (!stopping_.load(std::memory_order_relaxed) && now_ < horizon &&
       horizon != SimTime::max()) {
     now_ = horizon;  // simulated until the requested horizon
+  }
+  if (exec_ != nullptr) {
+    exec_->record_serial_run(exec_start_ns, now_.as_nanos(), n,
+                             wall_now_seconds() - exec_wall);
   }
   return n;
 }

@@ -19,8 +19,11 @@
 //  - set_profiler() attributes each dispatched event's wall-clock cost to
 //    its TaskTag; see sim/profiler.hpp.
 //  - set_heartbeat() prints a periodic progress line (sim-time, events/sec,
-//    queue depth) from inside the dispatch loop — it schedules nothing, so
-//    enabling it cannot change the event sequence. Serial backend only.
+//    queue depth) — it schedules nothing, so enabling it cannot change the
+//    event sequence. The serial loop checks it per event; the sharded
+//    backend's coordinator checks it between barrier windows.
+//  - set_exec_profiler() records the runtime's own wall-clock profile
+//    (barrier windows, worker dispatch/drain/wait); see sim/exec_profile.hpp.
 #pragma once
 
 #include <atomic>
@@ -40,6 +43,7 @@ namespace tussle::sim {
 
 class ShardAuditor;
 class ScaleProfiler;
+class ExecProfiler;
 
 class Simulator {
  public:
@@ -195,6 +199,19 @@ class Simulator {
     return scale_;
   }
 
+  /// Attaches (or detaches, with nullptr) the execution profiler, which
+  /// records the runtime's own wall-clock behavior (barrier windows, worker
+  /// dispatch/drain/barrier splits, outbox volumes). Wall-clock data is
+  /// inherently nondeterministic — exec reports are exempt from the
+  /// byte-identity contract and are emitted to their own files (see
+  /// sim/exec_profile.hpp). Not owned. Detached runs pay one null-pointer
+  /// branch per run and per barrier window, never per event.
+  void set_exec_profiler(ExecProfiler* exec) noexcept {
+    exec_ = exec;
+    backend_->on_hooks_changed();
+  }
+  ExecProfiler* exec_profiler() const noexcept { return exec_; }
+
   /// One progress report, emitted every heartbeat period of *simulated*
   /// time while the dispatch loop runs.
   struct Heartbeat {
@@ -207,8 +224,9 @@ class Simulator {
   using HeartbeatFn = std::function<void(const Heartbeat&)>;
 
   /// Enables a heartbeat every `period` of sim-time; `fn` defaults to a
-  /// stderr progress line. A zero period disables. Honored by the serial
-  /// backend only (the bench harness forces it serial).
+  /// stderr progress line. A zero period disables. The serial backend
+  /// checks per event; the sharded backend's coordinator checks between
+  /// barrier windows (so beats are at window granularity there).
   void set_heartbeat(Duration period, HeartbeatFn fn = nullptr);
 
  private:
@@ -219,6 +237,11 @@ class Simulator {
                      const std::shared_ptr<std::function<bool()>>& action);
   void dispatch_instrumented(EventQueue::Popped& ev);
   void maybe_heartbeat();
+  /// Shared heartbeat emitter: advances next_heartbeat_ past `sim_now` and
+  /// calls the callback once. Used per event by the serial loop and per
+  /// barrier window by the sharded coordinator (via the backend accessors).
+  void emit_heartbeat(SimTime sim_now, std::size_t executed_total,
+                      std::size_t queue_depth);
   /// Out-of-line scale-profiler notifications (ScaleProfiler is an
   /// incomplete type here).
   void note_schedule(EventId id, SimTime at, const TaskTag& tag);
@@ -244,6 +267,7 @@ class Simulator {
   LoopProfiler* profiler_ = nullptr;
   ShardAuditor* auditor_ = nullptr;
   ScaleProfiler* scale_ = nullptr;
+  ExecProfiler* exec_ = nullptr;
   Tracer tracer_;
   Duration heartbeat_period_{};
   HeartbeatFn heartbeat_;

@@ -56,7 +56,22 @@ prints the wall-clock speedup. With --min-speedup N the pair gates: a
 speedup below N fails. CI uses --min-speedup 0 to publish the measured
 number as an artifact without gating (shared runners have 2-4 cores, so a
 hard parallel-speedup gate would only measure the runner); verify the
-real ratio on a many-core machine.
+real ratio on a many-core machine. When either side runs faster than
+--min-seconds the ratio is "unmeasurable" — scheduler noise at that
+scale can make a ratio arbitrarily large or small (historically this
+printed inf when the parallel side rounded to zero), so the pair is
+reported as unmeasurable and passes.
+
+Exec reports (bench harness --exec-json, recognised by their "exec" key)
+are compared in EXEC mode. They are wall-clock measurements —
+non-deterministic by design and exempt from the byte-identity contract —
+so there is no baseline entry to diff against. Instead the tracked
+numbers (windows, workers, measured vs predicted speedup, loss split)
+are printed for the artifact record, and one absolute gate applies:
+--max-barrier-fraction FRAC fails the report when the validation block
+attributes more than FRAC of window wall time to barrier waits — the
+signal that the barrier protocol itself, not load imbalance, is eating
+the parallel headroom.
 
 Usage:
   bench_compare.py --baseline BENCH_baseline.json report.json...
@@ -126,6 +141,10 @@ def load_report(path: str) -> dict:
         if not d.get("experiment", {}).get("id"):
             raise ValueError(f"{path}: scale report with no experiment id")
         return d
+    if "exec" in d:  # harness --exec-json report
+        if not d.get("experiment", {}).get("id"):
+            raise ValueError(f"{path}: exec report with no experiment id")
+        return d
     for key in ("experiment", "wall_seconds", "total_events"):
         if key not in d:
             raise ValueError(f"{path}: not a harness report (missing {key!r})")
@@ -178,6 +197,42 @@ def compare_scale(bench_id: str, report: dict, base: dict,
         else:
             print(f"{bench_id}: scale.{name}: {value!r} ok")
     return failed
+
+
+def compare_exec(bench_id: str, report: dict,
+                 max_barrier_fraction: float | None) -> bool:
+    """EXEC mode: print the wall-clock record, gate barrier overhead.
+
+    No baseline diff — exec numbers are timings, and the gate is absolute:
+    barrier_overhead_fraction must stay under --max-barrier-fraction (when
+    given). Everything else is published for the artifact trail.
+    """
+    ex = report["exec"]
+    v = ex.get("validation")
+    if not isinstance(v, dict):
+        print(f"{bench_id}: exec report has no validation block — profiler "
+              f"recorded no runs REGRESSION")
+        return True
+    print(f"{bench_id}: exec: {ex.get('runs', 0)} runs, "
+          f"{ex.get('windows', 0)} windows, {v.get('workers', 0)} workers, "
+          f"{ex.get('elapsed_seconds', 0.0):.4f}s wall")
+    print(f"{bench_id}:   speedup {v.get('measured_speedup', 0.0):.2f}x "
+          f"measured vs {v.get('predicted_speedup', 0.0):.2f}x predicted "
+          f"(mean window error {v.get('mean_window_error', 0.0):.1%})")
+    loss = v.get("loss", {})
+    print(f"{bench_id}:   loss: imbalance "
+          f"{loss.get('imbalance_seconds', 0.0):.4f}s, barrier "
+          f"{loss.get('barrier_seconds', 0.0):.4f}s, drain "
+          f"{loss.get('drain_seconds', 0.0):.4f}s — dominant "
+          f"{loss.get('dominant', 'none')}")
+    frac = v.get("barrier_overhead_fraction", 0.0)
+    if max_barrier_fraction is None:
+        print(f"{bench_id}:   barrier overhead {frac:.1%} (report only)")
+        return False
+    verdict = "REGRESSION" if frac > max_barrier_fraction else "ok"
+    print(f"{bench_id}:   barrier overhead {frac:.1%} vs allowed "
+          f"{max_barrier_fraction:.1%} {verdict}")
+    return verdict == "REGRESSION"
 
 
 def micro_throughputs(report: dict) -> dict:
@@ -265,6 +320,12 @@ def main() -> int:
                     help="with --speedup: fail when reference/parallel wall "
                          "time falls below this ratio (default: %(default)s "
                          "— report only)")
+    ap.add_argument("--max-barrier-fraction", type=float, default=None,
+                    metavar="FRAC",
+                    help="for --exec-json reports: fail when the validation "
+                         "block attributes more than this fraction of "
+                         "window wall time to barrier waits (default: "
+                         "report only)")
     ap.add_argument("reports", nargs="+", help="harness --json output files")
     args = ap.parse_args()
 
@@ -284,7 +345,16 @@ def main() -> int:
                   f"experiment: {ids[0]!r} vs {ids[1]!r}", file=sys.stderr)
             return 2
         ref_s, par_s = ref["wall_seconds"], par["wall_seconds"]
-        speedup = ref_s / par_s if par_s > 0 else float("inf")
+        # Below the noise floor the ratio means nothing (and a parallel
+        # side rounding to zero used to print inf) — say so instead of
+        # publishing a bogus number, and pass: there is nothing to gate.
+        if min(ref_s, par_s) < args.min_seconds:
+            print(f"{ids[0]}: speedup unmeasurable ({ref_s:.4f}s reference "
+                  f"/ {par_s:.4f}s parallel — a side is under "
+                  f"--min-seconds {args.min_seconds:g}, timer noise "
+                  f"dominates)")
+            return 0
+        speedup = ref_s / par_s
         verdict = "ok" if speedup >= args.min_speedup else "BELOW TARGET"
         print(f"{ids[0]}: speedup {speedup:.2f}x ({ref_s:.4f}s reference / "
               f"{par_s:.4f}s parallel, target >= {args.min_speedup:g}x) "
@@ -328,15 +398,22 @@ def main() -> int:
         print(f"bench_compare: wrote {args.baseline} ({len(baseline)} benches)")
         return 0
 
-    try:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"bench_compare: cannot read baseline: {e}", file=sys.stderr)
-        return 2
+    if all("exec" in r for r in reports.values()):
+        baseline = {}  # exec reports gate absolutely; no baseline needed
+    else:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_compare: cannot read baseline: {e}", file=sys.stderr)
+            return 2
 
     failed = False
     for bench_id, report in sorted(reports.items()):
+        if "exec" in report:  # absolute gate, no baseline entry
+            failed |= compare_exec(bench_id, report,
+                                   args.max_barrier_fraction)
+            continue
         base = baseline.get(bench_id)
         if base is None:
             print(f"{bench_id}: not in baseline — run with --update to adopt it")

@@ -34,6 +34,12 @@
 //                      lookahead windows, and speedup predictions are
 //                      functions of simulated time only, so SCALE_PROFILE
 //                      reports stay byte-identical at any --jobs setting.
+//   exec-wall-clock    every call site of wall_now_seconds(), the project's
+//                      one audited wall-clock helper, anywhere in the tree.
+//                      Wall time may feed observability exports (loop
+//                      profiler, heartbeat, exec profiler) but never event
+//                      order or a simulated value, so each call site must be
+//                      audited and allowlisted with its data-flow argument.
 //   scale-merge-order  hash containers inside the scale profiler: its
 //                      accumulation structures are iterated at merge and
 //                      export points, so every one must be an ordered
@@ -320,6 +326,17 @@ void check_line_tokens(const std::string& path, std::size_t lineno,
         break;
       }
     }
+  }
+  // Every call site of the audited wall-clock helper. The span/timeseries/
+  // scale checks above already ban the token outright inside their modules,
+  // so skip those here — one line should not report twice.
+  if (!in_span_module(path) && !in_timeseries_module(path) && !in_scale_module(path) &&
+      contains_token(stripped, "wall_now_seconds")) {
+    out.push_back({path, lineno, "exec-wall-clock",
+                   "wall_now_seconds call site: wall-clock readings may feed "
+                   "observability exports only, never event order or a "
+                   "simulated value — audit the site and allowlist it",
+                   trim(raw)});
   }
   if (in_hot_path(path)) {
     for (const char* tok : {"unordered_map", "unordered_set", "unordered_multimap",
