@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/exec_profile.hpp"
+#include "sim/mem_profile.hpp"
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/scale_profile.hpp"
@@ -158,6 +159,15 @@ class RunContext {
   /// files rather than in .metrics.
   sim::ExecProfiler* exec() noexcept { return exec_; }
 
+  /// This run's memory profiler, or nullptr unless SweepOptions::mem was
+  /// set. instrument() attaches it to the simulator (plus a fail-soft
+  /// auditor when neither --audit nor --scale created one, so per-shard
+  /// footprint attribution always works) and registers live-bytes /
+  /// queue-depth gauges on the run's TimeSeriesRecorder when one exists.
+  /// Each run profiles into its own instance, merged in run-index order —
+  /// so merged exports are byte-identical at any --jobs and --shards.
+  sim::MemProfiler* mem() noexcept { return mem_; }
+
  private:
   friend SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& opts);
 
@@ -177,6 +187,7 @@ class RunContext {
   sim::ShardAuditor* audit_ = nullptr;
   sim::ScaleProfiler* scale_ = nullptr;
   sim::ExecProfiler* exec_ = nullptr;
+  sim::MemProfiler* mem_ = nullptr;
 };
 
 /// A declarative experiment case: what to run, over which parameter points,
@@ -222,6 +233,11 @@ struct SweepOptions {
   /// afterwards in run-index order). Wall-clock runtime observability —
   /// the merged aggregates are exempt from the byte-identity contract.
   bool exec = false;
+  /// Give each run its own MemProfiler via RunContext::mem() (merged
+  /// afterwards in run-index order; sim-deterministic, so merged exports
+  /// are byte-identical at any --jobs and --shards). Implies a fail-soft
+  /// ShardAuditor when audit/scale did not create one.
+  bool mem = false;
   /// In-run parallelism: when > 0, RunContext::instrument() installs a
   /// sim::ShardedBackend with this many worker threads on the run's
   /// simulator (1 exercises the full barrier machinery on one worker —
@@ -254,6 +270,8 @@ struct RunResult {
   /// Per-run execution (wall-clock) profile; null unless
   /// SweepOptions::exec was set.
   std::unique_ptr<sim::ExecProfiler> exec;
+  /// Per-run memory profile; null unless SweepOptions::mem was set.
+  std::unique_ptr<sim::MemProfiler> mem;
 };
 
 struct SweepResult {

@@ -44,6 +44,7 @@ class Simulator;
 class LoopProfiler;
 class ScaleProfiler;
 class ExecProfiler;
+class MemProfiler;
 class Rng;
 
 /// Per-thread execution context installed by a backend while it dispatches
@@ -57,6 +58,7 @@ struct ExecCtx {
   Rng* rng = nullptr;               ///< stream to serve Simulator::rng()
   ShardAuditor* auditor = nullptr;  ///< lane to serve Simulator::auditor()
   ScaleProfiler* scale = nullptr;   ///< lane to serve Simulator::scale_profiler()
+  MemProfiler* mem = nullptr;       ///< lane to serve Simulator::mem_profiler()
   ShardId owner = kNoShard;
   bool control = false;  ///< true while a barrier-phase control event runs
 };
@@ -121,9 +123,15 @@ class ExecutionBackend {
   virtual bool step() = 0;
 
   /// The Simulator re-attached or detached observability hooks
-  /// (profiler/auditor/scale); backends refresh derived state (tag
+  /// (profiler/auditor/scale/mem); backends refresh derived state (tag
   /// recording on their queues).
   virtual void on_hooks_changed() {}
+
+  /// Modeled live bytes across every attached MemProfiler instance: the
+  /// base profiler here; the sharded backend adds its per-owner lanes
+  /// (safe from control events — workers are parked at the barrier).
+  /// 0 when no profiler is attached.
+  virtual std::int64_t mem_live_bytes() const;
 
  protected:
   explicit ExecutionBackend(Simulator& sim) noexcept : sim_(&sim) {}
@@ -145,6 +153,7 @@ class ExecutionBackend {
   ShardAuditor* auditor_hook() const noexcept;
   ScaleProfiler* scale_hook() const noexcept;
   ExecProfiler* exec_hook() const noexcept;
+  MemProfiler* mem_hook() const noexcept;
   /// Heartbeat support for non-serial backends: true when a heartbeat is
   /// configured, reset at run() start, and a tick the coordinator calls
   /// between barrier windows (emits at most one line per heartbeat period

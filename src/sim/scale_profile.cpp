@@ -6,17 +6,11 @@
 #include <stdexcept>
 
 #include "sim/json.hpp"
+#include "sim/mem_profile.hpp"  // kEventControlBlockBytes: shared with MemProfiler
 
 namespace tussle::sim {
 
 namespace {
-
-/// Estimated resident bytes of one scheduled event: the heap Entry (time,
-/// seq, id, std::function) plus the typical out-of-line closure the
-/// std::function small-buffer optimisation cannot hold. A model constant,
-/// not a measurement — the arena-allocation refactor gates on the *count*;
-/// bytes give the report a common unit with packets and actors.
-constexpr std::uint64_t kEventBytes = 96;
 
 /// Power-of-two bucket: 0 -> 0, and bucket b covers [2^(b-1), 2^b - 1].
 std::uint32_t log2_bucket(std::uint64_t v) noexcept {
@@ -61,7 +55,7 @@ void ScaleProfiler::on_schedule(std::uint64_t id, SimTime now, SimTime at,
   Tally& t = allocs_[std::string("sim.event/") +
                      (tag.component != nullptr ? tag.component : "(untagged)")];
   t.count += 1;
-  t.bytes += kEventBytes;
+  t.bytes += kEventControlBlockBytes;
 }
 
 void ScaleProfiler::on_cancel(std::uint64_t id) {

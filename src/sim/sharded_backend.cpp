@@ -93,6 +93,7 @@ EventId ShardedBackend::push_control(SimTime at, TaskTag tag, EventQueue::Action
     ShardAuditor* au = auditor_hook();
     sc->on_schedule(id.value, base_now(), at, tag, au != nullptr ? au->current() : kNoShard);
   }
+  if (MemProfiler* mm = mem_hook()) mm->on_schedule(id.value, base_now(), at, tag);
   return id;
 }
 
@@ -103,6 +104,7 @@ EventId ShardedBackend::push_direct(Lp& lp, SimTime at, TaskTag tag,
     ShardAuditor* au = auditor_hook();
     sc->on_schedule(id.value, base_now(), at, tag, au != nullptr ? au->current() : kNoShard);
   }
+  if (MemProfiler* mm = mem_hook()) mm->on_schedule(id.value, base_now(), at, tag);
   return id;
 }
 
@@ -116,6 +118,7 @@ EventId ShardedBackend::schedule(SimTime at, TaskTag tag, EventQueue::Action act
       lp.scale.on_schedule(id.value, c->now, at, tag,
                            auditor_hook() != nullptr ? lp.audit.current() : kNoShard);
     }
+    if (mem_hook() != nullptr) lp.mem.on_schedule(id.value, c->now, at, tag);
     return id;
   }
   // Setup code or a control event: global work runs on the control queue at
@@ -143,6 +146,7 @@ EventId ShardedBackend::schedule_for(ShardId owner, SimTime at, TaskTag tag,
       src.scale.on_schedule(id.value, c->now, at, tag,
                             auditor_hook() != nullptr ? src.audit.current() : kNoShard);
     }
+    if (mem_hook() != nullptr) src.mem.on_schedule(id.value, c->now, at, tag);
     return id;
   }
 
@@ -188,6 +192,7 @@ bool ShardedBackend::cancel(EventId id) {
     if (worker) return false;  // the control queue belongs to the coordinator
     const bool ok = control_.cancel(id);
     if (ok && scale_hook() != nullptr) scale_hook()->on_cancel(id.value);
+    if (ok && mem_hook() != nullptr) mem_hook()->on_cancel(id.value, base_now());
     return ok;
   }
   const auto it = index_.find(static_cast<ShardId>(owner_p1 - 1));
@@ -200,6 +205,16 @@ bool ShardedBackend::cancel(EventId id) {
       lp.scale.on_cancel(id.value);
     } else {
       scale_hook()->on_cancel(id.value);
+    }
+  }
+  if (ok && mem_hook() != nullptr) {
+    // Route like the schedule did: worker pushes recorded in the lane,
+    // setup/control pushes (push_direct) in the base profiler — so the
+    // pending-event bookkeeping (lifetime + control-block free) matches.
+    if (worker) {
+      lp.mem.on_cancel(id.value, c->now);
+    } else {
+      mem_hook()->on_cancel(id.value, base_now());
     }
   }
   return ok;
@@ -229,6 +244,7 @@ std::size_t ShardedBackend::process_lp(Lp& lp, SimTime window_end,
                                        ExecProfiler::WorkerLane* xl) {
   const bool audit = auditor_hook() != nullptr;
   const bool scale = scale_hook() != nullptr;
+  const bool mem = mem_hook() != nullptr;
   const bool prof = profiler_hook() != nullptr;
   ExecCtx ctx;
   ctx.sim = &sim();
@@ -236,6 +252,7 @@ std::size_t ShardedBackend::process_lp(Lp& lp, SimTime window_end,
   ctx.rng = &lp.rng;
   ctx.auditor = audit ? &lp.audit : nullptr;
   ctx.scale = scale ? &lp.scale : nullptr;
+  ctx.mem = mem ? &lp.mem : nullptr;
   ctx.owner = lp.owner;
   CtxGuard guard(&ctx);
   std::size_t n = 0;
@@ -246,6 +263,7 @@ std::size_t ShardedBackend::process_lp(Lp& lp, SimTime window_end,
     ctx.now = ev.time;
     if (audit) lp.audit.begin_event(ev.time, ev.tag);
     if (scale) lp.scale.begin_event(ev.id.value, ev.time, lp.queue.size(), ev.tag);
+    if (mem) lp.mem.begin_event(ev.id.value, ev.time, lp.queue.size(), ev.tag);
     if (prof) {
       const double t0 = wall_now_seconds();
       ev.action();
@@ -253,6 +271,8 @@ std::size_t ShardedBackend::process_lp(Lp& lp, SimTime window_end,
     } else {
       ev.action();
     }
+    // Both profilers read the auditor's claim before end_event resets it.
+    if (mem) lp.mem.end_event(audit ? lp.audit.current() : kNoShard);
     if (scale) lp.scale.end_event(audit ? lp.audit.current() : kNoShard);
     if (audit) lp.audit.end_event();
     ++lp.executed;
@@ -285,6 +305,7 @@ void ShardedBackend::drain_lp(std::size_t index, Lp& dst, ExecProfiler::WorkerLa
     return a.seq < b.seq;
   });
   const bool scale = scale_hook() != nullptr;
+  const bool mem = mem_hook() != nullptr;
   for (auto& m : msgs) {
     if (m.at < dst.lp_now) {
       throw std::logic_error(
@@ -299,6 +320,7 @@ void ShardedBackend::drain_lp(std::size_t index, Lp& dst, ExecProfiler::WorkerLa
     }
     const EventId id = dst.queue.push(m.at, std::move(m.action), m.tag);
     if (scale) dst.scale.on_schedule(id.value, m.sent, m.at, m.tag, m.origin);
+    if (mem) dst.mem.on_schedule(id.value, m.sent, m.at, m.tag);
   }
 }
 
@@ -321,9 +343,11 @@ void ShardedBackend::drain_control_inbox() {
     return a.seq < b.seq;
   });
   const bool scale = scale_hook() != nullptr;
+  MemProfiler* const mm = mem_hook();
   for (auto& m : msgs) {
     const EventId id = control_.push(m.at, std::move(m.action), m.tag);
     if (scale) scale_hook()->on_schedule(id.value, m.sent, m.at, m.tag, m.origin);
+    if (mm != nullptr) mm->on_schedule(id.value, m.sent, m.at, m.tag);
   }
 }
 
@@ -338,6 +362,7 @@ std::size_t ShardedBackend::run_control_at(SimTime tc) {
   std::size_t n = 0;
   ShardAuditor* au = auditor_hook();
   ScaleProfiler* sc = scale_hook();
+  MemProfiler* mm = mem_hook();
   LoopProfiler* pr = profiler_hook();
   ExecCtx ctx;
   ctx.sim = &sim();
@@ -345,6 +370,7 @@ std::size_t ShardedBackend::run_control_at(SimTime tc) {
   ctx.rng = &base_rng();
   ctx.auditor = au;
   ctx.scale = sc;
+  ctx.mem = mm;
   CtxGuard guard(&ctx);
   while (!control_.empty() && control_.next_time() == tc && !stop_requested()) {
     auto ev = control_.pop();
@@ -355,6 +381,7 @@ std::size_t ShardedBackend::run_control_at(SimTime tc) {
       au->declare_control_event(ev.tag.kind != nullptr ? ev.tag.kind : "control");
     }
     if (sc != nullptr) sc->begin_event(ev.id.value, ev.time, control_.size(), ev.tag);
+    if (mm != nullptr) mm->begin_event(ev.id.value, ev.time, control_.size(), ev.tag);
     if (pr != nullptr) {
       const double t0 = wall_now_seconds();
       ev.action();
@@ -362,6 +389,7 @@ std::size_t ShardedBackend::run_control_at(SimTime tc) {
     } else {
       ev.action();
     }
+    if (mm != nullptr) mm->end_event(au != nullptr ? au->current() : kNoShard);
     if (sc != nullptr) sc->end_event(au != nullptr ? au->current() : kNoShard);
     if (au != nullptr) au->end_event();
     ++n;
@@ -397,6 +425,14 @@ void* shard_lane_raw(Simulator& sim, void* base, LaneMakeFn make, LaneFoldFn fol
   return backend->lane(base, make, fold, destroy);
 }
 
+std::int64_t ShardedBackend::mem_live_bytes() const {
+  std::int64_t total = ExecutionBackend::mem_live_bytes();
+  if (mem_hook() != nullptr) {
+    for (const auto& lp : lps_) total += lp->mem.live_bytes();
+  }
+  return total;
+}
+
 void ShardedBackend::fold_state_lanes() {
   // Ascending owner order (lps_ is sorted), so merged results never depend
   // on the shard count. Folds reset the lane, so they are incremental.
@@ -411,6 +447,7 @@ void ShardedBackend::merge_observability() {
   // end of run() only, again in ascending owner order.
   ShardAuditor* au = auditor_hook();
   ScaleProfiler* sc = scale_hook();
+  MemProfiler* mm = mem_hook();
   LoopProfiler* pr = profiler_hook();
   for (auto& lp : lps_) {
     if (au != nullptr) {
@@ -421,6 +458,10 @@ void ShardedBackend::merge_observability() {
     if (sc != nullptr) {
       sc->merge(lp->scale);
       lp->scale = ScaleProfiler{};
+    }
+    if (mm != nullptr) {
+      mm->merge(lp->mem);
+      lp->mem = MemProfiler{};
     }
     if (pr != nullptr) {
       pr->merge(lp->prof);

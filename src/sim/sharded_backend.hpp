@@ -53,6 +53,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/exec_backend.hpp"
 #include "sim/exec_profile.hpp"
+#include "sim/mem_profile.hpp"
 #include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/scale_profile.hpp"
@@ -89,6 +90,10 @@ class ShardedBackend final : public ExecutionBackend {
   /// Not meaningful under parallel execution; throws std::logic_error.
   bool step() override;
   void on_hooks_changed() override;
+  /// Base profiler plus every owner lane. Callers must be the coordinator
+  /// or a control event (workers are parked, so lane reads are ordered by
+  /// the barrier).
+  std::int64_t mem_live_bytes() const override;
 
   std::size_t shard_count() const noexcept { return shards_; }
   std::size_t owner_count() const noexcept { return lps_.size(); }
@@ -132,6 +137,7 @@ class ShardedBackend final : public ExecutionBackend {
     std::map<const void*, LaneEntry> lanes;  ///< shard_lane<T> storage
     ShardAuditor audit;                      ///< lane when a base auditor is attached
     ScaleProfiler scale;                     ///< lane when a base scale profiler is attached
+    MemProfiler mem;                         ///< lane when a base mem profiler is attached
     LoopProfiler prof;                       ///< lane when a base loop profiler is attached
     std::size_t executed = 0;
     std::exception_ptr error;

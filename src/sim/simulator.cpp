@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sim/exec_profile.hpp"
+#include "sim/mem_profile.hpp"
 #include "sim/scale_profile.hpp"
 #include "sim/shard_audit.hpp"
 
@@ -30,12 +31,18 @@ void ExecutionBackend::clear_stop() noexcept {
 }
 void ExecutionBackend::add_executed(std::size_t n) noexcept { sim_->executed_ += n; }
 bool ExecutionBackend::hooks_record_tags() const noexcept {
-  return sim_->profiler_ != nullptr || sim_->auditor_ != nullptr || sim_->scale_ != nullptr;
+  return sim_->profiler_ != nullptr || sim_->auditor_ != nullptr ||
+         sim_->scale_ != nullptr || sim_->mem_ != nullptr;
 }
 LoopProfiler* ExecutionBackend::profiler_hook() const noexcept { return sim_->profiler_; }
 ShardAuditor* ExecutionBackend::auditor_hook() const noexcept { return sim_->auditor_; }
 ScaleProfiler* ExecutionBackend::scale_hook() const noexcept { return sim_->scale_; }
 ExecProfiler* ExecutionBackend::exec_hook() const noexcept { return sim_->exec_; }
+MemProfiler* ExecutionBackend::mem_hook() const noexcept { return sim_->mem_; }
+
+std::int64_t ExecutionBackend::mem_live_bytes() const {
+  return sim_->mem_ != nullptr ? sim_->mem_->live_bytes() : 0;
+}
 
 bool ExecutionBackend::heartbeat_active() const noexcept {
   return static_cast<bool>(sim_->heartbeat_);
@@ -97,12 +104,14 @@ EventId Simulator::schedule_at(SimTime at, TaskTag tag, EventQueue::Action actio
 EventId Simulator::serial_schedule(SimTime at, TaskTag tag, EventQueue::Action action) {
   const EventId id = queue_.push(at, std::move(action), tag);
   if (scale_ != nullptr) note_schedule(id, at, tag);
+  if (mem_ != nullptr) mem_note_schedule(id, at, tag);
   return id;
 }
 
 bool Simulator::serial_cancel(EventId id) {
   const bool cancelled = queue_.cancel(id);
   if (cancelled && scale_ != nullptr) scale_->on_cancel(id.value);
+  if (cancelled && mem_ != nullptr) mem_note_cancel(id);
   return cancelled;
 }
 
@@ -119,6 +128,20 @@ void Simulator::scale_begin(const EventQueue::Popped& ev) {
 
 void Simulator::scale_end() {
   scale_->end_event(auditor_ != nullptr ? auditor_->current() : kNoShard);
+}
+
+void Simulator::mem_note_schedule(EventId id, SimTime at, const TaskTag& tag) {
+  mem_->on_schedule(id.value, now_, at, tag);
+}
+
+void Simulator::mem_note_cancel(EventId id) { mem_->on_cancel(id.value, now_); }
+
+void Simulator::mem_begin(const EventQueue::Popped& ev) {
+  mem_->begin_event(ev.id.value, now_, queue_.size(), ev.tag);
+}
+
+void Simulator::mem_end() {
+  mem_->end_event(auditor_ != nullptr ? auditor_->current() : kNoShard);
 }
 
 void Simulator::schedule_every(Duration period, std::function<bool()> action) {
@@ -210,12 +233,14 @@ std::size_t Simulator::serial_run(SimTime horizon) {
     now_ = ev.time;
     if (auditor_ != nullptr) auditor_->begin_event(now_, ev.tag);
     if (scale_ != nullptr) scale_begin(ev);
+    if (mem_ != nullptr) mem_begin(ev);
     if (instrumented_) {
       dispatch_instrumented(ev);
     } else {
       ev.action();
     }
-    // The scale profiler reads the auditor's claim before end_event resets it.
+    // Both profilers read the auditor's claim before end_event resets it.
+    if (mem_ != nullptr) mem_end();
     if (scale_ != nullptr) scale_end();
     if (auditor_ != nullptr) auditor_->end_event();
     ++n;
@@ -238,11 +263,13 @@ bool Simulator::serial_step() {
   now_ = ev.time;
   if (auditor_ != nullptr) auditor_->begin_event(now_, ev.tag);
   if (scale_ != nullptr) scale_begin(ev);
+  if (mem_ != nullptr) mem_begin(ev);
   if (instrumented_) {
     dispatch_instrumented(ev);
   } else {
     ev.action();
   }
+  if (mem_ != nullptr) mem_end();
   if (scale_ != nullptr) scale_end();
   if (auditor_ != nullptr) auditor_->end_event();
   ++executed_;

@@ -44,6 +44,7 @@ namespace tussle::sim {
 class ShardAuditor;
 class ScaleProfiler;
 class ExecProfiler;
+class MemProfiler;
 
 class Simulator {
  public:
@@ -157,7 +158,8 @@ class Simulator {
   /// owned; must outlive the simulator or be detached first.
   void set_profiler(LoopProfiler* profiler) noexcept {
     profiler_ = profiler;
-    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr ||
+                       mem_ != nullptr);
     instrumented_ = profiler_ != nullptr || static_cast<bool>(heartbeat_);
     backend_->on_hooks_changed();
   }
@@ -171,7 +173,8 @@ class Simulator {
   /// accessor returns the worker's per-owner lane.
   void set_auditor(ShardAuditor* auditor) noexcept {
     auditor_ = auditor;
-    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr ||
+                       mem_ != nullptr);
     backend_->on_hooks_changed();
   }
   ShardAuditor* auditor() const noexcept {
@@ -190,7 +193,8 @@ class Simulator {
   /// worker event the accessor returns the worker's per-owner lane.
   void set_scale_profiler(ScaleProfiler* scale) noexcept {
     scale_ = scale;
-    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr);
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr ||
+                       mem_ != nullptr);
     backend_->on_hooks_changed();
   }
   ScaleProfiler* scale_profiler() const noexcept {
@@ -198,6 +202,34 @@ class Simulator {
     if (c != nullptr && c->sim == this) return c->scale;
     return scale_;
   }
+
+  /// Attaches (or detaches, with nullptr) the memory profiler. Dispatch
+  /// then reports schedule/cancel/dispatch transitions so it can account
+  /// event-control-block churn and lifetimes; components report packet
+  /// births/deaths, actor registrations, and pointer-chase hops through it
+  /// (see sim/mem_profile.hpp). Works best with an auditor attached too —
+  /// per-shard footprints come from the auditor's claim registry. Not
+  /// owned. Uninstrumented runs pay one null-pointer branch per schedule
+  /// and per event. Inside a sharded worker event the accessor returns the
+  /// worker's per-owner lane.
+  void set_mem_profiler(MemProfiler* mem) noexcept {
+    mem_ = mem;
+    queue_.record_tags(profiler_ != nullptr || auditor_ != nullptr || scale_ != nullptr ||
+                       mem_ != nullptr);
+    backend_->on_hooks_changed();
+  }
+  MemProfiler* mem_profiler() const noexcept {
+    const ExecCtx* c = current_exec_ctx();
+    if (c != nullptr && c->sim == this) return c->mem;
+    return mem_;
+  }
+
+  /// Modeled live bytes currently attributed to this simulator's attached
+  /// memory profiler(s): the base profiler under serial execution, base
+  /// plus every owner lane under the sharded backend (safe to read from
+  /// control events — workers are parked). 0 when none is attached. The
+  /// --dashboard "mem.live_bytes" gauge samples this.
+  std::int64_t mem_live_bytes() const { return backend_->mem_live_bytes(); }
 
   /// Attaches (or detaches, with nullptr) the execution profiler, which
   /// records the runtime's own wall-clock behavior (barrier windows, worker
@@ -247,6 +279,12 @@ class Simulator {
   void note_schedule(EventId id, SimTime at, const TaskTag& tag);
   void scale_begin(const EventQueue::Popped& ev);
   void scale_end();
+  /// Out-of-line mem-profiler notifications (MemProfiler is an incomplete
+  /// type here).
+  void mem_note_schedule(EventId id, SimTime at, const TaskTag& tag);
+  void mem_note_cancel(EventId id);
+  void mem_begin(const EventQueue::Popped& ev);
+  void mem_end();
 
   // The pre-split dispatch loop, verbatim; SerialBackend forwards here.
   EventId serial_schedule(SimTime at, TaskTag tag, EventQueue::Action action);
@@ -268,6 +306,7 @@ class Simulator {
   ShardAuditor* auditor_ = nullptr;
   ScaleProfiler* scale_ = nullptr;
   ExecProfiler* exec_ = nullptr;
+  MemProfiler* mem_ = nullptr;
   Tracer tracer_;
   Duration heartbeat_period_{};
   HeartbeatFn heartbeat_;

@@ -45,6 +45,22 @@
 //                      export points, so every one must be an ordered
 //                      container — hash order would make the merged report
 //                      depend on the stdlib, not the seed.
+//   mem-wall-clock     the same wall-clock token list inside the memory
+//                      profiler (sim/mem_profile*): live-bytes, lifetimes,
+//                      and locality scores are model units attached to
+//                      simulated time — never RSS, never a malloc hook — so
+//                      MEM_PROFILE reports stay byte-identical at any
+//                      --jobs and --shards setting.
+//   mem-merge-order    hash containers inside the memory profiler: same
+//                      merge/export argument as scale-merge-order.
+//   hot-path-alloc     raw `new`/`delete` or std::make_shared in src/net or
+//                      src/sim: the million-actor refactor (ROADMAP item 1)
+//                      moves per-packet and per-event churn into arenas and
+//                      pools, and the MemProfiler's allocs-per-event gate
+//                      only binds if new churn cannot appear silently. Each
+//                      remaining direct allocation must be audited and
+//                      allowlisted with the reason it is not per-packet
+//                      churn ("= delete" declarations are ignored).
 //   static-local       mutable function-local `static` in a hot-path
 //                      subsystem: a hidden global whose lazy init races
 //                      under the planned sharded event loop and whose state
@@ -246,8 +262,24 @@ bool in_scale_module(const std::string& path) {
   return path.find("sim/scale_profile") != std::string::npos;
 }
 
+/// The memory profiler carries the same contract again: every quantity in a
+/// MEM_PROFILE report (live bytes, lifetimes, locality scores) is a model
+/// unit attached to simulated time — never RSS, never a malloc hook.
+bool in_mem_module(const std::string& path) {
+  return path.find("sim/mem_profile") != std::string::npos;
+}
+
 bool in_hot_path(const std::string& path) {
   for (const char* dir : {"/sim/", "/net/", "/routing/", "/econ/"}) {
+    if (path.find(dir) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Where the hot-path-alloc check applies: the subsystems whose per-packet /
+/// per-event churn the MemProfiler meters and the arena refactor targets.
+bool in_alloc_hot_path(const std::string& path) {
+  for (const char* dir : {"/sim/", "/net/"}) {
     if (path.find(dir) != std::string::npos) return true;
   }
   return false;
@@ -327,11 +359,38 @@ void check_line_tokens(const std::string& path, std::size_t lineno,
       }
     }
   }
+  if (in_mem_module(path)) {
+    for (std::string_view tok : kSpanWallClockTokens) {
+      if (contains_token(stripped, tok)) {
+        out.push_back({path, lineno, "mem-wall-clock",
+                       "wall-clock source '" + std::string(tok) +
+                           "' in the memory profiler: live-bytes, lifetimes, "
+                           "and locality scores are model units attached to "
+                           "simulated time — never RSS — or MEM_PROFILE "
+                           "reports diverge across runs, --jobs, and --shards "
+                           "settings",
+                       trim(raw)});
+      }
+    }
+    for (const char* tok : {"unordered_map", "unordered_set", "unordered_multimap",
+                            "unordered_multiset", "flat_hash_map", "flat_hash_set"}) {
+      if (contains_token(stripped, tok)) {
+        out.push_back({path, lineno, "mem-merge-order",
+                       std::string(tok) +
+                           " in the memory profiler: accumulation structures "
+                           "are iterated at merge/export points, so they must "
+                           "be ordered containers or the merged report depends "
+                           "on the stdlib's hash, not the seed",
+                       trim(raw)});
+        break;
+      }
+    }
+  }
   // Every call site of the audited wall-clock helper. The span/timeseries/
-  // scale checks above already ban the token outright inside their modules,
-  // so skip those here — one line should not report twice.
+  // scale/mem checks above already ban the token outright inside their
+  // modules, so skip those here — one line should not report twice.
   if (!in_span_module(path) && !in_timeseries_module(path) && !in_scale_module(path) &&
-      contains_token(stripped, "wall_now_seconds")) {
+      !in_mem_module(path) && contains_token(stripped, "wall_now_seconds")) {
     out.push_back({path, lineno, "exec-wall-clock",
                    "wall_now_seconds call site: wall-clock readings may feed "
                    "observability exports only, never event order or a "
@@ -346,6 +405,24 @@ void check_line_tokens(const std::string& path, std::size_t lineno,
                        std::string("std::") + tok +
                            " in a hot-path subsystem: iteration order is not "
                            "reproducible across stdlib versions",
+                       trim(raw)});
+        break;
+      }
+    }
+  }
+  // Direct heap allocation in the packet/event subsystems. Deleted special
+  // members ("= delete") are declarations, not allocations.
+  if (in_alloc_hot_path(path) && stripped.find("= delete") == std::string::npos &&
+      stripped.find("=delete") == std::string::npos) {
+    for (const char* tok : {"new", "delete", "make_shared"}) {
+      if (contains_token(stripped, tok)) {
+        out.push_back({path, lineno, "hot-path-alloc",
+                       std::string("'") + tok +
+                           "' in a packet/event hot-path subsystem: per-packet "
+                           "or per-event heap churn is what the arena/pool "
+                           "refactor removes and the MemProfiler's "
+                           "allocs-per-event gate meters — audit the site and "
+                           "allowlist it with why it is not per-packet churn",
                        trim(raw)});
         break;
       }
